@@ -1,0 +1,117 @@
+//! Criterion benchmarks, one group per paper exhibit: times the code path
+//! that regenerates each table/figure so regressions in the reproduction
+//! pipeline are visible. Sample counts are kept small — these paths run
+//! full experiment pipelines, not micro-operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlscale_core::models::gd::GradientDescentModel;
+use mlscale_core::models::graphinf::max_edges_monte_carlo;
+use mlscale_core::units::FlopsRate;
+use mlscale_graph::generators::{dns_like, DnsGraphSpec};
+use mlscale_graph::partition::{Partition, PartitionStats};
+use mlscale_workloads::bp::BpWorkload;
+use mlscale_workloads::experiments::figures::{fig2_model, fig3_model};
+use mlscale_workloads::gd::GdWorkload;
+use mlscale_sim::overhead::OverheadModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.bench_function("mnist_fc_cost", |b| {
+        b.iter(|| {
+            let net = mlscale_nn::zoo::mnist_fc();
+            black_box((net.params(), net.forward_madds()))
+        })
+    });
+    g.bench_function("inception_v3_cost", |b| {
+        b.iter(|| {
+            let net = mlscale_nn::zoo::inception_v3();
+            black_box((net.params(), net.forward_madds()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.bench_function("example_speedup_curve", |b| {
+        b.iter(|| black_box(mlscale_workloads::experiments::fig1()))
+    });
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    let model: GradientDescentModel = fig2_model();
+    g.bench_function("model_curve_1_to_16", |b| {
+        b.iter(|| black_box(model.strong_curve(1..=16)))
+    });
+    let workload = GdWorkload {
+        model,
+        overhead: OverheadModel::ConstantPlusJitter { seconds: 0.3, jitter_mean: 0.3 },
+        iterations: 5,
+        seed: 2017,
+    };
+    g.bench_function("simulated_iteration_n9", |b| {
+        b.iter(|| black_box(workload.simulate_strong(9)))
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    let model = fig3_model();
+    g.bench_function("weak_model_curve_to_200", |b| {
+        b.iter(|| black_box(model.weak_curve(1..=200)))
+    });
+    let workload = GdWorkload::ideal(model);
+    g.bench_function("simulated_weak_n100", |b| {
+        b.iter(|| black_box(workload.simulate_weak_per_instance(100)))
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(7);
+    let spec = DnsGraphSpec { vertices: 16_259, edges: 99_854, max_degree: 1_750 };
+    let graph = dns_like(spec, &mut rng);
+    let degrees = graph.degree_sequence();
+    g.bench_function("graph_generation_16k", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(7);
+            black_box(dns_like(spec, &mut r))
+        })
+    });
+    g.bench_function("monte_carlo_estimator_n16", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(5);
+            black_box(max_edges_monte_carlo(&degrees, 16, 3, &mut r))
+        })
+    });
+    g.bench_function("exact_partition_stats_n16", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(5);
+            let p = Partition::random(graph.vertices(), 16, &mut r);
+            black_box(PartitionStats::compute(&graph, &p))
+        })
+    });
+    let workload = BpWorkload::shared_memory(&graph, FlopsRate::giga(7.6));
+    g.bench_function("bp_simulated_point_n16", |b| {
+        b.iter(|| black_box(workload.simulate(16)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    exhibits,
+    bench_table1,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4
+);
+criterion_main!(exhibits);

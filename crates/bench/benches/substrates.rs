@@ -1,0 +1,105 @@
+//! Micro-benchmarks of the substrates the exhibit pipelines are built
+//! from: the real BP engine, the mini-NN trainer, the simulator's
+//! collectives, the alias sampler and the CSR builders.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mlscale_core::hardware::{ClusterSpec, LinkSpec, NodeSpec};
+use mlscale_core::units::{BitsPerSec, FlopsRate, Seconds};
+use mlscale_graph::generators::{gnm, grid2d};
+use mlscale_graph::mrf::{BeliefPropagation, PairwiseMrf, PairwisePotential};
+use mlscale_graph::sampling::AliasTable;
+use mlscale_nn::tensor::Matrix;
+use mlscale_nn::train::{synthetic_blobs, MlpTrainer};
+use mlscale_sim::cluster::SimCluster;
+use mlscale_sim::collectives::{broadcast, reduce, BroadcastKind, ReduceKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_bp_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bp_engine");
+    let graph = grid2d(60, 60);
+    let edges = graph.edges();
+    let mrf = PairwiseMrf::uniform(graph, 2, PairwisePotential::Potts { same: 1.5, diff: 0.7 });
+    g.throughput(Throughput::Elements(edges));
+    g.bench_function("sync_iteration_grid_60x60_s2", |b| {
+        let mut bp = BeliefPropagation::new(&mrf);
+        b.iter(|| black_box(bp.iterate()))
+    });
+    let graph5 = grid2d(30, 30);
+    let edges5 = graph5.edges();
+    let mrf5 = PairwiseMrf::uniform(graph5, 5, PairwisePotential::Potts { same: 1.5, diff: 0.7 });
+    g.throughput(Throughput::Elements(edges5));
+    g.bench_function("sync_iteration_grid_30x30_s5", |b| {
+        let mut bp = BeliefPropagation::new(&mrf5);
+        b.iter(|| black_box(bp.iterate()))
+    });
+    g.finish();
+}
+
+fn bench_trainer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mini_nn");
+    let mut rng = StdRng::seed_from_u64(3);
+    let (x, y) = synthetic_blobs(64, 32, 4, &mut rng);
+    let trainer = MlpTrainer::new(&[32, 64, 4], &mut rng);
+    g.bench_function("gradient_batch64", |b| {
+        b.iter(|| black_box(trainer.gradients(&x, &y)))
+    });
+    g.bench_function("data_parallel_step_4_shards", |b| {
+        let mut t = trainer.clone();
+        b.iter(|| black_box(t.train_step_data_parallel(&x, &y, 4, 0.1)))
+    });
+    let a = Matrix::random(64, 128, 0.5, &mut rng);
+    let bm = Matrix::random(128, 64, 0.5, &mut rng);
+    g.bench_function("gemm_64x128x64", |b| b.iter(|| black_box(a.matmul(&bm))));
+    g.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_collectives");
+    let spec = ClusterSpec::new(
+        NodeSpec::new(FlopsRate::giga(1.0), 1.0),
+        LinkSpec::bandwidth_only(BitsPerSec::giga(1.0)),
+    );
+    for n in [16usize, 64] {
+        g.bench_function(format!("tree_broadcast_n{n}"), |b| {
+            b.iter(|| {
+                let mut cluster = SimCluster::new(spec, n);
+                black_box(broadcast(&mut cluster, BroadcastKind::Tree, 1e9, Seconds::zero()))
+            })
+        });
+        g.bench_function(format!("two_wave_reduce_n{n}"), |b| {
+            let ready = vec![Seconds::zero(); n];
+            b.iter(|| {
+                let mut cluster = SimCluster::new(spec, n);
+                black_box(reduce(&mut cluster, ReduceKind::TwoWave, 1e9, &ready))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_graph_infra(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph_infra");
+    let mut rng = StdRng::seed_from_u64(9);
+    g.bench_function("gnm_10k_60k", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(9);
+            black_box(gnm(10_000, 60_000, &mut r))
+        })
+    });
+    let weights: Vec<f64> = (1..=100_000).map(|i| 1.0 / i as f64).collect();
+    let table = AliasTable::new(&weights);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("alias_sample", |b| b.iter(|| black_box(table.sample(&mut rng))));
+    g.finish();
+}
+
+criterion_group!(
+    substrates,
+    bench_bp_engine,
+    bench_trainer,
+    bench_collectives,
+    bench_graph_infra
+);
+criterion_main!(substrates);

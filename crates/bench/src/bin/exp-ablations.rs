@@ -1,0 +1,24 @@
+//! Runs the ablation experiments over the design choices the paper
+//! discusses: communication architecture, weak-scaling communication
+//! shape, batch size, parameter precision, partitioning strategy, and the
+//! Amdahl-fraction treatment of overhead.
+
+use mlscale_workloads::experiments::ablations;
+
+fn main() {
+    mlscale_bench::emit(&ablations::comm_architectures(32));
+    mlscale_bench::emit(&ablations::weak_scaling_comm(256));
+    mlscale_bench::emit(&ablations::batch_size(64));
+    mlscale_bench::emit(&ablations::precision(32));
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    let graph = mlscale_graph::generators::dns_like(
+        mlscale_graph::generators::DnsGraphSpec {
+            vertices: 20_000,
+            edges: 120_000,
+            max_degree: 2_000,
+        },
+        &mut rng,
+    );
+    mlscale_bench::emit(&ablations::partitioning(&graph, &[2, 4, 8, 16, 32], 11));
+    mlscale_bench::emit(&ablations::amdahl(1024));
+}

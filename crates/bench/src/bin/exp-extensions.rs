@@ -1,0 +1,37 @@
+//! Runs the extension experiments: async-SGD model vs simulation, the
+//! Gibbs-vs-BP inference cost comparison, architecture-zoo scalability,
+//! and cost/deadline provisioning.
+
+use mlscale_workloads::experiments::extensions;
+
+fn main() {
+    mlscale_bench::emit(&extensions::async_gd(&[1, 2, 4, 8, 16, 32, 64, 128], 192));
+    mlscale_bench::emit(&extensions::inference_costs(16));
+    mlscale_bench::emit(&extensions::zoo_scalability(64, 4096.0));
+    mlscale_bench::emit(&extensions::provisioning(1000.0, 2.0));
+    mlscale_bench::emit(&mlscale_workloads::experiments::convergence::convergence_tradeoff(
+        &convergence_model(),
+        &[1, 2, 4, 8, 16],
+        16,
+        7,
+    ));
+}
+
+/// Convergence-experiment model: compute-heavy enough that weak-scaling
+/// throughput genuinely improves with the worker count.
+fn convergence_model() -> mlscale_core::models::gd::GradientDescentModel {
+    use mlscale_core::hardware::{presets, ClusterSpec, LinkSpec};
+    use mlscale_core::models::gd::{GdComm, GradientDescentModel};
+    use mlscale_core::units::{BitsPerSec, FlopCount};
+    GradientDescentModel {
+        cost_per_example: FlopCount::new(6.0 * 12e6),
+        batch_size: 16.0,
+        params: 1e6,
+        bits_per_param: 32,
+        cluster: ClusterSpec::new(
+            presets::xeon_e3_1240_double(),
+            LinkSpec::bandwidth_only(BitsPerSec::giga(10.0)),
+        ),
+        comm: GdComm::TwoStageTree,
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig 1: the introductory speedup example with the optimum
+//! near 14 nodes.
+
+fn main() {
+    let result = mlscale_workloads::experiments::fig1();
+    mlscale_bench::emit(&result);
+}

@@ -1,0 +1,34 @@
+//! Regenerates Fig 4: loopy-BP speedup over the DNS-like power-law graph
+//! on the (simulated) 80-core shared-memory machine, Monte-Carlo model vs
+//! exact-partition experiment.
+//!
+//! Usage: exp-fig4 [tiny|small|medium|full|--all-scales]
+//! Default scale: small (paper MAPE 19.6%). `full` materialises the
+//! 16.26M-vertex / 99.85M-edge graph (~1 GB, minutes).
+
+use mlscale_workloads::experiments::{fig4, DnsScale};
+
+fn run(scale: DnsScale) {
+    let ns: Vec<usize> = vec![1, 2, 4, 8, 16, 24, 32, 48, 64, 80];
+    let result = fig4(scale, &ns);
+    mlscale_bench::emit(&result);
+}
+
+fn main() {
+    match std::env::args().nth(1).as_deref() {
+        None | Some("small") => run(DnsScale::Small),
+        Some("tiny") => run(DnsScale::Tiny),
+        Some("medium") => run(DnsScale::Medium),
+        Some("full") => run(DnsScale::Full),
+        Some("--all-scales") => {
+            for scale in [DnsScale::Tiny, DnsScale::Small, DnsScale::Medium] {
+                run(scale);
+            }
+            eprintln!("(run `exp-fig4 full` separately for the 16M-vertex graph)");
+        }
+        Some(other) => {
+            eprintln!("unknown scale {other:?}; use tiny|small|medium|full|--all-scales");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table I (network configurations) from the layer cost algebra.
+
+fn main() {
+    let result = mlscale_workloads::experiments::table1();
+    mlscale_bench::emit(&result);
+    // Also print the full per-layer cost breakdown of both networks.
+    println!("{}", mlscale_nn::zoo::mnist_fc().cost_table());
+    println!("{}", mlscale_nn::zoo::inception_v3().cost_table());
+}

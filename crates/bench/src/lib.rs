@@ -1,0 +1,74 @@
+//! # mlscale-bench — experiment binaries and criterion benchmarks
+//!
+//! One binary per paper exhibit (`exp-table1`, `exp-fig1` … `exp-fig4`,
+//! `exp-ablations`, `exp-all`): each prints the exhibit's series in the
+//! paper's terms and writes the structured result to `results/<id>.json`.
+//! The criterion benches in `benches/` time the hot paths behind each
+//! exhibit (model evaluation, the Monte-Carlo estimator, partitioning, BP
+//! iterations, the simulator, the layer cost algebra).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use mlscale_workloads::ExperimentResult;
+use std::path::{Path, PathBuf};
+
+/// Directory the experiment binaries write JSON results into (created on
+/// demand): `results/` under the workspace root.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."));
+    root.join("results")
+}
+
+/// Prints an experiment result and persists it as JSON. Returns the path
+/// written, or `None` (with a warning on stderr) when persisting failed —
+/// printing always succeeds.
+pub fn emit(result: &ExperimentResult) -> Option<PathBuf> {
+    println!("{}", result.to_text());
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{}.json", result.id));
+    match serde_json::to_string_pretty(result) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+                return None;
+            }
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("warning: cannot serialise result: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlscale_workloads::Series;
+
+    #[test]
+    fn results_dir_is_under_workspace_root() {
+        let dir = results_dir();
+        assert!(dir.ends_with("results"));
+    }
+
+    #[test]
+    fn emit_writes_json() {
+        let result = ExperimentResult::new("selftest", "emit test")
+            .with_series(Series::new("s", vec![(1, 1.0)]));
+        let path = emit(&result).expect("emit must persist");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("selftest"));
+        let _ = std::fs::remove_file(path);
+    }
+}

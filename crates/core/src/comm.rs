@@ -1,0 +1,523 @@
+//! Communication time-complexity models `t_cm = f_cm(M, n)`.
+//!
+//! The shape of `f_cm` depends on the topology of the communication medium
+//! and on the collective pattern the framework uses to move `M` bits among
+//! `n` workers. The paper contrasts:
+//!
+//! * **linear** communication — the master exchanges with every worker in
+//!   turn, `t ∝ M·n` (the model of Sparks et al. that the paper criticises:
+//!   it permits only *finite* weak scaling);
+//! * **logarithmic / tree** communication — workers form a binary tree,
+//!   `t ∝ M·log₂ n` (allows *infinite* weak scaling);
+//! * **Spark's actual mechanism** (Fig 2) — torrent-like broadcast
+//!   (`log₂ n` rounds) plus a two-wave `treeAggregate` whose waves touch
+//!   `⌈√n⌉` peers each.
+//!
+//! Every model implements [`CommModel`]; composites are built with
+//! [`Composite`] / [`Scaled`].
+
+use crate::units::{Bits, BitsPerSec, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// A communication time-complexity model: time to move a message volume
+/// among `n` workers.
+pub trait CommModel: std::fmt::Debug + Send + Sync {
+    /// Time for the collective to complete with `n` workers.
+    ///
+    /// `n == 1` must return zero for any model: a single worker has nobody
+    /// to talk to (the paper's `t(1)` contains no communication term).
+    fn time(&self, n: usize) -> Seconds;
+
+    /// Human-readable name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// No communication at all (e.g. shared-memory experiments where the paper
+/// assumes `t_cm` is negligible).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct NoComm;
+
+impl CommModel for NoComm {
+    fn time(&self, _n: usize) -> Seconds {
+        Seconds::zero()
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// Linear (flat / sequential) collective: the master exchanges `volume`
+/// with each of the `n` workers one after another: `t = n · M/B`.
+///
+/// This is the communication architecture implicitly assumed by
+/// Sparks et al. [9]; the paper notes it is "inaccurate for all-reduce …
+/// and other communication paradigms".
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Linear {
+    /// Volume exchanged with each worker.
+    pub volume: Bits,
+    /// Link bandwidth.
+    pub bandwidth: BitsPerSec,
+}
+
+impl CommModel for Linear {
+    fn time(&self, n: usize) -> Seconds {
+        if n <= 1 {
+            return Seconds::zero();
+        }
+        (self.volume / self.bandwidth) * n as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+/// Tree (logarithmic) collective: `t = M/B · log₂ n`.
+///
+/// This is the paper's recommended organisation for gradient broadcast and
+/// aggregation ("both communications can be organized as a tree in order to
+/// reduce their time complexity"), and the model used for the Fig 3 GPU
+/// cluster ("we assume that gradient aggregation uses logarithmic model of
+/// communication").
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LogTree {
+    /// Volume moved along each tree level.
+    pub volume: Bits,
+    /// Link bandwidth.
+    pub bandwidth: BitsPerSec,
+}
+
+impl CommModel for LogTree {
+    fn time(&self, n: usize) -> Seconds {
+        if n <= 1 {
+            return Seconds::zero();
+        }
+        (self.volume / self.bandwidth) * (n as f64).log2()
+    }
+
+    fn name(&self) -> &'static str {
+        "log-tree"
+    }
+}
+
+/// Spark's torrent-like broadcast of the model parameters: the driver splits
+/// the payload into blocks that workers re-share, completing in about
+/// `log₂ n` bandwidth-limited rounds — same asymptotic shape as [`LogTree`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TorrentBroadcast {
+    /// Broadcast payload.
+    pub volume: Bits,
+    /// Link bandwidth.
+    pub bandwidth: BitsPerSec,
+}
+
+impl CommModel for TorrentBroadcast {
+    fn time(&self, n: usize) -> Seconds {
+        if n <= 1 {
+            return Seconds::zero();
+        }
+        (self.volume / self.bandwidth) * (n as f64).log2()
+    }
+
+    fn name(&self) -> &'static str {
+        "torrent-broadcast"
+    }
+}
+
+/// Spark's two-wave `treeAggregate`: "aggregation is done in two waves.
+/// First wave is done for the square root number of the nodes and the second
+/// wave is done among the others" — `t = 2 · M/B · ⌈√n⌉`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TwoWaveAggregation {
+    /// Per-worker gradient payload.
+    pub volume: Bits,
+    /// Link bandwidth.
+    pub bandwidth: BitsPerSec,
+}
+
+impl TwoWaveAggregation {
+    /// `⌈√n⌉`, the fan-in of each wave.
+    #[inline]
+    pub fn wave_width(n: usize) -> f64 {
+        (n as f64).sqrt().ceil()
+    }
+}
+
+impl CommModel for TwoWaveAggregation {
+    fn time(&self, n: usize) -> Seconds {
+        if n <= 1 {
+            return Seconds::zero();
+        }
+        (self.volume / self.bandwidth) * (2.0 * Self::wave_width(n))
+    }
+
+    fn name(&self) -> &'static str {
+        "two-wave-aggregation"
+    }
+}
+
+/// The complete Spark gradient exchange of the Fig 2 experiment:
+///
+/// ```text
+/// t_cm = (bits·W/B)·log₂ n  +  2·(bits·W/B)·⌈√n⌉
+///        └ torrent broadcast ┘   └ two-wave treeAggregate ┘
+/// ```
+///
+/// with 64-bit parameters in Spark's case.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SparkGradientExchange {
+    /// Parameter payload (e.g. `Bits::params(12e6, 64)`).
+    pub volume: Bits,
+    /// Link bandwidth.
+    pub bandwidth: BitsPerSec,
+}
+
+impl CommModel for SparkGradientExchange {
+    fn time(&self, n: usize) -> Seconds {
+        if n <= 1 {
+            return Seconds::zero();
+        }
+        let unit = self.volume / self.bandwidth;
+        unit * (n as f64).log2() + unit * (2.0 * TwoWaveAggregation::wave_width(n))
+    }
+
+    fn name(&self) -> &'static str {
+        "spark-gradient-exchange"
+    }
+}
+
+/// The paper's generic two-stage tree gradient exchange:
+/// `t_cm = 2 · (bits·W/B) · log₂ n` — broadcast down and aggregate up a
+/// binary tree. This is the `t_cm^{GD}` of Section IV-A.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TwoStageTreeExchange {
+    /// Parameter payload.
+    pub volume: Bits,
+    /// Link bandwidth.
+    pub bandwidth: BitsPerSec,
+}
+
+impl CommModel for TwoStageTreeExchange {
+    fn time(&self, n: usize) -> Seconds {
+        if n <= 1 {
+            return Seconds::zero();
+        }
+        (self.volume / self.bandwidth) * (2.0 * (n as f64).log2())
+    }
+
+    fn name(&self) -> &'static str {
+        "two-stage-tree"
+    }
+}
+
+/// Bandwidth-optimal ring all-reduce: `t = 2·(n−1)/n · M/B`. Not used by
+/// the paper's exhibits but included as the standard MPI-style alternative
+/// the paper alludes to ("all-reduce, which is implemented in MPI").
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RingAllReduce {
+    /// Full parameter payload.
+    pub volume: Bits,
+    /// Link bandwidth.
+    pub bandwidth: BitsPerSec,
+}
+
+impl CommModel for RingAllReduce {
+    fn time(&self, n: usize) -> Seconds {
+        if n <= 1 {
+            return Seconds::zero();
+        }
+        (self.volume / self.bandwidth) * (2.0 * (n as f64 - 1.0) / n as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "ring-all-reduce"
+    }
+}
+
+/// Latency-aware α–β collective model: `rounds(n)` message rounds, each
+/// costing `α + M/B` (the LogP-family refinement of the paper's pure
+/// bandwidth model — relevant once messages are small enough that setup
+/// latency competes with serialisation).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AlphaBetaTree {
+    /// Per-message latency `α`.
+    pub latency: Seconds,
+    /// Volume per round.
+    pub volume: Bits,
+    /// Link bandwidth.
+    pub bandwidth: BitsPerSec,
+}
+
+impl CommModel for AlphaBetaTree {
+    fn time(&self, n: usize) -> Seconds {
+        if n <= 1 {
+            return Seconds::zero();
+        }
+        let per_round = self.latency + self.volume / self.bandwidth;
+        per_round * (n as f64).log2()
+    }
+
+    fn name(&self) -> &'static str {
+        "alpha-beta-tree"
+    }
+}
+
+/// Sum of several communication phases executed back to back (BSP phases do
+/// not overlap).
+#[derive(Debug, Default)]
+pub struct Composite {
+    phases: Vec<Box<dyn CommModel>>,
+}
+
+impl Composite {
+    /// Empty composite (zero time).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a phase.
+    #[must_use]
+    pub fn with(mut self, phase: impl CommModel + 'static) -> Self {
+        self.phases.push(Box::new(phase));
+        self
+    }
+
+    /// Number of phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// True when no phases are present.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+}
+
+impl CommModel for Composite {
+    fn time(&self, n: usize) -> Seconds {
+        self.phases.iter().map(|p| p.time(n)).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "composite"
+    }
+}
+
+/// Scales an inner model by a constant factor (e.g. number of repetitions
+/// of a collective inside one superstep).
+#[derive(Debug)]
+pub struct Scaled<M> {
+    /// The wrapped model.
+    pub inner: M,
+    /// Multiplier applied to the inner model's time.
+    pub factor: f64,
+}
+
+impl<M: CommModel> CommModel for Scaled<M> {
+    fn time(&self, n: usize) -> Seconds {
+        self.inner.time(n) * self.factor
+    }
+
+    fn name(&self) -> &'static str {
+        "scaled"
+    }
+}
+
+/// An arbitrary closure-backed model for quick experimentation.
+pub struct FnComm<F> {
+    f: F,
+    label: &'static str,
+}
+
+impl<F> FnComm<F> {
+    /// Wraps `f(n) -> Seconds` as a [`CommModel`].
+    pub fn new(label: &'static str, f: F) -> Self {
+        Self { f, label }
+    }
+}
+
+impl<F> std::fmt::Debug for FnComm<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FnComm({})", self.label)
+    }
+}
+
+impl<F: Fn(usize) -> Seconds + Send + Sync> CommModel for FnComm<F> {
+    fn time(&self, n: usize) -> Seconds {
+        if n <= 1 {
+            return Seconds::zero();
+        }
+        (self.f)(n)
+    }
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+impl<M: CommModel + ?Sized> CommModel for Box<M> {
+    fn time(&self, n: usize) -> Seconds {
+        (**self).time(n)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<M: CommModel + ?Sized> CommModel for std::sync::Arc<M> {
+    fn time(&self, n: usize) -> Seconds {
+        (**self).time(n)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vol() -> Bits {
+        Bits::mega(100.0)
+    }
+
+    fn bw() -> BitsPerSec {
+        BitsPerSec::giga(1.0)
+    }
+
+    #[test]
+    fn all_models_zero_at_one_worker() {
+        let models: Vec<Box<dyn CommModel>> = vec![
+            Box::new(NoComm),
+            Box::new(Linear { volume: vol(), bandwidth: bw() }),
+            Box::new(LogTree { volume: vol(), bandwidth: bw() }),
+            Box::new(TorrentBroadcast { volume: vol(), bandwidth: bw() }),
+            Box::new(TwoWaveAggregation { volume: vol(), bandwidth: bw() }),
+            Box::new(SparkGradientExchange { volume: vol(), bandwidth: bw() }),
+            Box::new(TwoStageTreeExchange { volume: vol(), bandwidth: bw() }),
+            Box::new(RingAllReduce { volume: vol(), bandwidth: bw() }),
+        ];
+        for m in &models {
+            assert!(m.time(1).is_zero(), "{} must be zero at n=1", m.name());
+        }
+    }
+
+    #[test]
+    fn linear_grows_linearly() {
+        let m = Linear { volume: vol(), bandwidth: bw() };
+        let t4 = m.time(4).as_secs();
+        let t8 = m.time(8).as_secs();
+        assert!((t8 / t4 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logtree_grows_logarithmically() {
+        let m = LogTree { volume: vol(), bandwidth: bw() };
+        // log2(4)=2, log2(16)=4.
+        assert!((m.time(16).as_secs() / m.time(4).as_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_wave_uses_ceil_sqrt() {
+        let m = TwoWaveAggregation { volume: vol(), bandwidth: bw() };
+        let unit = (vol() / bw()).as_secs();
+        // n=9: ceil(sqrt(9)) = 3, so t = 2·3·unit.
+        assert!((m.time(9).as_secs() - 6.0 * unit).abs() < 1e-9);
+        // n=10: ceil(sqrt(10)) = 4.
+        assert!((m.time(10).as_secs() - 8.0 * unit).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spark_exchange_matches_paper_formula() {
+        // Paper Fig 2: t_cm = (64·W/B)·log(n) + 2·(64·W/B)·⌈√n⌉.
+        let w = 12e6;
+        let volume = Bits::params(w, 64);
+        let m = SparkGradientExchange { volume, bandwidth: bw() };
+        let n = 9usize;
+        let unit = 64.0 * w / 1e9;
+        let expected = unit * (n as f64).log2() + 2.0 * unit * 3.0;
+        assert!((m.time(n).as_secs() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_stage_tree_matches_paper_formula() {
+        // Paper Section IV-A: t_cm = 2·(32·W/B)·log(n).
+        let w = 25e6;
+        let m = TwoStageTreeExchange { volume: Bits::params(w, 32), bandwidth: bw() };
+        let n = 32usize;
+        let expected = 2.0 * (32.0 * w / 1e9) * (n as f64).log2();
+        assert!((m.time(n).as_secs() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_all_reduce_approaches_2x_volume() {
+        let m = RingAllReduce { volume: vol(), bandwidth: bw() };
+        let unit = (vol() / bw()).as_secs();
+        let t = m.time(1000).as_secs();
+        assert!((t - 2.0 * unit).abs() / (2.0 * unit) < 0.01);
+    }
+
+    #[test]
+    fn composite_sums_phases() {
+        let c = Composite::new()
+            .with(LogTree { volume: vol(), bandwidth: bw() })
+            .with(TwoWaveAggregation { volume: vol(), bandwidth: bw() });
+        let expected = LogTree { volume: vol(), bandwidth: bw() }.time(8)
+            + TwoWaveAggregation { volume: vol(), bandwidth: bw() }.time(8);
+        assert_eq!(c.time(8), expected);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn scaled_multiplies() {
+        let inner = LogTree { volume: vol(), bandwidth: bw() };
+        let s = Scaled { inner, factor: 3.0 };
+        assert!((s.time(8).as_secs() - 3.0 * inner.time(8).as_secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fn_comm_is_zero_at_one() {
+        let m = FnComm::new("const", |_n| Seconds::new(5.0));
+        assert!(m.time(1).is_zero());
+        assert_eq!(m.time(2).as_secs(), 5.0);
+    }
+
+    #[test]
+    fn alpha_beta_adds_latency_per_round() {
+        let m = AlphaBetaTree {
+            latency: Seconds::from_millis(1.0),
+            volume: vol(),
+            bandwidth: bw(),
+        };
+        let pure = LogTree { volume: vol(), bandwidth: bw() };
+        let n = 16usize;
+        let expected = pure.time(n).as_secs() + 0.001 * (n as f64).log2();
+        assert!((m.time(n).as_secs() - expected).abs() < 1e-12);
+        assert!(m.time(1).is_zero());
+    }
+
+    #[test]
+    fn alpha_beta_latency_dominates_small_messages() {
+        let m = AlphaBetaTree {
+            latency: Seconds::from_millis(1.0),
+            volume: Bits::new(8.0), // 8 ns of serialisation
+            bandwidth: bw(),
+        };
+        let t = m.time(8).as_secs();
+        assert!((t - 0.003).abs() < 1e-6, "3 rounds of ~1 ms latency, got {t}");
+    }
+
+    #[test]
+    fn tree_beats_linear_for_large_n() {
+        let lin = Linear { volume: vol(), bandwidth: bw() };
+        let tree = LogTree { volume: vol(), bandwidth: bw() };
+        for n in [4usize, 16, 64, 256] {
+            assert!(tree.time(n) < lin.time(n), "tree should beat linear at n={n}");
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Computation time-complexity models `t_cp`.
+//!
+//! The paper's base model is perfectly parallel work division,
+//! `t_cp = c(D)/n` (with `c(D)` the single-node computation cost), refined
+//! for graph workloads into a *max-load* model where the slowest worker
+//! (the one holding the most edges) determines the superstep time. Amdahl
+//! and Gustafson formulations from the parallel-algorithms literature are
+//! included for comparison and for the ablation experiments.
+
+use crate::units::{FlopCount, FlopsRate, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// A computation time-complexity model: time for the compute phase of one
+/// superstep with `n` workers.
+pub trait CompModel: std::fmt::Debug + Send + Sync {
+    /// Time for the compute phase with `n` workers (`n ≥ 1`).
+    fn time(&self, n: usize) -> Seconds;
+
+    /// Human-readable name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Perfectly parallel division of work: `t_cp = c(D)/(F·n)`.
+///
+/// This is the paper's base computation model for data-parallel gradient
+/// descent: the batch is split evenly, every worker computes its share.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PerfectlyParallel {
+    /// Total single-node work `c(D)`.
+    pub work: FlopCount,
+    /// Effective per-node rate `F`.
+    pub rate: FlopsRate,
+}
+
+impl CompModel for PerfectlyParallel {
+    fn time(&self, n: usize) -> Seconds {
+        assert!(n >= 1, "need at least one worker");
+        (self.work / self.rate) / n as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "perfectly-parallel"
+    }
+}
+
+/// Max-load model: per-worker loads are supplied explicitly (e.g. edges per
+/// partition for graph inference) and the slowest worker gates the
+/// superstep: `t_cp = max_i(load_i)/F`.
+///
+/// This is the paper's `t_cp^{GI} = max_{i∈[1,n]}(E_i)·c(S)/F` with the
+/// per-worker loads already multiplied by the per-unit cost `c(S)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaxLoad {
+    /// `loads[k]` is the per-worker maximum load when `k+1` workers are
+    /// used; entry `k` must be present for every `n` queried.
+    pub max_load_per_n: Vec<FlopCount>,
+    /// Effective per-node rate `F`.
+    pub rate: FlopsRate,
+}
+
+impl CompModel for MaxLoad {
+    fn time(&self, n: usize) -> Seconds {
+        assert!(n >= 1, "need at least one worker");
+        let load = self
+            .max_load_per_n
+            .get(n - 1)
+            .unwrap_or_else(|| panic!("no load recorded for n={n}"));
+        *load / self.rate
+    }
+
+    fn name(&self) -> &'static str {
+        "max-load"
+    }
+}
+
+/// Amdahl's law: a fraction `serial` of the work cannot be parallelised.
+/// `t(n) = t(1)·(serial + (1−serial)/n)`.
+///
+/// The paper notes (citing Schreiber) that a framework overhead treated as a
+/// fixed Amdahl fraction can be made to decline with `n`, "so that the
+/// sequential piece is irrelevant to scaling" — the ablation bench
+/// contrasts this model with the paper's.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AmdahlFraction {
+    /// Total single-node work.
+    pub work: FlopCount,
+    /// Effective per-node rate.
+    pub rate: FlopsRate,
+    /// Serial fraction in `[0, 1]`.
+    pub serial: f64,
+}
+
+impl AmdahlFraction {
+    /// Creates the model, validating the serial fraction.
+    pub fn new(work: FlopCount, rate: FlopsRate, serial: f64) -> Self {
+        assert!((0.0..=1.0).contains(&serial), "serial fraction must be in [0,1]");
+        Self { work, rate, serial }
+    }
+
+    /// The classic Amdahl speedup bound `1/(serial + (1−serial)/n)`.
+    pub fn speedup_bound(&self, n: usize) -> f64 {
+        1.0 / (self.serial + (1.0 - self.serial) / n as f64)
+    }
+}
+
+impl CompModel for AmdahlFraction {
+    fn time(&self, n: usize) -> Seconds {
+        assert!(n >= 1, "need at least one worker");
+        let t1 = self.work / self.rate;
+        t1 * (self.serial + (1.0 - self.serial) / n as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "amdahl"
+    }
+}
+
+/// Gustafson's scaled-speedup view: the *parallel part of the problem grows*
+/// with `n` while the run time stays fixed. `scaled_speedup(n) = serial +
+/// (1−serial)·n`. Provided as an analysis helper (weak scaling in the
+/// paper's framework is expressed through [`crate::scaling::WeakScaling`]).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Gustafson {
+    /// Serial fraction measured on the parallel system, in `[0, 1]`.
+    pub serial: f64,
+}
+
+impl Gustafson {
+    /// Scaled speedup `serial + (1−serial)·n`.
+    pub fn scaled_speedup(&self, n: usize) -> f64 {
+        assert!((0.0..=1.0).contains(&self.serial));
+        self.serial + (1.0 - self.serial) * n as f64
+    }
+}
+
+/// Closure-backed computation model for quick experimentation.
+pub struct FnComp<F> {
+    f: F,
+    label: &'static str,
+}
+
+impl<F> FnComp<F> {
+    /// Wraps `f(n) -> Seconds` as a [`CompModel`].
+    pub fn new(label: &'static str, f: F) -> Self {
+        Self { f, label }
+    }
+}
+
+impl<F> std::fmt::Debug for FnComp<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FnComp({})", self.label)
+    }
+}
+
+impl<F: Fn(usize) -> Seconds + Send + Sync> CompModel for FnComp<F> {
+    fn time(&self, n: usize) -> Seconds {
+        (self.f)(n)
+    }
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+impl<M: CompModel + ?Sized> CompModel for Box<M> {
+    fn time(&self, n: usize) -> Seconds {
+        (**self).time(n)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<M: CompModel + ?Sized> CompModel for std::sync::Arc<M> {
+    fn time(&self, n: usize) -> Seconds {
+        (**self).time(n)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work() -> FlopCount {
+        FlopCount::giga(10.0)
+    }
+
+    fn rate() -> FlopsRate {
+        FlopsRate::giga(1.0)
+    }
+
+    #[test]
+    fn perfectly_parallel_halves_with_double_workers() {
+        let m = PerfectlyParallel { work: work(), rate: rate() };
+        assert!((m.time(1).as_secs() - 10.0).abs() < 1e-12);
+        assert!((m.time(2).as_secs() - 5.0).abs() < 1e-12);
+        assert!((m.time(10).as_secs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_load_uses_slowest_worker() {
+        let m = MaxLoad {
+            max_load_per_n: vec![
+                FlopCount::giga(10.0), // n=1
+                FlopCount::giga(6.0),  // n=2: imbalanced, not 5.0
+                FlopCount::giga(4.5),  // n=3
+            ],
+            rate: rate(),
+        };
+        assert!((m.time(2).as_secs() - 6.0).abs() < 1e-12);
+        assert!((m.time(3).as_secs() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no load recorded")]
+    fn max_load_panics_out_of_range() {
+        let m = MaxLoad { max_load_per_n: vec![FlopCount::giga(1.0)], rate: rate() };
+        let _ = m.time(2);
+    }
+
+    #[test]
+    fn amdahl_limits_speedup() {
+        let m = AmdahlFraction::new(work(), rate(), 0.1);
+        let s_1000 = m.time(1).as_secs() / m.time(1000).as_secs();
+        assert!(s_1000 < 10.0, "speedup must be bounded by 1/serial = 10");
+        assert!(s_1000 > 9.0);
+        assert!((m.speedup_bound(1000) - s_1000).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amdahl_zero_serial_is_perfectly_parallel() {
+        let a = AmdahlFraction::new(work(), rate(), 0.0);
+        let p = PerfectlyParallel { work: work(), rate: rate() };
+        for n in [1usize, 2, 7, 64] {
+            assert!((a.time(n).as_secs() - p.time(n).as_secs()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gustafson_scaled_speedup_is_linear() {
+        let g = Gustafson { serial: 0.2 };
+        assert!((g.scaled_speedup(1) - 1.0).abs() < 1e-12);
+        assert!((g.scaled_speedup(10) - (0.2 + 0.8 * 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fn_comp_evaluates_closure() {
+        let m = FnComp::new("inv", |n| Seconds::new(1.0 / n as f64));
+        assert_eq!(m.time(4).as_secs(), 0.25);
+        assert_eq!(m.name(), "inv");
+    }
+
+    #[test]
+    #[should_panic(expected = "serial fraction")]
+    fn amdahl_rejects_bad_fraction() {
+        let _ = AmdahlFraction::new(work(), rate(), 1.5);
+    }
+}

@@ -1,0 +1,214 @@
+//! Hardware descriptions: compute nodes, network links and clusters.
+//!
+//! The paper's framework deliberately needs *only* a hardware specification
+//! — no profiling runs. A node is characterised by its peak floating-point
+//! rate and an efficiency factor ("we assume that one can reach at most 80 %
+//! of the peak FLOPS"); a link by its bandwidth and (optionally) per-message
+//! latency. Presets for the exact hardware used in the paper's evaluation
+//! are provided in [`presets`].
+
+use crate::units::{BitsPerSec, FlopsRate, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous compute node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Peak floating-point rate of the node.
+    pub peak: FlopsRate,
+    /// Fraction of the peak that real workloads achieve, in `(0, 1]`.
+    pub efficiency: f64,
+}
+
+impl NodeSpec {
+    /// Creates a node spec.
+    ///
+    /// # Panics
+    /// Panics if `efficiency` is not in `(0, 1]`.
+    pub fn new(peak: FlopsRate, efficiency: f64) -> Self {
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1], got {efficiency}"
+        );
+        Self { peak, efficiency }
+    }
+
+    /// Effective sustained rate `F = efficiency · peak`, the `F` used in all
+    /// of the paper's formulas.
+    #[inline]
+    pub fn effective(&self) -> FlopsRate {
+        self.peak * self.efficiency
+    }
+}
+
+/// A network link (or the shared communication medium of the cluster).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Sustained bandwidth `B`.
+    pub bandwidth: BitsPerSec,
+    /// Fixed per-message latency (setup cost). The paper's formulas omit
+    /// latency (bandwidth-dominated regime); the simulator can include it.
+    pub latency: Seconds,
+}
+
+impl LinkSpec {
+    /// A link with bandwidth only (zero latency), matching the paper's
+    /// bandwidth-dominated communication model.
+    pub fn bandwidth_only(bandwidth: BitsPerSec) -> Self {
+        Self {
+            bandwidth,
+            latency: Seconds::zero(),
+        }
+    }
+
+    /// A link with bandwidth and per-message latency.
+    pub fn new(bandwidth: BitsPerSec, latency: Seconds) -> Self {
+        Self { bandwidth, latency }
+    }
+}
+
+/// A homogeneous cluster: `n` identical nodes joined by identical links.
+///
+/// The number of *workers* is a model input that varies per evaluation
+/// point, so `ClusterSpec` intentionally does not store it; it describes
+/// what one node and one link look like.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Per-node compute capability.
+    pub node: NodeSpec,
+    /// Inter-node link capability.
+    pub link: LinkSpec,
+}
+
+impl ClusterSpec {
+    /// Creates a cluster from node and link specs.
+    pub fn new(node: NodeSpec, link: LinkSpec) -> Self {
+        Self { node, link }
+    }
+
+    /// Effective per-node compute rate `F`.
+    #[inline]
+    pub fn flops(&self) -> FlopsRate {
+        self.node.effective()
+    }
+
+    /// Link bandwidth `B`.
+    #[inline]
+    pub fn bandwidth(&self) -> BitsPerSec {
+        self.link.bandwidth
+    }
+}
+
+/// Hardware presets used in the paper's evaluation (Section V).
+pub mod presets {
+    use super::*;
+
+    /// Intel Xeon E3-1240: 211.2 GFLOPS peak, of which the paper assumes at
+    /// most 80 % reachable. In double precision the usable peak is half,
+    /// `0.8 · 105.6 · 10⁹` flop/s — the `F` of the Fig 2 experiment.
+    pub fn xeon_e3_1240_double() -> NodeSpec {
+        NodeSpec::new(FlopsRate::giga(105.6), 0.8)
+    }
+
+    /// Intel Xeon E3-1240 in single precision (full 211.2 GFLOPS peak at
+    /// 80 % efficiency).
+    pub fn xeon_e3_1240_single() -> NodeSpec {
+        NodeSpec::new(FlopsRate::giga(211.2), 0.8)
+    }
+
+    /// nVidia K40 GPU: 4.28 TFLOPS peak, of which the paper assumes at most
+    /// 50 % reachable — the `F` of the Fig 3 experiment.
+    pub fn nvidia_k40() -> NodeSpec {
+        NodeSpec::new(FlopsRate::tera(4.28), 0.5)
+    }
+
+    /// One core of the HP ProLiant DL980 used in the Fig 4 experiment
+    /// (80 cores at 1.9 GHz). `F` is factored out of the speedup in the
+    /// shared-memory experiment, so only relative rates matter; we charge
+    /// 4 flops per cycle as a generic superscalar estimate.
+    pub fn dl980_core() -> NodeSpec {
+        NodeSpec::new(FlopsRate::giga(1.9 * 4.0), 1.0)
+    }
+
+    /// 1 Gbit/s Ethernet, the interconnect of both the Spark cluster (Fig 2)
+    /// and the modelled GPU cluster (Fig 3).
+    pub fn gigabit_ethernet() -> LinkSpec {
+        LinkSpec::bandwidth_only(BitsPerSec::giga(1.0))
+    }
+
+    /// Shared memory "link": effectively infinite bandwidth. Used for the
+    /// Fig 4 experiment where "communication time complexity is negligible
+    /// because all communications happen in the shared memory".
+    pub fn shared_memory() -> LinkSpec {
+        LinkSpec::bandwidth_only(BitsPerSec::new(f64::INFINITY))
+    }
+
+    /// The Fig 2 cluster: Xeon E3-1240 workers on gigabit Ethernet.
+    pub fn spark_cluster() -> ClusterSpec {
+        ClusterSpec::new(xeon_e3_1240_double(), gigabit_ethernet())
+    }
+
+    /// The Fig 3 cluster: K40 GPUs on gigabit Ethernet.
+    pub fn gpu_cluster() -> ClusterSpec {
+        ClusterSpec::new(nvidia_k40(), gigabit_ethernet())
+    }
+
+    /// The Fig 4 machine: DL980 cores over shared memory.
+    pub fn dl980() -> ClusterSpec {
+        ClusterSpec::new(dl980_core(), shared_memory())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::presets::*;
+    use super::*;
+
+    #[test]
+    fn effective_rate_applies_efficiency() {
+        let node = NodeSpec::new(FlopsRate::giga(100.0), 0.8);
+        assert!((node.effective().get() - 80e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn xeon_preset_matches_paper_f() {
+        // Paper: F = 0.8 · 105.6 · 10⁹ double-precision FLOPS.
+        let f = xeon_e3_1240_double().effective();
+        assert!((f.get() - 0.8 * 105.6e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn k40_preset_matches_paper_f() {
+        // Paper: 4.28 TFLOPS at most 50 % of peak.
+        let f = nvidia_k40().effective();
+        assert!((f.get() - 0.5 * 4.28e12).abs() < 1.0);
+    }
+
+    #[test]
+    fn gigabit_is_1e9() {
+        assert_eq!(gigabit_ethernet().bandwidth.get(), 1e9);
+    }
+
+    #[test]
+    fn shared_memory_is_infinite_bandwidth() {
+        assert_eq!(shared_memory().bandwidth.get(), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn zero_efficiency_rejected() {
+        let _ = NodeSpec::new(FlopsRate::giga(1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn over_unity_efficiency_rejected() {
+        let _ = NodeSpec::new(FlopsRate::giga(1.0), 1.5);
+    }
+
+    #[test]
+    fn cluster_accessors() {
+        let c = spark_cluster();
+        assert_eq!(c.flops(), c.node.effective());
+        assert_eq!(c.bandwidth().get(), 1e9);
+    }
+}

@@ -1,0 +1,68 @@
+//! # mlscale-core — analytic scalability models for distributed ML
+//!
+//! A Rust implementation of the modeling framework of
+//! *Modeling Scalability of Distributed Machine Learning*
+//! (Ulanov, Simanovsky, Marwah — ICDE 2017, arXiv:1610.06276).
+//!
+//! The framework predicts, **from hardware specifications alone** (no
+//! profiling runs), how a distributed machine-learning algorithm scales
+//! with the number of workers:
+//!
+//! * an algorithm is a series of BSP [supersteps](superstep), each a
+//!   computation phase ([`comp`]) followed by a non-overlapping
+//!   communication phase ([`comm`]): `t = t_cp + t_cm`;
+//! * scalability is read off the [speedup](speedup) curve
+//!   `s(n) = t(1)/t(n)`, whose argmax is the optimal cluster size;
+//! * [strong and weak scaling](scaling) answer the two practitioner
+//!   questions: "how many machines to get K× faster?" and "how many
+//!   machines to keep up with growing data?";
+//! * [`models::gd`] and [`models::graphinf`] instantiate the framework for
+//!   gradient descent and graphical-model inference, the paper's two use
+//!   cases; [`metrics`] quantifies model-vs-measurement agreement (MAPE).
+//!
+//! ## Quick example — the paper's Fig 2 configuration
+//!
+//! ```
+//! use mlscale_core::hardware::presets;
+//! use mlscale_core::models::gd::{GdComm, GradientDescentModel};
+//! use mlscale_core::units::FlopCount;
+//!
+//! let model = GradientDescentModel {
+//!     cost_per_example: FlopCount::new(6.0 * 12e6), // 6·W madds
+//!     batch_size: 60_000.0,                         // full MNIST batch
+//!     params: 12e6,
+//!     bits_per_param: 64,                           // Spark doubles
+//!     cluster: presets::spark_cluster(),
+//!     comm: GdComm::Spark,
+//! };
+//! let curve = model.strong_curve(1..=13);
+//! let (n_opt, s_opt) = curve.optimal();
+//! assert_eq!(n_opt, 9); // paper: "the optimal number of workers is nine"
+//! assert!(s_opt > 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod comm;
+pub mod comp;
+pub mod hardware;
+pub mod metrics;
+pub mod planner;
+pub mod scaling;
+pub mod speedup;
+pub mod superstep;
+pub mod units;
+
+/// Algorithm-specific instantiations of the framework.
+pub mod models {
+    pub mod asyncgd;
+    pub mod gd;
+    pub mod graphinf;
+}
+
+pub use comm::CommModel;
+pub use comp::CompModel;
+pub use hardware::{ClusterSpec, LinkSpec, NodeSpec};
+pub use speedup::SpeedupCurve;
+pub use superstep::{AlgorithmModel, Superstep};

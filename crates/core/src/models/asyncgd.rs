@@ -1,0 +1,172 @@
+//! Analytic model of **asynchronous** gradient descent on a parameter
+//! server — the paper's first future-work item ("building a model for
+//! asynchronous algorithms, such as asynchronous gradient descent"),
+//! carried out.
+//!
+//! Workers cycle independently (pull parameters, compute a gradient, push
+//! it); the server applies updates in arrival order. Two resources bound
+//! the system:
+//!
+//! * each worker's cycle time `t_cycle = t_pull + t_comp + t_push`, giving
+//!   an offered load of `n / t_cycle` updates per second;
+//! * the server NIC, which serialises one pull and one push per update:
+//!   `t_srv = t_pull + t_push + t_apply`, capping throughput at
+//!   `1 / t_srv`.
+//!
+//! ```text
+//! X(n) = min( n / t_cycle , 1 / t_srv )          (updates per second)
+//! ```
+//!
+//! Expected gradient staleness is the number of other updates applied
+//! during one worker's cycle: `E[staleness] = X(n)·t_cycle − 1 ≈ n − 1`
+//! before saturation, and grows no further benefit — the
+//! parallelism-vs-convergence trade-off the paper highlights.
+
+use crate::units::{Bits, BitsPerSec, FlopCount, FlopsRate, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Analytic asynchronous-SGD model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AsyncGdModel {
+    /// Gradient computation per update.
+    pub grad_work: FlopCount,
+    /// Effective worker compute rate.
+    pub worker_flops: FlopsRate,
+    /// Server compute rate (for the apply step).
+    pub server_flops: FlopsRate,
+    /// Cost of applying one update at the server.
+    pub apply_work: FlopCount,
+    /// Parameter/gradient payload per transfer.
+    pub payload: Bits,
+    /// Link bandwidth.
+    pub bandwidth: BitsPerSec,
+}
+
+impl AsyncGdModel {
+    /// One transfer's time `payload/B`.
+    pub fn transfer_time(&self) -> Seconds {
+        self.payload / self.bandwidth
+    }
+
+    /// A worker's full cycle time: pull + compute + push.
+    pub fn cycle_time(&self) -> Seconds {
+        self.transfer_time() * 2.0 + self.grad_work / self.worker_flops
+    }
+
+    /// Server occupancy per update. The NIC is full duplex: pulls occupy
+    /// the send half while pushes occupy the receive half, so the
+    /// serialised cost per update is the *wider* of the two directions
+    /// (they are equal here) plus the apply step.
+    pub fn server_time_per_update(&self) -> Seconds {
+        self.transfer_time() + self.apply_work / self.server_flops
+    }
+
+    /// Predicted throughput in updates per second with `n` workers:
+    /// `min(n/t_cycle, 1/t_srv)`.
+    pub fn throughput(&self, n: usize) -> f64 {
+        assert!(n >= 1);
+        let offered = n as f64 / self.cycle_time().as_secs();
+        let cap = 1.0 / self.server_time_per_update().as_secs();
+        offered.min(cap)
+    }
+
+    /// The worker count at which the server saturates: beyond this,
+    /// adding workers only adds staleness.
+    pub fn saturation_point(&self) -> usize {
+        let ratio = self.cycle_time().as_secs() / self.server_time_per_update().as_secs();
+        ratio.ceil().max(1.0) as usize
+    }
+
+    /// Expected staleness of an applied gradient with `n` workers:
+    /// updates applied by others during one cycle,
+    /// `X(n)·t_cycle − 1` (never negative).
+    pub fn expected_staleness(&self, n: usize) -> f64 {
+        (self.throughput(n) * self.cycle_time().as_secs() - 1.0).max(0.0)
+    }
+
+    /// Throughput speedup over one worker.
+    pub fn speedup(&self, n: usize) -> f64 {
+        self.throughput(n) / self.throughput(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> AsyncGdModel {
+        AsyncGdModel {
+            grad_work: FlopCount::giga(1.0),        // 1 s at 1 Gflop/s
+            worker_flops: FlopsRate::giga(1.0),
+            server_flops: FlopsRate::giga(1.0),
+            apply_work: FlopCount::new(1e6),        // 1 ms apply
+            payload: Bits::mega(100.0),             // 0.01 s per transfer
+            bandwidth: BitsPerSec::giga(10.0),
+        }
+    }
+
+    #[test]
+    fn cycle_time_components() {
+        let m = model();
+        let expected = 0.01 + 1.0 + 0.01;
+        assert!((m.cycle_time().as_secs() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_linear_before_saturation() {
+        let m = model();
+        let t1 = m.throughput(1);
+        let t4 = m.throughput(4);
+        assert!((t4 / t1 - 4.0).abs() < 1e-9, "pre-saturation scaling is linear");
+    }
+
+    #[test]
+    fn throughput_capped_at_server_rate() {
+        let m = model();
+        let cap = 1.0 / m.server_time_per_update().as_secs();
+        assert!((m.throughput(10_000) - cap).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturation_point_consistent_with_cap() {
+        let m = model();
+        let sat = m.saturation_point();
+        // Just below saturation: still (nearly) linear; just above: capped.
+        assert!(m.throughput(sat + 1) <= m.throughput(sat) + 1e-9);
+        assert!(m.throughput(sat.saturating_sub(2).max(1)) < m.throughput(sat) + 1e-9);
+        // cycle 1.02 s / server 0.011 s ≈ 92.7 → 93.
+        assert_eq!(sat, 93);
+    }
+
+    #[test]
+    fn staleness_near_n_minus_1_before_saturation() {
+        let m = model();
+        for n in [1usize, 2, 8, 32] {
+            let s = m.expected_staleness(n);
+            assert!(
+                (s - (n as f64 - 1.0)).abs() < 1e-6,
+                "n={n}: staleness {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn staleness_capped_after_saturation() {
+        let m = model();
+        let at_sat = m.expected_staleness(m.saturation_point());
+        let beyond = m.expected_staleness(m.saturation_point() * 4);
+        assert!((beyond - at_sat).abs() < 1.0, "staleness stops growing usefully");
+    }
+
+    #[test]
+    fn speedup_is_one_at_one_worker() {
+        assert!((model().speedup(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavier_payload_saturates_earlier() {
+        let light = model();
+        let heavy = AsyncGdModel { payload: Bits::giga(2.0), ..model() };
+        assert!(heavy.saturation_point() < light.saturation_point());
+    }
+}

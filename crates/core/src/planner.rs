@@ -1,0 +1,203 @@
+//! Cluster-size planning under cost and deadline constraints — the
+//! paper's conclusion argues these "simple, almost back-of-the-envelope
+//! scalability estimations … should precede distributed implementations
+//! (and may sometimes prevent them!)". This module turns a time model
+//! `t(n)` into concrete provisioning answers: the cheapest cluster meeting
+//! a deadline, the fastest cluster within a budget, and the
+//! cost-efficiency sweet spot.
+//!
+//! Cost model: a job on `n` nodes that runs `t(n)` seconds costs
+//! `n · price_per_node_hour · t(n)/3600`, plus an optional fixed price per
+//! node (provisioning).
+
+use crate::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Pricing of the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pricing {
+    /// Price of one node for one hour (any currency unit).
+    pub node_hour: f64,
+    /// Fixed price per provisioned node (setup, licence).
+    pub per_node_fixed: f64,
+}
+
+impl Pricing {
+    /// Hourly pricing with no fixed component.
+    pub fn hourly(node_hour: f64) -> Self {
+        assert!(node_hour > 0.0, "price must be positive");
+        Self { node_hour, per_node_fixed: 0.0 }
+    }
+
+    /// Cost of running `n` nodes for `t`.
+    pub fn cost(&self, n: usize, t: Seconds) -> f64 {
+        n as f64 * (self.node_hour * t.as_secs() / 3600.0 + self.per_node_fixed)
+    }
+}
+
+/// A provisioning recommendation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// Recommended worker count.
+    pub n: usize,
+    /// Predicted run time at `n`.
+    pub time: Seconds,
+    /// Predicted cost at `n`.
+    pub cost: f64,
+}
+
+/// A planner over a time model `t(n)` evaluated on `1..=max_n`.
+pub struct Planner<F> {
+    time_fn: F,
+    max_n: usize,
+    pricing: Pricing,
+}
+
+impl<F: Fn(usize) -> Seconds> Planner<F> {
+    /// Creates a planner.
+    ///
+    /// # Panics
+    /// Panics when `max_n == 0`.
+    pub fn new(time_fn: F, max_n: usize, pricing: Pricing) -> Self {
+        assert!(max_n >= 1, "need at least one candidate size");
+        Self { time_fn, max_n, pricing }
+    }
+
+    fn plan_at(&self, n: usize) -> Plan {
+        let time = (self.time_fn)(n);
+        Plan { n, time, cost: self.pricing.cost(n, time) }
+    }
+
+    /// The cheapest cluster that finishes within `deadline`, or `None`
+    /// when no candidate size makes the deadline (the "may sometimes
+    /// prevent them" answer).
+    pub fn cheapest_within_deadline(&self, deadline: Seconds) -> Option<Plan> {
+        (1..=self.max_n)
+            .map(|n| self.plan_at(n))
+            .filter(|p| p.time <= deadline)
+            .min_by(|a, b| a.cost.total_cmp(&b.cost))
+    }
+
+    /// The fastest cluster whose cost stays within `budget`, or `None`
+    /// when even one node exceeds it.
+    pub fn fastest_within_budget(&self, budget: f64) -> Option<Plan> {
+        (1..=self.max_n)
+            .map(|n| self.plan_at(n))
+            .filter(|p| p.cost <= budget)
+            .min_by(|a, b| a.time.as_secs().total_cmp(&b.time.as_secs()))
+    }
+
+    /// The minimum-cost configuration overall. With hourly-only pricing
+    /// this is the efficiency sweet spot: cost ∝ `n·t(n)`, which is
+    /// minimal where parallel efficiency is highest.
+    pub fn cheapest(&self) -> Plan {
+        (1..=self.max_n)
+            .map(|n| self.plan_at(n))
+            .min_by(|a, b| a.cost.total_cmp(&b.cost))
+            .expect("max_n >= 1")
+    }
+
+    /// The fastest configuration overall (the speedup optimum).
+    pub fn fastest(&self) -> Plan {
+        (1..=self.max_n)
+            .map(|n| self.plan_at(n))
+            .min_by(|a, b| a.time.as_secs().total_cmp(&b.time.as_secs()))
+            .expect("max_n >= 1")
+    }
+
+    /// Full `(n, time, cost)` table for reporting.
+    pub fn table(&self) -> Vec<Plan> {
+        (1..=self.max_n).map(|n| self.plan_at(n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// t(n) = 3600·(1/n + 0.05·log2 n): peak speedup around n = 28,
+    /// one node takes an hour.
+    fn time_fn(n: usize) -> Seconds {
+        Seconds::new(3600.0 * (1.0 / n as f64 + 0.05 * (n as f64).log2()))
+    }
+
+    fn planner() -> Planner<fn(usize) -> Seconds> {
+        Planner::new(time_fn, 64, Pricing::hourly(2.0))
+    }
+
+    #[test]
+    fn pricing_cost_formula() {
+        let p = Pricing { node_hour: 3.0, per_node_fixed: 1.0 };
+        // 4 nodes × (3 · 1800/3600 + 1) = 4 × 2.5.
+        assert!((p.cost(4, Seconds::new(1800.0)) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cheapest_hourly_is_single_node() {
+        // With a convex 1/n + growing-comm model, n·t(n) is minimal at 1.
+        let plan = planner().cheapest();
+        assert_eq!(plan.n, 1);
+        assert!((plan.cost - 2.0).abs() < 1e-9, "one node for one hour at 2/h");
+    }
+
+    #[test]
+    fn fastest_matches_speedup_optimum() {
+        let plan = planner().fastest();
+        // d/dn(1/n + 0.05 log2 n) = 0 at n = ln2/0.05 ≈ 13.9.
+        assert!((13..=15).contains(&plan.n), "got {}", plan.n);
+    }
+
+    #[test]
+    fn deadline_planning_picks_cheapest_feasible() {
+        let p = planner();
+        // Deadline of 30 minutes: feasible (t(4) ≈ 990 s), and the
+        // cheapest feasible n is the smallest one meeting it.
+        let plan = p.cheapest_within_deadline(Seconds::new(1800.0)).expect("feasible");
+        assert!(plan.time.as_secs() <= 1800.0);
+        // All cheaper configurations (smaller n here) must miss the deadline.
+        for n in 1..plan.n {
+            assert!(time_fn(n).as_secs() > 1800.0, "n={n} should miss the deadline");
+        }
+    }
+
+    #[test]
+    fn impossible_deadline_returns_none() {
+        // The model's best time is t(14) ≈ 937 s; a 60 s deadline fails.
+        assert!(planner().cheapest_within_deadline(Seconds::new(60.0)).is_none());
+    }
+
+    #[test]
+    fn budget_planning_trades_money_for_time() {
+        let p = planner();
+        let tight = p.fastest_within_budget(2.5).expect("one node fits");
+        let loose = p.fastest_within_budget(50.0).expect("rich budget");
+        assert!(loose.time < tight.time, "more budget must buy speed");
+        assert!(loose.cost <= 50.0 && tight.cost <= 2.5);
+    }
+
+    #[test]
+    fn empty_budget_returns_none() {
+        assert!(planner().fastest_within_budget(0.01).is_none());
+    }
+
+    #[test]
+    fn fixed_per_node_cost_discourages_large_clusters() {
+        let hourly = Planner::new(time_fn, 64, Pricing::hourly(2.0)).fastest_within_budget(20.0);
+        let with_fixed = Planner::new(
+            time_fn,
+            64,
+            Pricing { node_hour: 2.0, per_node_fixed: 1.0 },
+        )
+        .fastest_within_budget(20.0);
+        let (h, f) = (hourly.unwrap(), with_fixed.unwrap());
+        assert!(f.n <= h.n, "fixed cost must not increase the chosen size");
+    }
+
+    #[test]
+    fn table_covers_range() {
+        let t = planner().table();
+        assert_eq!(t.len(), 64);
+        assert_eq!(t[0].n, 1);
+        assert_eq!(t[63].n, 64);
+    }
+}

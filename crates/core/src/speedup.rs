@@ -1,0 +1,362 @@
+//! Speedup analysis: the paper's headline output.
+//!
+//! "We use speedup to measure the effectiveness of a distributed machine
+//! learning algorithm: `s(n) = t(1)/t(n)` … We use speedup rather than the
+//! total time itself because, being a relative metric, speedup equation
+//! cancels out proportional systematic errors. The algorithm is scalable if
+//! there exists `k` such that `s(k) > 1`. The optimal number of nodes is
+//! `N = argmax s(n)`."
+
+use crate::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// A time function evaluated over a range of worker counts, with derived
+/// speedup/efficiency analysis.
+///
+/// The curve is stored as explicit `(n, t(n))` samples so it can represent
+/// analytic models, simulator output and external measurements uniformly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupCurve {
+    /// Worker counts, strictly increasing.
+    ns: Vec<usize>,
+    /// `t(n)` for each entry of `ns`.
+    times: Vec<Seconds>,
+    /// Baseline time used as the speedup numerator (defaults to `t` at the
+    /// smallest sampled `n`).
+    baseline: Seconds,
+    /// The `n` the baseline corresponds to (1 for absolute speedup; the
+    /// paper's Fig 3 uses 50).
+    baseline_n: usize,
+}
+
+impl SpeedupCurve {
+    /// Evaluates `time(n)` over `ns` and uses the smallest `n` as baseline.
+    ///
+    /// # Panics
+    /// Panics if `ns` is empty or not strictly increasing.
+    pub fn from_fn(ns: impl IntoIterator<Item = usize>, mut time: impl FnMut(usize) -> Seconds) -> Self {
+        let ns: Vec<usize> = ns.into_iter().collect();
+        assert!(!ns.is_empty(), "need at least one worker count");
+        assert!(
+            ns.windows(2).all(|w| w[0] < w[1]),
+            "worker counts must be strictly increasing"
+        );
+        let times: Vec<Seconds> = ns.iter().map(|&n| time(n)).collect();
+        let baseline = times[0];
+        let baseline_n = ns[0];
+        Self { ns, times, baseline, baseline_n }
+    }
+
+    /// Builds a curve from explicit samples (e.g. measurements).
+    ///
+    /// # Panics
+    /// Panics if the sample list is empty or `n`s are not strictly
+    /// increasing.
+    pub fn from_samples(samples: impl IntoIterator<Item = (usize, Seconds)>) -> Self {
+        let (ns, times): (Vec<usize>, Vec<Seconds>) = samples.into_iter().unzip();
+        assert!(!ns.is_empty(), "need at least one sample");
+        assert!(
+            ns.windows(2).all(|w| w[0] < w[1]),
+            "worker counts must be strictly increasing"
+        );
+        let baseline = times[0];
+        let baseline_n = ns[0];
+        Self { ns, times, baseline, baseline_n }
+    }
+
+    /// Re-bases the curve on the time at `n0` (must be a sampled point).
+    /// Fig 3 of the paper reports "speedup … relative to 50 nodes".
+    ///
+    /// # Panics
+    /// Panics if `n0` is not among the sampled worker counts.
+    #[must_use]
+    pub fn rebased(mut self, n0: usize) -> Self {
+        let idx = self
+            .ns
+            .iter()
+            .position(|&n| n == n0)
+            .unwrap_or_else(|| panic!("baseline n={n0} not sampled"));
+        self.baseline = self.times[idx];
+        self.baseline_n = n0;
+        self
+    }
+
+    /// Sampled worker counts.
+    pub fn ns(&self) -> &[usize] {
+        &self.ns
+    }
+
+    /// Sampled times.
+    pub fn times(&self) -> &[Seconds] {
+        &self.times
+    }
+
+    /// The baseline `(n, t)` pair the speedups are relative to.
+    pub fn baseline(&self) -> (usize, Seconds) {
+        (self.baseline_n, self.baseline)
+    }
+
+    /// `t(n)` at a sampled point.
+    pub fn time_at(&self, n: usize) -> Option<Seconds> {
+        self.ns.iter().position(|&m| m == n).map(|i| self.times[i])
+    }
+
+    /// Speedup `s(n) = t(baseline)/t(n)` at a sampled point.
+    pub fn speedup_at(&self, n: usize) -> Option<f64> {
+        self.time_at(n).map(|t| self.baseline / t)
+    }
+
+    /// All `(n, s(n))` pairs.
+    pub fn speedups(&self) -> Vec<(usize, f64)> {
+        self.ns
+            .iter()
+            .zip(&self.times)
+            .map(|(&n, &t)| (n, self.baseline / t))
+            .collect()
+    }
+
+    /// Parallel efficiency `e(n) = s(n)·baseline_n/n` — the fraction of
+    /// ideal (linear-from-baseline) speedup achieved.
+    pub fn efficiencies(&self) -> Vec<(usize, f64)> {
+        self.speedups()
+            .into_iter()
+            .map(|(n, s)| (n, s * self.baseline_n as f64 / n as f64))
+            .collect()
+    }
+
+    /// The optimal worker count `N = argmax_n s(n)` and the speedup there.
+    /// Ties break toward the smaller `n` (fewer machines for equal time).
+    pub fn optimal(&self) -> (usize, f64) {
+        let mut best = (self.ns[0], self.baseline / self.times[0]);
+        for (&n, &t) in self.ns.iter().zip(&self.times) {
+            let s = self.baseline / t;
+            if s > best.1 + 1e-12 {
+                best = (n, s);
+            }
+        }
+        best
+    }
+
+    /// Whether the algorithm is scalable in the paper's sense: exists `k`
+    /// with `s(k) > 1` (strictly faster than the baseline configuration).
+    pub fn is_scalable(&self) -> bool {
+        self.speedups().iter().any(|&(n, s)| n != self.baseline_n && s > 1.0)
+    }
+
+    /// Largest sampled `n` whose speedup is within `fraction` of the
+    /// optimum — the "knee" beyond which adding machines buys little.
+    pub fn knee(&self, fraction: f64) -> usize {
+        assert!((0.0..=1.0).contains(&fraction));
+        let (_, s_max) = self.optimal();
+        self.speedups()
+            .iter()
+            .filter(|&&(_, s)| s >= fraction * s_max)
+            .map(|&(n, _)| n)
+            .min()
+            .unwrap_or(self.baseline_n)
+    }
+
+    /// First sampled `n` (scanning upward) where the speedup *drops* below
+    /// its running maximum by more than `tolerance` — where communication
+    /// overhead visibly takes over. Returns `None` if the curve never
+    /// declines.
+    pub fn decline_onset(&self, tolerance: f64) -> Option<usize> {
+        let mut running_max = f64::MIN;
+        for (n, s) in self.speedups() {
+            if s < running_max - tolerance {
+                return Some(n);
+            }
+            running_max = running_max.max(s);
+        }
+        None
+    }
+
+    /// Karp–Flatt experimentally-determined serial fraction at a sampled
+    /// point: `e(n) = (1/s(n) − 1/n) / (1 − 1/n)`. A diagnostic from the
+    /// parallel-algorithms literature the paper builds on: if `e` grows
+    /// with `n`, the bottleneck is communication/overhead rather than a
+    /// fixed serial section. Only defined for `n > baseline_n` and
+    /// absolute (baseline `n = 1`) curves.
+    pub fn karp_flatt(&self, n: usize) -> Option<f64> {
+        if self.baseline_n != 1 || n <= 1 {
+            return None;
+        }
+        let s = self.speedup_at(n)?;
+        let inv_n = 1.0 / n as f64;
+        Some((1.0 / s - inv_n) / (1.0 - inv_n))
+    }
+
+    /// Pretty one-line-per-point table used by the experiment binaries.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:>6} {:>14} {:>10} {:>10}", "n", "t(n) [s]", "s(n)", "eff");
+        for ((&n, &t), (_, e)) in self.ns.iter().zip(&self.times).zip(self.efficiencies()) {
+            let s = self.baseline / t;
+            let _ = writeln!(out, "{:>6} {:>14.6e} {:>10.4} {:>10.4}", n, t.as_secs(), s, e);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simple t(n) = 1/n + 0.05·log2(n): peak interior (≈ n = 14).
+    fn sample_curve() -> SpeedupCurve {
+        SpeedupCurve::from_fn(1..=64, |n| {
+            Seconds::new(1.0 / n as f64 + 0.05 * (n as f64).log2())
+        })
+    }
+
+    #[test]
+    fn speedup_at_baseline_is_one() {
+        let c = sample_curve();
+        assert!((c.speedup_at(1).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_is_interior_peak() {
+        let c = sample_curve();
+        let (n_opt, s_opt) = c.optimal();
+        assert!(n_opt > 1 && n_opt < 64, "peak should be interior, got {n_opt}");
+        assert!(s_opt > 1.0);
+        // Every other sampled point is no better.
+        for (_, s) in c.speedups() {
+            assert!(s <= s_opt + 1e-12);
+        }
+    }
+
+    #[test]
+    fn scalable_curve_detected() {
+        assert!(sample_curve().is_scalable());
+    }
+
+    #[test]
+    fn unscalable_curve_detected() {
+        // Communication so expensive the time only grows.
+        let c = SpeedupCurve::from_fn(1..=8, |n| Seconds::new(1.0 + n as f64));
+        assert!(!c.is_scalable());
+        assert_eq!(c.optimal().0, 1);
+    }
+
+    #[test]
+    fn rebase_matches_fig3_convention() {
+        let c = SpeedupCurve::from_fn([50, 100], |n| Seconds::new(100.0 / n as f64)).rebased(50);
+        assert_eq!(c.baseline(), (50, Seconds::new(2.0)));
+        assert!((c.speedup_at(100).unwrap() - 2.0).abs() < 1e-12);
+        assert!((c.speedup_at(50).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_of_perfect_scaling_is_one() {
+        let c = SpeedupCurve::from_fn(1..=16, |n| Seconds::new(1.0 / n as f64));
+        for (_, e) in c.efficiencies() {
+            assert!((e - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn efficiency_relative_to_baseline_n() {
+        // Perfect scaling sampled from n=2: efficiencies still 1.
+        let c = SpeedupCurve::from_fn(2..=8, |n| Seconds::new(1.0 / n as f64));
+        for (_, e) in c.efficiencies() {
+            assert!((e - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn decline_onset_found_after_peak() {
+        let c = sample_curve();
+        let (n_opt, _) = c.optimal();
+        let onset = c.decline_onset(1e-9).expect("curve declines");
+        assert!(onset > n_opt);
+    }
+
+    #[test]
+    fn decline_onset_none_for_monotone() {
+        let c = SpeedupCurve::from_fn(1..=16, |n| Seconds::new(1.0 / n as f64));
+        assert_eq!(c.decline_onset(1e-9), None);
+    }
+
+    #[test]
+    fn knee_below_optimal() {
+        let c = sample_curve();
+        let knee = c.knee(0.9);
+        let (n_opt, s_opt) = c.optimal();
+        assert!(knee <= n_opt);
+        assert!(c.speedup_at(knee).unwrap() >= 0.9 * s_opt);
+    }
+
+    #[test]
+    fn from_samples_roundtrip() {
+        let c = SpeedupCurve::from_samples([
+            (1, Seconds::new(10.0)),
+            (2, Seconds::new(6.0)),
+            (4, Seconds::new(4.0)),
+        ]);
+        assert_eq!(c.ns(), &[1, 2, 4]);
+        assert!((c.speedup_at(4).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_samples_rejected() {
+        let _ = SpeedupCurve::from_samples([(2, Seconds::new(1.0)), (1, Seconds::new(2.0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not sampled")]
+    fn rebase_requires_sampled_point() {
+        let _ = sample_curve().rebased(1000);
+    }
+
+    #[test]
+    fn table_has_row_per_point() {
+        let c = sample_curve();
+        let table = c.to_table();
+        assert_eq!(table.lines().count(), 1 + c.ns().len());
+    }
+
+    #[test]
+    fn karp_flatt_recovers_serial_fraction() {
+        // Amdahl curve with serial fraction 0.1: the metric must recover
+        // 0.1 exactly at every n.
+        let serial = 0.1;
+        let c = SpeedupCurve::from_fn(1..=64, |n| {
+            Seconds::new(serial + (1.0 - serial) / n as f64)
+        });
+        for n in [2usize, 8, 32, 64] {
+            let e = c.karp_flatt(n).unwrap();
+            assert!((e - serial).abs() < 1e-12, "n={n}: {e}");
+        }
+    }
+
+    #[test]
+    fn karp_flatt_grows_when_comm_bound() {
+        // Communication-bound curve: the apparent serial fraction rises
+        // with n — the classic diagnostic signal.
+        let c = sample_curve();
+        let e8 = c.karp_flatt(8).unwrap();
+        let e32 = c.karp_flatt(32).unwrap();
+        assert!(e32 > e8, "comm-bound: {e8} -> {e32}");
+    }
+
+    #[test]
+    fn karp_flatt_undefined_off_baseline() {
+        let c = SpeedupCurve::from_fn(2..=8, |n| Seconds::new(1.0 / n as f64));
+        assert_eq!(c.karp_flatt(4), None, "needs an n=1 baseline");
+        assert_eq!(sample_curve().karp_flatt(1), None);
+    }
+
+    #[test]
+    fn ties_break_to_smaller_n() {
+        let c = SpeedupCurve::from_samples([
+            (1, Seconds::new(2.0)),
+            (2, Seconds::new(1.0)),
+            (3, Seconds::new(1.0)),
+        ]);
+        assert_eq!(c.optimal().0, 2);
+    }
+}

@@ -1,0 +1,184 @@
+//! BSP supersteps and whole-algorithm time models.
+//!
+//! The paper assumes the algorithm "is implemented using the bulk
+//! synchronous parallel (BSP) framework, comprising a series of supersteps.
+//! Each superstep is a sequence of concurrent computation and communication
+//! steps with a synchronization barrier at the end. … The time complexity of
+//! a superstep is determined as the sum of the two terms, since computation
+//! and communication steps do not overlap."
+
+use crate::comm::CommModel;
+use crate::comp::CompModel;
+use crate::units::Seconds;
+
+/// One BSP superstep: a computation phase followed by a (non-overlapping)
+/// communication phase. The synchronisation barrier is "implicitly included
+/// in the computation" (paper, Section III).
+pub struct Superstep {
+    /// Computation phase model (`t_cp`).
+    pub comp: Box<dyn CompModel>,
+    /// Communication phase model (`t_cm`).
+    pub comm: Box<dyn CommModel>,
+}
+
+impl Superstep {
+    /// Builds a superstep from computation and communication models.
+    pub fn new(comp: impl CompModel + 'static, comm: impl CommModel + 'static) -> Self {
+        Self { comp: Box::new(comp), comm: Box::new(comm) }
+    }
+
+    /// Superstep time `t(n) = t_cp(n) + t_cm(n)`.
+    pub fn time(&self, n: usize) -> Seconds {
+        self.comp.time(n) + self.comm.time(n)
+    }
+
+    /// Computation share of the superstep at `n` workers, in `[0, 1]`.
+    /// Useful for locating the computation/communication crossover.
+    pub fn compute_fraction(&self, n: usize) -> f64 {
+        let cp = self.comp.time(n).as_secs();
+        let cm = self.comm.time(n).as_secs();
+        if cp + cm == 0.0 {
+            return 1.0;
+        }
+        cp / (cp + cm)
+    }
+}
+
+impl std::fmt::Debug for Superstep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Superstep")
+            .field("comp", &self.comp.name())
+            .field("comm", &self.comm.name())
+            .finish()
+    }
+}
+
+/// A whole algorithm: a series of supersteps repeated for a number of
+/// iterations.
+///
+/// "We do not account for the initialization time because the number of
+/// iterations until convergence is usually large" — the model therefore has
+/// no setup term, and because [`crate::speedup`] works with ratios the
+/// iteration count usually cancels; it matters only when mixing algorithms.
+#[derive(Debug, Default)]
+pub struct AlgorithmModel {
+    /// Supersteps executed once per iteration, in order.
+    pub supersteps: Vec<Superstep>,
+    /// Number of iterations until convergence (default 1).
+    pub iterations: u64,
+    /// Descriptive name for reports.
+    pub name: String,
+}
+
+impl AlgorithmModel {
+    /// New empty algorithm with a single iteration.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { supersteps: Vec::new(), iterations: 1, name: name.into() }
+    }
+
+    /// Appends a superstep.
+    #[must_use]
+    pub fn with_superstep(mut self, s: Superstep) -> Self {
+        self.supersteps.push(s);
+        self
+    }
+
+    /// Sets the iteration count.
+    ///
+    /// # Panics
+    /// Panics if `iterations` is zero.
+    #[must_use]
+    pub fn with_iterations(mut self, iterations: u64) -> Self {
+        assert!(iterations > 0, "iterations must be positive");
+        self.iterations = iterations;
+        self
+    }
+
+    /// Time of a single iteration at `n` workers.
+    pub fn iteration_time(&self, n: usize) -> Seconds {
+        self.supersteps.iter().map(|s| s.time(n)).sum()
+    }
+
+    /// Total time `iterations · Σ supersteps` at `n` workers.
+    pub fn time(&self, n: usize) -> Seconds {
+        self.iteration_time(n) * self.iterations as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{LogTree, NoComm};
+    use crate::comp::PerfectlyParallel;
+    use crate::units::{Bits, BitsPerSec, FlopCount, FlopsRate};
+
+    fn comp() -> PerfectlyParallel {
+        PerfectlyParallel { work: FlopCount::giga(8.0), rate: FlopsRate::giga(1.0) }
+    }
+
+    fn comm() -> LogTree {
+        LogTree { volume: Bits::giga(1.0), bandwidth: BitsPerSec::giga(1.0) }
+    }
+
+    #[test]
+    fn superstep_sums_phases() {
+        let s = Superstep::new(comp(), comm());
+        let n = 4;
+        let expected = comp().time(n) + comm().time(n);
+        assert_eq!(s.time(n), expected);
+    }
+
+    #[test]
+    fn compute_fraction_decreases_with_n() {
+        let s = Superstep::new(comp(), comm());
+        // Computation shrinks as 1/n while communication grows as log n, so
+        // the compute fraction must be non-increasing.
+        let fracs: Vec<f64> = (1..=32).map(|n| s.compute_fraction(n)).collect();
+        for w in fracs.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "compute fraction must not increase");
+        }
+        assert_eq!(fracs[0], 1.0, "n=1 has no communication");
+    }
+
+    #[test]
+    fn compute_fraction_all_zero_is_one() {
+        let s = Superstep::new(
+            PerfectlyParallel { work: FlopCount::zero(), rate: FlopsRate::giga(1.0) },
+            NoComm,
+        );
+        assert_eq!(s.compute_fraction(5), 1.0);
+    }
+
+    #[test]
+    fn algorithm_multiplies_iterations() {
+        let a = AlgorithmModel::new("gd")
+            .with_superstep(Superstep::new(comp(), comm()))
+            .with_iterations(100);
+        let n = 4;
+        assert_eq!(a.time(n), a.iteration_time(n) * 100.0);
+    }
+
+    #[test]
+    fn multiple_supersteps_sum() {
+        let a = AlgorithmModel::new("two-step")
+            .with_superstep(Superstep::new(comp(), NoComm))
+            .with_superstep(Superstep::new(comp(), comm()));
+        let n = 2;
+        let expected = comp().time(n) + comp().time(n) + comm().time(n);
+        assert_eq!(a.iteration_time(n), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "iterations")]
+    fn zero_iterations_rejected() {
+        let _ = AlgorithmModel::new("bad").with_iterations(0);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let s = Superstep::new(comp(), comm());
+        let d = format!("{s:?}");
+        assert!(d.contains("perfectly-parallel"));
+        assert!(d.contains("log-tree"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests over the communication time-complexity models:
+//! the structural laws every model must satisfy regardless of parameters.
+
+use mlscale_core::comm::{
+    CommModel, Linear, LogTree, RingAllReduce, SparkGradientExchange, TorrentBroadcast,
+    TwoStageTreeExchange, TwoWaveAggregation,
+};
+use mlscale_core::units::{Bits, BitsPerSec};
+use proptest::prelude::*;
+
+fn models(volume: Bits, bandwidth: BitsPerSec) -> Vec<Box<dyn CommModel>> {
+    vec![
+        Box::new(Linear { volume, bandwidth }),
+        Box::new(LogTree { volume, bandwidth }),
+        Box::new(TorrentBroadcast { volume, bandwidth }),
+        Box::new(TwoWaveAggregation { volume, bandwidth }),
+        Box::new(SparkGradientExchange { volume, bandwidth }),
+        Box::new(TwoStageTreeExchange { volume, bandwidth }),
+        Box::new(RingAllReduce { volume, bandwidth }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every model is zero at n = 1 (a single worker has nobody to talk
+    /// to) and non-negative everywhere.
+    #[test]
+    fn zero_at_one_nonnegative_everywhere(
+        volume_mb in 0.1f64..1000.0,
+        bw_gb in 0.1f64..100.0,
+        n in 1usize..500,
+    ) {
+        let volume = Bits::mega(volume_mb);
+        let bandwidth = BitsPerSec::giga(bw_gb);
+        for m in models(volume, bandwidth) {
+            prop_assert!(m.time(1).is_zero(), "{} at n=1", m.name());
+            prop_assert!(m.time(n).as_secs() >= 0.0);
+        }
+    }
+
+    /// Communication time is non-decreasing in the worker count for every
+    /// master-coordinated collective (ring all-reduce included: its
+    /// 2(n−1)/n factor grows toward 2).
+    #[test]
+    fn monotone_in_workers(
+        volume_mb in 0.1f64..1000.0,
+        bw_gb in 0.1f64..100.0,
+        n in 2usize..256,
+    ) {
+        let volume = Bits::mega(volume_mb);
+        let bandwidth = BitsPerSec::giga(bw_gb);
+        for m in models(volume, bandwidth) {
+            prop_assert!(
+                m.time(n + 1).as_secs() >= m.time(n).as_secs() - 1e-12,
+                "{} must not speed up when adding workers: n={n}",
+                m.name()
+            );
+        }
+    }
+
+    /// Time scales linearly in the payload volume (bandwidth-dominated
+    /// models: doubling the bits doubles the time).
+    #[test]
+    fn linear_in_volume(
+        volume_mb in 0.1f64..500.0,
+        bw_gb in 0.1f64..100.0,
+        n in 2usize..200,
+        factor in 1.5f64..8.0,
+    ) {
+        let bandwidth = BitsPerSec::giga(bw_gb);
+        let small = models(Bits::mega(volume_mb), bandwidth);
+        let big = models(Bits::mega(volume_mb * factor), bandwidth);
+        for (s, b) in small.iter().zip(&big) {
+            let ts = s.time(n).as_secs();
+            let tb = b.time(n).as_secs();
+            prop_assert!(
+                (tb - factor * ts).abs() <= 1e-9 * tb.max(1.0),
+                "{}: {tb} != {factor}·{ts}",
+                s.name()
+            );
+        }
+    }
+
+    /// Inverse-linear in bandwidth: twice the bandwidth halves the time.
+    #[test]
+    fn inverse_in_bandwidth(
+        volume_mb in 0.1f64..500.0,
+        bw_gb in 0.1f64..50.0,
+        n in 2usize..200,
+    ) {
+        let volume = Bits::mega(volume_mb);
+        let slow = models(volume, BitsPerSec::giga(bw_gb));
+        let fast = models(volume, BitsPerSec::giga(2.0 * bw_gb));
+        for (s, f) in slow.iter().zip(&fast) {
+            let ts = s.time(n).as_secs();
+            let tf = f.time(n).as_secs();
+            prop_assert!((ts - 2.0 * tf).abs() <= 1e-9 * ts.max(1.0), "{}", s.name());
+        }
+    }
+
+    /// Architecture ordering at scale: ring ≤ tree ≤ two-wave ≤ linear
+    /// for large enough clusters (the paper's whole point about linear
+    /// communication models).
+    #[test]
+    fn architecture_ordering_at_scale(
+        volume_mb in 1.0f64..500.0,
+        bw_gb in 0.1f64..50.0,
+        n in 64usize..512,
+    ) {
+        let volume = Bits::mega(volume_mb);
+        let bandwidth = BitsPerSec::giga(bw_gb);
+        let ring = RingAllReduce { volume, bandwidth }.time(n);
+        let tree = LogTree { volume, bandwidth }.time(n);
+        let two_wave = TwoWaveAggregation { volume, bandwidth }.time(n);
+        let linear = Linear { volume, bandwidth }.time(n);
+        prop_assert!(ring <= tree);
+        prop_assert!(tree <= two_wave);
+        prop_assert!(two_wave <= linear);
+    }
+}

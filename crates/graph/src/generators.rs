@@ -1,0 +1,307 @@
+//! Graph generators: Erdős–Rényi, Chung-Lu power-law, and the DNS-like
+//! traffic graph calibrated to the paper's Fig 4 experiment, plus small
+//! structured graphs (grid, star, ring, complete) used by tests and the
+//! MRF examples.
+//!
+//! The paper's belief-propagation experiment ran on a proprietary graph
+//! "based on real DNS data traffic in a large enterprise" with 16,259,408
+//! vertices, 99,854,596 edges and a maximum degree of 309,368. We cannot
+//! have that graph; [`dns_like`] generates a power-law (Chung-Lu-style)
+//! graph matched on all three published statistics, which exercises the
+//! same estimator inputs (degree sequence) and the same skew phenomenology
+//! (a worker that draws a hub dominates the superstep).
+
+use crate::csr::{CsrGraph, VertexId};
+use crate::sampling::{zipf_weights, AliasTable};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` edges sampled uniformly (self-loops
+/// excluded; duplicate edges allowed at large scale, where they are
+/// vanishingly rare).
+///
+/// # Panics
+/// Panics when `vertices < 2`.
+pub fn gnm<R: Rng + ?Sized>(vertices: usize, edges: u64, rng: &mut R) -> CsrGraph {
+    assert!(vertices >= 2, "need at least two vertices");
+    let mut list = Vec::with_capacity(edges as usize);
+    while (list.len() as u64) < edges {
+        let u = rng.gen_range(0..vertices) as VertexId;
+        let v = rng.gen_range(0..vertices) as VertexId;
+        if u != v {
+            list.push((u, v));
+        }
+    }
+    CsrGraph::from_edges(vertices, &list)
+}
+
+/// Chung-Lu-style graph from an explicit expected-degree (weight) sequence:
+/// `edges` endpoint pairs are drawn with probability proportional to the
+/// weights, so vertex `v` ends up with expected degree
+/// `≈ 2·edges·w_v/Σw`. Self-loops are rejected; parallel edges are allowed
+/// (they occur only around extreme hubs and perturb degree statistics by
+/// well under a percent at the scales used here).
+pub fn chung_lu<R: Rng + ?Sized>(weights: &[f64], edges: u64, rng: &mut R) -> CsrGraph {
+    assert!(weights.len() >= 2, "need at least two vertices");
+    let table = AliasTable::new(weights);
+    let mut list = Vec::with_capacity(edges as usize);
+    while (list.len() as u64) < edges {
+        let u = table.sample(rng);
+        let v = table.sample(rng);
+        if u != v {
+            list.push((u, v));
+        }
+    }
+    CsrGraph::from_edges(weights.len(), &list)
+}
+
+/// Published statistics of the paper's DNS traffic graph and its scaled
+/// variants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DnsGraphSpec {
+    /// Number of vertices `V`.
+    pub vertices: usize,
+    /// Number of edges `E`.
+    pub edges: u64,
+    /// Expected maximum degree (the hub).
+    pub max_degree: u32,
+}
+
+impl DnsGraphSpec {
+    /// The full Fig 4 graph: V = 16,259,408, E = 99,854,596,
+    /// d_max = 309,368. Requires ≈ 1 GB to materialise.
+    pub fn full() -> Self {
+        Self { vertices: 16_259_408, edges: 99_854_596, max_degree: 309_368 }
+    }
+
+    /// The paper's 1.6M-vertex variant (reported MAPE 26 %); edge count and
+    /// hub degree scaled to preserve the average degree and the hub's
+    /// relative mass (`d_max ∝ V^{0.75}`, a calibration choice documented
+    /// in DESIGN.md).
+    pub fn medium() -> Self {
+        Self { vertices: 1_625_940, edges: 9_985_459, max_degree: 55_000 }
+    }
+
+    /// The paper's 165K-vertex variant (reported MAPE 19.6 %).
+    pub fn small() -> Self {
+        Self { vertices: 165_000, edges: 1_013_000, max_degree: 9_800 }
+    }
+
+    /// The paper's 16K-vertex variant (reported MAPE 23.5 %).
+    pub fn tiny() -> Self {
+        Self { vertices: 16_259, edges: 99_854, max_degree: 1_750 }
+    }
+
+    /// Average degree `2E/V`.
+    pub fn avg_degree(&self) -> f64 {
+        2.0 * self.edges as f64 / self.vertices as f64
+    }
+}
+
+/// Generates a power-law graph matched to a [`DnsGraphSpec`]: Zipf-shaped
+/// expected-degree weights with hub weight `max_degree` and total `2E`,
+/// realised by weighted endpoint sampling.
+pub fn dns_like<R: Rng + ?Sized>(spec: DnsGraphSpec, rng: &mut R) -> CsrGraph {
+    let (weights, _gamma) = zipf_weights(
+        spec.vertices,
+        f64::from(spec.max_degree),
+        2.0 * spec.edges as f64,
+    );
+    chung_lu(&weights, spec.edges, rng)
+}
+
+/// A star: vertex 0 connected to all others — the worst case for random
+/// vertex partitioning (one worker owns the hub's entire edge set).
+pub fn star(vertices: usize) -> CsrGraph {
+    assert!(vertices >= 2);
+    let edges: Vec<(VertexId, VertexId)> =
+        (1..vertices as VertexId).map(|v| (0, v)).collect();
+    CsrGraph::from_edges(vertices, &edges)
+}
+
+/// A ring (cycle) of `vertices` vertices.
+pub fn ring(vertices: usize) -> CsrGraph {
+    assert!(vertices >= 3);
+    let edges: Vec<(VertexId, VertexId)> = (0..vertices as VertexId)
+        .map(|v| (v, (v + 1) % vertices as VertexId))
+        .collect();
+    CsrGraph::from_edges(vertices, &edges)
+}
+
+/// A path of `vertices` vertices (a tree — BP is exact on it).
+pub fn path(vertices: usize) -> CsrGraph {
+    assert!(vertices >= 2);
+    let edges: Vec<(VertexId, VertexId)> =
+        (0..vertices as VertexId - 1).map(|v| (v, v + 1)).collect();
+    CsrGraph::from_edges(vertices, &edges)
+}
+
+/// A 2-D 4-neighbour grid of `rows × cols` vertices — the classic MRF for
+/// image denoising, one of the paper's cited BP applications.
+pub fn grid2d(rows: usize, cols: usize) -> CsrGraph {
+    assert!(rows >= 1 && cols >= 1 && rows * cols >= 2);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut edges = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    CsrGraph::from_edges(rows * cols, &edges)
+}
+
+/// The complete graph `K_n`.
+pub fn complete(vertices: usize) -> CsrGraph {
+    assert!((2..=2000).contains(&vertices), "complete graphs are for small n");
+    let mut edges = Vec::with_capacity(vertices * (vertices - 1) / 2);
+    for u in 0..vertices as VertexId {
+        for v in (u + 1)..vertices as VertexId {
+            edges.push((u, v));
+        }
+    }
+    CsrGraph::from_edges(vertices, &edges)
+}
+
+/// A balanced binary tree with `vertices` vertices (BP exact; diameter
+/// `O(log V)`).
+pub fn binary_tree(vertices: usize) -> CsrGraph {
+    assert!(vertices >= 2);
+    let edges: Vec<(VertexId, VertexId)> = (1..vertices as VertexId)
+        .map(|v| ((v - 1) / 2, v))
+        .collect();
+    CsrGraph::from_edges(vertices, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(20_250_613)
+    }
+
+    #[test]
+    fn gnm_has_exact_edges_no_loops() {
+        let g = gnm(100, 500, &mut rng());
+        assert_eq!(g.vertices(), 100);
+        assert_eq!(g.edges(), 500);
+        assert!(g.edge_iter().all(|(u, v)| u != v));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn chung_lu_respects_expected_degrees() {
+        // Two heavy vertices among light ones.
+        let mut weights = vec![1.0f64; 1000];
+        weights[0] = 200.0;
+        weights[1] = 100.0;
+        let total: f64 = weights.iter().sum();
+        let edges = 20_000u64;
+        let g = chung_lu(&weights, edges, &mut rng());
+        assert_eq!(g.edges(), edges);
+        let expected0 = 2.0 * edges as f64 * 200.0 / total;
+        let d0 = f64::from(g.degree(0));
+        assert!(
+            (d0 - expected0).abs() / expected0 < 0.15,
+            "hub degree {d0} vs expected {expected0}"
+        );
+        // Hub order preserved.
+        assert!(g.degree(0) > g.degree(1));
+        assert!(g.degree(1) > g.degree(500));
+    }
+
+    #[test]
+    fn dns_like_tiny_matches_spec_statistics() {
+        let spec = DnsGraphSpec::tiny();
+        let g = dns_like(spec, &mut rng());
+        assert_eq!(g.vertices(), spec.vertices);
+        assert_eq!(g.edges(), spec.edges);
+        // Average degree matches by construction.
+        assert!((g.avg_degree() - spec.avg_degree()).abs() < 0.1);
+        // Hub degree lands within a factor ~1.5 of the calibrated target
+        // (sampling noise around an expected value).
+        let d_max = f64::from(g.max_degree());
+        let target = f64::from(spec.max_degree);
+        assert!(
+            d_max > 0.6 * target && d_max < 1.6 * target,
+            "max degree {d_max} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn dns_specs_share_avg_degree() {
+        let full = DnsGraphSpec::full().avg_degree();
+        for spec in [DnsGraphSpec::medium(), DnsGraphSpec::small(), DnsGraphSpec::tiny()] {
+            assert!(
+                (spec.avg_degree() - full).abs() / full < 0.02,
+                "avg degree drift: {} vs {}",
+                spec.avg_degree(),
+                full
+            );
+        }
+    }
+
+    #[test]
+    fn star_degrees() {
+        let g = star(10);
+        assert_eq!(g.degree(0), 9);
+        for v in 1..10 {
+            assert_eq!(g.degree(v), 1);
+        }
+        assert_eq!(g.edges(), 9);
+    }
+
+    #[test]
+    fn ring_every_degree_two() {
+        let g = ring(17);
+        assert!(g.degree_sequence().iter().all(|&d| d == 2));
+        assert_eq!(g.edges(), 17);
+    }
+
+    #[test]
+    fn path_is_tree() {
+        let g = path(10);
+        assert_eq!(g.edges(), 9);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(5), 2);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid2d(3, 4);
+        assert_eq!(g.vertices(), 12);
+        // Edges: 3 rows × 3 horizontal + 2 × 4 vertical = 9 + 8.
+        assert_eq!(g.edges(), 17);
+        // Corner degree 2, interior degree 4.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(5), 4);
+    }
+
+    #[test]
+    fn complete_edge_count() {
+        let g = complete(8);
+        assert_eq!(g.edges(), 28);
+        assert!(g.degree_sequence().iter().all(|&d| d == 7));
+    }
+
+    #[test]
+    fn binary_tree_edge_count_and_root() {
+        let g = binary_tree(15);
+        assert_eq!(g.edges(), 14);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(14), 1);
+    }
+
+    #[test]
+    fn generated_graphs_validate() {
+        let g = dns_like(DnsGraphSpec { vertices: 2000, edges: 12_000, max_degree: 300 }, &mut rng());
+        assert!(g.validate().is_ok());
+    }
+}

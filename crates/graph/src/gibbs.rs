@@ -1,0 +1,295 @@
+//! Gibbs sampling for pairwise MRFs — the other approximate-inference
+//! algorithm the paper names ("approximate methods, such as Gibbs sampling
+//! or loopy belief propagation, are commonly used").
+//!
+//! Gibbs sampling resamples one variable at a time from its conditional
+//! given the current neighbor states; marginals are estimated from sample
+//! frequencies after burn-in. Per sweep the work is `Σ_v deg(v)·S = 2E·S`
+//! multiply-adds plus `V·S` normalisation — linear in the edges like BP
+//! but with a smaller per-edge constant (no `S²` marginalisation), which
+//! is why the scalability model distinguishes the two through `c(S)`.
+
+use crate::csr::VertexId;
+use crate::mrf::PairwiseMrf;
+use mlscale_core::units::FlopCount;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-edge computation cost of one Gibbs sweep with `S` states, in the
+/// same convention as [`crate::mrf`]'s `c(S)`: each directed edge
+/// contributes `S` multiply-adds into the conditional of its endpoint
+/// (so `c_Gibbs(S) = 2·S` per undirected edge), plus the `O(V·S)`
+/// normalisation/sampling term accounted separately.
+#[inline]
+pub fn gibbs_cost_per_edge(states: usize) -> FlopCount {
+    FlopCount::new(2.0 * states as f64)
+}
+
+/// Report of a Gibbs sampling run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GibbsRun {
+    /// Burn-in sweeps discarded.
+    pub burn_in: usize,
+    /// Sweeps whose samples were recorded.
+    pub samples: usize,
+}
+
+/// A Gibbs sampler over a pairwise MRF.
+#[derive(Debug)]
+pub struct GibbsSampler<'a> {
+    mrf: &'a PairwiseMrf,
+    /// Current state of every variable.
+    state: Vec<u16>,
+    /// Per-vertex, per-state visit counts (accumulated after burn-in).
+    counts: Vec<u64>,
+    /// Recorded sweeps.
+    recorded: u64,
+    /// Scratch conditional distribution.
+    conditional: Vec<f64>,
+}
+
+impl<'a> GibbsSampler<'a> {
+    /// Initialises all variables to state 0.
+    pub fn new(mrf: &'a PairwiseMrf) -> Self {
+        assert!(
+            mrf.states <= u16::MAX as usize,
+            "state count exceeds sampler storage"
+        );
+        Self {
+            mrf,
+            state: vec![0; mrf.vertices()],
+            counts: vec![0; mrf.vertices() * mrf.states],
+            recorded: 0,
+            conditional: vec![0.0; mrf.states],
+        }
+    }
+
+    /// Randomises the initial state (recommended before burn-in).
+    pub fn randomize<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for s in &mut self.state {
+            *s = rng.gen_range(0..self.mrf.states) as u16;
+        }
+    }
+
+    /// One full sweep: resample every variable once, in vertex order.
+    pub fn sweep<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let s = self.mrf.states;
+        for v in 0..self.mrf.vertices() as VertexId {
+            // Conditional ∝ φ_v(x)·Π_{u∈N(v)} ψ(x, state_u).
+            for (x, c) in self.conditional.iter_mut().enumerate() {
+                *c = self.mrf.unary(v, x);
+            }
+            for &u in self.mrf.graph.neighbors(v) {
+                let xu = self.state[u as usize] as usize;
+                for (x, c) in self.conditional.iter_mut().enumerate() {
+                    *c *= self.mrf.pairwise.eval(x, xu);
+                }
+            }
+            let total: f64 = self.conditional.iter().sum();
+            let mut draw = rng.gen::<f64>() * total;
+            let mut chosen = s - 1;
+            for (x, &c) in self.conditional.iter().enumerate() {
+                if draw < c {
+                    chosen = x;
+                    break;
+                }
+                draw -= c;
+            }
+            self.state[v as usize] = chosen as u16;
+        }
+    }
+
+    /// Records the current state into the marginal counts.
+    fn record(&mut self) {
+        let s = self.mrf.states;
+        for (v, &x) in self.state.iter().enumerate() {
+            self.counts[v * s + x as usize] += 1;
+        }
+        self.recorded += 1;
+    }
+
+    /// Runs `burn_in` discarded sweeps followed by `samples` recorded
+    /// sweeps.
+    pub fn run<R: Rng + ?Sized>(
+        &mut self,
+        burn_in: usize,
+        samples: usize,
+        rng: &mut R,
+    ) -> GibbsRun {
+        assert!(samples >= 1, "need at least one recorded sweep");
+        for _ in 0..burn_in {
+            self.sweep(rng);
+        }
+        for _ in 0..samples {
+            self.sweep(rng);
+            self.record();
+        }
+        GibbsRun { burn_in, samples }
+    }
+
+    /// Estimated marginal of a vertex from the recorded samples.
+    ///
+    /// # Panics
+    /// Panics when no sweeps have been recorded yet.
+    pub fn marginal(&self, v: VertexId) -> Vec<f64> {
+        assert!(self.recorded > 0, "no samples recorded yet");
+        let s = self.mrf.states;
+        self.counts[v as usize * s..(v as usize + 1) * s]
+            .iter()
+            .map(|&c| c as f64 / self.recorded as f64)
+            .collect()
+    }
+
+    /// All estimated marginals, `V × S` row-major.
+    pub fn marginals(&self) -> Vec<f64> {
+        (0..self.mrf.vertices() as VertexId)
+            .flat_map(|v| self.marginal(v))
+            .collect()
+    }
+
+    /// The modelled computation volume of one sweep:
+    /// `2E·S` edge work + `V·S` sampling work, in multiply-adds.
+    pub fn modeled_sweep_madds(&self) -> f64 {
+        let s = self.mrf.states as f64;
+        2.0 * self.mrf.graph.edges() as f64 * s + self.mrf.vertices() as f64 * s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid2d, path};
+    use crate::mrf::{exact_marginals, PairwisePotential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x61BB5)
+    }
+
+    #[test]
+    fn independent_variables_recover_unaries() {
+        // With ψ ≡ 1, each conditional is just the normalised unary.
+        let g = path(6);
+        let mut unary = vec![1.0; 12];
+        for v in 0..6 {
+            unary[v * 2] = 3.0; // P(state 0) = 0.75
+        }
+        let mrf = PairwiseMrf::new(g, 2, unary, PairwisePotential::Uniform);
+        let mut sampler = GibbsSampler::new(&mrf);
+        let mut r = rng();
+        sampler.randomize(&mut r);
+        sampler.run(50, 4000, &mut r);
+        for v in 0..6 {
+            let m = sampler.marginal(v);
+            assert!((m[0] - 0.75).abs() < 0.03, "vertex {v}: {m:?}");
+        }
+    }
+
+    #[test]
+    fn matches_exact_marginals_on_small_chain() {
+        let mut r = rng();
+        let v = 5;
+        let g = path(v);
+        let unary: Vec<f64> = (0..v * 2).map(|i| 0.5 + (i % 3) as f64 * 0.5).collect();
+        let mrf = PairwiseMrf::new(
+            g,
+            2,
+            unary,
+            PairwisePotential::Potts { same: 1.6, diff: 0.7 },
+        );
+        let exact = exact_marginals(&mrf);
+        let mut sampler = GibbsSampler::new(&mrf);
+        sampler.randomize(&mut r);
+        sampler.run(200, 20_000, &mut r);
+        let est = sampler.marginals();
+        for (i, (&e, &g_est)) in exact.iter().zip(&est).enumerate() {
+            assert!(
+                (e - g_est).abs() < 0.025,
+                "marginal {i}: exact {e:.3} vs gibbs {g_est:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_bp_on_tree() {
+        use crate::mrf::BeliefPropagation;
+        let mut r = rng();
+        let v = 7;
+        let g = path(v);
+        let unary: Vec<f64> = (0..v * 2).map(|i| 0.4 + (i % 4) as f64 * 0.4).collect();
+        let mrf = PairwiseMrf::new(
+            g,
+            2,
+            unary,
+            PairwisePotential::Potts { same: 1.4, diff: 0.8 },
+        );
+        let mut bp = BeliefPropagation::new(&mrf);
+        bp.run(100, 1e-10);
+        let mut sampler = GibbsSampler::new(&mrf);
+        sampler.randomize(&mut r);
+        sampler.run(200, 20_000, &mut r);
+        for vertex in 0..v as VertexId {
+            let b = bp.belief(vertex);
+            let m = sampler.marginal(vertex);
+            assert!(
+                (b[0] - m[0]).abs() < 0.025,
+                "vertex {vertex}: bp {b:?} vs gibbs {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn marginals_always_normalised() {
+        let g = grid2d(4, 4);
+        let mrf = PairwiseMrf::uniform(g, 3, PairwisePotential::Potts { same: 2.0, diff: 0.5 });
+        let mut sampler = GibbsSampler::new(&mrf);
+        let mut r = rng();
+        sampler.run(5, 20, &mut r);
+        for v in 0..16 {
+            let m = sampler.marginal(v);
+            let total: f64 = m.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cost_model_cheaper_per_edge_than_bp() {
+        for s in [2usize, 4, 8] {
+            let gibbs = gibbs_cost_per_edge(s).get();
+            let bp = mlscale_core::models::graphinf::bp_cost_per_edge(s).get();
+            assert!(gibbs < bp, "Gibbs lacks the S² marginalisation: {gibbs} vs {bp}");
+        }
+    }
+
+    #[test]
+    fn modeled_sweep_cost_formula() {
+        let g = grid2d(3, 3);
+        let e = g.edges() as f64;
+        let mrf = PairwiseMrf::uniform(g, 2, PairwisePotential::Uniform);
+        let sampler = GibbsSampler::new(&mrf);
+        assert!((sampler.modeled_sweep_madds() - (2.0 * e * 2.0 + 9.0 * 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples recorded")]
+    fn marginal_before_sampling_panics() {
+        let g = path(3);
+        let mrf = PairwiseMrf::uniform(g, 2, PairwisePotential::Uniform);
+        let sampler = GibbsSampler::new(&mrf);
+        let _ = sampler.marginal(0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = grid2d(3, 3);
+        let mrf = PairwiseMrf::uniform(g, 2, PairwisePotential::Potts { same: 1.5, diff: 0.5 });
+        let run = |seed: u64| {
+            let mut s = GibbsSampler::new(&mrf);
+            let mut r = StdRng::seed_from_u64(seed);
+            s.run(10, 50, &mut r);
+            s.marginals()
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

@@ -1,0 +1,211 @@
+//! Weighted sampling utilities: Walker alias tables and power-law weight
+//! construction used by the graph generators.
+
+use rand::Rng;
+
+/// Walker's alias method: O(V) construction, O(1) weighted sampling.
+/// Used to draw edge endpoints proportional to vertex weights when
+/// generating Chung-Lu-style power-law graphs with ~10⁸ edges.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds an alias table over the given non-negative weights.
+    ///
+    /// # Panics
+    /// Panics when `weights` is empty, contains a negative/NaN value, or
+    /// sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be non-negative");
+        }
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total.is_finite() && total > 0.0,
+            "weights must be finite with positive sum"
+        );
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers are certain picks.
+        for l in large {
+            prob[l as usize] = 1.0;
+        }
+        for s in small {
+            prob[s as usize] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Draws one index with probability proportional to its weight.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table is empty (never: construction requires ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+}
+
+/// Zipf-like weight sequence `w_v = w_max·(v+1)^(−γ)` with `γ` solved by
+/// bisection so the weights sum to `total`. Returns `(weights, gamma)`.
+///
+/// This shapes an expected-degree sequence with a heaviest hub of expected
+/// degree `w_max` and `Σw = total = 2E`, mimicking a power-law traffic
+/// graph like the paper's DNS graph.
+///
+/// # Panics
+/// Panics when the target is infeasible (`total < w_max` or
+/// `total > w_max·v` — weights cannot exceed the hub or fall below a
+/// uniform floor).
+pub fn zipf_weights(v: usize, w_max: f64, total: f64) -> (Vec<f64>, f64) {
+    assert!(v >= 2, "need at least two vertices");
+    assert!(w_max > 0.0 && total > 0.0);
+    assert!(total >= w_max, "total weight below the hub weight is infeasible");
+    assert!(
+        total <= w_max * v as f64,
+        "total weight above w_max·V is infeasible for a decreasing sequence"
+    );
+    let sum_for = |gamma: f64| -> f64 {
+        (0..v).map(|i| w_max * ((i + 1) as f64).powf(-gamma)).sum()
+    };
+    // γ=0 gives w_max·V (max), γ→∞ gives w_max (min); bisection on the
+    // monotone-decreasing sum.
+    let (mut lo, mut hi) = (0.0f64, 50.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if sum_for(mid) > total {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-12 {
+            break;
+        }
+    }
+    let gamma = 0.5 * (lo + hi);
+    let weights: Vec<f64> = (0..v)
+        .map(|i| w_max * ((i + 1) as f64).powf(-gamma))
+        .collect();
+    (weights, gamma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alias_table_matches_weights_statistically() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts = [0u32; 4];
+        let trials = 200_000;
+        for _ in 0..trials {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let observed = f64::from(counts[i]) / trials as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "category {i}: expected {expected}, observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_table_degenerate_single_category() {
+        let table = AliasTable::new(&[5.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn alias_table_zero_weight_never_sampled() {
+        let table = AliasTable::new(&[0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert_eq!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn all_zero_weights_rejected() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let _ = AliasTable::new(&[1.0, -1.0]);
+    }
+
+    #[test]
+    fn zipf_weights_hit_total_and_hub() {
+        let v = 10_000;
+        let w_max = 500.0;
+        let total = 60_000.0;
+        let (weights, gamma) = zipf_weights(v, w_max, total);
+        assert_eq!(weights.len(), v);
+        assert!((weights.iter().sum::<f64>() - total).abs() / total < 1e-6);
+        assert!((weights[0] - w_max).abs() < 1e-9);
+        assert!(gamma > 0.0);
+        // Strictly decreasing.
+        assert!(weights.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn zipf_uniform_limit() {
+        // total == w_max·V forces γ≈0, i.e. near-uniform weights.
+        let (weights, gamma) = zipf_weights(100, 10.0, 1000.0);
+        assert!(gamma < 1e-3);
+        assert!(weights.iter().all(|&w| (w - 10.0).abs() < 0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn zipf_infeasible_total_rejected() {
+        let _ = zipf_weights(10, 100.0, 50.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Graph traversal utilities: BFS, connected components, diameter
+//! estimation and degree-distribution summaries. Used to validate that
+//! generated graphs have the structure the experiments assume (a giant
+//! component, power-law tails, tree/cycle structure for the BP oracles).
+
+use crate::csr::{CsrGraph, VertexId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Breadth-first distances from `source`; unreachable vertices get
+/// `u32::MAX`.
+pub fn bfs_distances(graph: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; graph.vertices()];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &u in graph.neighbors(v) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = d + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected-component labelling; returns `(labels, component_count)`.
+pub fn connected_components(graph: &CsrGraph) -> (Vec<u32>, usize) {
+    let v = graph.vertices();
+    let mut labels = vec![u32::MAX; v];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..v as VertexId {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        labels[start as usize] = count;
+        queue.push_back(start);
+        while let Some(x) = queue.pop_front() {
+            for &u in graph.neighbors(x) {
+                if labels[u as usize] == u32::MAX {
+                    labels[u as usize] = count;
+                    queue.push_back(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    (labels, count as usize)
+}
+
+/// Size of the largest connected component.
+pub fn giant_component_size(graph: &CsrGraph) -> usize {
+    let (labels, count) = connected_components(graph);
+    if count == 0 {
+        return 0;
+    }
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+/// Lower-bounds the diameter with a double-sweep BFS: the eccentricity of
+/// the farthest vertex found from an arbitrary start. Exact on trees.
+pub fn diameter_lower_bound(graph: &CsrGraph, start: VertexId) -> u32 {
+    let first = bfs_distances(graph, start);
+    let (far, _) = first
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != u32::MAX)
+        .max_by_key(|&(_, &d)| d)
+        .expect("non-empty graph");
+    let second = bfs_distances(graph, far as VertexId);
+    second
+        .iter()
+        .filter(|&&d| d != u32::MAX)
+        .copied()
+        .max()
+        .unwrap_or(0)
+}
+
+/// True when the graph is a forest with a single component (a tree):
+/// connected and `E = V − 1`.
+pub fn is_tree(graph: &CsrGraph) -> bool {
+    graph.vertices() >= 1
+        && graph.edges() == graph.vertices() as u64 - 1
+        && giant_component_size(graph) == graph.vertices()
+}
+
+/// Degree-distribution summary used to sanity-check power-law generators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeSummary {
+    /// Minimum degree.
+    pub min: u32,
+    /// Maximum degree.
+    pub max: u32,
+    /// Mean degree `2E/V`.
+    pub mean: f64,
+    /// Median degree.
+    pub median: u32,
+    /// 99th-percentile degree.
+    pub p99: u32,
+    /// Fraction of total degree mass held by the top 1 % of vertices —
+    /// near 0.02 for uniform graphs, far higher for power laws.
+    pub top1pct_mass: f64,
+}
+
+impl DegreeSummary {
+    /// Computes the summary from a graph.
+    pub fn compute(graph: &CsrGraph) -> Self {
+        assert!(graph.vertices() > 0, "empty graph has no degree summary");
+        let mut degrees = graph.degree_sequence();
+        degrees.sort_unstable();
+        let v = degrees.len();
+        let total: u64 = degrees.iter().map(|&d| u64::from(d)).sum();
+        let top = (v / 100).max(1);
+        let top_mass: u64 = degrees[v - top..].iter().map(|&d| u64::from(d)).sum();
+        Self {
+            min: degrees[0],
+            max: degrees[v - 1],
+            mean: total as f64 / v as f64,
+            median: degrees[v / 2],
+            p99: degrees[(v * 99) / 100],
+            top1pct_mass: if total == 0 { 0.0 } else { top_mass as f64 / total as f64 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{binary_tree, dns_like, gnm, grid2d, path, ring, star, DnsGraphSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bfs_on_path_counts_hops() {
+        let g = path(6);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_max() {
+        let g = crate::csr::CsrGraph::from_edges(4, &[(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], u32::MAX);
+    }
+
+    #[test]
+    fn components_counted() {
+        let g = crate::csr::CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[2]);
+        assert_ne!(labels[0], labels[3]);
+        assert_eq!(giant_component_size(&g), 3);
+    }
+
+    #[test]
+    fn trees_recognised() {
+        assert!(is_tree(&path(10)));
+        assert!(is_tree(&binary_tree(15)));
+        assert!(is_tree(&star(8)));
+        assert!(!is_tree(&ring(5)));
+        assert!(!is_tree(&grid2d(3, 3)));
+    }
+
+    #[test]
+    fn diameter_exact_on_path() {
+        let g = path(9);
+        assert_eq!(diameter_lower_bound(&g, 4), 8);
+    }
+
+    #[test]
+    fn diameter_on_grid_is_manhattan() {
+        let g = grid2d(4, 5);
+        // Double sweep is exact here: corner-to-corner = 3 + 4.
+        assert_eq!(diameter_lower_bound(&g, 0), 7);
+    }
+
+    #[test]
+    fn dns_like_graph_has_giant_component_and_heavy_tail() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = DnsGraphSpec { vertices: 5000, edges: 30_000, max_degree: 800 };
+        let g = dns_like(spec, &mut rng);
+        // Nearly everything connected (avg degree 12).
+        assert!(giant_component_size(&g) > 4500);
+        let summary = DegreeSummary::compute(&g);
+        assert!(summary.max > 400);
+        assert!(
+            summary.top1pct_mass > 0.10,
+            "power-law mass concentration, got {:.3}",
+            summary.top1pct_mass
+        );
+        assert!(summary.median < summary.mean as u32, "right-skewed distribution");
+    }
+
+    #[test]
+    fn uniform_graph_has_flat_tail() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gnm(5000, 30_000, &mut rng);
+        let summary = DegreeSummary::compute(&g);
+        assert!(
+            summary.top1pct_mass < 0.05,
+            "uniform graphs have no hubs, got {:.3}",
+            summary.top1pct_mass
+        );
+    }
+
+    #[test]
+    fn summary_of_regular_graph() {
+        let g = ring(100);
+        let s = DegreeSummary::compute(&g);
+        assert_eq!((s.min, s.max, s.median), (2, 2, 2));
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+}

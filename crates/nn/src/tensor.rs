@@ -1,0 +1,289 @@
+//! A minimal row-major `f32` matrix with the handful of operations the
+//! runnable mini-NN trainer needs: gemm (plain, transposed-left and
+//! transposed-right), elementwise maps and row/column reductions.
+//!
+//! This is deliberately simple, allocation-conscious code — the trainer
+//! exists to prove the modelled gradient-descent schedule corresponds to a
+//! real computation, not to compete with BLAS.
+
+use rand::Rng;
+
+/// Row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != rows·cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows·cols");
+        Self { rows, cols, data }
+    }
+
+    /// Matrix with entries drawn uniformly from `[-scale, scale]` —
+    /// the usual small-random weight initialisation.
+    pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, scale: f32, rng: &mut R) -> Self {
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..=scale))
+            .collect();
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Underlying row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable underlying data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `self · other` (classic ikj-ordered gemm).
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materialising the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "row counts must agree for AᵀB");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let arow = &self.data[r * self.cols..(r + 1) * self.cols];
+            let brow = &other.data[r * other.cols..(r + 1) * other.cols];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materialising the transpose.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "column counts must agree for ABᵀ");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..other.rows {
+                let brow = &other.data[j * other.cols..(j + 1) * other.cols];
+                let dot: f32 = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
+                out.data[i * other.rows + j] = dot;
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Elementwise product in place: `self[i] *= other[i]`.
+    pub fn hadamard_inplace(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+    }
+
+    /// `self += alpha · other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Adds `row` to every row of `self` (bias broadcast).
+    pub fn add_row_broadcast(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.cols);
+        for r in 0..self.rows {
+            let dst = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (d, &b) in dst.iter_mut().zip(row) {
+                *d += b;
+            }
+        }
+    }
+
+    /// Column sums (used for bias gradients).
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (s, &v) in sums.iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// Softmax applied per row, in place (numerically stabilised).
+    pub fn softmax_rows_inplace(&mut self) {
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn a() -> Matrix {
+        Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    fn b() -> Matrix {
+        Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0])
+    }
+
+    #[test]
+    fn matmul_hand_checked() {
+        let c = a().matmul(&b());
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+        assert_eq!((c.rows(), c.cols()), (2, 2));
+    }
+
+    #[test]
+    fn t_matmul_equals_explicit_transpose() {
+        // aᵀ is 3x2; aᵀ·a is 3x3.
+        let m = a();
+        let explicit = {
+            let mut t = Matrix::zeros(3, 2);
+            for r in 0..2 {
+                for c in 0..3 {
+                    t.set(c, r, m.get(r, c));
+                }
+            }
+            t.matmul(&m)
+        };
+        assert_eq!(m.t_matmul(&m), explicit);
+    }
+
+    #[test]
+    fn matmul_t_equals_explicit_transpose() {
+        let m = a(); // 2x3; m·mᵀ is 2x2.
+        let expected = Matrix::from_vec(2, 2, vec![14.0, 32.0, 32.0, 77.0]);
+        assert_eq!(m.matmul_t(&m), expected);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 100.0]);
+        m.softmax_rows_inplace();
+        for r in 0..2 {
+            let s: f32 = (0..3).map(|c| m.get(r, c)).sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        // Large logit dominates without overflow.
+        assert!(m.get(1, 2) > 0.99);
+    }
+
+    #[test]
+    fn axpy_and_hadamard() {
+        let mut m = a();
+        m.axpy(2.0, &a());
+        assert_eq!(m.get(0, 0), 3.0);
+        let mut h = a();
+        h.hadamard_inplace(&a());
+        assert_eq!(h.get(1, 2), 36.0);
+    }
+
+    #[test]
+    fn bias_broadcast_and_col_sums() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_row_broadcast(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.col_sums(), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn random_within_scale() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Matrix::random(10, 10, 0.5, &mut rng);
+        assert!(m.data().iter().all(|&v| (-0.5..=0.5).contains(&v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_matmul_panics() {
+        let _ = a().matmul(&a());
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn bad_from_vec_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0]);
+    }
+}

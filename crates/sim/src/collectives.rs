@@ -1,0 +1,309 @@
+//! Collective communication patterns realised as message schedules over
+//! the [`SimCluster`] transfer primitive.
+//!
+//! Each collective takes a payload size and a start time and returns the
+//! time at which every participant holds the result. The asymptotic shapes
+//! the paper discusses emerge from NIC serialisation rather than from
+//! closed-form formulas:
+//!
+//! * flat broadcast/gather → `Θ(n)` (master NIC serialises);
+//! * binary-tree broadcast/reduce → `Θ(log₂ n)`;
+//! * Spark's two-wave aggregation → `Θ(√n)` (members serialise on each
+//!   wave-leader's receive NIC);
+//! * ring all-reduce → `Θ(1)` in `n` (2·(n−1) chunk steps of size
+//!   `bits/n`).
+
+use crate::cluster::{NodeId, SimCluster};
+use mlscale_core::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Broadcast patterns: master (node 0) to all workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BroadcastKind {
+    /// Master sends to each worker in turn.
+    Flat,
+    /// Binomial tree: informed nodes re-send; `⌈log₂(n+1)⌉` rounds.
+    Tree,
+    /// Spark's TorrentBroadcast: block-swarming, modelled as a binomial
+    /// tree over the full payload (the paper's `log₂ n` rounds).
+    Torrent,
+}
+
+/// Aggregation patterns: all workers to the master (node 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReduceKind {
+    /// Every worker sends directly to the master.
+    Flat,
+    /// Binomial-tree pairwise reduction.
+    Tree,
+    /// Spark `treeAggregate` with depth 2: `⌈√n⌉` wave leaders aggregate
+    /// their groups, then forward to the driver — the paper's
+    /// `2·⌈√n⌉`-transfer model.
+    TwoWave,
+}
+
+/// Broadcasts `bits` from the master to workers `1..=n`; returns the time
+/// the last worker receives it.
+pub fn broadcast(
+    cluster: &mut SimCluster,
+    kind: BroadcastKind,
+    bits: f64,
+    start: Seconds,
+) -> Seconds {
+    let n = cluster.workers();
+    if n == 0 {
+        return start;
+    }
+    match kind {
+        BroadcastKind::Flat => {
+            let mut last = start;
+            for w in 1..=n {
+                last = last.max(cluster.transfer(0, w, bits, start));
+            }
+            last
+        }
+        BroadcastKind::Tree | BroadcastKind::Torrent => {
+            // Binomial tree: the informed set doubles each round.
+            let mut informed: Vec<(NodeId, Seconds)> = vec![(0, start)];
+            let mut next_uninformed = 1usize;
+            let mut last = start;
+            while next_uninformed <= n {
+                let mut newly: Vec<(NodeId, Seconds)> = Vec::new();
+                for &(src, ready) in &informed {
+                    if next_uninformed > n {
+                        break;
+                    }
+                    let dst = next_uninformed;
+                    next_uninformed += 1;
+                    let done = cluster.transfer(src, dst, bits, ready);
+                    newly.push((dst, done));
+                    last = last.max(done);
+                }
+                informed.extend(newly);
+            }
+            last
+        }
+    }
+}
+
+/// Reduces `bits`-sized contributions from workers `1..=n` (each ready at
+/// `ready[w-1]`) onto the master; returns the time the master holds the
+/// full aggregate.
+pub fn reduce(
+    cluster: &mut SimCluster,
+    kind: ReduceKind,
+    bits: f64,
+    ready: &[Seconds],
+) -> Seconds {
+    let n = cluster.workers();
+    assert_eq!(ready.len(), n, "need a readiness time per worker");
+    if n == 0 {
+        return Seconds::zero();
+    }
+    match kind {
+        ReduceKind::Flat => {
+            let mut last = Seconds::zero();
+            for w in 1..=n {
+                last = last.max(cluster.transfer(w, 0, bits, ready[w - 1]));
+            }
+            last
+        }
+        ReduceKind::Tree => {
+            // Pairwise binomial reduction among workers, then one transfer
+            // to the master.
+            let mut holders: Vec<(NodeId, Seconds)> =
+                (1..=n).map(|w| (w, ready[w - 1])).collect();
+            while holders.len() > 1 {
+                let mut next: Vec<(NodeId, Seconds)> = Vec::with_capacity(holders.len().div_ceil(2));
+                let mut iter = holders.chunks(2);
+                for pair in &mut iter {
+                    match pair {
+                        [a] => next.push(*a),
+                        [dst, src] => {
+                            let at = cluster.transfer(src.0, dst.0, bits, src.1.max(dst.1));
+                            next.push((dst.0, at));
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                holders = next;
+            }
+            let (w, at) = holders[0];
+            cluster.transfer(w, 0, bits, at)
+        }
+        ReduceKind::TwoWave => {
+            // Wave 1: ⌈√n⌉ leaders; each group member sends to its leader.
+            let leaders_count = (n as f64).sqrt().ceil() as usize;
+            let leaders: Vec<NodeId> = (1..=leaders_count.min(n)).collect();
+            let mut leader_done: Vec<Seconds> =
+                leaders.iter().map(|&l| ready[l - 1]).collect();
+            for w in 1..=n {
+                if leaders.contains(&w) {
+                    continue;
+                }
+                let li = (w - 1) % leaders.len();
+                let done = cluster.transfer(w, leaders[li], bits, ready[w - 1]);
+                leader_done[li] = leader_done[li].max(done);
+            }
+            // Wave 2: leaders forward their partial aggregates to the
+            // driver (serialising on its receive NIC).
+            let mut last = Seconds::zero();
+            for (li, &l) in leaders.iter().enumerate() {
+                last = last.max(cluster.transfer(l, 0, bits, leader_done[li]));
+            }
+            last
+        }
+    }
+}
+
+/// Ring all-reduce among workers `1..=n`: `2·(n−1)` steps exchanging
+/// `bits/n` chunks around the ring (reduce-scatter then all-gather);
+/// returns the time every worker holds the result.
+pub fn ring_all_reduce(cluster: &mut SimCluster, bits: f64, ready: &[Seconds]) -> Seconds {
+    let n = cluster.workers();
+    assert_eq!(ready.len(), n, "need a readiness time per worker");
+    if n <= 1 {
+        return ready.first().copied().unwrap_or(Seconds::zero());
+    }
+    let chunk = bits / n as f64;
+    let mut times: Vec<Seconds> = ready.to_vec();
+    for _step in 0..(2 * (n - 1)) {
+        let mut next = times.clone();
+        for (w, &ready_at) in times.iter().enumerate() {
+            let dst = (w + 1) % n;
+            let done = cluster.transfer(w + 1, dst + 1, chunk, ready_at);
+            next[dst] = next[dst].max(done);
+        }
+        times = next;
+    }
+    times.iter().copied().fold(Seconds::zero(), Seconds::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlscale_core::hardware::{ClusterSpec, LinkSpec, NodeSpec};
+    use mlscale_core::units::{BitsPerSec, FlopsRate};
+
+    fn cluster(workers: usize) -> SimCluster {
+        let spec = ClusterSpec::new(
+            NodeSpec::new(FlopsRate::giga(1.0), 1.0),
+            LinkSpec::bandwidth_only(BitsPerSec::giga(1.0)),
+        );
+        SimCluster::new(spec, workers)
+    }
+
+    const GBIT: f64 = 1e9; // one second per transfer at 1 Gbit/s
+
+    #[test]
+    fn flat_broadcast_is_linear() {
+        let mut c = cluster(8);
+        let t = broadcast(&mut c, BroadcastKind::Flat, GBIT, Seconds::zero());
+        assert!((t.as_secs() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_broadcast_is_logarithmic() {
+        // 8 workers + master: informed set 1→2→4→8→9: 4 rounds.
+        let mut c = cluster(8);
+        let t = broadcast(&mut c, BroadcastKind::Tree, GBIT, Seconds::zero());
+        assert!((t.as_secs() - 4.0).abs() < 1e-9, "got {t}");
+    }
+
+    #[test]
+    fn tree_broadcast_single_worker_one_round() {
+        let mut c = cluster(1);
+        let t = broadcast(&mut c, BroadcastKind::Tree, GBIT, Seconds::zero());
+        assert!((t.as_secs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_reduce_serialises_on_master() {
+        let mut c = cluster(6);
+        let ready = vec![Seconds::zero(); 6];
+        let t = reduce(&mut c, ReduceKind::Flat, GBIT, &ready);
+        assert!((t.as_secs() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_reduce_is_logarithmic() {
+        // 8 workers: 3 pairwise rounds + 1 transfer to master = 4.
+        let mut c = cluster(8);
+        let ready = vec![Seconds::zero(); 8];
+        let t = reduce(&mut c, ReduceKind::Tree, GBIT, &ready);
+        assert!((t.as_secs() - 4.0).abs() < 1e-9, "got {t}");
+    }
+
+    #[test]
+    fn two_wave_scales_as_sqrt() {
+        // n=16, 4 leaders, 12 members spread 3 per leader: wave 1 takes 3
+        // serialised receives, wave 2 takes 4 serialised sends to master.
+        let mut c = cluster(16);
+        let ready = vec![Seconds::zero(); 16];
+        let t = reduce(&mut c, ReduceKind::TwoWave, GBIT, &ready);
+        assert!((t.as_secs() - 7.0).abs() < 1e-9, "got {t}");
+        // Compare shapes at larger n: two-wave ≪ flat, > tree.
+        let mut c2 = cluster(64);
+        let ready2 = vec![Seconds::zero(); 64];
+        let t2 = reduce(&mut c2, ReduceKind::TwoWave, GBIT, &ready2);
+        assert!(t2.as_secs() < 64.0 / 2.0);
+        assert!(t2.as_secs() > (64f64).log2());
+    }
+
+    #[test]
+    fn ring_all_reduce_near_constant() {
+        // Total time ≈ 2·(n−1)/n · bits/B regardless of n.
+        for n in [2usize, 4, 16, 32] {
+            let mut c = cluster(n);
+            let ready = vec![Seconds::zero(); n];
+            let t = ring_all_reduce(&mut c, GBIT, &ready);
+            let expected = 2.0 * (n as f64 - 1.0) / n as f64;
+            assert!(
+                (t.as_secs() - expected).abs() < 1e-6,
+                "n={n}: got {t}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_single_worker_is_free() {
+        let mut c = cluster(1);
+        let t = ring_all_reduce(&mut c, GBIT, &[Seconds::new(0.5)]);
+        assert_eq!(t.as_secs(), 0.5);
+    }
+
+    #[test]
+    fn reduce_respects_readiness() {
+        let mut c = cluster(2);
+        let ready = vec![Seconds::new(10.0), Seconds::zero()];
+        let t = reduce(&mut c, ReduceKind::Flat, GBIT, &ready);
+        assert!(t.as_secs() >= 11.0);
+    }
+
+    #[test]
+    fn torrent_matches_tree_shape() {
+        let mut c1 = cluster(16);
+        let mut c2 = cluster(16);
+        let t1 = broadcast(&mut c1, BroadcastKind::Torrent, GBIT, Seconds::zero());
+        let t2 = broadcast(&mut c2, BroadcastKind::Tree, GBIT, Seconds::zero());
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn shared_memory_collectives_are_instant() {
+        use mlscale_core::hardware::presets;
+        let mut c = SimCluster::new(presets::dl980(), 8);
+        let t = broadcast(&mut c, BroadcastKind::Flat, 1e12, Seconds::zero());
+        assert!(t.is_zero());
+        let ready = vec![Seconds::new(1.0); 8];
+        let t = reduce(&mut c, ReduceKind::TwoWave, 1e12, &ready);
+        assert!((t.as_secs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "readiness time per worker")]
+    fn mismatched_ready_rejected() {
+        let mut c = cluster(3);
+        let _ = reduce(&mut c, ReduceKind::Flat, GBIT, &[Seconds::zero()]);
+    }
+}

@@ -1,0 +1,53 @@
+//! # mlscale-sim — discrete-event BSP cluster simulator
+//!
+//! The paper validated its models against a Spark cluster, a GPU cluster
+//! and an 80-core shared-memory server. This crate is the reproduction's
+//! testbed substitute: a deterministic simulator that executes the same
+//! BSP schedules the models price, with the system effects the analytic
+//! framework deliberately omits:
+//!
+//! * [`cluster`] — nodes with serially-reusable CPU and NIC halves; a
+//!   point-to-point transfer primitive from which contention *emerges*
+//!   (flat gathers serialise on the master NIC, trees parallelise);
+//! * [`collectives`] — flat / binomial-tree / torrent broadcast, flat /
+//!   tree / Spark-two-wave aggregation, ring all-reduce, realised as
+//!   message schedules;
+//! * [`overhead`] — per-task scheduling-cost models (constant,
+//!   exponential, log-normal stragglers, per-worker contention);
+//! * [`bsp`] — executes per-superstep per-worker flop loads + collective
+//!   phases and reports per-iteration wall times (the "experimental"
+//!   curves of the reproduction);
+//! * [`paramserver`] — asynchronous parameter-server mode (the paper's
+//!   future-work direction), reporting throughput and gradient staleness.
+//!
+//! ```
+//! use mlscale_core::hardware::presets;
+//! use mlscale_sim::bsp::{simulate, BspConfig, BspProgram, CommPhase, SuperstepSpec};
+//! use mlscale_sim::overhead::OverheadModel;
+//!
+//! let config = BspConfig {
+//!     cluster: presets::spark_cluster(),
+//!     overhead: OverheadModel::None,
+//!     seed: 42,
+//! };
+//! let program = BspProgram {
+//!     supersteps: vec![SuperstepSpec::even(1e12, 4, CommPhase::None)],
+//!     iterations: 2,
+//! };
+//! let report = simulate(&program, &config, 4);
+//! assert_eq!(report.iteration_times.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bsp;
+pub mod cluster;
+pub mod collectives;
+pub mod overhead;
+pub mod paramserver;
+
+pub use bsp::{simulate, BspConfig, BspProgram, BspReport, CommPhase, SuperstepSpec};
+pub use cluster::SimCluster;
+pub use collectives::{BroadcastKind, ReduceKind};
+pub use overhead::OverheadModel;

@@ -1,0 +1,253 @@
+//! Parallelization–convergence trade-off — the paper's second future-work
+//! item: "gradient descent parallelization techniques pay for parallelism
+//! with algorithmically slower convergence or convergence to a worse local
+//! optimum."
+//!
+//! Weak-scaling synchronous SGD grows the *effective batch* with the
+//! worker count (`S·n` examples per update). Each update gets cheaper per
+//! example, but large batches make less progress per example processed.
+//! This experiment measures that effect with the **real** mini-MLP trainer
+//! — epochs to reach a target loss as a function of effective batch size —
+//! and combines it with the time model into the metric a practitioner
+//! actually cares about: *time to target loss* vs cluster size. The result
+//! is a second, convergence-aware optimum that can sit far below the
+//! throughput optimum.
+
+use crate::report::{ExperimentResult, Series};
+use mlscale_core::models::gd::GradientDescentModel;
+use mlscale_nn::tensor::Matrix;
+use mlscale_nn::train::{synthetic_blobs, MlpTrainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Measured convergence behaviour at one effective batch size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergencePoint {
+    /// Effective batch size (per-worker batch × workers).
+    pub effective_batch: usize,
+    /// Updates needed to reach the target loss (capped at the budget).
+    pub updates_to_target: usize,
+    /// Examples processed to reach the target (`updates × batch`).
+    pub examples_to_target: usize,
+    /// Whether the target was reached within the update budget.
+    pub reached: bool,
+}
+
+/// Trains a fresh model with mini-batch SGD at the given effective batch
+/// size and returns the number of updates needed to reach `target_loss`
+/// (up to `max_updates`). The dataset, architecture and initialisation are
+/// held fixed across batch sizes so the *only* variable is the batch.
+pub fn updates_to_target(
+    x: &Matrix,
+    y: &Matrix,
+    reference: &MlpTrainer,
+    effective_batch: usize,
+    lr: f32,
+    target_loss: f32,
+    max_updates: usize,
+) -> ConvergencePoint {
+    assert!(effective_batch >= 1);
+    let mut trainer = reference.clone();
+    let mut updates = 0;
+    let rows = x.rows();
+    let mut reached = false;
+    'outer: while updates < max_updates {
+        let mut start = 0;
+        while start < rows {
+            let len = effective_batch.min(rows - start);
+            let (xs, ys) = slice_pair(x, y, start, len);
+            trainer.train_step(&xs, &ys, lr);
+            updates += 1;
+            start += len;
+            if trainer.loss(x, y) <= target_loss {
+                reached = true;
+                break 'outer;
+            }
+            if updates >= max_updates {
+                break 'outer;
+            }
+        }
+    }
+    ConvergencePoint {
+        effective_batch,
+        updates_to_target: updates,
+        examples_to_target: updates * effective_batch,
+        reached,
+    }
+}
+
+fn slice_pair(x: &Matrix, y: &Matrix, start: usize, len: usize) -> (Matrix, Matrix) {
+    let xs = Matrix::from_vec(
+        len,
+        x.cols(),
+        x.data()[start * x.cols()..(start + len) * x.cols()].to_vec(),
+    );
+    let ys = Matrix::from_vec(
+        len,
+        y.cols(),
+        y.data()[start * y.cols()..(start + len) * y.cols()].to_vec(),
+    );
+    (xs, ys)
+}
+
+/// The full trade-off experiment: measure updates-to-target at each
+/// worker count's effective batch (`per_worker_batch · n`), then price
+/// each update with the weak-scaling time model and report *time to
+/// target* alongside raw throughput.
+pub fn convergence_tradeoff(
+    model: &GradientDescentModel,
+    ns: &[usize],
+    per_worker_batch: usize,
+    seed: u64,
+) -> ExperimentResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // A fixed synthetic task, sized so the largest effective batch still
+    // fits several updates per epoch.
+    let max_batch = per_worker_batch * ns.iter().copied().max().expect("non-empty ns");
+    let examples = (max_batch * 4).max(512);
+    let (x, y) = synthetic_blobs(examples, 16, 4, &mut rng);
+    let reference = MlpTrainer::new(&[16, 32, 4], &mut rng);
+    let target = 0.35f32;
+    let max_updates = 4000;
+
+    let mut updates_series = Vec::with_capacity(ns.len());
+    let mut examples_series = Vec::with_capacity(ns.len());
+    let mut time_series = Vec::with_capacity(ns.len());
+    let mut throughput_series = Vec::with_capacity(ns.len());
+    for &n in ns {
+        let point = updates_to_target(
+            &x,
+            &y,
+            &reference,
+            per_worker_batch * n,
+            0.5,
+            target,
+            max_updates,
+        );
+        // Weak-scaling iteration time prices one update at n workers.
+        let iter_time = {
+            let m = GradientDescentModel {
+                batch_size: per_worker_batch as f64,
+                ..*model
+            };
+            m.weak_iteration_time(n).as_secs()
+        };
+        let time_to_target = point.updates_to_target as f64 * iter_time;
+        updates_series.push((n, point.updates_to_target as f64));
+        examples_series.push((n, point.examples_to_target as f64));
+        time_series.push((n, time_to_target));
+        throughput_series.push((n, (per_worker_batch * n) as f64 / iter_time));
+    }
+    let best_time = time_series
+        .iter()
+        .copied()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty");
+    let best_throughput = throughput_series
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty");
+    ExperimentResult::new(
+        "ext-convergence",
+        "Parallelization vs convergence: time-to-target-loss under weak scaling (real trainer)",
+    )
+    .with_series(Series::new("updates to target", updates_series))
+    .with_series(Series::new("examples to target", examples_series))
+    .with_series(Series::new("time to target s", time_series))
+    .with_series(Series::new("instances/s", throughput_series))
+    .with_stat("best n (time to target)", best_time.0 as f64, None)
+    .with_stat("best time to target s", best_time.1, None)
+    .with_stat("best n (raw throughput)", best_throughput.0 as f64, None)
+    .with_note(
+        "raw throughput keeps improving with n (weak scaling), but reaching the \
+         target costs at least as many *updates* at a larger effective batch \
+         (and strictly more examples), while each update also gets slower — so \
+         the convergence-aware optimum sits below the throughput optimum: \
+         parallelism bought instances/s, not time-to-accuracy",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlscale_core::hardware::presets;
+    use mlscale_core::models::gd::GdComm;
+    use mlscale_core::units::FlopCount;
+
+    fn model() -> GradientDescentModel {
+        use mlscale_core::hardware::{ClusterSpec, LinkSpec};
+        use mlscale_core::units::BitsPerSec;
+        // Compute-heavy enough (MNIST-FC per-example cost, 10 Gbit/s
+        // links) that weak-scaling throughput genuinely improves with n —
+        // otherwise the convergence question never arises.
+        GradientDescentModel {
+            cost_per_example: FlopCount::new(6.0 * 12e6),
+            batch_size: 16.0,
+            params: 1e6,
+            bits_per_param: 32,
+            cluster: ClusterSpec::new(
+                presets::xeon_e3_1240_double(),
+                LinkSpec::bandwidth_only(BitsPerSec::giga(10.0)),
+            ),
+            comm: GdComm::TwoStageTree,
+        }
+    }
+
+    #[test]
+    fn small_batches_need_fewer_examples() {
+        // The core convergence fact the experiment rests on: at a fixed
+        // learning rate, reaching the target costs more *examples* with a
+        // huge batch than with a small one.
+        let mut rng = StdRng::seed_from_u64(42);
+        let (x, y) = synthetic_blobs(1024, 16, 4, &mut rng);
+        let reference = MlpTrainer::new(&[16, 32, 4], &mut rng);
+        let small = updates_to_target(&x, &y, &reference, 32, 0.5, 0.35, 4000);
+        let large = updates_to_target(&x, &y, &reference, 1024, 0.5, 0.35, 4000);
+        assert!(small.reached, "small batch must reach the target");
+        assert!(
+            large.examples_to_target > small.examples_to_target,
+            "large batch {} examples vs small batch {}",
+            large.examples_to_target,
+            small.examples_to_target
+        );
+    }
+
+    #[test]
+    fn tradeoff_experiment_shows_two_optima() {
+        let ns = [1usize, 2, 4, 8, 16];
+        let r = convergence_tradeoff(&model(), &ns, 16, 7);
+        let best_time = r
+            .stats
+            .iter()
+            .find(|s| s.label == "best n (time to target)")
+            .unwrap()
+            .value;
+        let best_thr = r
+            .stats
+            .iter()
+            .find(|s| s.label == "best n (raw throughput)")
+            .unwrap()
+            .value;
+        // Throughput always favours the largest cluster under weak
+        // scaling with log-tree comm; time-to-target must not.
+        assert_eq!(best_thr, 16.0);
+        assert!(
+            best_time < best_thr,
+            "convergence-aware optimum {best_time} must undercut throughput optimum {best_thr}"
+        );
+        // Updates-to-target grows (weakly) with effective batch.
+        let updates = r.series("updates to target").unwrap();
+        assert!(updates.at(16).unwrap() >= updates.at(1).unwrap());
+    }
+
+    #[test]
+    fn convergence_point_accounting() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (x, y) = synthetic_blobs(256, 16, 4, &mut rng);
+        let reference = MlpTrainer::new(&[16, 32, 4], &mut rng);
+        let p = updates_to_target(&x, &y, &reference, 64, 0.5, 0.35, 500);
+        assert_eq!(p.examples_to_target, p.updates_to_target * 64);
+        assert_eq!(p.effective_batch, 64);
+    }
+}

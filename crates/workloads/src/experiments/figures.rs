@@ -1,0 +1,395 @@
+//! Reproductions of the paper's numbered exhibits: Fig 1 (example speedup),
+//! Table I (network configurations), Fig 2 (Spark FC-ANN), Fig 3
+//! (Inception-v3 weak scaling) and Fig 4 (belief propagation).
+//!
+//! Each function returns an [`ExperimentResult`] with the same series the
+//! paper plots plus model-vs-"experiment" MAPE, where the experiment side
+//! is the discrete-event simulation described in DESIGN.md.
+
+use crate::bp::BpWorkload;
+use crate::gd::GdWorkload;
+use crate::report::{ExperimentResult, Series};
+use mlscale_core::hardware::{presets, ClusterSpec, LinkSpec, NodeSpec};
+use mlscale_core::models::gd::{GdComm, GradientDescentModel};
+use mlscale_core::units::{BitsPerSec, FlopCount, FlopsRate};
+use mlscale_graph::generators::{dns_like, DnsGraphSpec};
+use mlscale_sim::overhead::OverheadModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The graph scale for the Fig 4 reproduction. The paper reports the 16M
+/// graph in the figure and MAPEs for the three smaller ones in the text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DnsScale {
+    /// 16,259 vertices (paper MAPE 23.5 %).
+    Tiny,
+    /// 165,000 vertices (paper MAPE 19.6 %).
+    Small,
+    /// 1.63M vertices (paper MAPE 26 %).
+    Medium,
+    /// The full 16.26M-vertex graph of Fig 4 (paper MAPE 25.4 %);
+    /// needs ≈ 1 GB and a few minutes to generate.
+    Full,
+}
+
+impl DnsScale {
+    /// The generator spec for this scale.
+    pub fn spec(self) -> DnsGraphSpec {
+        match self {
+            DnsScale::Tiny => DnsGraphSpec::tiny(),
+            DnsScale::Small => DnsGraphSpec::small(),
+            DnsScale::Medium => DnsGraphSpec::medium(),
+            DnsScale::Full => DnsGraphSpec::full(),
+        }
+    }
+
+    /// The MAPE the paper reports for this scale.
+    pub fn paper_mape(self) -> f64 {
+        match self {
+            DnsScale::Tiny => 23.5,
+            DnsScale::Small => 19.6,
+            DnsScale::Medium => 26.0,
+            DnsScale::Full => 25.4,
+        }
+    }
+}
+
+/// The Fig 2 model configuration: the Table I fully-connected MNIST
+/// network trained with batch gradient descent on the Spark cluster.
+pub fn fig2_model() -> GradientDescentModel {
+    GradientDescentModel {
+        cost_per_example: FlopCount::new(6.0 * 12e6), // 6·W flops
+        batch_size: 60_000.0,                         // full MNIST dataset
+        params: 12e6,
+        bits_per_param: 64, // Spark's doubles
+        cluster: presets::spark_cluster(),
+        comm: GdComm::Spark,
+    }
+}
+
+/// The Fig 3 model configuration: Inception v3 with synchronous mini-batch
+/// SGD on a K40 cluster (Chen et al.'s setting).
+pub fn fig3_model() -> GradientDescentModel {
+    GradientDescentModel {
+        cost_per_example: FlopCount::new(3.0 * 5e9), // C = 3·5·10⁹
+        batch_size: 128.0,                           // per-worker batch
+        params: 25e6,
+        bits_per_param: 32,
+        cluster: presets::gpu_cluster(),
+        comm: GdComm::TwoStageTree, // logarithmic aggregation assumption
+    }
+}
+
+/// **Fig 1** — the introductory example: computation shrinking as `1/n`
+/// against tree communication growing as `log₂ n`, with the speedup
+/// peaking "at around 14 nodes".
+pub fn fig1() -> ExperimentResult {
+    // Calibrated so t(n) = 1/n + 2·(32W/B)·log₂ n peaks at n = 14:
+    // the continuous optimum of 1/n + c·log₂ n sits at n* = ln 2 / c,
+    // so c = 2·(32·W/B) = ln 2 / 14.
+    let cluster = ClusterSpec::new(
+        NodeSpec::new(FlopsRate::giga(100.0), 1.0),
+        LinkSpec::bandwidth_only(BitsPerSec::giga(1.0)),
+    );
+    let params = (2f64).ln() / 28.0 * 1e9 / 32.0;
+    let model = GradientDescentModel {
+        cost_per_example: FlopCount::new(1e7),
+        batch_size: 1e4, // C·S/F = 1 s at n = 1
+        params,
+        bits_per_param: 32,
+        cluster,
+        comm: GdComm::TwoStageTree,
+    };
+    let curve = model.strong_curve(1..=32);
+    let (n_opt, s_opt) = curve.optimal();
+    let comp = Series::new(
+        "compute s",
+        (1..=32).map(|n| (n, model.strong_comp_time(n).as_secs())).collect(),
+    );
+    let comm = Series::new(
+        "comm s",
+        (1..=32).map(|n| (n, model.comm_time(n).as_secs())).collect(),
+    );
+    ExperimentResult::new("fig1", "Example of the speedup (Section III)")
+        .with_series(Series::new("speedup", curve.speedups()))
+        .with_series(comp)
+        .with_series(comm)
+        .with_stat("optimal n", n_opt as f64, Some(14.0))
+        .with_stat("peak speedup", s_opt, None)
+        .with_note(
+            "per-node computation falls as 1/n while tree communication grows as \
+             log2(n); the total time reaches its minimum at the peak",
+        )
+}
+
+/// **Table I** — network configurations: parameters and forward-pass
+/// computations of the fully-connected MNIST network and Inception v3,
+/// computed from the layer cost algebra.
+pub fn table1() -> ExperimentResult {
+    let fc = mlscale_nn::zoo::mnist_fc();
+    let inception = mlscale_nn::zoo::inception_v3();
+    ExperimentResult::new("table1", "Network configurations")
+        .with_stat("FC (MNIST) parameters", fc.params() as f64, Some(12e6))
+        .with_stat(
+            "FC (MNIST) computations (2 ops/weight)",
+            fc.forward_flops() as f64,
+            Some(24e6),
+        )
+        .with_stat(
+            "Inception v3 parameters",
+            inception.params() as f64,
+            Some(25e6),
+        )
+        .with_stat(
+            "Inception v3 computations (madds)",
+            inception.forward_madds() as f64,
+            Some(5e9),
+        )
+        .with_note(
+            "the paper's FC row counts multiply and add separately (2·W) while \
+             its Inception row counts multiply-add pairs; both conventions are \
+             reproduced from the same layer algebra",
+        )
+        .with_note(
+            "our Inception count covers the main tower (no auxiliary head, no \
+             batch-norm parameters), hence 23.8e6 vs the paper's rounded 25e6",
+        )
+}
+
+/// **Fig 2** — speedup of one training iteration of the fully-connected
+/// ANN on Spark: analytic model vs simulated experiment (Spark-like task
+/// overhead + jitter on the simulated cluster). Paper: optimum at nine
+/// workers, MAPE 13.7 %.
+pub fn fig2(max_n: usize) -> ExperimentResult {
+    let workload = GdWorkload {
+        model: fig2_model(),
+        // Spark task-launch cost plus scheduling jitter — the source of
+        // the paper's model-vs-experiment gap beyond ~5 workers.
+        overhead: OverheadModel::ConstantPlusJitter { seconds: 0.3, jitter_mean: 0.3 },
+        iterations: 5,
+        seed: 2017,
+    };
+    let ns: Vec<usize> = (1..=max_n).collect();
+    let (model, sim) = workload.strong_curves(&ns);
+    let result = ExperimentResult::new(
+        "fig2",
+        "Speedup of one iteration for fully connected ANN training (Spark)",
+    )
+    .with_series(Series::new("model", model.speedups()))
+    .with_series(Series::new("simulated", sim.speedups()));
+    let mape = result.mape_between("model", "simulated");
+    // The paper plots n up to ~13 and reads the optimum (9) there; past
+    // that the ⌈√n⌉ staircase produces a plateau with marginally higher
+    // points, which we report separately.
+    let plotted = max_n.min(13);
+    let (n_plotted, _) = fig2_model().strong_curve(1..=plotted).optimal();
+    let (n_model, s_model) = model.optimal();
+    let (n_sim, s_sim) = sim.optimal();
+    result
+        .with_stat("MAPE %", mape, Some(13.7))
+        .with_stat(
+            format!("optimal n (model, n<={plotted})"),
+            n_plotted as f64,
+            Some(9.0),
+        )
+        .with_stat("optimal n (model, full range)", n_model as f64, None)
+        .with_stat("optimal n (simulated)", n_sim as f64, None)
+        .with_stat("peak speedup (model)", s_model, None)
+        .with_stat("peak speedup (simulated)", s_sim, None)
+        .with_note(
+            "simulated experiment = same schedule on the discrete-event cluster \
+             with Spark-like per-task overhead (paper used a real Spark cluster \
+             of Xeon E3-1240 nodes)",
+        )
+        .with_note(
+            "the model's ⌈√n⌉ aggregation staircase makes s(n) near-flat from 9 \
+             to 16 workers; within the paper's plotted range the argmax is 9",
+        )
+}
+
+/// **Fig 3** — speedup of processing time per training instance for
+/// convolutional ANN training (weak scaling, relative to 50 nodes).
+/// Paper: MAPE 1.2 % against Chen et al.'s measurements.
+pub fn fig3() -> ExperimentResult {
+    let workload = GdWorkload {
+        model: fig3_model(),
+        // The GPU cluster measurements sit very close to the model; a
+        // small constant per-step overhead reproduces that regime.
+        overhead: OverheadModel::Constant { seconds: 0.01 },
+        iterations: 3,
+        seed: 2016,
+    };
+    let ns: Vec<usize> = vec![10, 25, 50, 100, 150, 200];
+    let (model, sim) = workload.weak_curves(&ns, 50);
+    let result = ExperimentResult::new(
+        "fig3",
+        "Per-instance speedup for convolutional ANN training (weak scaling, rel. 50 nodes)",
+    )
+    .with_series(Series::new("model", model.speedups()))
+    .with_series(Series::new("simulated", sim.speedups()));
+    let mape = result.mape_between("model", "simulated");
+    result
+        .with_stat("MAPE %", mape, Some(1.2))
+        .with_stat(
+            "speedup at 100 vs 50 (model)",
+            model.speedup_at(100).expect("sampled"),
+            None,
+        )
+        .with_note(
+            "weak scaling: every worker keeps a 128-example batch; logarithmic \
+             aggregation keeps per-instance speedup growing without bound \
+             (infinite weak scaling)",
+        )
+        .with_note(
+            "paper compared against Chen et al.'s TensorFlow K40 measurements; \
+             we compare against the simulated GPU cluster",
+        )
+}
+
+/// **Fig 4** — speedup of loopy BP over the DNS-like graph: Monte-Carlo
+/// model vs simulated experiment (exact random partitions + execution
+/// overhead growing with the worker count) on the shared-memory machine.
+pub fn fig4(scale: DnsScale, ns: &[usize]) -> ExperimentResult {
+    let spec = scale.spec();
+    let mut rng = StdRng::seed_from_u64(0xD45);
+    let graph = dns_like(spec, &mut rng);
+    let flops = presets::dl980_core().effective();
+    // GraphLab-style execution overhead: a contention term growing with
+    // the worker count that eventually takes over — the paper's Fig 4
+    // phenomenology ("execution overhead takes over with larger number of
+    // workers"). Contention pressure scales with the data the workers
+    // fight over, so the term is calibrated against the single-worker
+    // iteration time t(1) = E·c(S)/F.
+    let t1 = graph.edges() as f64 * 14.0 / flops.get();
+    let workload = BpWorkload {
+        graph: &graph,
+        states: 2,
+        flops,
+        bandwidth: BitsPerSec::new(f64::INFINITY),
+        overhead: OverheadModel::PerWorkerLinear {
+            base: 2e-5 * t1,
+            per_worker: 5e-4 * t1,
+        },
+        trials: 3,
+        iterations: 3,
+        seed: 0xF16,
+    };
+    let model = workload.model_curve(ns);
+    let sim = workload.simulated_curve(ns);
+    let scale_tag = match scale {
+        DnsScale::Tiny => "tiny",
+        DnsScale::Small => "small",
+        DnsScale::Medium => "medium",
+        DnsScale::Full => "full",
+    };
+    let result = ExperimentResult::new(
+        format!("fig4-{scale_tag}"),
+        format!(
+            "Speedup of the BP algorithm, DNS-like graph with {} vertexes / {} edges",
+            spec.vertices, spec.edges
+        ),
+    )
+    .with_series(Series::new("model", model.speedups()))
+    .with_series(Series::new("simulated", sim.speedups()));
+    let mape = result.mape_between("model", "simulated");
+    let (n_model, _) = model.optimal();
+    let (n_sim, _) = sim.optimal();
+    result
+        .with_stat("MAPE %", mape, Some(scale.paper_mape()))
+        .with_stat("optimal n (model)", n_model as f64, None)
+        .with_stat("optimal n (simulated)", n_sim as f64, None)
+        .with_stat("max degree", f64::from(graph.max_degree()), None)
+        .with_note(
+            "graph: Chung-Lu power law calibrated to the paper's proprietary DNS \
+             graph statistics (V, E, max degree); communication is free (shared \
+             memory), computation gated by the most-loaded worker",
+        )
+        .with_note(
+            "model = paper's Monte-Carlo estimate with E_dup correction; \
+             simulated = exact per-partition edge counts + per-worker-linear \
+             execution overhead",
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_peaks_near_fourteen() {
+        let r = fig1();
+        let opt = r.stats.iter().find(|s| s.label == "optimal n").unwrap();
+        assert!(
+            (13.0..=15.0).contains(&opt.value),
+            "Fig 1 example should peak near 14, got {}",
+            opt.value
+        );
+        // Compute falls, comm rises.
+        let comp = r.series("compute s").unwrap();
+        let comm = r.series("comm s").unwrap();
+        assert!(comp.at(32).unwrap() < comp.at(1).unwrap());
+        assert!(comm.at(32).unwrap() > comm.at(2).unwrap());
+    }
+
+    #[test]
+    fn table1_values_near_paper() {
+        let r = table1();
+        for stat in &r.stats {
+            let paper = stat.paper.expect("all Table I rows have paper values");
+            let ratio = stat.value / paper;
+            assert!(
+                (0.8..1.25).contains(&ratio),
+                "{}: {} vs paper {paper}",
+                stat.label,
+                stat.value
+            );
+        }
+    }
+
+    #[test]
+    fn fig2_reproduces_shape() {
+        let r = fig2(13);
+        let mape = r.stats.iter().find(|s| s.label == "MAPE %").unwrap().value;
+        assert!(mape < 30.0, "model-vs-sim MAPE {mape:.1}% out of band");
+        let n_model = r
+            .stats
+            .iter()
+            .find(|s| s.label.starts_with("optimal n (model, n<="))
+            .unwrap()
+            .value;
+        assert_eq!(n_model, 9.0, "paper: optimum at nine workers");
+        // The simulated curve must be scalable and peak in a similar region.
+        let sim = r.series("simulated").unwrap();
+        let (n_sim, s_sim) = sim.argmax().unwrap();
+        assert!(s_sim > 2.0, "simulated cluster must show real speedup");
+        assert!((5..=13).contains(&n_sim), "simulated peak at {n_sim}");
+    }
+
+    #[test]
+    fn fig3_close_match_and_monotone() {
+        let r = fig3();
+        let mape = r.stats.iter().find(|s| s.label == "MAPE %").unwrap().value;
+        assert!(mape < 5.0, "Fig 3 regime is a close match, got {mape:.2}%");
+        let model = r.series("model").unwrap();
+        // Weak scaling with log comm: monotone increasing speedup.
+        let vals: Vec<f64> = model.points.iter().map(|&(_, v)| v).collect();
+        for pair in vals.windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+        // Normalised at 50.
+        assert!((model.at(50).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig4_tiny_reproduces_band() {
+        let ns = [1usize, 2, 4, 8, 16, 32];
+        let r = fig4(DnsScale::Tiny, &ns);
+        let mape = r.stats.iter().find(|s| s.label == "MAPE %").unwrap().value;
+        // The paper's own model error band is ~20-26 %; accept anything
+        // comparable for the simulated reproduction.
+        assert!(mape < 45.0, "MAPE {mape:.1}% far out of the paper's band");
+        let sim = r.series("simulated").unwrap();
+        let (_, s_max) = sim.argmax().unwrap();
+        assert!(s_max > 1.5, "BP must scale at least somewhat");
+    }
+}

@@ -1,0 +1,11 @@
+//! Per-exhibit experiment definitions: every table and figure of the
+//! paper's evaluation ([`figures`]) plus ablations over the design choices
+//! the paper discusses in prose ([`ablations`]). The bench binaries in
+//! `mlscale-bench` are thin wrappers printing these results.
+
+pub mod ablations;
+pub mod convergence;
+pub mod extensions;
+pub mod figures;
+
+pub use figures::{fig1, fig2, fig3, fig4, table1, DnsScale};

@@ -1,0 +1,233 @@
+//! Gradient-descent workload driver: turns a [`GradientDescentModel`]
+//! configuration into (a) the analytic speedup curve and (b) a simulated
+//! "experimental" curve produced by executing the same schedule — real
+//! shard sizes, real payload, chosen collective — on the discrete-event
+//! cluster with overhead injection.
+
+use mlscale_core::models::gd::{GdComm, GradientDescentModel};
+use mlscale_core::speedup::SpeedupCurve;
+use mlscale_core::units::Seconds;
+use mlscale_sim::bsp::{simulate, BspConfig, BspProgram, CommPhase, SuperstepSpec};
+use mlscale_sim::collectives::{BroadcastKind, ReduceKind};
+use mlscale_sim::overhead::OverheadModel;
+
+/// A gradient-descent workload: the analytic model plus the simulation
+/// knobs (overhead, seed, iterations to average over).
+#[derive(Debug, Clone, Copy)]
+pub struct GdWorkload {
+    /// The analytic model configuration (also defines the simulated
+    /// schedule: cost per example, batch, payload, cluster, collective).
+    pub model: GradientDescentModel,
+    /// Overhead injected per worker-task in the simulation.
+    pub overhead: OverheadModel,
+    /// Simulated iterations to average over.
+    pub iterations: usize,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl GdWorkload {
+    /// A workload with no overhead (simulation should match the model).
+    pub fn ideal(model: GradientDescentModel) -> Self {
+        Self { model, overhead: OverheadModel::None, iterations: 3, seed: 0xC0FFEE }
+    }
+
+    /// The simulator communication phase matching the model's collective.
+    fn comm_phase(&self) -> CommPhase {
+        let bits = self.model.param_volume().get();
+        match self.model.comm {
+            GdComm::Spark => CommPhase::GradientExchange {
+                bits,
+                broadcast: BroadcastKind::Torrent,
+                reduce: ReduceKind::TwoWave,
+            },
+            GdComm::TwoStageTree => CommPhase::GradientExchange {
+                bits,
+                broadcast: BroadcastKind::Tree,
+                reduce: ReduceKind::Tree,
+            },
+            GdComm::LinearFlat => CommPhase::GradientExchange {
+                bits,
+                broadcast: BroadcastKind::Flat,
+                reduce: ReduceKind::Flat,
+            },
+            GdComm::Ring => CommPhase::RingAllReduce { bits },
+            GdComm::None => CommPhase::None,
+        }
+    }
+
+    /// Real shard sizes of a batch of `total` examples over `n` workers:
+    /// `total/n` each with the remainder spread over the first shards —
+    /// exactly what [`mlscale_nn::train::shard_rows`] produces.
+    fn shard_loads(&self, total: u64, n: usize) -> Vec<f64> {
+        let base = total / n as u64;
+        let rem = (total % n as u64) as usize;
+        (0..n)
+            .map(|w| {
+                let examples = base + u64::from(w < rem);
+                examples as f64 * self.model.cost_per_example.get()
+            })
+            .collect()
+    }
+
+    /// BSP program for one strong-scaling configuration: the fixed batch
+    /// is split across `n` workers.
+    pub fn strong_program(&self, n: usize) -> BspProgram {
+        BspProgram {
+            supersteps: vec![SuperstepSpec {
+                loads: self.shard_loads(self.model.batch_size as u64, n),
+                comm: self.comm_phase(),
+            }],
+            iterations: self.iterations,
+        }
+    }
+
+    /// BSP program for one weak-scaling configuration: every worker keeps
+    /// a full per-worker batch.
+    pub fn weak_program(&self, n: usize) -> BspProgram {
+        let per_worker = self.model.batch_size * self.model.cost_per_example.get();
+        BspProgram {
+            supersteps: vec![SuperstepSpec {
+                loads: vec![per_worker; n],
+                comm: self.comm_phase(),
+            }],
+            iterations: self.iterations,
+        }
+    }
+
+    fn config(&self) -> BspConfig {
+        BspConfig { cluster: self.model.cluster, overhead: self.overhead, seed: self.seed }
+    }
+
+    /// Simulated mean iteration time at `n` workers (strong scaling).
+    pub fn simulate_strong(&self, n: usize) -> Seconds {
+        simulate(&self.strong_program(n), &self.config(), n).mean_iteration()
+    }
+
+    /// Simulated per-instance time at `n` workers (weak scaling): the mean
+    /// iteration time divided by `n` (per-worker batch constant, so
+    /// instances processed per iteration grow as `S·n`).
+    pub fn simulate_weak_per_instance(&self, n: usize) -> Seconds {
+        simulate(&self.weak_program(n), &self.config(), n).mean_iteration() / n as f64
+    }
+
+    /// Analytic and simulated strong-scaling speedup curves over `ns`.
+    pub fn strong_curves(&self, ns: &[usize]) -> (SpeedupCurve, SpeedupCurve) {
+        let model = SpeedupCurve::from_fn(ns.iter().copied(), |n| {
+            self.model.strong_iteration_time(n)
+        });
+        let sim =
+            SpeedupCurve::from_fn(ns.iter().copied(), |n| self.simulate_strong(n));
+        (model, sim)
+    }
+
+    /// Analytic and simulated weak-scaling per-instance curves over `ns`,
+    /// both rebased at `baseline_n` (the paper's Fig 3 uses 50).
+    pub fn weak_curves(&self, ns: &[usize], baseline_n: usize) -> (SpeedupCurve, SpeedupCurve) {
+        let model = SpeedupCurve::from_fn(ns.iter().copied(), |n| {
+            self.model.weak_per_instance_time(n)
+        })
+        .rebased(baseline_n);
+        let sim = SpeedupCurve::from_fn(ns.iter().copied(), |n| {
+            self.simulate_weak_per_instance(n)
+        })
+        .rebased(baseline_n);
+        (model, sim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlscale_core::hardware::presets;
+    use mlscale_core::metrics::Comparison;
+    use mlscale_core::units::FlopCount;
+
+    fn fig2_workload() -> GdWorkload {
+        GdWorkload::ideal(GradientDescentModel {
+            cost_per_example: FlopCount::new(6.0 * 12e6),
+            batch_size: 60_000.0,
+            params: 12e6,
+            bits_per_param: 64,
+            cluster: presets::spark_cluster(),
+            comm: GdComm::Spark,
+        })
+    }
+
+    #[test]
+    fn shard_loads_conserve_batch() {
+        let w = fig2_workload();
+        for n in [1usize, 3, 7, 16] {
+            let loads = w.shard_loads(60_000, n);
+            let total: f64 = loads.iter().sum();
+            assert!((total - 60_000.0 * w.model.cost_per_example.get()).abs() < 1.0);
+            assert_eq!(loads.len(), n);
+        }
+    }
+
+    #[test]
+    fn ideal_simulation_tracks_model_closely() {
+        // Without overhead the simulator's schedule should land within a
+        // few percent of the closed-form model (they differ only in
+        // collective discretisation: binomial tree vs log₂ n, group
+        // assignment of the two-wave pattern).
+        let w = fig2_workload();
+        let ns: Vec<usize> = (1..=12).collect();
+        let (model, sim) = w.strong_curves(&ns);
+        let cmp = Comparison::join(&model.speedups(), &sim.speedups());
+        assert!(
+            cmp.mape() < 20.0,
+            "ideal sim should be near the model, MAPE = {:.1}%",
+            cmp.mape()
+        );
+        // And identical at n = 1 (no communication, no overhead).
+        assert!((model.time_at(1).unwrap() / sim.time_at(1).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_slows_simulation_down() {
+        let mut w = fig2_workload();
+        let ideal = w.simulate_strong(8);
+        w.overhead = OverheadModel::Constant { seconds: 1.0 };
+        let with_overhead = w.simulate_strong(8);
+        assert!(with_overhead > ideal + Seconds::new(0.9));
+    }
+
+    #[test]
+    fn weak_per_instance_improves_with_workers() {
+        let w = GdWorkload::ideal(GradientDescentModel {
+            cost_per_example: FlopCount::new(3.0 * 5e9),
+            batch_size: 128.0,
+            params: 25e6,
+            bits_per_param: 32,
+            cluster: presets::gpu_cluster(),
+            comm: GdComm::TwoStageTree,
+        });
+        let t8 = w.simulate_weak_per_instance(8);
+        let t32 = w.simulate_weak_per_instance(32);
+        assert!(t32 < t8, "weak scaling with tree comm keeps improving");
+    }
+
+    #[test]
+    fn weak_curves_rebase_at_baseline() {
+        let w = fig2_workload();
+        let (model, sim) = w.weak_curves(&[2, 4, 8], 4);
+        assert!((model.speedup_at(4).unwrap() - 1.0).abs() < 1e-12);
+        assert!((sim.speedup_at(4).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_workload_runs() {
+        let mut w = fig2_workload();
+        w.model.comm = GdComm::Ring;
+        let t = w.simulate_strong(4);
+        assert!(t.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let mut w = fig2_workload();
+        w.overhead = OverheadModel::Exponential { mean: 0.2 };
+        assert_eq!(w.simulate_strong(6), w.simulate_strong(6));
+    }
+}

@@ -1,0 +1,24 @@
+//! # mlscale-workloads — end-to-end workload drivers and paper experiments
+//!
+//! Binds the analytic models (`mlscale-core`), the substrates
+//! (`mlscale-nn`, `mlscale-graph`) and the simulator (`mlscale-sim`) into
+//! runnable reproductions of every exhibit in the paper's evaluation:
+//!
+//! * [`gd`] — gradient-descent driver: analytic curve + simulated
+//!   "experimental" curve from the same schedule (real shard sizes, real
+//!   payloads, chosen collective, overhead injection);
+//! * [`bp`] — belief-propagation driver: Monte-Carlo model estimate vs
+//!   exact-partition simulation on the shared-memory cluster;
+//! * [`experiments`] — `table1`, `fig1` … `fig4` and the ablations, each
+//!   returning a serialisable [`report::ExperimentResult`];
+//! * [`report`] — result containers with paper-style text rendering.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bp;
+pub mod experiments;
+pub mod gd;
+pub mod report;
+
+pub use report::{ExperimentResult, Series, Stat};

@@ -1,0 +1,242 @@
+//! Experiment result containers: named series over worker counts, summary
+//! statistics, and paper-style text rendering. Every exhibit reproduction
+//! (`fig1` … `fig4`, Table I, ablations) returns an [`ExperimentResult`]
+//! that the bench binaries print and serialise to JSON.
+
+use mlscale_core::metrics::Comparison;
+use serde::{Deserialize, Serialize};
+
+/// A named series of `(n, value)` points (speedups, times, edge counts…).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Display name, e.g. "model" or "simulated".
+    pub name: String,
+    /// `(worker count, value)` samples.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl Series {
+    /// Builds a series.
+    pub fn new(name: impl Into<String>, points: Vec<(usize, f64)>) -> Self {
+        Self { name: name.into(), points }
+    }
+
+    /// The point with the maximum value (ties to the smaller `n`).
+    pub fn argmax(&self) -> Option<(usize, f64)> {
+        self.points
+            .iter()
+            .copied()
+            .fold(None, |best: Option<(usize, f64)>, (n, v)| match best {
+                Some((_, bv)) if bv >= v => best,
+                _ => Some((n, v)),
+            })
+    }
+
+    /// Value at a given `n`, if sampled.
+    pub fn at(&self, n: usize) -> Option<f64> {
+        self.points.iter().find(|&&(m, _)| m == n).map(|&(_, v)| v)
+    }
+}
+
+/// A scalar reported alongside the series (MAPE, optimum, totals…).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stat {
+    /// Label, e.g. "MAPE %" or "optimal n (model)".
+    pub label: String,
+    /// Value.
+    pub value: f64,
+    /// Corresponding value reported in the paper, when one exists.
+    pub paper: Option<f64>,
+}
+
+/// One reproduced exhibit: identifying metadata, the series that would be
+/// plotted, and summary statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Short id: "table1", "fig1" … "fig4", "ablation-comm".
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Plotted series.
+    pub series: Vec<Series>,
+    /// Summary statistics (MAPE, optima, …).
+    pub stats: Vec<Stat>,
+    /// Free-form notes (substitutions, conventions).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Creates an empty result with metadata.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            series: Vec::new(),
+            stats: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    #[must_use]
+    pub fn with_series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Adds a stat.
+    #[must_use]
+    pub fn with_stat(mut self, label: impl Into<String>, value: f64, paper: Option<f64>) -> Self {
+        self.stats.push(Stat { label: label.into(), value, paper });
+        self
+    }
+
+    /// Adds a note.
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Finds a series by name.
+    pub fn series(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// MAPE between two named series on their shared worker counts.
+    ///
+    /// # Panics
+    /// Panics when either series is missing or they share no points.
+    pub fn mape_between(&self, predicted: &str, reference: &str) -> f64 {
+        let p = self.series(predicted).expect("predicted series missing");
+        let r = self.series(reference).expect("reference series missing");
+        Comparison::join(&p.points, &r.points).mape()
+    }
+
+    /// Paper-style text block: aligned columns, one row per worker count,
+    /// stats and notes below.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "=== {} — {} ===", self.id, self.title);
+        if !self.series.is_empty() {
+            // Union of worker counts across series, in order.
+            let mut ns: Vec<usize> = self
+                .series
+                .iter()
+                .flat_map(|s| s.points.iter().map(|&(n, _)| n))
+                .collect();
+            ns.sort_unstable();
+            ns.dedup();
+            let _ = write!(out, "{:>8}", "n");
+            for s in &self.series {
+                let _ = write!(out, " {:>16}", s.name);
+            }
+            let _ = writeln!(out);
+            for n in ns {
+                let _ = write!(out, "{n:>8}");
+                for s in &self.series {
+                    match s.at(n) {
+                        Some(v) => {
+                            let _ = write!(out, " {v:>16.4}");
+                        }
+                        None => {
+                            let _ = write!(out, " {:>16}", "-");
+                        }
+                    }
+                }
+                let _ = writeln!(out);
+            }
+        }
+        for stat in &self.stats {
+            match stat.paper {
+                Some(p) => {
+                    let _ = writeln!(
+                        out,
+                        "{}: {:.3}   (paper: {:.3})",
+                        stat.label, stat.value, p
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "{}: {:.3}", stat.label, stat.value);
+                }
+            }
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentResult {
+        ExperimentResult::new("figX", "demo")
+            .with_series(Series::new("model", vec![(1, 1.0), (2, 1.8), (4, 3.0)]))
+            .with_series(Series::new("sim", vec![(1, 1.0), (2, 1.7), (4, 2.8)]))
+            .with_stat("MAPE %", 5.0, Some(13.7))
+            .with_note("synthetic data")
+    }
+
+    #[test]
+    fn argmax_ties_to_smaller_n() {
+        let s = Series::new("s", vec![(1, 1.0), (2, 3.0), (4, 3.0)]);
+        assert_eq!(s.argmax(), Some((2, 3.0)));
+    }
+
+    #[test]
+    fn argmax_empty_is_none() {
+        assert_eq!(Series::new("s", vec![]).argmax(), None);
+    }
+
+    #[test]
+    fn at_finds_points() {
+        let s = Series::new("s", vec![(2, 5.0)]);
+        assert_eq!(s.at(2), Some(5.0));
+        assert_eq!(s.at(3), None);
+    }
+
+    #[test]
+    fn mape_between_series() {
+        let r = sample();
+        let mape = r.mape_between("model", "sim");
+        assert!(mape > 0.0 && mape < 10.0);
+    }
+
+    #[test]
+    fn text_contains_everything() {
+        let text = sample().to_text();
+        assert!(text.contains("figX"));
+        assert!(text.contains("model"));
+        assert!(text.contains("sim"));
+        assert!(text.contains("MAPE"));
+        assert!(text.contains("paper: 13.7"));
+        assert!(text.contains("note: synthetic data"));
+    }
+
+    #[test]
+    fn text_handles_missing_points() {
+        let r = ExperimentResult::new("x", "t")
+            .with_series(Series::new("a", vec![(1, 1.0)]))
+            .with_series(Series::new("b", vec![(2, 2.0)]));
+        let text = r.to_text();
+        assert!(text.contains('-'), "missing samples render as dashes");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing")]
+    fn mape_between_missing_series_panics() {
+        let _ = sample().mape_between("model", "nope");
+    }
+}

@@ -1,0 +1,83 @@
+//! Capacity planning: the two practitioner questions from the paper's
+//! introduction.
+//!
+//! 1. **Strong scaling** — "Given a workload, how many more machines are
+//!    needed to decrease the run time by a certain amount?"
+//! 2. **Weak scaling** — "Given an increasing workload, how many more
+//!    machines to add to keep the run time the same?"
+//!
+//! Run with: `cargo run --example capacity_planning`
+
+use mlscale::model::hardware::presets;
+use mlscale::model::models::gd::{GdComm, GradientDescentModel};
+use mlscale::model::scaling::{StrongScaling, WeakScaling};
+use mlscale::model::units::FlopCount;
+
+fn main() {
+    // The paper's Fig 2 workload: the MNIST fully-connected network on the
+    // Spark cluster (Xeon E3-1240 nodes, gigabit Ethernet).
+    let model = GradientDescentModel {
+        cost_per_example: FlopCount::new(6.0 * 12e6),
+        batch_size: 60_000.0,
+        params: 12e6,
+        bits_per_param: 64,
+        cluster: presets::spark_cluster(),
+        comm: GdComm::Spark,
+    };
+
+    // -- Question 1: strong scaling ------------------------------------
+    let strong = StrongScaling::new(|n| model.strong_iteration_time(n), 64);
+    println!("Q1: we run on 2 workers today; how many for 1.5x faster iterations?");
+    match strong.nodes_for_time_reduction(2, 1.5) {
+        Some(n) => println!("    -> {n} workers\n"),
+        None => println!("    -> unattainable on this hardware\n"),
+    }
+    println!("Q1b: and 3x faster than 2 workers?");
+    match strong.nodes_for_time_reduction(2, 3.0) {
+        Some(n) => println!("    -> {n} workers\n"),
+        None => {
+            let (n_opt, s_opt) = strong.optimal();
+            println!(
+                "    -> unattainable: the speedup tops out at {s_opt:.2}x with {n_opt} \
+                 workers (communication overhead)\n"
+            );
+        }
+    }
+
+    // -- Question 2: weak scaling --------------------------------------
+    // A click-through-rate-style workload: a 1M-parameter model, 32-bit
+    // gradients, tree exchange, per-worker batch fixed at 16384 examples;
+    // the dataset (and with it the effective batch) doubles.
+    let weak_model = GradientDescentModel {
+        cost_per_example: FlopCount::new(6.0 * 1e6),
+        batch_size: 16_384.0,
+        params: 1e6,
+        bits_per_param: 32,
+        comm: GdComm::TwoStageTree,
+        ..model
+    };
+    let weak = WeakScaling::new(|n| weak_model.weak_iteration_time(n), 1024);
+    println!("Q2: 8 workers keep up with today's data; the data doubles.");
+    println!("    How many workers keep the iteration time within 10%?");
+    match weak.nodes_for_constant_time(8, 2.0, 0.10) {
+        Some(n) => println!("    -> {n} workers"),
+        None => println!("    -> no worker count holds the time (communication-bound)"),
+    }
+    let t8 = weak_model.weak_iteration_time(8);
+    let t16 = weak_model.weak_iteration_time(16);
+    println!(
+        "    (iteration time: {:.3} s at 8 workers, {:.3} s at 16 — the log-tree \
+         exchange only adds one more level per doubling)",
+        t8.as_secs(),
+        t16.as_secs()
+    );
+    // Contrast: the same question under linear (flat) communication has no
+    // answer once the exchange dominates — the paper's finite-scaling case.
+    let flat = GradientDescentModel { comm: GdComm::LinearFlat, ..weak_model };
+    let weak_flat = WeakScaling::new(|n| flat.weak_iteration_time(n), 1024);
+    println!("Q2b: same question with flat (linear) communication:");
+    match weak_flat.nodes_for_constant_time(8, 2.0, 0.10) {
+        Some(n) => println!("    -> {n} workers"),
+        None => println!("    -> impossible: linear exchange grows with every added worker"),
+    }
+}

@@ -1,0 +1,63 @@
+//! The Fig 3 pipeline: weak scaling of Inception-v3 training on a K40 GPU
+//! cluster — per-instance speedup relative to 50 nodes, with the cost
+//! derived from the actual Inception v3 architecture definition.
+//!
+//! Also demonstrates the paper's finite-vs-infinite weak scaling contrast:
+//! with logarithmic aggregation the per-instance speedup grows without
+//! bound; with linear communication it saturates.
+//!
+//! Run with: `cargo run --release --example gpu_weak_scaling`
+
+use mlscale::model::hardware::presets;
+use mlscale::model::models::gd::{GdComm, GradientDescentModel};
+use mlscale::model::units::FlopCount;
+use mlscale::nn::zoo;
+
+fn main() {
+    let net = zoo::inception_v3();
+    println!(
+        "network: {} — {} params, {:.2e} forward madds (Table I: 25e6 / 5e9)",
+        net.name,
+        net.params(),
+        net.forward_madds() as f64
+    );
+    // Chen et al. parameterisation: C = 3 × forward madds, per-worker
+    // batch of 128, 32-bit gradients, K40 at 50 % of 4.28 TFLOPS.
+    let model = GradientDescentModel {
+        cost_per_example: FlopCount::new(3.0 * net.forward_madds() as f64),
+        batch_size: 128.0,
+        params: net.params() as f64,
+        bits_per_param: 32,
+        cluster: presets::gpu_cluster(),
+        comm: GdComm::TwoStageTree,
+    };
+
+    let ns: Vec<usize> = vec![10, 25, 50, 100, 150, 200, 400];
+    let log_curve = model.weak_curve(ns.iter().copied()).rebased(50);
+    let linear = GradientDescentModel { comm: GdComm::LinearFlat, ..model };
+    let lin_curve = linear.weak_curve(ns.iter().copied()).rebased(50);
+
+    println!("\nper-instance speedup relative to 50 workers:");
+    println!("{:>5} {:>16} {:>16}", "n", "log aggregation", "linear comm");
+    for &n in &ns {
+        println!(
+            "{n:>5} {:>16.3} {:>16.3}",
+            log_curve.speedup_at(n).unwrap(),
+            lin_curve.speedup_at(n).unwrap()
+        );
+    }
+    println!(
+        "\nlogarithmic aggregation: every doubling keeps helping (infinite weak scaling)."
+    );
+    println!(
+        "linear communication: saturates once the exchange dominates (finite scaling)."
+    );
+
+    // The instances-per-second view at a few cluster sizes.
+    println!("\nthroughput view (instances/s, effective batch = 128·n):");
+    for &n in &[1usize, 10, 50, 100, 200] {
+        let t = model.weak_iteration_time(n).as_secs();
+        let throughput = 128.0 * n as f64 / t;
+        println!("  n = {n:>3}: {throughput:>12.0} instances/s");
+    }
+}

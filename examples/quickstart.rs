@@ -1,0 +1,47 @@
+//! Quickstart: build a scalability model for your own workload and
+//! hardware, print the speedup table, and read off the optimal cluster
+//! size — the paper's core loop, in ~30 lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mlscale::model::hardware::{ClusterSpec, LinkSpec, NodeSpec};
+use mlscale::model::models::gd::{GdComm, GradientDescentModel};
+use mlscale::model::units::{BitsPerSec, FlopCount, FlopsRate};
+
+fn main() {
+    // 1. Describe the hardware: no profiling, just the spec sheet.
+    let cluster = ClusterSpec::new(
+        // 100 GFLOPS peak per node, assume 80 % achievable.
+        NodeSpec::new(FlopsRate::giga(100.0), 0.8),
+        // 10 Gbit/s interconnect.
+        LinkSpec::bandwidth_only(BitsPerSec::giga(10.0)),
+    );
+
+    // 2. Describe the workload: a 5M-parameter model trained with
+    //    mini-batch SGD, batch of 4096, gradient cost 6 flops per weight
+    //    per example (the fully-connected training rule).
+    let params = 5e6;
+    let model = GradientDescentModel {
+        cost_per_example: FlopCount::new(6.0 * params),
+        batch_size: 4096.0,
+        params,
+        bits_per_param: 32,
+        cluster,
+        comm: GdComm::TwoStageTree,
+    };
+
+    // 3. Read the speedup curve.
+    let curve = model.strong_curve(1..=64);
+    println!("strong scaling, per-iteration speedup:\n");
+    println!("{}", curve.to_table());
+
+    let (n_opt, s_opt) = curve.optimal();
+    println!("optimal cluster size: {n_opt} workers (speedup {s_opt:.2}×)");
+    println!(
+        "90%-of-peak knee:     {} workers (diminishing returns beyond this)",
+        curve.knee(0.9)
+    );
+    if let Some(onset) = model.comm_dominance_onset(64) {
+        println!("communication exceeds computation from n = {onset}");
+    }
+}

@@ -1,0 +1,263 @@
+//! `mlscale` — command-line scalability estimation, the paper's suggested
+//! integration path ("the possible solution is to integrate the estimation
+//! software with such tools as Spark, Hadoop, and Tensorflow").
+//!
+//! ```text
+//! mlscale gd   --params 12e6 --cost-per-example 72e6 --batch 60000 \
+//!              --flops 84.48e9 --bandwidth 1e9 --bits 64 --comm spark --max-n 16
+//! mlscale gd   --preset fig3 --weak --max-n 200
+//! mlscale bp   --vertices 165000 --edges 1013000 --max-degree 9800 --max-n 80
+//! mlscale plan --preset fig2 --iterations 1000 --price 2.0 --deadline 7200
+//! ```
+//!
+//! All flags take `--flag value` form; numbers accept scientific notation.
+
+use mlscale::graph::sampling::zipf_weights;
+use mlscale::model::hardware::{presets, ClusterSpec, LinkSpec, NodeSpec};
+use mlscale::model::models::gd::{GdComm, GradientDescentModel};
+use mlscale::model::models::graphinf::{
+    bp_cost_per_edge, max_edges_monte_carlo, EdgeLoad, GraphInferenceModel,
+};
+use mlscale::model::planner::{Planner, Pricing};
+use mlscale::model::units::{BitsPerSec, FlopCount, FlopsRate, Seconds};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mlscale <gd|bp|plan> [--flag value]...\n\
+         \n\
+         gd   — gradient-descent speedup curve\n\
+              --preset fig2|fig3        load a paper configuration\n\
+              --params W --cost-per-example C --batch S --bits 32|64\n\
+              --flops F --bandwidth B   effective flop/s and bit/s\n\
+              --comm tree|spark|linear|ring|none\n\
+              --max-n N [--weak]        evaluate 1..=N, weak scaling optional\n\
+         bp   — graph-inference speedup curve (Monte-Carlo max-edges model)\n\
+              --vertices V --edges E --max-degree D --states S\n\
+              --flops F [--bandwidth B --replication R] --max-n N\n\
+         plan — cost/deadline provisioning over the gd model\n\
+              (gd flags) --iterations K --price $/node-hour\n\
+              [--deadline seconds | --budget amount]"
+    );
+    exit(2)
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .unwrap_or_else(|| {
+                eprintln!("unexpected argument {:?}", args[i]);
+                usage()
+            })
+            .to_string();
+        if key == "weak" {
+            flags.insert(key, "true".to_string());
+            i += 1;
+            continue;
+        }
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("flag --{key} needs a value");
+            usage()
+        };
+        flags.insert(key, value.clone());
+        i += 2;
+    }
+    flags
+}
+
+fn num(flags: &HashMap<String, String>, key: &str, default: Option<f64>) -> f64 {
+    match flags.get(key) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--{key}: cannot parse {v:?} as a number");
+            usage()
+        }),
+        None => default.unwrap_or_else(|| {
+            eprintln!("missing required flag --{key}");
+            usage()
+        }),
+    }
+}
+
+fn gd_model(flags: &HashMap<String, String>) -> GradientDescentModel {
+    if let Some(preset) = flags.get("preset") {
+        return match preset.as_str() {
+            "fig2" => GradientDescentModel {
+                cost_per_example: FlopCount::new(6.0 * 12e6),
+                batch_size: 60_000.0,
+                params: 12e6,
+                bits_per_param: 64,
+                cluster: presets::spark_cluster(),
+                comm: GdComm::Spark,
+            },
+            "fig3" => GradientDescentModel {
+                cost_per_example: FlopCount::new(3.0 * 5e9),
+                batch_size: 128.0,
+                params: 25e6,
+                bits_per_param: 32,
+                cluster: presets::gpu_cluster(),
+                comm: GdComm::TwoStageTree,
+            },
+            other => {
+                eprintln!("unknown preset {other:?} (use fig2 or fig3)");
+                usage()
+            }
+        };
+    }
+    let comm = match flags.get("comm").map(String::as_str).unwrap_or("tree") {
+        "tree" => GdComm::TwoStageTree,
+        "spark" => GdComm::Spark,
+        "linear" => GdComm::LinearFlat,
+        "ring" => GdComm::Ring,
+        "none" => GdComm::None,
+        other => {
+            eprintln!("unknown --comm {other:?}");
+            usage()
+        }
+    };
+    GradientDescentModel {
+        cost_per_example: FlopCount::new(num(flags, "cost-per-example", None)),
+        batch_size: num(flags, "batch", None),
+        params: num(flags, "params", None),
+        bits_per_param: num(flags, "bits", Some(32.0)) as u32,
+        cluster: ClusterSpec::new(
+            NodeSpec::new(FlopsRate::new(num(flags, "flops", None)), 1.0),
+            LinkSpec::bandwidth_only(BitsPerSec::new(num(flags, "bandwidth", Some(1e9)))),
+        ),
+        comm,
+    }
+}
+
+fn cmd_gd(flags: &HashMap<String, String>) {
+    let model = gd_model(flags);
+    let max_n = num(flags, "max-n", Some(32.0)) as usize;
+    let curve = if flags.contains_key("weak") {
+        println!("weak scaling (per-instance time), n = 1..={max_n}:\n");
+        model.weak_curve(1..=max_n)
+    } else {
+        println!("strong scaling (per-iteration time), n = 1..={max_n}:\n");
+        model.strong_curve(1..=max_n)
+    };
+    println!("{}", curve.to_table());
+    let (n_opt, s_opt) = curve.optimal();
+    println!("optimal workers: {n_opt} (speedup {s_opt:.2}x)");
+    println!("90%-of-peak knee: {}", curve.knee(0.9));
+    if let Some(onset) = model.comm_dominance_onset(max_n) {
+        println!("communication exceeds computation from n = {onset}");
+    } else {
+        println!("computation dominates across the whole range");
+    }
+}
+
+fn cmd_bp(flags: &HashMap<String, String>) {
+    let v = num(flags, "vertices", None);
+    let e = num(flags, "edges", None);
+    let d_max = num(flags, "max-degree", Some((2.0 * e / v * 10.0).max(4.0)));
+    let states = num(flags, "states", Some(2.0)) as usize;
+    let flops = FlopsRate::new(num(flags, "flops", Some(7.6e9)));
+    let bandwidth = match flags.get("bandwidth") {
+        Some(b) => BitsPerSec::new(b.parse().unwrap_or_else(|_| usage())),
+        None => BitsPerSec::new(f64::INFINITY), // shared memory default
+    };
+    let replication = num(flags, "replication", Some(0.5));
+    let max_n = num(flags, "max-n", Some(80.0)) as usize;
+
+    // Degree sequence from the calibrated Zipf weights (rounded), as the
+    // generator would realise it — no need to materialise the graph.
+    let (weights, gamma) = zipf_weights(v as usize, d_max, 2.0 * e);
+    let degrees: Vec<u32> = weights.iter().map(|&w| w.round().max(1.0) as u32).collect();
+    println!(
+        "degree model: Zipf gamma = {gamma:.3}, hub degree ~{d_max:.0}, avg {:.1}\n",
+        2.0 * e / v
+    );
+    let mut rng = StdRng::seed_from_u64(0xC11);
+    let loads: Vec<f64> = (1..=max_n)
+        .map(|n| max_edges_monte_carlo(&degrees, n, 3, &mut rng))
+        .collect();
+    let model = GraphInferenceModel {
+        vertices: v,
+        edges: e,
+        states,
+        cost_per_edge: bp_cost_per_edge(states),
+        flops,
+        bandwidth,
+        replication,
+        edge_load: EdgeLoad::PerWorkerMax(loads),
+    };
+    let curve = model.curve(1..=max_n);
+    println!("{}", curve.to_table());
+    let (n_opt, s_opt) = curve.optimal();
+    println!("optimal workers: {n_opt} (speedup {s_opt:.2}x)");
+}
+
+fn cmd_plan(flags: &HashMap<String, String>) {
+    let model = gd_model(flags);
+    let iterations = num(flags, "iterations", Some(1000.0));
+    let price = num(flags, "price", Some(1.0));
+    let max_n = num(flags, "max-n", Some(64.0)) as usize;
+    let planner = Planner::new(
+        move |n| model.strong_iteration_time(n) * iterations,
+        max_n,
+        Pricing::hourly(price),
+    );
+    let fastest = planner.fastest();
+    let cheapest = planner.cheapest();
+    println!(
+        "fastest:  n = {:>3}, time {:>10.1} s, cost {:>10.2}",
+        fastest.n,
+        fastest.time.as_secs(),
+        fastest.cost
+    );
+    println!(
+        "cheapest: n = {:>3}, time {:>10.1} s, cost {:>10.2}",
+        cheapest.n,
+        cheapest.time.as_secs(),
+        cheapest.cost
+    );
+    if let Some(deadline) = flags.get("deadline") {
+        let deadline = Seconds::new(deadline.parse().unwrap_or_else(|_| usage()));
+        match planner.cheapest_within_deadline(deadline) {
+            Some(p) => println!(
+                "cheapest within {:.0} s deadline: n = {}, time {:.1} s, cost {:.2}",
+                deadline.as_secs(),
+                p.n,
+                p.time.as_secs(),
+                p.cost
+            ),
+            None => println!(
+                "no configuration up to n = {max_n} meets the {:.0} s deadline — \
+                 the estimate prevented a doomed deployment",
+                deadline.as_secs()
+            ),
+        }
+    }
+    if let Some(budget) = flags.get("budget") {
+        let budget: f64 = budget.parse().unwrap_or_else(|_| usage());
+        match planner.fastest_within_budget(budget) {
+            Some(p) => println!(
+                "fastest within budget {budget:.2}: n = {}, time {:.1} s, cost {:.2}",
+                p.n,
+                p.time.as_secs(),
+                p.cost
+            ),
+            None => println!("even one node exceeds the budget of {budget:.2}"),
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else { usage() };
+    let flags = parse_flags(rest);
+    match command.as_str() {
+        "gd" => cmd_gd(&flags),
+        "bp" => cmd_bp(&flags),
+        "plan" => cmd_plan(&flags),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,170 @@
+//! Cross-crate agreement tests: with overheads disabled, the discrete-event
+//! simulator must land close to the closed-form models — they describe the
+//! same schedules. These tests pin the relationship between `mlscale-core`
+//! (formulas) and `mlscale-sim` (event-level execution).
+
+use mlscale::model::hardware::{presets, ClusterSpec, LinkSpec, NodeSpec};
+use mlscale::model::metrics::Comparison;
+use mlscale::model::models::gd::{GdComm, GradientDescentModel};
+use mlscale::model::units::{BitsPerSec, FlopCount, FlopsRate, Seconds};
+use mlscale::sim::bsp::{simulate, BspConfig, BspProgram, CommPhase, SuperstepSpec};
+use mlscale::sim::collectives::{BroadcastKind, ReduceKind};
+use mlscale::sim::overhead::OverheadModel;
+use mlscale::workloads::gd::GdWorkload;
+
+fn test_cluster() -> ClusterSpec {
+    ClusterSpec::new(
+        NodeSpec::new(FlopsRate::giga(50.0), 1.0),
+        LinkSpec::bandwidth_only(BitsPerSec::giga(1.0)),
+    )
+}
+
+#[test]
+fn pure_compute_simulation_is_exact() {
+    let config = BspConfig {
+        cluster: test_cluster(),
+        overhead: OverheadModel::None,
+        seed: 3,
+    };
+    for n in [1usize, 2, 5, 16] {
+        let program = BspProgram {
+            supersteps: vec![SuperstepSpec::even(1e12, n, CommPhase::None)],
+            iterations: 2,
+        };
+        let simulated = simulate(&program, &config, n).mean_iteration();
+        let analytic = 1e12 / 50e9 / n as f64;
+        assert!(
+            (simulated.as_secs() - analytic).abs() / analytic < 1e-9,
+            "n={n}: {simulated} vs {analytic}"
+        );
+    }
+}
+
+#[test]
+fn tree_exchange_simulation_within_discretisation_of_model() {
+    // The model charges log₂(n) rounds; the binomial-tree schedule needs
+    // ⌈log₂(n+1)⌉ rounds for n workers + master. On powers of two minus
+    // one they coincide; elsewhere they differ by at most one round each
+    // way.
+    let volume = 1e9; // 1 s per transfer at 1 Gbit/s
+    let config = BspConfig {
+        cluster: test_cluster(),
+        overhead: OverheadModel::None,
+        seed: 3,
+    };
+    for n in [3usize, 7, 15, 31] {
+        let program = BspProgram {
+            supersteps: vec![SuperstepSpec {
+                loads: vec![0.0; n],
+                comm: CommPhase::GradientExchange {
+                    bits: volume,
+                    broadcast: BroadcastKind::Tree,
+                    reduce: ReduceKind::Tree,
+                },
+            }],
+            iterations: 1,
+        };
+        let simulated = simulate(&program, &config, n).mean_iteration().as_secs();
+        let model = 2.0 * (n as f64).log2(); // two tree stages
+        assert!(
+            (simulated - model).abs() <= 2.0 + 1e-9,
+            "n={n}: simulated {simulated:.2} vs model {model:.2}"
+        );
+    }
+}
+
+#[test]
+fn fig2_workload_ideal_sim_tracks_model() {
+    let workload = GdWorkload::ideal(GradientDescentModel {
+        cost_per_example: FlopCount::new(6.0 * 12e6),
+        batch_size: 60_000.0,
+        params: 12e6,
+        bits_per_param: 64,
+        cluster: presets::spark_cluster(),
+        comm: GdComm::Spark,
+    });
+    let ns: Vec<usize> = (1..=16).collect();
+    let (model, sim) = workload.strong_curves(&ns);
+    let cmp = Comparison::join(&model.speedups(), &sim.speedups());
+    assert!(
+        cmp.mape() < 20.0,
+        "overhead-free simulation should track the model: MAPE {:.1}%",
+        cmp.mape()
+    );
+    // Identical single-node times: no communication, no overhead.
+    let m1 = model.time_at(1).unwrap();
+    let s1 = sim.time_at(1).unwrap();
+    assert!((m1 / s1 - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn overhead_only_slows_things_down() {
+    let base = GdWorkload::ideal(GradientDescentModel {
+        cost_per_example: FlopCount::new(1e7),
+        batch_size: 10_000.0,
+        params: 1e6,
+        bits_per_param: 32,
+        cluster: test_cluster(),
+        comm: GdComm::TwoStageTree,
+    });
+    let with_overhead = GdWorkload {
+        overhead: OverheadModel::Exponential { mean: 0.05 },
+        ..base
+    };
+    for n in [1usize, 4, 9] {
+        assert!(
+            with_overhead.simulate_strong(n) > base.simulate_strong(n),
+            "overhead must increase the simulated time at n={n}"
+        );
+    }
+}
+
+#[test]
+fn simulated_times_respect_bandwidth_lower_bound() {
+    // No schedule can beat volume/bandwidth for the gradient push of the
+    // final reducer into the master.
+    let volume = 2e9;
+    let config = BspConfig {
+        cluster: test_cluster(),
+        overhead: OverheadModel::None,
+        seed: 1,
+    };
+    for (bk, rk) in [
+        (BroadcastKind::Flat, ReduceKind::Flat),
+        (BroadcastKind::Tree, ReduceKind::Tree),
+        (BroadcastKind::Torrent, ReduceKind::TwoWave),
+    ] {
+        let program = BspProgram {
+            supersteps: vec![SuperstepSpec {
+                loads: vec![0.0; 8],
+                comm: CommPhase::GradientExchange { bits: volume, broadcast: bk, reduce: rk },
+            }],
+            iterations: 1,
+        };
+        let t = simulate(&program, &config, 8).mean_iteration();
+        assert!(
+            t >= Seconds::new(2.0 * volume / 1e9 - 1e-9),
+            "reduce+broadcast cannot beat 2·volume/bandwidth: {t}"
+        );
+    }
+}
+
+#[test]
+fn shared_memory_removes_communication_entirely() {
+    let config = BspConfig {
+        cluster: presets::dl980(),
+        overhead: OverheadModel::None,
+        seed: 5,
+    };
+    let f = config.cluster.flops().get();
+    let n = 8;
+    let program = BspProgram {
+        supersteps: vec![SuperstepSpec {
+            loads: vec![f / n as f64; n], // 1/n s of compute each
+            comm: CommPhase::SharedMedium { total_bits: 1e18 },
+        }],
+        iterations: 1,
+    };
+    let t = simulate(&program, &config, n).mean_iteration();
+    assert!((t.as_secs() - 1.0 / n as f64).abs() < 1e-9);
+}

@@ -1,0 +1,130 @@
+//! Integration tests running every paper-exhibit reproduction end to end
+//! (at CI-friendly scales) and asserting the paper's headline claims:
+//! Table I magnitudes, the Fig 1 optimum at 14, the Fig 2 optimum at 9
+//! with an in-band MAPE, Fig 3's close match and monotone weak scaling,
+//! and Fig 4's conservative-then-overhead-dominated shape.
+
+use mlscale::workloads::experiments::{ablations, fig1, fig2, fig3, fig4, table1, DnsScale};
+use mlscale::workloads::ExperimentResult;
+
+fn stat(result: &ExperimentResult, label: &str) -> f64 {
+    result
+        .stats
+        .iter()
+        .find(|s| s.label == label)
+        .unwrap_or_else(|| panic!("stat {label:?} missing from {}", result.id))
+        .value
+}
+
+#[test]
+fn table1_reproduces_both_rows() {
+    let r = table1();
+    assert_eq!(stat(&r, "FC (MNIST) parameters"), 11_972_510.0);
+    let fc_comp = stat(&r, "FC (MNIST) computations (2 ops/weight)");
+    assert!((fc_comp - 24e6).abs() / 24e6 < 0.01);
+    let inc_params = stat(&r, "Inception v3 parameters");
+    assert!((22e6..26e6).contains(&inc_params));
+    let inc_madds = stat(&r, "Inception v3 computations (madds)");
+    assert!((4.5e9..6.5e9).contains(&inc_madds));
+}
+
+#[test]
+fn fig1_example_peaks_at_fourteen() {
+    let r = fig1();
+    assert_eq!(stat(&r, "optimal n"), 14.0);
+    // Speedup at the peak must beat any extreme of the sampled range.
+    let speedup = r.series("speedup").expect("series");
+    let peak = speedup.at(14).unwrap();
+    assert!(peak > speedup.at(1).unwrap());
+    assert!(peak > speedup.at(32).unwrap());
+}
+
+#[test]
+fn fig2_optimum_and_mape_in_band() {
+    let r = fig2(13);
+    assert_eq!(stat(&r, "optimal n (model, n<=13)"), 9.0, "paper: nine workers");
+    let mape = stat(&r, "MAPE %");
+    assert!(
+        mape < 30.0,
+        "model-vs-simulated MAPE {mape:.1}% out of the paper's error band"
+    );
+    // Both curves show genuine speedup.
+    assert!(stat(&r, "peak speedup (model)") > 3.0);
+    assert!(stat(&r, "peak speedup (simulated)") > 3.0);
+}
+
+#[test]
+fn fig3_weak_scaling_close_match() {
+    let r = fig3();
+    let mape = stat(&r, "MAPE %");
+    assert!(mape < 8.0, "Fig 3 regime is a close match; got {mape:.1}%");
+    let model = r.series("model").expect("series");
+    // Rebased at 50 and monotone.
+    assert!((model.at(50).unwrap() - 1.0).abs() < 1e-9);
+    let values: Vec<f64> = model.points.iter().map(|&(_, v)| v).collect();
+    assert!(values.windows(2).all(|w| w[1] > w[0]));
+    // Doubling 50 → 100 buys well over 1.5x per-instance speedup.
+    assert!(model.at(100).unwrap() > 1.5);
+}
+
+#[test]
+fn fig4_tiny_shape_and_band() {
+    let ns = [1usize, 2, 4, 8, 16, 32, 64, 80];
+    let r = fig4(DnsScale::Tiny, &ns);
+    let mape = stat(&r, "MAPE %");
+    // The paper's own model error is 19.6–26 % across scales; accept a
+    // comparable band for the simulated reproduction.
+    assert!(mape < 40.0, "MAPE {mape:.1}% far out of band");
+    let model = r.series("model").expect("model series");
+    let sim = r.series("simulated").expect("sim series");
+    // Both scale well initially.
+    assert!(model.at(8).unwrap() > 3.0);
+    assert!(sim.at(8).unwrap() > 3.0);
+    // The model keeps rising while the simulated run is overhead-capped:
+    // at the largest n the model exceeds the simulation.
+    assert!(model.at(80).unwrap() > sim.at(80).unwrap());
+    // And the simulated curve flattens: its 80-worker point is no better
+    // than 1.2x its 32-worker point.
+    assert!(sim.at(80).unwrap() < 1.2 * sim.at(32).unwrap());
+}
+
+#[test]
+fn fig4_larger_graph_scales_further() {
+    // The overhead crossover moves outward with graph size — the reason
+    // the paper's 16M-vertex run still scaled at 80 cores while the small
+    // graphs bent much earlier.
+    let ns = [1usize, 4, 16, 48, 80];
+    let tiny = fig4(DnsScale::Tiny, &ns);
+    let small = fig4(DnsScale::Small, &ns);
+    let s_tiny = tiny.series("simulated").unwrap().at(80).unwrap();
+    let s_small = small.series("simulated").unwrap().at(80).unwrap();
+    assert!(
+        s_small > s_tiny,
+        "10x more edges must push the overhead crossover outward: {s_small} vs {s_tiny}"
+    );
+}
+
+#[test]
+fn ablation_results_serialise() {
+    let r = ablations::comm_architectures(16);
+    let json = serde_json::to_string(&r).expect("serialise");
+    let back: ExperimentResult = serde_json::from_str(&json).expect("deserialise");
+    // serde_json round-trips floats to within one ULP of the shortest
+    // representation, so compare structurally with a tolerance.
+    assert_eq!(r.id, back.id);
+    assert_eq!(r.title, back.title);
+    assert_eq!(r.notes, back.notes);
+    assert_eq!(r.series.len(), back.series.len());
+    for (a, b) in r.series.iter().zip(&back.series) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.points.len(), b.points.len());
+        for (&(n1, v1), &(n2, v2)) in a.points.iter().zip(&b.points) {
+            assert_eq!(n1, n2);
+            assert!((v1 - v2).abs() <= 1e-12 * v1.abs().max(1.0));
+        }
+    }
+    for (a, b) in r.stats.iter().zip(&back.stats) {
+        assert_eq!(a.label, b.label);
+        assert!((a.value - b.value).abs() <= 1e-12 * a.value.abs().max(1.0));
+    }
+}
