@@ -9,10 +9,10 @@ use mlscale_core::models::graphinf::max_edges_monte_carlo;
 use mlscale_core::units::FlopsRate;
 use mlscale_graph::generators::{dns_like, DnsGraphSpec};
 use mlscale_graph::partition::{Partition, PartitionStats};
+use mlscale_sim::overhead::OverheadModel;
 use mlscale_workloads::bp::BpWorkload;
 use mlscale_workloads::experiments::figures::{fig2_model, fig3_model};
 use mlscale_workloads::gd::GdWorkload;
-use mlscale_sim::overhead::OverheadModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -50,7 +50,10 @@ fn bench_fig2(c: &mut Criterion) {
     });
     let workload = GdWorkload {
         model,
-        overhead: OverheadModel::ConstantPlusJitter { seconds: 0.3, jitter_mean: 0.3 },
+        overhead: OverheadModel::ConstantPlusJitter {
+            seconds: 0.3,
+            jitter_mean: 0.3,
+        },
         iterations: 5,
         seed: 2017,
     };
@@ -77,7 +80,11 @@ fn bench_fig4(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4");
     g.sample_size(10);
     let mut rng = StdRng::seed_from_u64(7);
-    let spec = DnsGraphSpec { vertices: 16_259, edges: 99_854, max_degree: 1_750 };
+    let spec = DnsGraphSpec {
+        vertices: 16_259,
+        edges: 99_854,
+        max_degree: 1_750,
+    };
     let graph = dns_like(spec, &mut rng);
     let degrees = graph.degree_sequence();
     g.bench_function("graph_generation_16k", |b| {

@@ -20,7 +20,14 @@ fn bench_bp_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("bp_engine");
     let graph = grid2d(60, 60);
     let edges = graph.edges();
-    let mrf = PairwiseMrf::uniform(graph, 2, PairwisePotential::Potts { same: 1.5, diff: 0.7 });
+    let mrf = PairwiseMrf::uniform(
+        graph,
+        2,
+        PairwisePotential::Potts {
+            same: 1.5,
+            diff: 0.7,
+        },
+    );
     g.throughput(Throughput::Elements(edges));
     g.bench_function("sync_iteration_grid_60x60_s2", |b| {
         let mut bp = BeliefPropagation::new(&mrf);
@@ -28,7 +35,14 @@ fn bench_bp_engine(c: &mut Criterion) {
     });
     let graph5 = grid2d(30, 30);
     let edges5 = graph5.edges();
-    let mrf5 = PairwiseMrf::uniform(graph5, 5, PairwisePotential::Potts { same: 1.5, diff: 0.7 });
+    let mrf5 = PairwiseMrf::uniform(
+        graph5,
+        5,
+        PairwisePotential::Potts {
+            same: 1.5,
+            diff: 0.7,
+        },
+    );
     g.throughput(Throughput::Elements(edges5));
     g.bench_function("sync_iteration_grid_30x30_s5", |b| {
         let mut bp = BeliefPropagation::new(&mrf5);
@@ -65,7 +79,12 @@ fn bench_collectives(c: &mut Criterion) {
         g.bench_function(format!("tree_broadcast_n{n}"), |b| {
             b.iter(|| {
                 let mut cluster = SimCluster::new(spec, n);
-                black_box(broadcast(&mut cluster, BroadcastKind::Tree, 1e9, Seconds::zero()))
+                black_box(broadcast(
+                    &mut cluster,
+                    BroadcastKind::Tree,
+                    1e9,
+                    Seconds::zero(),
+                ))
             })
         });
         g.bench_function(format!("two_wave_reduce_n{n}"), |b| {
@@ -91,7 +110,9 @@ fn bench_graph_infra(c: &mut Criterion) {
     let weights: Vec<f64> = (1..=100_000).map(|i| 1.0 / i as f64).collect();
     let table = AliasTable::new(&weights);
     g.throughput(Throughput::Elements(1));
-    g.bench_function("alias_sample", |b| b.iter(|| black_box(table.sample(&mut rng))));
+    g.bench_function("alias_sample", |b| {
+        b.iter(|| black_box(table.sample(&mut rng)))
+    });
     g.finish();
 }
 

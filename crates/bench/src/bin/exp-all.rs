@@ -2,7 +2,9 @@
 //! and writes all JSON results under `results/`. This regenerates the
 //! numbers recorded in EXPERIMENTS.md.
 
-use mlscale_workloads::experiments::{ablations, extensions, fig1, fig2, fig3, fig4, table1, DnsScale};
+use mlscale_workloads::experiments::{
+    ablations, extensions, fig1, fig2, fig3, fig4, table1, DnsScale,
+};
 
 fn main() {
     mlscale_bench::emit(&table1());
@@ -31,13 +33,18 @@ fn main() {
     mlscale_bench::emit(&extensions::inference_costs(16));
     mlscale_bench::emit(&extensions::zoo_scalability(64, 4096.0));
     mlscale_bench::emit(&extensions::provisioning(1000.0, 2.0));
-    mlscale_bench::emit(&mlscale_workloads::experiments::convergence::convergence_tradeoff(
-        &convergence_model(),
-        &[1, 2, 4, 8, 16],
-        16,
-        7,
-    ));
-    eprintln!("all results written to {}", mlscale_bench::results_dir().display());
+    mlscale_bench::emit(
+        &mlscale_workloads::experiments::convergence::convergence_tradeoff(
+            &convergence_model(),
+            &[1, 2, 4, 8, 16],
+            16,
+            7,
+        ),
+    );
+    eprintln!(
+        "all results written to {}",
+        mlscale_bench::results_dir().display()
+    );
 }
 
 /// Convergence-experiment model: compute-heavy enough that weak-scaling

@@ -9,12 +9,14 @@ fn main() {
     mlscale_bench::emit(&extensions::inference_costs(16));
     mlscale_bench::emit(&extensions::zoo_scalability(64, 4096.0));
     mlscale_bench::emit(&extensions::provisioning(1000.0, 2.0));
-    mlscale_bench::emit(&mlscale_workloads::experiments::convergence::convergence_tradeoff(
-        &convergence_model(),
-        &[1, 2, 4, 8, 16],
-        16,
-        7,
-    ));
+    mlscale_bench::emit(
+        &mlscale_workloads::experiments::convergence::convergence_tradeoff(
+            &convergence_model(),
+            &[1, 2, 4, 8, 16],
+            16,
+            7,
+        ),
+    );
 }
 
 /// Convergence-experiment model: compute-heavy enough that weak-scaling

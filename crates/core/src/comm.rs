@@ -393,13 +393,34 @@ mod tests {
     fn all_models_zero_at_one_worker() {
         let models: Vec<Box<dyn CommModel>> = vec![
             Box::new(NoComm),
-            Box::new(Linear { volume: vol(), bandwidth: bw() }),
-            Box::new(LogTree { volume: vol(), bandwidth: bw() }),
-            Box::new(TorrentBroadcast { volume: vol(), bandwidth: bw() }),
-            Box::new(TwoWaveAggregation { volume: vol(), bandwidth: bw() }),
-            Box::new(SparkGradientExchange { volume: vol(), bandwidth: bw() }),
-            Box::new(TwoStageTreeExchange { volume: vol(), bandwidth: bw() }),
-            Box::new(RingAllReduce { volume: vol(), bandwidth: bw() }),
+            Box::new(Linear {
+                volume: vol(),
+                bandwidth: bw(),
+            }),
+            Box::new(LogTree {
+                volume: vol(),
+                bandwidth: bw(),
+            }),
+            Box::new(TorrentBroadcast {
+                volume: vol(),
+                bandwidth: bw(),
+            }),
+            Box::new(TwoWaveAggregation {
+                volume: vol(),
+                bandwidth: bw(),
+            }),
+            Box::new(SparkGradientExchange {
+                volume: vol(),
+                bandwidth: bw(),
+            }),
+            Box::new(TwoStageTreeExchange {
+                volume: vol(),
+                bandwidth: bw(),
+            }),
+            Box::new(RingAllReduce {
+                volume: vol(),
+                bandwidth: bw(),
+            }),
         ];
         for m in &models {
             assert!(m.time(1).is_zero(), "{} must be zero at n=1", m.name());
@@ -408,7 +429,10 @@ mod tests {
 
     #[test]
     fn linear_grows_linearly() {
-        let m = Linear { volume: vol(), bandwidth: bw() };
+        let m = Linear {
+            volume: vol(),
+            bandwidth: bw(),
+        };
         let t4 = m.time(4).as_secs();
         let t8 = m.time(8).as_secs();
         assert!((t8 / t4 - 2.0).abs() < 1e-12);
@@ -416,14 +440,20 @@ mod tests {
 
     #[test]
     fn logtree_grows_logarithmically() {
-        let m = LogTree { volume: vol(), bandwidth: bw() };
+        let m = LogTree {
+            volume: vol(),
+            bandwidth: bw(),
+        };
         // log2(4)=2, log2(16)=4.
         assert!((m.time(16).as_secs() / m.time(4).as_secs() - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn two_wave_uses_ceil_sqrt() {
-        let m = TwoWaveAggregation { volume: vol(), bandwidth: bw() };
+        let m = TwoWaveAggregation {
+            volume: vol(),
+            bandwidth: bw(),
+        };
         let unit = (vol() / bw()).as_secs();
         // n=9: ceil(sqrt(9)) = 3, so t = 2·3·unit.
         assert!((m.time(9).as_secs() - 6.0 * unit).abs() < 1e-9);
@@ -436,7 +466,10 @@ mod tests {
         // Paper Fig 2: t_cm = (64·W/B)·log(n) + 2·(64·W/B)·⌈√n⌉.
         let w = 12e6;
         let volume = Bits::params(w, 64);
-        let m = SparkGradientExchange { volume, bandwidth: bw() };
+        let m = SparkGradientExchange {
+            volume,
+            bandwidth: bw(),
+        };
         let n = 9usize;
         let unit = 64.0 * w / 1e9;
         let expected = unit * (n as f64).log2() + 2.0 * unit * 3.0;
@@ -447,7 +480,10 @@ mod tests {
     fn two_stage_tree_matches_paper_formula() {
         // Paper Section IV-A: t_cm = 2·(32·W/B)·log(n).
         let w = 25e6;
-        let m = TwoStageTreeExchange { volume: Bits::params(w, 32), bandwidth: bw() };
+        let m = TwoStageTreeExchange {
+            volume: Bits::params(w, 32),
+            bandwidth: bw(),
+        };
         let n = 32usize;
         let expected = 2.0 * (32.0 * w / 1e9) * (n as f64).log2();
         assert!((m.time(n).as_secs() - expected).abs() < 1e-9);
@@ -455,7 +491,10 @@ mod tests {
 
     #[test]
     fn ring_all_reduce_approaches_2x_volume() {
-        let m = RingAllReduce { volume: vol(), bandwidth: bw() };
+        let m = RingAllReduce {
+            volume: vol(),
+            bandwidth: bw(),
+        };
         let unit = (vol() / bw()).as_secs();
         let t = m.time(1000).as_secs();
         assert!((t - 2.0 * unit).abs() / (2.0 * unit) < 0.01);
@@ -464,10 +503,24 @@ mod tests {
     #[test]
     fn composite_sums_phases() {
         let c = Composite::new()
-            .with(LogTree { volume: vol(), bandwidth: bw() })
-            .with(TwoWaveAggregation { volume: vol(), bandwidth: bw() });
-        let expected = LogTree { volume: vol(), bandwidth: bw() }.time(8)
-            + TwoWaveAggregation { volume: vol(), bandwidth: bw() }.time(8);
+            .with(LogTree {
+                volume: vol(),
+                bandwidth: bw(),
+            })
+            .with(TwoWaveAggregation {
+                volume: vol(),
+                bandwidth: bw(),
+            });
+        let expected = LogTree {
+            volume: vol(),
+            bandwidth: bw(),
+        }
+        .time(8)
+            + TwoWaveAggregation {
+                volume: vol(),
+                bandwidth: bw(),
+            }
+            .time(8);
         assert_eq!(c.time(8), expected);
         assert_eq!(c.len(), 2);
         assert!(!c.is_empty());
@@ -475,7 +528,10 @@ mod tests {
 
     #[test]
     fn scaled_multiplies() {
-        let inner = LogTree { volume: vol(), bandwidth: bw() };
+        let inner = LogTree {
+            volume: vol(),
+            bandwidth: bw(),
+        };
         let s = Scaled { inner, factor: 3.0 };
         assert!((s.time(8).as_secs() - 3.0 * inner.time(8).as_secs()).abs() < 1e-12);
     }
@@ -494,7 +550,10 @@ mod tests {
             volume: vol(),
             bandwidth: bw(),
         };
-        let pure = LogTree { volume: vol(), bandwidth: bw() };
+        let pure = LogTree {
+            volume: vol(),
+            bandwidth: bw(),
+        };
         let n = 16usize;
         let expected = pure.time(n).as_secs() + 0.001 * (n as f64).log2();
         assert!((m.time(n).as_secs() - expected).abs() < 1e-12);
@@ -509,15 +568,27 @@ mod tests {
             bandwidth: bw(),
         };
         let t = m.time(8).as_secs();
-        assert!((t - 0.003).abs() < 1e-6, "3 rounds of ~1 ms latency, got {t}");
+        assert!(
+            (t - 0.003).abs() < 1e-6,
+            "3 rounds of ~1 ms latency, got {t}"
+        );
     }
 
     #[test]
     fn tree_beats_linear_for_large_n() {
-        let lin = Linear { volume: vol(), bandwidth: bw() };
-        let tree = LogTree { volume: vol(), bandwidth: bw() };
+        let lin = Linear {
+            volume: vol(),
+            bandwidth: bw(),
+        };
+        let tree = LogTree {
+            volume: vol(),
+            bandwidth: bw(),
+        };
         for n in [4usize, 16, 64, 256] {
-            assert!(tree.time(n) < lin.time(n), "tree should beat linear at n={n}");
+            assert!(
+                tree.time(n) < lin.time(n),
+                "tree should beat linear at n={n}"
+            );
         }
     }
 }

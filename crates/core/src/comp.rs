@@ -93,7 +93,10 @@ pub struct AmdahlFraction {
 impl AmdahlFraction {
     /// Creates the model, validating the serial fraction.
     pub fn new(work: FlopCount, rate: FlopsRate, serial: f64) -> Self {
-        assert!((0.0..=1.0).contains(&serial), "serial fraction must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&serial),
+            "serial fraction must be in [0,1]"
+        );
         Self { work, rate, serial }
     }
 
@@ -196,7 +199,10 @@ mod tests {
 
     #[test]
     fn perfectly_parallel_halves_with_double_workers() {
-        let m = PerfectlyParallel { work: work(), rate: rate() };
+        let m = PerfectlyParallel {
+            work: work(),
+            rate: rate(),
+        };
         assert!((m.time(1).as_secs() - 10.0).abs() < 1e-12);
         assert!((m.time(2).as_secs() - 5.0).abs() < 1e-12);
         assert!((m.time(10).as_secs() - 1.0).abs() < 1e-12);
@@ -219,7 +225,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "no load recorded")]
     fn max_load_panics_out_of_range() {
-        let m = MaxLoad { max_load_per_n: vec![FlopCount::giga(1.0)], rate: rate() };
+        let m = MaxLoad {
+            max_load_per_n: vec![FlopCount::giga(1.0)],
+            rate: rate(),
+        };
         let _ = m.time(2);
     }
 
@@ -235,7 +244,10 @@ mod tests {
     #[test]
     fn amdahl_zero_serial_is_perfectly_parallel() {
         let a = AmdahlFraction::new(work(), rate(), 0.0);
-        let p = PerfectlyParallel { work: work(), rate: rate() };
+        let p = PerfectlyParallel {
+            work: work(),
+            rate: rate(),
+        };
         for n in [1usize, 2, 7, 64] {
             assert!((a.time(n).as_secs() - p.time(n).as_secs()).abs() < 1e-12);
         }

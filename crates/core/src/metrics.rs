@@ -111,17 +111,18 @@ impl Comparison {
             reference.push(r);
         }
         assert!(!ns.is_empty(), "comparison needs at least one row");
-        Self { ns, predicted, reference }
+        Self {
+            ns,
+            predicted,
+            reference,
+        }
     }
 
     /// Joins two speedup series on their common worker counts.
     ///
     /// # Panics
     /// Panics when the series share no worker count.
-    pub fn join(
-        predicted: &[(usize, f64)],
-        reference: &[(usize, f64)],
-    ) -> Self {
+    pub fn join(predicted: &[(usize, f64)], reference: &[(usize, f64)]) -> Self {
         let rows: Vec<(usize, f64, f64)> = predicted
             .iter()
             .filter_map(|&(n, p)| {
@@ -159,7 +160,11 @@ impl Comparison {
     pub fn to_table(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "{:>6} {:>12} {:>12} {:>9}", "n", "model", "measured", "APE%");
+        let _ = writeln!(
+            out,
+            "{:>6} {:>12} {:>12} {:>9}",
+            "n", "model", "measured", "APE%"
+        );
         for ((&n, &p), &r) in self.ns.iter().zip(&self.predicted).zip(&self.reference) {
             let ape = 100.0 * ((p - r) / r).abs();
             let _ = writeln!(out, "{n:>6} {p:>12.4} {r:>12.4} {ape:>9.2}");

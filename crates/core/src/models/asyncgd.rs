@@ -96,11 +96,11 @@ mod tests {
 
     fn model() -> AsyncGdModel {
         AsyncGdModel {
-            grad_work: FlopCount::giga(1.0),        // 1 s at 1 Gflop/s
+            grad_work: FlopCount::giga(1.0), // 1 s at 1 Gflop/s
             worker_flops: FlopsRate::giga(1.0),
             server_flops: FlopsRate::giga(1.0),
-            apply_work: FlopCount::new(1e6),        // 1 ms apply
-            payload: Bits::mega(100.0),             // 0.01 s per transfer
+            apply_work: FlopCount::new(1e6), // 1 ms apply
+            payload: Bits::mega(100.0),      // 0.01 s per transfer
             bandwidth: BitsPerSec::giga(10.0),
         }
     }
@@ -117,7 +117,10 @@ mod tests {
         let m = model();
         let t1 = m.throughput(1);
         let t4 = m.throughput(4);
-        assert!((t4 / t1 - 4.0).abs() < 1e-9, "pre-saturation scaling is linear");
+        assert!(
+            (t4 / t1 - 4.0).abs() < 1e-9,
+            "pre-saturation scaling is linear"
+        );
     }
 
     #[test]
@@ -143,10 +146,7 @@ mod tests {
         let m = model();
         for n in [1usize, 2, 8, 32] {
             let s = m.expected_staleness(n);
-            assert!(
-                (s - (n as f64 - 1.0)).abs() < 1e-6,
-                "n={n}: staleness {s}"
-            );
+            assert!((s - (n as f64 - 1.0)).abs() < 1e-6, "n={n}: staleness {s}");
         }
     }
 
@@ -155,7 +155,10 @@ mod tests {
         let m = model();
         let at_sat = m.expected_staleness(m.saturation_point());
         let beyond = m.expected_staleness(m.saturation_point() * 4);
-        assert!((beyond - at_sat).abs() < 1.0, "staleness stops growing usefully");
+        assert!(
+            (beyond - at_sat).abs() < 1.0,
+            "staleness stops growing usefully"
+        );
     }
 
     #[test]
@@ -166,7 +169,10 @@ mod tests {
     #[test]
     fn heavier_payload_saturates_earlier() {
         let light = model();
-        let heavy = AsyncGdModel { payload: Bits::giga(2.0), ..model() };
+        let heavy = AsyncGdModel {
+            payload: Bits::giga(2.0),
+            ..model()
+        };
         assert!(heavy.saturation_point() < light.saturation_point());
     }
 }

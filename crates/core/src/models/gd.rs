@@ -15,7 +15,9 @@
 //! number of parameters, `F` effective FLOPS per node and `B` the link
 //! bandwidth.
 
-use crate::comm::{CommModel, Linear, NoComm, RingAllReduce, SparkGradientExchange, TwoStageTreeExchange};
+use crate::comm::{
+    CommModel, Linear, NoComm, RingAllReduce, SparkGradientExchange, TwoStageTreeExchange,
+};
 use crate::hardware::ClusterSpec;
 use crate::speedup::SpeedupCurve;
 use crate::units::{Bits, FlopCount, Seconds};
@@ -187,7 +189,10 @@ mod tests {
         let curve = fig2_model().strong_curve(1..=13);
         let (n_opt, s_opt) = curve.optimal();
         assert_eq!(n_opt, 9, "expected optimum at 9 workers (s={s_opt:.3})");
-        assert!(s_opt > 3.5 && s_opt < 4.5, "paper's peak speedup is ≈4, got {s_opt:.3}");
+        assert!(
+            s_opt > 3.5 && s_opt < 4.5,
+            "paper's peak speedup is ≈4, got {s_opt:.3}"
+        );
     }
 
     #[test]
@@ -195,7 +200,10 @@ mod tests {
         let curve = fig2_model().strong_curve(1..=32);
         let s9 = curve.speedup_at(9).unwrap();
         let (_, s_opt) = curve.optimal();
-        assert!(s_opt <= 1.1 * s9, "nothing beats 9 workers by more than 10 %");
+        assert!(
+            s_opt <= 1.1 * s9,
+            "nothing beats 9 workers by more than 10 %"
+        );
     }
 
     #[test]
@@ -217,7 +225,10 @@ mod tests {
         let mut prev = f64::INFINITY;
         for n in 2..=256 {
             let t = m.weak_per_instance_time(n).as_secs();
-            assert!(t < prev, "per-instance time must strictly decrease at n={n}");
+            assert!(
+                t < prev,
+                "per-instance time must strictly decrease at n={n}"
+            );
             prev = t;
         }
     }
@@ -226,7 +237,10 @@ mod tests {
     fn linear_comm_weak_scaling_saturates() {
         // "The linear communication model allows only finite scaling: after
         // enough workers added, the speedup remains constant."
-        let m = GradientDescentModel { comm: GdComm::LinearFlat, ..fig3_model() };
+        let m = GradientDescentModel {
+            comm: GdComm::LinearFlat,
+            ..fig3_model()
+        };
         let t64 = m.weak_per_instance_time(64).as_secs();
         let t128 = m.weak_per_instance_time(128).as_secs();
         let t4096 = m.weak_per_instance_time(4096).as_secs();
@@ -235,7 +249,10 @@ mod tests {
         let drop_small = t64 / t128;
         let drop_large = t128 / t4096;
         assert!(drop_small < 2.0, "already saturating");
-        assert!(drop_large < 1.2, "fully saturated at large n, got {drop_large}");
+        assert!(
+            drop_large < 1.2,
+            "fully saturated at large n, got {drop_large}"
+        );
     }
 
     #[test]
@@ -250,7 +267,9 @@ mod tests {
     #[test]
     fn comm_dominance_onset_exists_for_fig2() {
         let m = fig2_model();
-        let onset = m.comm_dominance_onset(64).expect("comm must dominate eventually");
+        let onset = m
+            .comm_dominance_onset(64)
+            .expect("comm must dominate eventually");
         assert!(onset > 1);
         // Before the onset computation dominates.
         assert!(m.strong_comp_time(onset - 1) >= m.comm_time(onset - 1));
@@ -259,7 +278,10 @@ mod tests {
     #[test]
     fn ring_comm_beats_tree_for_large_n() {
         let tree = fig3_model();
-        let ring = GradientDescentModel { comm: GdComm::Ring, ..fig3_model() };
+        let ring = GradientDescentModel {
+            comm: GdComm::Ring,
+            ..fig3_model()
+        };
         assert!(ring.comm_time(256) < tree.comm_time(256));
     }
 
@@ -267,16 +289,25 @@ mod tests {
     fn param_volume_uses_bits_per_param() {
         let m = fig2_model();
         assert_eq!(m.param_volume().get(), 64.0 * 12e6);
-        let m32 = GradientDescentModel { bits_per_param: 32, ..m };
+        let m32 = GradientDescentModel {
+            bits_per_param: 32,
+            ..m
+        };
         assert_eq!(m32.param_volume().get(), 32.0 * 12e6);
     }
 
     #[test]
     fn none_comm_scales_perfectly() {
-        let m = GradientDescentModel { comm: GdComm::None, ..fig2_model() };
+        let m = GradientDescentModel {
+            comm: GdComm::None,
+            ..fig2_model()
+        };
         let c = m.strong_curve(1..=32);
         for (n, s) in c.speedups() {
-            assert!((s - n as f64).abs() < 1e-9, "perfect linear speedup expected");
+            assert!(
+                (s - n as f64).abs() < 1e-9,
+                "perfect linear speedup expected"
+            );
         }
     }
 }

@@ -57,11 +57,7 @@ pub fn duplicate_edge_correction(v: f64, e: f64, n: usize) -> f64 {
 /// degree sums, take the max, and subtract the duplicate correction.
 ///
 /// Returns the corrected estimate of `max_i(E_i)`.
-pub fn max_edges_random_assignment<R: Rng + ?Sized>(
-    degrees: &[u32],
-    n: usize,
-    rng: &mut R,
-) -> f64 {
+pub fn max_edges_random_assignment<R: Rng + ?Sized>(degrees: &[u32], n: usize, rng: &mut R) -> f64 {
     assert!(n >= 1, "need at least one worker");
     let v = degrees.len() as f64;
     let e: f64 = degrees.iter().map(|&d| f64::from(d)).sum::<f64>() / 2.0;
@@ -283,7 +279,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let n = 16;
         let est = max_edges_monte_carlo(&degrees, n, 10, &mut rng);
-        assert!(est > 1.5 * e / n as f64, "hub must create skew: {est} vs {}", e / n as f64);
+        assert!(
+            est > 1.5 * e / n as f64,
+            "hub must create skew: {est} vs {}",
+            e / n as f64
+        );
     }
 
     #[test]
@@ -294,7 +294,10 @@ mod tests {
             let mc = max_edges_monte_carlo(&degrees, n, 10, &mut rng);
             let analytic = max_edges_analytic(&degrees, n);
             let rel = (analytic - mc).abs() / mc;
-            assert!(rel < 0.10, "n={n}: analytic {analytic:.0} vs MC {mc:.0} ({rel:.2})");
+            assert!(
+                rel < 0.10,
+                "n={n}: analytic {analytic:.0} vs MC {mc:.0} ({rel:.2})"
+            );
         }
     }
 
@@ -307,7 +310,10 @@ mod tests {
             let mc = max_edges_monte_carlo(&degrees, n, 10, &mut rng);
             let analytic = max_edges_analytic(&degrees, n);
             let rel = (analytic - mc).abs() / mc;
-            assert!(rel < 0.15, "n={n}: analytic {analytic:.0} vs MC {mc:.0} ({rel:.2})");
+            assert!(
+                rel < 0.15,
+                "n={n}: analytic {analytic:.0} vs MC {mc:.0} ({rel:.2})"
+            );
         }
     }
 

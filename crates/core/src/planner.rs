@@ -26,7 +26,10 @@ impl Pricing {
     /// Hourly pricing with no fixed component.
     pub fn hourly(node_hour: f64) -> Self {
         assert!(node_hour > 0.0, "price must be positive");
-        Self { node_hour, per_node_fixed: 0.0 }
+        Self {
+            node_hour,
+            per_node_fixed: 0.0,
+        }
     }
 
     /// Cost of running `n` nodes for `t`.
@@ -60,12 +63,20 @@ impl<F: Fn(usize) -> Seconds> Planner<F> {
     /// Panics when `max_n == 0`.
     pub fn new(time_fn: F, max_n: usize, pricing: Pricing) -> Self {
         assert!(max_n >= 1, "need at least one candidate size");
-        Self { time_fn, max_n, pricing }
+        Self {
+            time_fn,
+            max_n,
+            pricing,
+        }
     }
 
     fn plan_at(&self, n: usize) -> Plan {
         let time = (self.time_fn)(n);
-        Plan { n, time, cost: self.pricing.cost(n, time) }
+        Plan {
+            n,
+            time,
+            cost: self.pricing.cost(n, time),
+        }
     }
 
     /// The cheapest cluster that finishes within `deadline`, or `None`
@@ -127,7 +138,10 @@ mod tests {
 
     #[test]
     fn pricing_cost_formula() {
-        let p = Pricing { node_hour: 3.0, per_node_fixed: 1.0 };
+        let p = Pricing {
+            node_hour: 3.0,
+            per_node_fixed: 1.0,
+        };
         // 4 nodes × (3 · 1800/3600 + 1) = 4 × 2.5.
         assert!((p.cost(4, Seconds::new(1800.0)) - 10.0).abs() < 1e-12);
     }
@@ -137,7 +151,10 @@ mod tests {
         // With a convex 1/n + growing-comm model, n·t(n) is minimal at 1.
         let plan = planner().cheapest();
         assert_eq!(plan.n, 1);
-        assert!((plan.cost - 2.0).abs() < 1e-9, "one node for one hour at 2/h");
+        assert!(
+            (plan.cost - 2.0).abs() < 1e-9,
+            "one node for one hour at 2/h"
+        );
     }
 
     #[test]
@@ -152,18 +169,25 @@ mod tests {
         let p = planner();
         // Deadline of 30 minutes: feasible (t(4) ≈ 990 s), and the
         // cheapest feasible n is the smallest one meeting it.
-        let plan = p.cheapest_within_deadline(Seconds::new(1800.0)).expect("feasible");
+        let plan = p
+            .cheapest_within_deadline(Seconds::new(1800.0))
+            .expect("feasible");
         assert!(plan.time.as_secs() <= 1800.0);
         // All cheaper configurations (smaller n here) must miss the deadline.
         for n in 1..plan.n {
-            assert!(time_fn(n).as_secs() > 1800.0, "n={n} should miss the deadline");
+            assert!(
+                time_fn(n).as_secs() > 1800.0,
+                "n={n} should miss the deadline"
+            );
         }
     }
 
     #[test]
     fn impossible_deadline_returns_none() {
         // The model's best time is t(14) ≈ 937 s; a 60 s deadline fails.
-        assert!(planner().cheapest_within_deadline(Seconds::new(60.0)).is_none());
+        assert!(planner()
+            .cheapest_within_deadline(Seconds::new(60.0))
+            .is_none());
     }
 
     #[test]
@@ -186,7 +210,10 @@ mod tests {
         let with_fixed = Planner::new(
             time_fn,
             64,
-            Pricing { node_hour: 2.0, per_node_fixed: 1.0 },
+            Pricing {
+                node_hour: 2.0,
+                per_node_fixed: 1.0,
+            },
         )
         .fastest_within_budget(20.0);
         let (h, f) = (hourly.unwrap(), with_fixed.unwrap());

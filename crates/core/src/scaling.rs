@@ -126,7 +126,9 @@ mod tests {
     #[test]
     fn nodes_for_halving_runtime() {
         let s = StrongScaling::new(strong_time, 128);
-        let n = s.nodes_for_time_reduction(1, 2.0).expect("halving feasible");
+        let n = s
+            .nodes_for_time_reduction(1, 2.0)
+            .expect("halving feasible");
         assert!(strong_time(n).as_secs() <= strong_time(1).as_secs() / 2.0);
         // And it is the smallest such n.
         assert!(strong_time(n - 1).as_secs() > strong_time(1).as_secs() / 2.0);

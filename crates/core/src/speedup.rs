@@ -34,7 +34,10 @@ impl SpeedupCurve {
     ///
     /// # Panics
     /// Panics if `ns` is empty or not strictly increasing.
-    pub fn from_fn(ns: impl IntoIterator<Item = usize>, mut time: impl FnMut(usize) -> Seconds) -> Self {
+    pub fn from_fn(
+        ns: impl IntoIterator<Item = usize>,
+        mut time: impl FnMut(usize) -> Seconds,
+    ) -> Self {
         let ns: Vec<usize> = ns.into_iter().collect();
         assert!(!ns.is_empty(), "need at least one worker count");
         assert!(
@@ -44,7 +47,12 @@ impl SpeedupCurve {
         let times: Vec<Seconds> = ns.iter().map(|&n| time(n)).collect();
         let baseline = times[0];
         let baseline_n = ns[0];
-        Self { ns, times, baseline, baseline_n }
+        Self {
+            ns,
+            times,
+            baseline,
+            baseline_n,
+        }
     }
 
     /// Builds a curve from explicit samples (e.g. measurements).
@@ -61,7 +69,12 @@ impl SpeedupCurve {
         );
         let baseline = times[0];
         let baseline_n = ns[0];
-        Self { ns, times, baseline, baseline_n }
+        Self {
+            ns,
+            times,
+            baseline,
+            baseline_n,
+        }
     }
 
     /// Re-bases the curve on the time at `n0` (must be a sampled point).
@@ -140,7 +153,9 @@ impl SpeedupCurve {
     /// Whether the algorithm is scalable in the paper's sense: exists `k`
     /// with `s(k) > 1` (strictly faster than the baseline configuration).
     pub fn is_scalable(&self) -> bool {
-        self.speedups().iter().any(|&(n, s)| n != self.baseline_n && s > 1.0)
+        self.speedups()
+            .iter()
+            .any(|&(n, s)| n != self.baseline_n && s > 1.0)
     }
 
     /// Largest sampled `n` whose speedup is within `fraction` of the
@@ -190,10 +205,21 @@ impl SpeedupCurve {
     pub fn to_table(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "{:>6} {:>14} {:>10} {:>10}", "n", "t(n) [s]", "s(n)", "eff");
+        let _ = writeln!(
+            out,
+            "{:>6} {:>14} {:>10} {:>10}",
+            "n", "t(n) [s]", "s(n)", "eff"
+        );
         for ((&n, &t), (_, e)) in self.ns.iter().zip(&self.times).zip(self.efficiencies()) {
             let s = self.baseline / t;
-            let _ = writeln!(out, "{:>6} {:>14.6e} {:>10.4} {:>10.4}", n, t.as_secs(), s, e);
+            let _ = writeln!(
+                out,
+                "{:>6} {:>14.6e} {:>10.4} {:>10.4}",
+                n,
+                t.as_secs(),
+                s,
+                e
+            );
         }
         out
     }
@@ -220,7 +246,10 @@ mod tests {
     fn optimal_is_interior_peak() {
         let c = sample_curve();
         let (n_opt, s_opt) = c.optimal();
-        assert!(n_opt > 1 && n_opt < 64, "peak should be interior, got {n_opt}");
+        assert!(
+            n_opt > 1 && n_opt < 64,
+            "peak should be interior, got {n_opt}"
+        );
         assert!(s_opt > 1.0);
         // Every other sampled point is no better.
         for (_, s) in c.speedups() {
@@ -324,9 +353,7 @@ mod tests {
         // Amdahl curve with serial fraction 0.1: the metric must recover
         // 0.1 exactly at every n.
         let serial = 0.1;
-        let c = SpeedupCurve::from_fn(1..=64, |n| {
-            Seconds::new(serial + (1.0 - serial) / n as f64)
-        });
+        let c = SpeedupCurve::from_fn(1..=64, |n| Seconds::new(serial + (1.0 - serial) / n as f64));
         for n in [2usize, 8, 32, 64] {
             let e = c.karp_flatt(n).unwrap();
             assert!((e - serial).abs() < 1e-12, "n={n}: {e}");

@@ -24,7 +24,10 @@ pub struct Superstep {
 impl Superstep {
     /// Builds a superstep from computation and communication models.
     pub fn new(comp: impl CompModel + 'static, comm: impl CommModel + 'static) -> Self {
-        Self { comp: Box::new(comp), comm: Box::new(comm) }
+        Self {
+            comp: Box::new(comp),
+            comm: Box::new(comm),
+        }
     }
 
     /// Superstep time `t(n) = t_cp(n) + t_cm(n)`.
@@ -73,7 +76,11 @@ pub struct AlgorithmModel {
 impl AlgorithmModel {
     /// New empty algorithm with a single iteration.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { supersteps: Vec::new(), iterations: 1, name: name.into() }
+        Self {
+            supersteps: Vec::new(),
+            iterations: 1,
+            name: name.into(),
+        }
     }
 
     /// Appends a superstep.
@@ -113,11 +120,17 @@ mod tests {
     use crate::units::{Bits, BitsPerSec, FlopCount, FlopsRate};
 
     fn comp() -> PerfectlyParallel {
-        PerfectlyParallel { work: FlopCount::giga(8.0), rate: FlopsRate::giga(1.0) }
+        PerfectlyParallel {
+            work: FlopCount::giga(8.0),
+            rate: FlopsRate::giga(1.0),
+        }
     }
 
     fn comm() -> LogTree {
-        LogTree { volume: Bits::giga(1.0), bandwidth: BitsPerSec::giga(1.0) }
+        LogTree {
+            volume: Bits::giga(1.0),
+            bandwidth: BitsPerSec::giga(1.0),
+        }
     }
 
     #[test]
@@ -143,7 +156,10 @@ mod tests {
     #[test]
     fn compute_fraction_all_zero_is_one() {
         let s = Superstep::new(
-            PerfectlyParallel { work: FlopCount::zero(), rate: FlopsRate::giga(1.0) },
+            PerfectlyParallel {
+                work: FlopCount::zero(),
+                rate: FlopsRate::giga(1.0),
+            },
             NoComm,
         );
         assert_eq!(s.compute_fraction(5), 1.0);

@@ -56,7 +56,11 @@ impl CsrGraph {
                 cursor[v as usize] += 1;
             }
         }
-        Self { offsets, targets, edges: edge_list.len() as u64 }
+        Self {
+            offsets,
+            targets,
+            edges: edge_list.len() as u64,
+        }
     }
 
     /// Number of vertices `V`.
@@ -84,7 +88,9 @@ impl CsrGraph {
     /// Degree of every vertex, as the degree sequence the Monte-Carlo
     /// estimator consumes.
     pub fn degree_sequence(&self) -> Vec<u32> {
-        (0..self.vertices() as VertexId).map(|v| self.degree(v)).collect()
+        (0..self.vertices() as VertexId)
+            .map(|v| self.degree(v))
+            .collect()
     }
 
     /// Maximum degree.

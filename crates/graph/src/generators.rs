@@ -71,7 +71,11 @@ impl DnsGraphSpec {
     /// The full Fig 4 graph: V = 16,259,408, E = 99,854,596,
     /// d_max = 309,368. Requires ≈ 1 GB to materialise.
     pub fn full() -> Self {
-        Self { vertices: 16_259_408, edges: 99_854_596, max_degree: 309_368 }
+        Self {
+            vertices: 16_259_408,
+            edges: 99_854_596,
+            max_degree: 309_368,
+        }
     }
 
     /// The paper's 1.6M-vertex variant (reported MAPE 26 %); edge count and
@@ -79,17 +83,29 @@ impl DnsGraphSpec {
     /// relative mass (`d_max ∝ V^{0.75}`, a calibration choice documented
     /// in DESIGN.md).
     pub fn medium() -> Self {
-        Self { vertices: 1_625_940, edges: 9_985_459, max_degree: 55_000 }
+        Self {
+            vertices: 1_625_940,
+            edges: 9_985_459,
+            max_degree: 55_000,
+        }
     }
 
     /// The paper's 165K-vertex variant (reported MAPE 19.6 %).
     pub fn small() -> Self {
-        Self { vertices: 165_000, edges: 1_013_000, max_degree: 9_800 }
+        Self {
+            vertices: 165_000,
+            edges: 1_013_000,
+            max_degree: 9_800,
+        }
     }
 
     /// The paper's 16K-vertex variant (reported MAPE 23.5 %).
     pub fn tiny() -> Self {
-        Self { vertices: 16_259, edges: 99_854, max_degree: 1_750 }
+        Self {
+            vertices: 16_259,
+            edges: 99_854,
+            max_degree: 1_750,
+        }
     }
 
     /// Average degree `2E/V`.
@@ -114,8 +130,7 @@ pub fn dns_like<R: Rng + ?Sized>(spec: DnsGraphSpec, rng: &mut R) -> CsrGraph {
 /// vertex partitioning (one worker owns the hub's entire edge set).
 pub fn star(vertices: usize) -> CsrGraph {
     assert!(vertices >= 2);
-    let edges: Vec<(VertexId, VertexId)> =
-        (1..vertices as VertexId).map(|v| (0, v)).collect();
+    let edges: Vec<(VertexId, VertexId)> = (1..vertices as VertexId).map(|v| (0, v)).collect();
     CsrGraph::from_edges(vertices, &edges)
 }
 
@@ -157,7 +172,10 @@ pub fn grid2d(rows: usize, cols: usize) -> CsrGraph {
 
 /// The complete graph `K_n`.
 pub fn complete(vertices: usize) -> CsrGraph {
-    assert!((2..=2000).contains(&vertices), "complete graphs are for small n");
+    assert!(
+        (2..=2000).contains(&vertices),
+        "complete graphs are for small n"
+    );
     let mut edges = Vec::with_capacity(vertices * (vertices - 1) / 2);
     for u in 0..vertices as VertexId {
         for v in (u + 1)..vertices as VertexId {
@@ -238,7 +256,11 @@ mod tests {
     #[test]
     fn dns_specs_share_avg_degree() {
         let full = DnsGraphSpec::full().avg_degree();
-        for spec in [DnsGraphSpec::medium(), DnsGraphSpec::small(), DnsGraphSpec::tiny()] {
+        for spec in [
+            DnsGraphSpec::medium(),
+            DnsGraphSpec::small(),
+            DnsGraphSpec::tiny(),
+        ] {
             assert!(
                 (spec.avg_degree() - full).abs() / full < 0.02,
                 "avg degree drift: {} vs {}",
@@ -301,7 +323,14 @@ mod tests {
 
     #[test]
     fn generated_graphs_validate() {
-        let g = dns_like(DnsGraphSpec { vertices: 2000, edges: 12_000, max_degree: 300 }, &mut rng());
+        let g = dns_like(
+            DnsGraphSpec {
+                vertices: 2000,
+                edges: 12_000,
+                max_degree: 300,
+            },
+            &mut rng(),
+        );
         assert!(g.validate().is_ok());
     }
 }

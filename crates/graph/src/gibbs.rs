@@ -196,7 +196,10 @@ mod tests {
             g,
             2,
             unary,
-            PairwisePotential::Potts { same: 1.6, diff: 0.7 },
+            PairwisePotential::Potts {
+                same: 1.6,
+                diff: 0.7,
+            },
         );
         let exact = exact_marginals(&mrf);
         let mut sampler = GibbsSampler::new(&mrf);
@@ -222,7 +225,10 @@ mod tests {
             g,
             2,
             unary,
-            PairwisePotential::Potts { same: 1.4, diff: 0.8 },
+            PairwisePotential::Potts {
+                same: 1.4,
+                diff: 0.8,
+            },
         );
         let mut bp = BeliefPropagation::new(&mrf);
         bp.run(100, 1e-10);
@@ -242,7 +248,14 @@ mod tests {
     #[test]
     fn marginals_always_normalised() {
         let g = grid2d(4, 4);
-        let mrf = PairwiseMrf::uniform(g, 3, PairwisePotential::Potts { same: 2.0, diff: 0.5 });
+        let mrf = PairwiseMrf::uniform(
+            g,
+            3,
+            PairwisePotential::Potts {
+                same: 2.0,
+                diff: 0.5,
+            },
+        );
         let mut sampler = GibbsSampler::new(&mrf);
         let mut r = rng();
         sampler.run(5, 20, &mut r);
@@ -258,7 +271,10 @@ mod tests {
         for s in [2usize, 4, 8] {
             let gibbs = gibbs_cost_per_edge(s).get();
             let bp = mlscale_core::models::graphinf::bp_cost_per_edge(s).get();
-            assert!(gibbs < bp, "Gibbs lacks the S² marginalisation: {gibbs} vs {bp}");
+            assert!(
+                gibbs < bp,
+                "Gibbs lacks the S² marginalisation: {gibbs} vs {bp}"
+            );
         }
     }
 
@@ -283,7 +299,14 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let g = grid2d(3, 3);
-        let mrf = PairwiseMrf::uniform(g, 2, PairwisePotential::Potts { same: 1.5, diff: 0.5 });
+        let mrf = PairwiseMrf::uniform(
+            g,
+            2,
+            PairwisePotential::Potts {
+                same: 1.5,
+                diff: 0.5,
+            },
+        );
         let run = |seed: u64| {
             let mut s = GibbsSampler::new(&mrf);
             let mut r = StdRng::seed_from_u64(seed);

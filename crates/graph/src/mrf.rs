@@ -80,7 +80,12 @@ impl PairwiseMrf {
             unary.iter().all(|&p| p > 0.0 && p.is_finite()),
             "unary potentials must be strictly positive"
         );
-        Self { graph, states, unary, pairwise }
+        Self {
+            graph,
+            states,
+            unary,
+            pairwise,
+        }
     }
 
     /// Uniform unary potentials (prior-free field).
@@ -239,7 +244,11 @@ impl<'a> BeliefPropagation<'a> {
                 break;
             }
         }
-        BpRun { iterations, final_delta: delta, converged: delta <= tolerance }
+        BpRun {
+            iterations,
+            final_delta: delta,
+            converged: delta <= tolerance,
+        }
     }
 
     /// Normalised marginal belief of a vertex:
@@ -381,7 +390,10 @@ mod tests {
             g,
             2,
             random_unary(7, 2, &mut rng),
-            PairwisePotential::Potts { same: 1.5, diff: 0.7 },
+            PairwisePotential::Potts {
+                same: 1.5,
+                diff: 0.7,
+            },
         );
         let exact = exact_marginals(&mrf);
         let mut bp = BeliefPropagation::new(&mrf);
@@ -399,7 +411,10 @@ mod tests {
             g,
             3,
             random_unary(v, 3, &mut rng),
-            PairwisePotential::Potts { same: 2.0, diff: 0.5 },
+            PairwisePotential::Potts {
+                same: 2.0,
+                diff: 0.5,
+            },
         );
         let exact = exact_marginals(&mrf);
         let mut bp = BeliefPropagation::new(&mrf);
@@ -418,7 +433,10 @@ mod tests {
             g,
             2,
             random_unary(v, 2, &mut rng),
-            PairwisePotential::Potts { same: 1.3, diff: 0.9 },
+            PairwisePotential::Potts {
+                same: 1.3,
+                diff: 0.9,
+            },
         );
         let mut bp = BeliefPropagation::new(&mrf);
         let run = bp.run(v + 2, 1e-12);
@@ -437,7 +455,10 @@ mod tests {
             g,
             2,
             random_unary(v, 2, &mut rng),
-            PairwisePotential::Potts { same: 1.1, diff: 0.95 },
+            PairwisePotential::Potts {
+                same: 1.1,
+                diff: 0.95,
+            },
         );
         let exact = exact_marginals(&mrf);
         let mut bp = BeliefPropagation::new(&mrf);
@@ -467,7 +488,14 @@ mod tests {
     #[test]
     fn marginals_are_normalised_even_without_convergence() {
         let g = grid2d(5, 5);
-        let mrf = PairwiseMrf::uniform(g, 4, PairwisePotential::Potts { same: 3.0, diff: 0.3 });
+        let mrf = PairwiseMrf::uniform(
+            g,
+            4,
+            PairwisePotential::Potts {
+                same: 3.0,
+                diff: 0.3,
+            },
+        );
         let mut bp = BeliefPropagation::new(&mrf);
         bp.run(3, 0.0); // deliberately unconverged
         let m = bp.marginals();
@@ -486,7 +514,10 @@ mod tests {
             g,
             2,
             random_unary(v, 2, &mut rng),
-            PairwisePotential::Potts { same: 1.4, diff: 0.6 },
+            PairwisePotential::Potts {
+                same: 1.4,
+                diff: 0.6,
+            },
         );
         let exact = exact_marginals(&mrf);
         let mut bp = BeliefPropagation::new(&mrf);
@@ -505,7 +536,15 @@ mod tests {
         let mut unary = vec![1.0; v * 2];
         unary[0] = 10.0; // vertex 0 strongly prefers state 0
         unary[1] = 0.1;
-        let mrf = PairwiseMrf::new(g, 2, unary, PairwisePotential::Potts { same: 2.0, diff: 0.5 });
+        let mrf = PairwiseMrf::new(
+            g,
+            2,
+            unary,
+            PairwisePotential::Potts {
+                same: 2.0,
+                diff: 0.5,
+            },
+        );
         let mut bp = BeliefPropagation::new(&mrf);
         bp.run(100, 1e-12);
         let mut prev = 1.0;
@@ -558,7 +597,14 @@ mod tests {
     #[test]
     fn bp_run_report_fields_consistent() {
         let g = path(4);
-        let mrf = PairwiseMrf::uniform(g, 2, PairwisePotential::Potts { same: 1.2, diff: 0.8 });
+        let mrf = PairwiseMrf::uniform(
+            g,
+            2,
+            PairwisePotential::Potts {
+                same: 1.2,
+                diff: 0.8,
+            },
+        );
         let mut bp = BeliefPropagation::new(&mrf);
         let run = bp.run(1, 1e-30);
         assert_eq!(run.iterations, 1);

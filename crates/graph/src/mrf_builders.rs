@@ -34,7 +34,11 @@ pub fn denoising_mrf<R: Rng + ?Sized>(
     let clean_image: Vec<bool> = (0..v).map(|i| clean(i / cols, i % cols)).collect();
     let mut unary = Vec::with_capacity(v * 2);
     for &pixel in &clean_image {
-        let observed = if rng.gen::<f64>() < noise { !pixel } else { pixel };
+        let observed = if rng.gen::<f64>() < noise {
+            !pixel
+        } else {
+            pixel
+        };
         // φ(x) = P(observed | x).
         let p_obs_given_0 = if observed { noise } else { 1.0 - noise };
         let p_obs_given_1 = if observed { 1.0 - noise } else { noise };
@@ -45,7 +49,10 @@ pub fn denoising_mrf<R: Rng + ?Sized>(
         graph,
         2,
         unary,
-        PairwisePotential::Potts { same: smoothing, diff: 1.0 },
+        PairwisePotential::Potts {
+            same: smoothing,
+            diff: 1.0,
+        },
     );
     (mrf, clean_image)
 }
@@ -98,7 +105,10 @@ pub fn entity_labeling_mrf(
         graph,
         2,
         unary,
-        PairwisePotential::Potts { same: homophily, diff: 1.0 },
+        PairwisePotential::Potts {
+            same: homophily,
+            diff: 1.0,
+        },
     )
 }
 
@@ -112,21 +122,30 @@ mod tests {
 
     #[test]
     fn denoising_recovers_most_pixels() {
-        let mut rng = StdRng::seed_from_u64(0xDE01);
-        // A half-and-half image: left half false, right half true.
-        let (mrf, clean) =
-            denoising_mrf(16, 16, 0.15, 2.5, |_, c| c >= 8, &mut rng);
-        let mut bp = BeliefPropagation::new(&mrf);
-        bp.damping = 0.2;
-        bp.run(100, 1e-7);
-        let labels = map_labels(&bp.marginals(), 2);
-        let correct = labels
-            .iter()
-            .zip(&clean)
-            .filter(|&(&l, &c)| (l == 1) == c)
-            .count();
-        let accuracy = correct as f64 / clean.len() as f64;
-        assert!(accuracy > 0.95, "denoising accuracy {accuracy}");
+        // Mean accuracy over several noise realisations, so the bound is
+        // robust to the RNG stream rather than tuned to one lucky seed.
+        let seeds = [0xDE01u64, 0xDE02, 0xDE03, 0xDE04, 0xDE05];
+        let mut total = 0.0;
+        for &seed in &seeds {
+            let mut rng = StdRng::seed_from_u64(seed);
+            // A half-and-half image: left half false, right half true.
+            let (mrf, clean) = denoising_mrf(16, 16, 0.15, 2.5, |_, c| c >= 8, &mut rng);
+            let mut bp = BeliefPropagation::new(&mrf);
+            bp.damping = 0.2;
+            bp.run(100, 1e-7);
+            let labels = map_labels(&bp.marginals(), 2);
+            let correct = labels
+                .iter()
+                .zip(&clean)
+                .filter(|&(&l, &c)| (l == 1) == c)
+                .count();
+            total += correct as f64 / clean.len() as f64;
+        }
+        let mean_accuracy = total / seeds.len() as f64;
+        assert!(
+            mean_accuracy > 0.95,
+            "mean denoising accuracy {mean_accuracy}"
+        );
     }
 
     #[test]

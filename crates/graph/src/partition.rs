@@ -27,7 +27,10 @@ impl Partition {
             assignment.iter().all(|&w| (w as usize) < workers),
             "assignment references worker out of range"
         );
-        Self { assignment, workers }
+        Self {
+            assignment,
+            workers,
+        }
     }
 
     /// The paper's strategy: "we randomly assign each vertex to a worker".
@@ -36,7 +39,10 @@ impl Partition {
         let assignment = (0..vertices)
             .map(|_| rng.gen_range(0..workers) as u32)
             .collect();
-        Self { assignment, workers }
+        Self {
+            assignment,
+            workers,
+        }
     }
 
     /// Deterministic hash assignment (multiplicative hashing of the vertex
@@ -50,7 +56,10 @@ impl Partition {
                 (h % workers as u64) as u32
             })
             .collect();
-        Self { assignment, workers }
+        Self {
+            assignment,
+            workers,
+        }
     }
 
     /// Contiguous block ranges: vertex ids `[kV/n, (k+1)V/n)` go to worker
@@ -60,7 +69,10 @@ impl Partition {
         let assignment = (0..vertices)
             .map(|v| ((v * workers) / vertices.max(1)).min(workers - 1) as u32)
             .collect();
-        Self { assignment, workers }
+        Self {
+            assignment,
+            workers,
+        }
     }
 
     /// Greedy balanced-degree assignment: vertices in decreasing degree
@@ -82,7 +94,10 @@ impl Partition {
             assignment[v as usize] = w as u32;
             loads[w] += u64::from(graph.degree(v));
         }
-        Self { assignment, workers }
+        Self {
+            assignment,
+            workers,
+        }
     }
 
     /// Number of workers.
@@ -203,8 +218,8 @@ impl PartitionStats {
     /// Load imbalance: `max_i(E_i) / mean_i(E_i)` (1.0 = perfectly even).
     pub fn imbalance(&self) -> f64 {
         let max = self.max_incident_edges() as f64;
-        let mean = self.incident_edges.iter().sum::<u64>() as f64
-            / self.incident_edges.len() as f64;
+        let mean =
+            self.incident_edges.iter().sum::<u64>() as f64 / self.incident_edges.len() as f64;
         if mean == 0.0 {
             return 1.0;
         }
@@ -254,7 +269,10 @@ mod tests {
     fn random_partition_covers_all_vertices() {
         let p = Partition::random(1000, 8, &mut rng());
         assert_eq!(p.vertex_counts().iter().sum::<u64>(), 1000);
-        assert!(p.vertex_counts().iter().all(|&c| c > 0), "all workers used at this size");
+        assert!(
+            p.vertex_counts().iter().all(|&c| c > 0),
+            "all workers used at this size"
+        );
     }
 
     #[test]

@@ -95,14 +95,16 @@ impl AliasTable {
 pub fn zipf_weights(v: usize, w_max: f64, total: f64) -> (Vec<f64>, f64) {
     assert!(v >= 2, "need at least two vertices");
     assert!(w_max > 0.0 && total > 0.0);
-    assert!(total >= w_max, "total weight below the hub weight is infeasible");
+    assert!(
+        total >= w_max,
+        "total weight below the hub weight is infeasible"
+    );
     assert!(
         total <= w_max * v as f64,
         "total weight above w_max·V is infeasible for a decreasing sequence"
     );
-    let sum_for = |gamma: f64| -> f64 {
-        (0..v).map(|i| w_max * ((i + 1) as f64).powf(-gamma)).sum()
-    };
+    let sum_for =
+        |gamma: f64| -> f64 { (0..v).map(|i| w_max * ((i + 1) as f64).powf(-gamma)).sum() };
     // γ=0 gives w_max·V (max), γ→∞ gives w_max (min); bisection on the
     // monotone-decreasing sum.
     let (mut lo, mut hi) = (0.0f64, 50.0f64);

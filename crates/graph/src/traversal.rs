@@ -125,7 +125,11 @@ impl DegreeSummary {
             mean: total as f64 / v as f64,
             median: degrees[v / 2],
             p99: degrees[(v * 99) / 100],
-            top1pct_mass: if total == 0 { 0.0 } else { top_mass as f64 / total as f64 },
+            top1pct_mass: if total == 0 {
+                0.0
+            } else {
+                top_mass as f64 / total as f64
+            },
         }
     }
 }
@@ -187,7 +191,11 @@ mod tests {
     #[test]
     fn dns_like_graph_has_giant_component_and_heavy_tail() {
         let mut rng = StdRng::seed_from_u64(1);
-        let spec = DnsGraphSpec { vertices: 5000, edges: 30_000, max_degree: 800 };
+        let spec = DnsGraphSpec {
+            vertices: 5000,
+            edges: 30_000,
+            max_degree: 800,
+        };
         let g = dns_like(spec, &mut rng);
         // Nearly everything connected (avg degree 12).
         assert!(giant_component_size(&g) > 4500);
@@ -198,7 +206,10 @@ mod tests {
             "power-law mass concentration, got {:.3}",
             summary.top1pct_mass
         );
-        assert!(summary.median < summary.mean as u32, "right-skewed distribution");
+        assert!(
+            summary.median < summary.mean as u32,
+            "right-skewed distribution"
+        );
     }
 
     #[test]

@@ -55,7 +55,11 @@ impl Node {
                         Shape::Flat(_) => panic!("branch outputs must be images"),
                     }
                 }
-                Shape::Image { h: h0, w: w0, c: total_c }
+                Shape::Image {
+                    h: h0,
+                    w: w0,
+                    c: total_c,
+                }
             }
             Node::Residual(branches) => {
                 assert!(!branches.is_empty(), "Residual must not be empty");
@@ -107,10 +111,8 @@ impl Node {
             Node::Branches(branches) => branches.iter().map(|b| b.forward_madds(input)).sum(),
             Node::Residual(branches) => {
                 // Branch work plus one add per output element for the sum.
-                let branch_madds: u64 =
-                    branches.iter().map(|b| b.forward_madds(input)).sum();
-                let adds =
-                    self.out_shape(input).elements() as u64 * (branches.len() as u64 - 1);
+                let branch_madds: u64 = branches.iter().map(|b| b.forward_madds(input)).sum();
+                let adds = self.out_shape(input).elements() as u64 * (branches.len() as u64 - 1);
                 branch_madds + adds
             }
         }
@@ -159,7 +161,11 @@ impl Network {
     /// Creates a network and validates the graph by propagating shapes
     /// through it once (panicking on inconsistencies).
     pub fn new(name: impl Into<String>, input: Shape, graph: Node) -> Self {
-        let net = Self { name: name.into(), input, graph };
+        let net = Self {
+            name: name.into(),
+            input,
+            graph,
+        };
         let _ = net.output(); // shape-checks the whole graph
         net
     }
@@ -220,7 +226,11 @@ impl Network {
             let params = node.params(shape);
             let madds = node.forward_madds(shape);
             shape = node.out_shape(shape);
-            let _ = writeln!(out, "{label:<24} {:>12} {params:>14} {madds:>16}", shape.to_string());
+            let _ = writeln!(
+                out,
+                "{label:<24} {:>12} {params:>14} {madds:>16}",
+                shape.to_string()
+            );
         }
         let _ = writeln!(
             out,

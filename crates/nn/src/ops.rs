@@ -100,7 +100,14 @@ impl Op {
                     panic!("Dense requires a flat input; insert Op::Flatten before it")
                 }
             },
-            Op::Conv2d { out_channels, kh, kw, stride, padding, .. } => match input {
+            Op::Conv2d {
+                out_channels,
+                kh,
+                kw,
+                stride,
+                padding,
+                ..
+            } => match input {
                 Shape::Image { h, w, .. } => Shape::Image {
                     h: conv_out(h, kh, padding, stride),
                     w: conv_out(w, kw, padding, stride),
@@ -108,7 +115,9 @@ impl Op {
                 },
                 Shape::Flat(_) => panic!("Conv2d requires an image input"),
             },
-            Op::Pool { k, stride, padding, .. } => match input {
+            Op::Pool {
+                k, stride, padding, ..
+            } => match input {
                 Shape::Image { h, w, c } => Shape::Image {
                     h: conv_out(h, k, padding, stride),
                     w: conv_out(w, k, padding, stride),
@@ -132,10 +141,14 @@ impl Op {
                 let inp = input.elements() as u64;
                 inp * out as u64 + if bias { out as u64 } else { 0 }
             }
-            Op::Conv2d { out_channels, kh, kw, bias, .. } => {
-                let d = input
-                    .channels()
-                    .expect("Conv2d requires an image input") as u64;
+            Op::Conv2d {
+                out_channels,
+                kh,
+                kw,
+                bias,
+                ..
+            } => {
+                let d = input.channels().expect("Conv2d requires an image input") as u64;
                 // Paper: weights of a convolutional layer = n·(k·k·d);
                 // optional bias adds one constant per output element of a
                 // feature map (the paper's `c·c` term, "not commonly used").
@@ -159,10 +172,13 @@ impl Op {
     pub fn forward_madds(&self, input: Shape) -> u64 {
         match *self {
             Op::Dense { out, .. } => input.elements() as u64 * out as u64,
-            Op::Conv2d { out_channels, kh, kw, .. } => {
-                let d = input
-                    .channels()
-                    .expect("Conv2d requires an image input") as u64;
+            Op::Conv2d {
+                out_channels,
+                kh,
+                kw,
+                ..
+            } => {
+                let d = input.channels().expect("Conv2d requires an image input") as u64;
                 let out = self.out_shape(input);
                 let (ch, cw) = match out {
                     Shape::Image { h, w, .. } => (h as u64, w as u64),
@@ -197,14 +213,23 @@ impl Op {
     pub fn label(&self) -> String {
         match *self {
             Op::Dense { out, .. } => format!("dense({out})"),
-            Op::Conv2d { out_channels, kh, kw, stride, padding, .. } => format!(
+            Op::Conv2d {
+                out_channels,
+                kh,
+                kw,
+                stride,
+                padding,
+                ..
+            } => format!(
                 "conv{kh}x{kw}/{stride}{} ({out_channels})",
                 match padding {
                     Padding::Valid => "v",
                     Padding::Same => "s",
                 }
             ),
-            Op::Pool { kind, k, stride, .. } => format!(
+            Op::Pool {
+                kind, k, stride, ..
+            } => format!(
                 "{}pool{k}x{k}/{stride}",
                 match kind {
                     PoolKind::Max => "max",
@@ -235,22 +260,46 @@ pub mod dsl {
 
     /// Square convolution without bias (the common case: batch-norm nets).
     pub fn conv(out_channels: usize, k: usize, stride: usize, padding: Padding) -> Op {
-        Op::Conv2d { out_channels, kh: k, kw: k, stride, padding, bias: false }
+        Op::Conv2d {
+            out_channels,
+            kh: k,
+            kw: k,
+            stride,
+            padding,
+            bias: false,
+        }
     }
 
     /// Rectangular convolution (the factorised 1×7 / 7×1 Inception kernels).
     pub fn conv_rect(out_channels: usize, kh: usize, kw: usize, padding: Padding) -> Op {
-        Op::Conv2d { out_channels, kh, kw, stride: 1, padding, bias: false }
+        Op::Conv2d {
+            out_channels,
+            kh,
+            kw,
+            stride: 1,
+            padding,
+            bias: false,
+        }
     }
 
     /// Max pooling.
     pub fn maxpool(k: usize, stride: usize, padding: Padding) -> Op {
-        Op::Pool { kind: PoolKind::Max, k, stride, padding }
+        Op::Pool {
+            kind: PoolKind::Max,
+            k,
+            stride,
+            padding,
+        }
     }
 
     /// Average pooling.
     pub fn avgpool(k: usize, stride: usize, padding: Padding) -> Op {
-        Op::Pool { kind: PoolKind::Avg, k, stride, padding }
+        Op::Pool {
+            kind: PoolKind::Avg,
+            k,
+            stride,
+            padding,
+        }
     }
 
     /// Sigmoid activation.
@@ -324,20 +373,30 @@ mod tests {
         let square = conv(192, 7, 1, Padding::Same).forward_madds(input);
         let f1 = conv_rect(192, 1, 7, Padding::Same);
         let mid = f1.out_shape(input);
-        let factored = f1.forward_madds(input) + conv_rect(192, 7, 1, Padding::Same).forward_madds(mid);
-        assert!(factored * 3 < square, "factored {factored} vs square {square}");
+        let factored =
+            f1.forward_madds(input) + conv_rect(192, 7, 1, Padding::Same).forward_madds(mid);
+        assert!(
+            factored * 3 < square,
+            "factored {factored} vs square {square}"
+        );
     }
 
     #[test]
     fn pool_preserves_channels() {
         let op = maxpool(3, 2, Padding::Valid);
-        assert_eq!(op.out_shape(Shape::image(147, 147, 64)), Shape::image(73, 73, 64));
+        assert_eq!(
+            op.out_shape(Shape::image(147, 147, 64)),
+            Shape::image(73, 73, 64)
+        );
         assert_eq!(op.params(Shape::image(147, 147, 64)), 0);
     }
 
     #[test]
     fn global_avg_pool_collapses_spatial() {
-        assert_eq!(Op::GlobalAvgPool.out_shape(Shape::image(8, 8, 2048)), Shape::image(1, 1, 2048));
+        assert_eq!(
+            Op::GlobalAvgPool.out_shape(Shape::image(8, 8, 2048)),
+            Shape::image(1, 1, 2048)
+        );
     }
 
     #[test]

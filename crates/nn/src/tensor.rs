@@ -19,7 +19,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero-filled matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Matrix from a row-major data vector.

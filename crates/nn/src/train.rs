@@ -83,7 +83,10 @@ impl MlpTrainer {
                 }
             })
             .collect();
-        Self { layers, sizes: sizes.to_vec() }
+        Self {
+            layers,
+            sizes: sizes.to_vec(),
+        }
     }
 
     /// Layer sizes this trainer was built with.
@@ -119,7 +122,9 @@ impl MlpTrainer {
 
     /// Predicted class probabilities for a batch.
     pub fn predict(&self, x: &Matrix) -> Matrix {
-        self.forward(x).pop().expect("forward always returns activations")
+        self.forward(x)
+            .pop()
+            .expect("forward always returns activations")
     }
 
     /// Mean cross-entropy loss of predictions against one-hot `labels`.
@@ -185,7 +190,10 @@ impl MlpTrainer {
             grads.push((dw, db));
         }
         grads.reverse();
-        Gradients { grads, examples: batch }
+        Gradients {
+            grads,
+            examples: batch,
+        }
     }
 
     /// Applies averaged gradients with learning rate `lr`.
@@ -217,7 +225,13 @@ impl MlpTrainer {
     /// This is the "mini-batch SGD uses a random mini-batch of examples"
     /// variant of the paper (callers shuffle the data between epochs for
     /// the randomness).
-    pub fn train_epoch_minibatch(&mut self, x: &Matrix, labels: &Matrix, batch_size: usize, lr: f32) -> f32 {
+    pub fn train_epoch_minibatch(
+        &mut self,
+        x: &Matrix,
+        labels: &Matrix,
+        batch_size: usize,
+        lr: f32,
+    ) -> f32 {
         assert!(batch_size >= 1, "batch size must be positive");
         assert_eq!(x.rows(), labels.rows());
         let mut total_loss = 0.0;
@@ -311,7 +325,7 @@ pub fn synthetic_blobs<R: Rng + ?Sized>(
         let class = i % classes;
         for f in 0..features {
             let centre = if f % classes == class { 2.0 } else { -0.5 };
-            x.set(i, f, centre + rng.gen_range(-0.4..0.4));
+            x.set(i, f, centre + rng.gen_range(-0.4f32..0.4));
         }
         y.set(i, class, 1.0);
     }

@@ -54,7 +54,11 @@ pub fn mlp(input: usize, hidden: &[usize], output: usize) -> Network {
     }
     ops.push(dense(output));
     ops.push(softmax());
-    Network::new(format!("mlp-{input}-{output}"), Shape::Flat(input), chain(ops))
+    Network::new(
+        format!("mlp-{input}-{output}"),
+        Shape::Flat(input),
+        chain(ops),
+    )
 }
 
 /// Logistic regression as a degenerate one-layer network — the
@@ -74,9 +78,25 @@ pub fn lenet5() -> Network {
         "lenet5",
         Shape::image(28, 28, 1),
         seq([
-            chain([conv(6, 5, 1, Padding::Same), relu(), maxpool(2, 2, Padding::Valid)]),
-            chain([conv(16, 5, 1, Padding::Valid), relu(), maxpool(2, 2, Padding::Valid)]),
-            chain([Op::Flatten, dense(120), relu(), dense(84), relu(), dense(10), softmax()]),
+            chain([
+                conv(6, 5, 1, Padding::Same),
+                relu(),
+                maxpool(2, 2, Padding::Valid),
+            ]),
+            chain([
+                conv(16, 5, 1, Padding::Valid),
+                relu(),
+                maxpool(2, 2, Padding::Valid),
+            ]),
+            chain([
+                Op::Flatten,
+                dense(120),
+                relu(),
+                dense(84),
+                relu(),
+                dense(10),
+                softmax(),
+            ]),
         ]),
     )
 }
@@ -92,14 +112,29 @@ pub fn alexnet() -> Network {
         Shape::image(227, 227, 3),
         seq([
             chain([
-                Op::Conv2d { out_channels: 96, kh: 11, kw: 11, stride: 4, padding: Padding::Valid, bias: false },
+                Op::Conv2d {
+                    out_channels: 96,
+                    kh: 11,
+                    kw: 11,
+                    stride: 4,
+                    padding: Padding::Valid,
+                    bias: false,
+                },
                 relu(),
                 maxpool(3, 2, Padding::Valid),
             ]),
-            chain([conv(256, 5, 1, Padding::Same), relu(), maxpool(3, 2, Padding::Valid)]),
+            chain([
+                conv(256, 5, 1, Padding::Same),
+                relu(),
+                maxpool(3, 2, Padding::Valid),
+            ]),
             chain([conv(384, 3, 1, Padding::Same), relu()]),
             chain([conv(384, 3, 1, Padding::Same), relu()]),
-            chain([conv(256, 3, 1, Padding::Same), relu(), maxpool(3, 2, Padding::Valid)]),
+            chain([
+                conv(256, 3, 1, Padding::Same),
+                relu(),
+                maxpool(3, 2, Padding::Valid),
+            ]),
             chain([
                 Op::Flatten,
                 dense(4096),
@@ -192,7 +227,14 @@ pub fn resnet50() -> Network {
         seq([
             // Stem: 7×7/2 conv, 3×3/2 pool → 56×56×64.
             chain([
-                Op::Conv2d { out_channels: 64, kh: 7, kw: 7, stride: 2, padding: Padding::Same, bias: false },
+                Op::Conv2d {
+                    out_channels: 64,
+                    kh: 7,
+                    kw: 7,
+                    stride: 2,
+                    padding: Padding::Same,
+                    bias: false,
+                },
                 relu(),
                 maxpool(3, 2, Padding::Same),
             ]),
@@ -216,7 +258,10 @@ fn inception_a(pool_proj: usize) -> Node {
             conv(96, 3, 1, Padding::Same),
             conv(96, 3, 1, Padding::Same),
         ]),
-        chain([avgpool(3, 1, Padding::Same), conv(pool_proj, 1, 1, Padding::Same)]),
+        chain([
+            avgpool(3, 1, Padding::Same),
+            conv(pool_proj, 1, 1, Padding::Same),
+        ]),
     ])
 }
 
@@ -258,7 +303,10 @@ fn inception_b(c7: usize) -> Node {
 /// Grid reduction 17×17 → 8×8.
 fn reduction_b() -> Node {
     branches([
-        chain([conv(192, 1, 1, Padding::Same), conv(320, 3, 2, Padding::Valid)]),
+        chain([
+            conv(192, 1, 1, Padding::Same),
+            conv(320, 3, 2, Padding::Valid),
+        ]),
         chain([
             conv(192, 1, 1, Padding::Same),
             conv_rect(192, 1, 7, Padding::Same),
@@ -282,7 +330,10 @@ fn inception_c() -> Node {
             ]),
         ]),
         seq([
-            chain([conv(448, 1, 1, Padding::Same), conv(384, 3, 1, Padding::Same)]),
+            chain([
+                conv(448, 1, 1, Padding::Same),
+                conv(384, 3, 1, Padding::Same),
+            ]),
             branches([
                 chain([conv_rect(384, 1, 3, Padding::Same)]),
                 chain([conv_rect(384, 3, 1, Padding::Same)]),
@@ -334,7 +385,13 @@ pub fn inception_v3() -> Network {
             inception_c(),
             inception_c(),
             // Classifier head.
-            chain([Op::GlobalAvgPool, Op::Dropout, Op::Flatten, dense(1000), softmax()]),
+            chain([
+                Op::GlobalAvgPool,
+                Op::Dropout,
+                Op::Flatten,
+                dense(1000),
+                softmax(),
+            ]),
         ]),
     )
 }
@@ -369,7 +426,11 @@ mod tests {
         let net = mnist_fc();
         let w = net.params() as f64;
         let train = net.train_flops() as f64;
-        assert!((train - 6.0 * w).abs() / (6.0 * w) < 0.01, "train {train:e} vs 6W {:e}", 6.0 * w);
+        assert!(
+            (train - 6.0 * w).abs() / (6.0 * w) < 0.01,
+            "train {train:e} vs 6W {:e}",
+            6.0 * w
+        );
     }
 
     #[test]
@@ -410,18 +471,39 @@ mod tests {
     fn inception_module_channel_arithmetic() {
         // A-modules: 64+64+96+proj.
         let a = inception_a(32);
-        assert_eq!(a.out_shape(Shape::image(35, 35, 192)), Shape::image(35, 35, 256));
+        assert_eq!(
+            a.out_shape(Shape::image(35, 35, 192)),
+            Shape::image(35, 35, 256)
+        );
         let a64 = inception_a(64);
-        assert_eq!(a64.out_shape(Shape::image(35, 35, 256)), Shape::image(35, 35, 288));
+        assert_eq!(
+            a64.out_shape(Shape::image(35, 35, 256)),
+            Shape::image(35, 35, 288)
+        );
         // Reduction-A: 384 + 96 + 288.
-        assert_eq!(reduction_a().out_shape(Shape::image(35, 35, 288)), Shape::image(17, 17, 768));
+        assert_eq!(
+            reduction_a().out_shape(Shape::image(35, 35, 288)),
+            Shape::image(17, 17, 768)
+        );
         // B-modules keep 768.
-        assert_eq!(inception_b(128).out_shape(Shape::image(17, 17, 768)), Shape::image(17, 17, 768));
+        assert_eq!(
+            inception_b(128).out_shape(Shape::image(17, 17, 768)),
+            Shape::image(17, 17, 768)
+        );
         // Reduction-B: 320 + 192 + 768 = 1280.
-        assert_eq!(reduction_b().out_shape(Shape::image(17, 17, 768)), Shape::image(8, 8, 1280));
+        assert_eq!(
+            reduction_b().out_shape(Shape::image(17, 17, 768)),
+            Shape::image(8, 8, 1280)
+        );
         // C-modules: 320 + 768 + 768 + 192 = 2048.
-        assert_eq!(inception_c().out_shape(Shape::image(8, 8, 1280)), Shape::image(8, 8, 2048));
-        assert_eq!(inception_c().out_shape(Shape::image(8, 8, 2048)), Shape::image(8, 8, 2048));
+        assert_eq!(
+            inception_c().out_shape(Shape::image(8, 8, 1280)),
+            Shape::image(8, 8, 2048)
+        );
+        assert_eq!(
+            inception_c().out_shape(Shape::image(8, 8, 2048)),
+            Shape::image(8, 8, 2048)
+        );
     }
 
     #[test]
@@ -492,7 +574,10 @@ mod tests {
         assert_eq!(block.params(input), main_params, "identity adds no weights");
         // The sum itself costs one add per output element.
         let standalone = chain([conv(32, 3, 1, Padding::Same)]).forward_madds(input);
-        assert_eq!(block.forward_madds(input), standalone + input.elements() as u64);
+        assert_eq!(
+            block.forward_madds(input),
+            standalone + input.elements() as u64
+        );
     }
 
     #[test]

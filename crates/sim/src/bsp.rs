@@ -60,7 +60,10 @@ impl SuperstepSpec {
     /// Evenly divided load across `n` workers.
     pub fn even(total_flops: f64, n: usize, comm: CommPhase) -> Self {
         assert!(n >= 1);
-        Self { loads: vec![total_flops / n as f64; n], comm }
+        Self {
+            loads: vec![total_flops / n as f64; n],
+            comm,
+        }
     }
 }
 
@@ -160,7 +163,11 @@ pub fn simulate_with_speeds(
             // Communication phase.
             cursor = match &step.comm {
                 CommPhase::None => barrier,
-                CommPhase::GradientExchange { bits, broadcast: bk, reduce: rk } => {
+                CommPhase::GradientExchange {
+                    bits,
+                    broadcast: bk,
+                    reduce: rk,
+                } => {
                     if workers == 1 {
                         // A single worker exchanges nothing (the paper's
                         // t(1) has no communication term).
@@ -174,20 +181,18 @@ pub fn simulate_with_speeds(
                     if workers == 1 || cluster.is_shared_memory() {
                         barrier
                     } else {
-                        barrier
-                            + Seconds::new(
-                                total_bits / config.cluster.bandwidth().get(),
-                            )
+                        barrier + Seconds::new(total_bits / config.cluster.bandwidth().get())
                     }
                 }
-                CommPhase::RingAllReduce { bits } => {
-                    ring_all_reduce(&mut cluster, *bits, &done)
-                }
+                CommPhase::RingAllReduce { bits } => ring_all_reduce(&mut cluster, *bits, &done),
             };
         }
         iteration_times.push(cursor - iter_start);
     }
-    BspReport { iteration_times, total: cursor }
+    BspReport {
+        iteration_times,
+        total: cursor,
+    }
 }
 
 /// Convenience: simulated mean-iteration time as a function of `n`,
@@ -276,7 +281,11 @@ mod tests {
         };
         let report = simulate(&program, &config(), n);
         // Compute 1 s + tree reduce 4 s + tree broadcast 4 s.
-        assert!((report.total.as_secs() - 9.0).abs() < 1e-9, "got {}", report.total);
+        assert!(
+            (report.total.as_secs() - 9.0).abs() < 1e-9,
+            "got {}",
+            report.total
+        );
     }
 
     #[test]
@@ -369,7 +378,11 @@ mod tests {
         };
         let report = simulate(&program, &config(), n);
         // 1 s compute + 2·3/4 s ring.
-        assert!((report.total.as_secs() - 2.5).abs() < 1e-6, "got {}", report.total);
+        assert!(
+            (report.total.as_secs() - 2.5).abs() < 1e-6,
+            "got {}",
+            report.total
+        );
     }
 
     #[test]
@@ -393,8 +406,7 @@ mod tests {
             iterations: 1,
         };
         let uniform = simulate(&program, &config(), n);
-        let hetero =
-            simulate_with_speeds(&program, &config(), n, &[1.0, 1.0, 0.5, 1.0]);
+        let hetero = simulate_with_speeds(&program, &config(), n, &[1.0, 1.0, 0.5, 1.0]);
         // Even load: 1 s each; the 0.5x node needs 2 s and gates the barrier.
         assert!((uniform.total.as_secs() - 1.0).abs() < 1e-9);
         assert!((hetero.total.as_secs() - 2.0).abs() < 1e-9);
@@ -414,7 +426,10 @@ mod tests {
     #[should_panic(expected = "cover every worker")]
     fn mismatched_loads_rejected() {
         let program = BspProgram {
-            supersteps: vec![SuperstepSpec { loads: vec![1.0], comm: CommPhase::None }],
+            supersteps: vec![SuperstepSpec {
+                loads: vec![1.0],
+                comm: CommPhase::None,
+            }],
             iterations: 1,
         };
         let _ = simulate(&program, &config(), 2);

@@ -63,7 +63,10 @@ impl SimCluster {
     /// # Panics
     /// Panics when the factor is not positive.
     pub fn set_speed_factor(&mut self, node: NodeId, factor: f64) {
-        assert!(factor > 0.0 && factor.is_finite(), "speed factor must be positive");
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "speed factor must be positive"
+        );
         self.speed_factors[node] = factor;
     }
 

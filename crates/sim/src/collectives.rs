@@ -89,12 +89,7 @@ pub fn broadcast(
 /// Reduces `bits`-sized contributions from workers `1..=n` (each ready at
 /// `ready[w-1]`) onto the master; returns the time the master holds the
 /// full aggregate.
-pub fn reduce(
-    cluster: &mut SimCluster,
-    kind: ReduceKind,
-    bits: f64,
-    ready: &[Seconds],
-) -> Seconds {
+pub fn reduce(cluster: &mut SimCluster, kind: ReduceKind, bits: f64, ready: &[Seconds]) -> Seconds {
     let n = cluster.workers();
     assert_eq!(ready.len(), n, "need a readiness time per worker");
     if n == 0 {
@@ -111,10 +106,10 @@ pub fn reduce(
         ReduceKind::Tree => {
             // Pairwise binomial reduction among workers, then one transfer
             // to the master.
-            let mut holders: Vec<(NodeId, Seconds)> =
-                (1..=n).map(|w| (w, ready[w - 1])).collect();
+            let mut holders: Vec<(NodeId, Seconds)> = (1..=n).map(|w| (w, ready[w - 1])).collect();
             while holders.len() > 1 {
-                let mut next: Vec<(NodeId, Seconds)> = Vec::with_capacity(holders.len().div_ceil(2));
+                let mut next: Vec<(NodeId, Seconds)> =
+                    Vec::with_capacity(holders.len().div_ceil(2));
                 let mut iter = holders.chunks(2);
                 for pair in &mut iter {
                     match pair {
@@ -135,8 +130,7 @@ pub fn reduce(
             // Wave 1: ⌈√n⌉ leaders; each group member sends to its leader.
             let leaders_count = (n as f64).sqrt().ceil() as usize;
             let leaders: Vec<NodeId> = (1..=leaders_count.min(n)).collect();
-            let mut leader_done: Vec<Seconds> =
-                leaders.iter().map(|&l| ready[l - 1]).collect();
+            let mut leader_done: Vec<Seconds> = leaders.iter().map(|&l| ready[l - 1]).collect();
             for w in 1..=n {
                 if leaders.contains(&w) {
                     continue;

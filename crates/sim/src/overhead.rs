@@ -77,7 +77,10 @@ impl OverheadModel {
             OverheadModel::PerWorkerLinear { base, per_worker } => {
                 Seconds::new(base + per_worker * (n as f64 - 1.0))
             }
-            OverheadModel::ConstantPlusJitter { seconds, jitter_mean } => {
+            OverheadModel::ConstantPlusJitter {
+                seconds,
+                jitter_mean,
+            } => {
                 let jitter = OverheadModel::Exponential { mean: jitter_mean }.sample(n, rng);
                 Seconds::new(seconds) + jitter
             }
@@ -97,9 +100,10 @@ impl OverheadModel {
             OverheadModel::PerWorkerLinear { base, per_worker } => {
                 Seconds::new(base + per_worker * (n as f64 - 1.0))
             }
-            OverheadModel::ConstantPlusJitter { seconds, jitter_mean } => {
-                Seconds::new(seconds + jitter_mean)
-            }
+            OverheadModel::ConstantPlusJitter {
+                seconds,
+                jitter_mean,
+            } => Seconds::new(seconds + jitter_mean),
         }
     }
 }
@@ -116,7 +120,10 @@ mod tests {
 
     fn empirical_mean(model: OverheadModel, n: usize, samples: usize) -> f64 {
         let mut r = rng();
-        (0..samples).map(|_| model.sample(n, &mut r).as_secs()).sum::<f64>() / samples as f64
+        (0..samples)
+            .map(|_| model.sample(n, &mut r).as_secs())
+            .sum::<f64>()
+            / samples as f64
     }
 
     #[test]
@@ -141,16 +148,25 @@ mod tests {
 
     #[test]
     fn lognormal_mean_matches_closed_form() {
-        let m = OverheadModel::LogNormal { mu: -3.0, sigma: 0.5 };
+        let m = OverheadModel::LogNormal {
+            mu: -3.0,
+            sigma: 0.5,
+        };
         let expected = (-3.0f64 + 0.125).exp();
         let emp = empirical_mean(m, 4, 50_000);
-        assert!((emp - expected).abs() / expected < 0.05, "empirical {emp} vs {expected}");
+        assert!(
+            (emp - expected).abs() / expected < 0.05,
+            "empirical {emp} vs {expected}"
+        );
         assert!((m.mean(4).as_secs() - expected).abs() < 1e-12);
     }
 
     #[test]
     fn per_worker_linear_grows() {
-        let m = OverheadModel::PerWorkerLinear { base: 0.01, per_worker: 0.002 };
+        let m = OverheadModel::PerWorkerLinear {
+            base: 0.01,
+            per_worker: 0.002,
+        };
         assert_eq!(m.sample(1, &mut rng()).as_secs(), 0.01);
         assert!((m.sample(11, &mut rng()).as_secs() - 0.03).abs() < 1e-12);
         assert!(m.mean(80) > m.mean(8));
@@ -158,7 +174,10 @@ mod tests {
 
     #[test]
     fn jitter_mean_is_sum() {
-        let m = OverheadModel::ConstantPlusJitter { seconds: 0.1, jitter_mean: 0.05 };
+        let m = OverheadModel::ConstantPlusJitter {
+            seconds: 0.1,
+            jitter_mean: 0.05,
+        };
         assert!((m.mean(2).as_secs() - 0.15).abs() < 1e-12);
         let emp = empirical_mean(m, 2, 20_000);
         assert!((emp - 0.15).abs() < 0.01);

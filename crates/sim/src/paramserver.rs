@@ -103,7 +103,11 @@ pub fn simulate_async(
         let overhead = config.overhead.sample(workers, &mut rng);
         let after = cluster.occupy(w, overhead, pulled);
         let computed = cluster.compute(w, config.grad_flops, after);
-        heap.push(Reverse(Pending { time: computed, worker: w, pulled_version: 0 }));
+        heap.push(Reverse(Pending {
+            time: computed,
+            worker: w,
+            pulled_version: 0,
+        }));
     }
 
     while version < total_updates {
@@ -175,7 +179,10 @@ mod tests {
         let t1 = simulate_async(&config(), 1, 50).throughput;
         let t4 = simulate_async(&config(), 4, 50).throughput;
         let t8 = simulate_async(&config(), 8, 80).throughput;
-        assert!(t4 > 3.0 * t1, "4 workers should nearly quadruple throughput");
+        assert!(
+            t4 > 3.0 * t1,
+            "4 workers should nearly quadruple throughput"
+        );
         assert!(t8 > t4);
     }
 
@@ -186,7 +193,10 @@ mod tests {
         // With n workers computing concurrently, ~n−1 updates land between
         // a pull and the matching push.
         assert!(s8 > s2);
-        assert!((s8 - 7.0).abs() < 2.0, "expected staleness near 7, got {s8}");
+        assert!(
+            (s8 - 7.0).abs() < 2.0,
+            "expected staleness near 7, got {s8}"
+        );
     }
 
     #[test]
@@ -223,11 +233,17 @@ mod tests {
         // round, async pays the mean. Compare total time for the same
         // number of gradient computations.
         use crate::bsp::{simulate, BspConfig, BspProgram, CommPhase, SuperstepSpec};
-        let overhead = OverheadModel::LogNormal { mu: -1.5, sigma: 1.2 };
+        let overhead = OverheadModel::LogNormal {
+            mu: -1.5,
+            sigma: 1.2,
+        };
         let n = 8;
         let updates = 64; // 8 rounds of 8 in the sync schedule
         let async_report = simulate_async(
-            &ParamServerConfig { overhead, ..config() },
+            &ParamServerConfig {
+                overhead,
+                ..config()
+            },
             n,
             updates,
         );
@@ -244,7 +260,11 @@ mod tests {
                 )],
                 iterations: updates / n,
             },
-            &BspConfig { cluster: config().cluster, overhead, seed: 7 },
+            &BspConfig {
+                cluster: config().cluster,
+                overhead,
+                seed: 7,
+            },
             n,
         );
         assert!(

@@ -10,6 +10,7 @@
 //! estimate for configurations with few workers. However, execution
 //! overhead takes over with larger number of workers."
 
+use mlscale_core::hardware::{ClusterSpec, LinkSpec, NodeSpec};
 use mlscale_core::models::graphinf::{
     bp_cost_per_edge, max_edges_monte_carlo, EdgeLoad, GraphInferenceModel,
 };
@@ -19,7 +20,6 @@ use mlscale_graph::csr::CsrGraph;
 use mlscale_graph::partition::{Partition, PartitionStats};
 use mlscale_sim::bsp::{simulate, BspConfig, BspProgram, CommPhase, SuperstepSpec};
 use mlscale_sim::overhead::OverheadModel;
-use mlscale_core::hardware::{ClusterSpec, LinkSpec, NodeSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -105,16 +105,14 @@ impl<'a> BpWorkload<'a> {
         let partition = Partition::random(self.graph.vertices(), n, rng);
         let stats = PartitionStats::compute(self.graph, &partition);
         let c = bp_cost_per_edge(self.states).get();
-        let loads: Vec<f64> = stats
-            .incident_edges
-            .iter()
-            .map(|&e| e as f64 * c)
-            .collect();
+        let loads: Vec<f64> = stats.incident_edges.iter().map(|&e| e as f64 * c).collect();
         let replica_bits = 32.0 * stats.replicas as f64 * self.states as f64;
         BspProgram {
             supersteps: vec![SuperstepSpec {
                 loads,
-                comm: CommPhase::SharedMedium { total_bits: replica_bits },
+                comm: CommPhase::SharedMedium {
+                    total_bits: replica_bits,
+                },
             }],
             iterations: self.iterations,
         }
@@ -150,7 +148,11 @@ mod tests {
 
     fn small_power_law() -> CsrGraph {
         dns_like(
-            DnsGraphSpec { vertices: 4000, edges: 24_000, max_degree: 600 },
+            DnsGraphSpec {
+                vertices: 4000,
+                edges: 24_000,
+                max_degree: 600,
+            },
             &mut rng(),
         )
     }
@@ -194,7 +196,10 @@ mod tests {
         // peaks and then declines.
         let g = small_power_law();
         let mut w = BpWorkload::shared_memory(&g, FlopsRate::giga(1.0));
-        w.overhead = OverheadModel::PerWorkerLinear { base: 1e-6, per_worker: 2e-6 };
+        w.overhead = OverheadModel::PerWorkerLinear {
+            base: 1e-6,
+            per_worker: 2e-6,
+        };
         let ns: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64];
         let sim = w.simulated_curve(&ns);
         let (n_opt, _) = sim.optimal();
@@ -209,7 +214,10 @@ mod tests {
         let shared = w.simulate(8);
         w.bandwidth = BitsPerSec::mega(10.0);
         let networked = w.simulate(8);
-        assert!(networked > shared, "replica exchange must cost time on a network");
+        assert!(
+            networked > shared,
+            "replica exchange must cost time on a network"
+        );
     }
 
     #[test]
@@ -218,8 +226,7 @@ mod tests {
         let w = BpWorkload::shared_memory(&g, FlopsRate::giga(1.0));
         let program = w.program_for(4, &mut rng());
         let c = bp_cost_per_edge(2).get();
-        let total_edges: f64 =
-            program.supersteps[0].loads.iter().map(|l| l / c).sum();
+        let total_edges: f64 = program.supersteps[0].loads.iter().map(|l| l / c).sum();
         // Σ incident edges = E + cut ≥ E.
         assert!(total_edges >= 3000.0 - 1e-6);
         assert!(total_edges <= 2.0 * 3000.0 + 1e-6);

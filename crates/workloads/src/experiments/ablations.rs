@@ -31,7 +31,10 @@ pub fn comm_architectures(max_n: usize) -> ExperimentResult {
         "Gradient exchange architecture vs strong-scaling speedup (Fig 2 config)",
     );
     for (name, comm) in kinds {
-        let model = GradientDescentModel { comm, ..fig2_model() };
+        let model = GradientDescentModel {
+            comm,
+            ..fig2_model()
+        };
         let curve = model.strong_curve(ns.iter().copied());
         let (n_opt, s_opt) = curve.optimal();
         result = result
@@ -55,12 +58,22 @@ pub fn weak_scaling_comm(max_n: usize) -> ExperimentResult {
         "ablation-weak-comm",
         "Per-instance weak-scaling speedup: logarithmic vs linear communication",
     );
-    for (name, comm) in [("log-tree", GdComm::TwoStageTree), ("linear", GdComm::LinearFlat)] {
-        let model = GradientDescentModel { comm, ..fig3_model() };
+    for (name, comm) in [
+        ("log-tree", GdComm::TwoStageTree),
+        ("linear", GdComm::LinearFlat),
+    ] {
+        let model = GradientDescentModel {
+            comm,
+            ..fig3_model()
+        };
         let curve = model.weak_curve(ns.iter().copied());
         result = result.with_series(Series::new(name, curve.speedups()));
     }
-    let log_s = result.series("log-tree").expect("built above").points.clone();
+    let log_s = result
+        .series("log-tree")
+        .expect("built above")
+        .points
+        .clone();
     let lin_s = result.series("linear").expect("built above").points.clone();
     let log_gain = log_s.last().unwrap().1 / log_s[log_s.len() - 2].1;
     let lin_gain = lin_s.last().unwrap().1 / lin_s[lin_s.len() - 2].1;
@@ -83,7 +96,10 @@ pub fn batch_size(max_n: usize) -> ExperimentResult {
     );
     let ns: Vec<usize> = (1..=max_n).collect();
     for batch in [6_000.0, 60_000.0, 600_000.0] {
-        let model = GradientDescentModel { batch_size: batch, ..fig2_model() };
+        let model = GradientDescentModel {
+            batch_size: batch,
+            ..fig2_model()
+        };
         let curve = model.strong_curve(ns.iter().copied());
         let (n_opt, s_opt) = curve.optimal();
         let label = format!("S={batch:.0}");
@@ -107,7 +123,10 @@ pub fn precision(max_n: usize) -> ExperimentResult {
         "Parameter width (32 vs 64 bit) vs strong-scaling speedup (Fig 2 config)",
     );
     for bits in [32u32, 64] {
-        let model = GradientDescentModel { bits_per_param: bits, ..fig2_model() };
+        let model = GradientDescentModel {
+            bits_per_param: bits,
+            ..fig2_model()
+        };
         let curve = model.strong_curve(ns.iter().copied());
         let (n_opt, s_opt) = curve.optimal();
         result = result
@@ -133,9 +152,15 @@ pub fn partitioning(graph: &CsrGraph, ns: &[usize], seed: u64) -> ExperimentResu
         random.push((n, s_rand.max_incident_edges() as f64));
         repl.push((n, s_rand.replication_factor()));
         let p_hash = Partition::hashed(graph.vertices(), n);
-        hashed.push((n, PartitionStats::compute(graph, &p_hash).max_incident_edges() as f64));
+        hashed.push((
+            n,
+            PartitionStats::compute(graph, &p_hash).max_incident_edges() as f64,
+        ));
         let p_greedy = Partition::greedy_balanced(graph, n);
-        greedy.push((n, PartitionStats::compute(graph, &p_greedy).max_incident_edges() as f64));
+        greedy.push((
+            n,
+            PartitionStats::compute(graph, &p_greedy).max_incident_edges() as f64,
+        ));
     }
     let last = ns.len() - 1;
     let gain = random[last].1 / greedy[last].1;
@@ -318,14 +343,21 @@ mod tests {
             .find(|s| s.label == "peak speedup (64-bit)")
             .unwrap()
             .value;
-        assert!(peak32 > peak64, "half the traffic must help: {peak32} vs {peak64}");
+        assert!(
+            peak32 > peak64,
+            "half the traffic must help: {peak32} vs {peak64}"
+        );
     }
 
     #[test]
     fn partition_ablation_greedy_wins() {
         let mut rng = StdRng::seed_from_u64(5);
         let g = dns_like(
-            DnsGraphSpec { vertices: 3000, edges: 18_000, max_degree: 500 },
+            DnsGraphSpec {
+                vertices: 3000,
+                edges: 18_000,
+                max_degree: 500,
+            },
             &mut rng,
         );
         let r = partitioning(&g, &[2, 4, 8, 16], 9);
@@ -345,7 +377,11 @@ mod tests {
     fn bp_network_ablation_orders_bandwidths() {
         let mut rng = StdRng::seed_from_u64(8);
         let g = dns_like(
-            DnsGraphSpec { vertices: 4000, edges: 24_000, max_degree: 600 },
+            DnsGraphSpec {
+                vertices: 4000,
+                edges: 24_000,
+                max_degree: 600,
+            },
             &mut rng,
         );
         let r = bp_network(&g, &[1, 2, 4, 8, 16], 13);
@@ -365,7 +401,12 @@ mod tests {
     #[test]
     fn amdahl_ablation_breaks_the_cap() {
         let r = amdahl(1024);
-        let cap = r.stats.iter().find(|s| s.label == "Amdahl cap (1/serial)").unwrap().value;
+        let cap = r
+            .stats
+            .iter()
+            .find(|s| s.label == "Amdahl cap (1/serial)")
+            .unwrap()
+            .value;
         let fixed = r
             .stats
             .iter()
@@ -379,6 +420,9 @@ mod tests {
             .unwrap()
             .value;
         assert!(fixed < cap);
-        assert!(declining > cap, "declining overhead must beat the Amdahl cap");
+        assert!(
+            declining > cap,
+            "declining overhead must beat the Amdahl cap"
+        );
     }
 }

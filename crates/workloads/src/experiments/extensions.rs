@@ -40,14 +40,15 @@ pub fn async_gd(ns: &[usize], updates: usize) -> ExperimentResult {
         overhead: OverheadModel::None,
         seed: 77,
     };
-    let model_series: Vec<(usize, f64)> =
-        ns.iter().map(|&n| (n, model.throughput(n))).collect();
+    let model_series: Vec<(usize, f64)> = ns.iter().map(|&n| (n, model.throughput(n))).collect();
     let sim_series: Vec<(usize, f64)> = ns
         .iter()
         .map(|&n| (n, simulate_async(&sim_config, n, updates).throughput))
         .collect();
-    let staleness_model: Vec<(usize, f64)> =
-        ns.iter().map(|&n| (n, model.expected_staleness(n))).collect();
+    let staleness_model: Vec<(usize, f64)> = ns
+        .iter()
+        .map(|&n| (n, model.expected_staleness(n)))
+        .collect();
     let staleness_sim: Vec<(usize, f64)> = ns
         .iter()
         .map(|&n| (n, simulate_async(&sim_config, n, updates).mean_staleness))
@@ -62,7 +63,11 @@ pub fn async_gd(ns: &[usize], updates: usize) -> ExperimentResult {
     .with_series(Series::new("model staleness", staleness_model))
     .with_series(Series::new("simulated staleness", staleness_sim))
     .with_stat("throughput MAPE %", mape, None)
-    .with_stat("saturation point (model)", model.saturation_point() as f64, None)
+    .with_stat(
+        "saturation point (model)",
+        model.saturation_point() as f64,
+        None,
+    )
     .with_note(
         "the paper's future-work item: X(n) = min(n/t_cycle, 1/t_srv); staleness \
          ≈ n−1 before the server NIC saturates",
@@ -92,7 +97,11 @@ pub fn inference_costs(max_states: usize) -> ExperimentResult {
     .with_series(Series::new("bp c(S)", bp))
     .with_series(Series::new("gibbs c(S)", gibbs))
     .with_stat("bp/gibbs ratio at S=2", ratio_at_2, None)
-    .with_stat(format!("bp/gibbs ratio at S={max_states}"), ratio_at_max, None)
+    .with_stat(
+        format!("bp/gibbs ratio at S={max_states}"),
+        ratio_at_max,
+        None,
+    )
     .with_note(
         "BP pays an S² marginalisation per message; Gibbs only accumulates S \
          conditional terms per edge — the gap widens linearly in S, trading \
@@ -202,7 +211,10 @@ mod tests {
             .find(|s| s.label == "throughput MAPE %")
             .unwrap()
             .value;
-        assert!(mape < 15.0, "async model must track the event simulation: {mape:.1}%");
+        assert!(
+            mape < 15.0,
+            "async model must track the event simulation: {mape:.1}%"
+        );
         // Staleness ≈ n−1 in both.
         let sim_st = r.series("simulated staleness").unwrap();
         assert!((sim_st.at(8).unwrap() - 7.0).abs() < 1.5);
@@ -213,8 +225,18 @@ mod tests {
     #[test]
     fn inference_cost_gap_widens() {
         let r = inference_costs(16);
-        let at2 = r.stats.iter().find(|s| s.label.contains("S=2")).unwrap().value;
-        let at16 = r.stats.iter().find(|s| s.label.contains("S=16")).unwrap().value;
+        let at2 = r
+            .stats
+            .iter()
+            .find(|s| s.label.contains("S=2"))
+            .unwrap()
+            .value;
+        let at16 = r
+            .stats
+            .iter()
+            .find(|s| s.label.contains("S=16"))
+            .unwrap()
+            .value;
         assert!((at2 - 14.0 / 4.0).abs() < 1e-12);
         assert!(at16 > at2, "S² term must widen the gap");
     }
@@ -230,7 +252,12 @@ mod tests {
                 .value
         };
         // Parameter-heavy AlexNet must cap out before the conv-heavy nets.
-        assert!(opt("alexnet") < opt("vgg16"), "alexnet {} vgg {}", opt("alexnet"), opt("vgg16"));
+        assert!(
+            opt("alexnet") < opt("vgg16"),
+            "alexnet {} vgg {}",
+            opt("alexnet"),
+            opt("vgg16")
+        );
         assert!(opt("alexnet") < opt("inception-v3"));
         // The MNIST FC net (W/C = 1/2) is the most communication-bound of
         // all at this batch size.
@@ -240,9 +267,22 @@ mod tests {
     #[test]
     fn provisioning_trade_off_present() {
         let r = provisioning(1000.0, 2.0);
-        let fastest_n = r.stats.iter().find(|s| s.label == "fastest n").unwrap().value;
-        let cheapest_n = r.stats.iter().find(|s| s.label == "cheapest n").unwrap().value;
-        assert!(fastest_n > cheapest_n, "speed costs money: {fastest_n} vs {cheapest_n}");
+        let fastest_n = r
+            .stats
+            .iter()
+            .find(|s| s.label == "fastest n")
+            .unwrap()
+            .value;
+        let cheapest_n = r
+            .stats
+            .iter()
+            .find(|s| s.label == "cheapest n")
+            .unwrap()
+            .value;
+        assert!(
+            fastest_n > cheapest_n,
+            "speed costs money: {fastest_n} vs {cheapest_n}"
+        );
         let within = r
             .stats
             .iter()

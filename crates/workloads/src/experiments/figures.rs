@@ -104,11 +104,15 @@ pub fn fig1() -> ExperimentResult {
     let (n_opt, s_opt) = curve.optimal();
     let comp = Series::new(
         "compute s",
-        (1..=32).map(|n| (n, model.strong_comp_time(n).as_secs())).collect(),
+        (1..=32)
+            .map(|n| (n, model.strong_comp_time(n).as_secs()))
+            .collect(),
     );
     let comm = Series::new(
         "comm s",
-        (1..=32).map(|n| (n, model.comm_time(n).as_secs())).collect(),
+        (1..=32)
+            .map(|n| (n, model.comm_time(n).as_secs()))
+            .collect(),
     );
     ExperimentResult::new("fig1", "Example of the speedup (Section III)")
         .with_series(Series::new("speedup", curve.speedups()))
@@ -165,7 +169,10 @@ pub fn fig2(max_n: usize) -> ExperimentResult {
         model: fig2_model(),
         // Spark task-launch cost plus scheduling jitter — the source of
         // the paper's model-vs-experiment gap beyond ~5 workers.
-        overhead: OverheadModel::ConstantPlusJitter { seconds: 0.3, jitter_mean: 0.3 },
+        overhead: OverheadModel::ConstantPlusJitter {
+            seconds: 0.3,
+            jitter_mean: 0.3,
+        },
         iterations: 5,
         seed: 2017,
     };

@@ -29,7 +29,12 @@ pub struct GdWorkload {
 impl GdWorkload {
     /// A workload with no overhead (simulation should match the model).
     pub fn ideal(model: GradientDescentModel) -> Self {
-        Self { model, overhead: OverheadModel::None, iterations: 3, seed: 0xC0FFEE }
+        Self {
+            model,
+            overhead: OverheadModel::None,
+            iterations: 3,
+            seed: 0xC0FFEE,
+        }
     }
 
     /// The simulator communication phase matching the model's collective.
@@ -96,7 +101,11 @@ impl GdWorkload {
     }
 
     fn config(&self) -> BspConfig {
-        BspConfig { cluster: self.model.cluster, overhead: self.overhead, seed: self.seed }
+        BspConfig {
+            cluster: self.model.cluster,
+            overhead: self.overhead,
+            seed: self.seed,
+        }
     }
 
     /// Simulated mean iteration time at `n` workers (strong scaling).
@@ -113,25 +122,20 @@ impl GdWorkload {
 
     /// Analytic and simulated strong-scaling speedup curves over `ns`.
     pub fn strong_curves(&self, ns: &[usize]) -> (SpeedupCurve, SpeedupCurve) {
-        let model = SpeedupCurve::from_fn(ns.iter().copied(), |n| {
-            self.model.strong_iteration_time(n)
-        });
-        let sim =
-            SpeedupCurve::from_fn(ns.iter().copied(), |n| self.simulate_strong(n));
+        let model =
+            SpeedupCurve::from_fn(ns.iter().copied(), |n| self.model.strong_iteration_time(n));
+        let sim = SpeedupCurve::from_fn(ns.iter().copied(), |n| self.simulate_strong(n));
         (model, sim)
     }
 
     /// Analytic and simulated weak-scaling per-instance curves over `ns`,
     /// both rebased at `baseline_n` (the paper's Fig 3 uses 50).
     pub fn weak_curves(&self, ns: &[usize], baseline_n: usize) -> (SpeedupCurve, SpeedupCurve) {
-        let model = SpeedupCurve::from_fn(ns.iter().copied(), |n| {
-            self.model.weak_per_instance_time(n)
-        })
-        .rebased(baseline_n);
-        let sim = SpeedupCurve::from_fn(ns.iter().copied(), |n| {
-            self.simulate_weak_per_instance(n)
-        })
-        .rebased(baseline_n);
+        let model =
+            SpeedupCurve::from_fn(ns.iter().copied(), |n| self.model.weak_per_instance_time(n))
+                .rebased(baseline_n);
+        let sim = SpeedupCurve::from_fn(ns.iter().copied(), |n| self.simulate_weak_per_instance(n))
+            .rebased(baseline_n);
         (model, sim)
     }
 }

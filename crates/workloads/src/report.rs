@@ -18,7 +18,10 @@ pub struct Series {
 impl Series {
     /// Builds a series.
     pub fn new(name: impl Into<String>, points: Vec<(usize, f64)>) -> Self {
-        Self { name: name.into(), points }
+        Self {
+            name: name.into(),
+            points,
+        }
     }
 
     /// The point with the maximum value (ties to the smaller `n`).
@@ -87,7 +90,11 @@ impl ExperimentResult {
     /// Adds a stat.
     #[must_use]
     pub fn with_stat(mut self, label: impl Into<String>, value: f64, paper: Option<f64>) -> Self {
-        self.stats.push(Stat { label: label.into(), value, paper });
+        self.stats.push(Stat {
+            label: label.into(),
+            value,
+            paper,
+        });
         self
     }
 
@@ -151,11 +158,7 @@ impl ExperimentResult {
         for stat in &self.stats {
             match stat.paper {
                 Some(p) => {
-                    let _ = writeln!(
-                        out,
-                        "{}: {:.3}   (paper: {:.3})",
-                        stat.label, stat.value, p
-                    );
+                    let _ = writeln!(out, "{}: {:.3}   (paper: {:.3})", stat.label, stat.value, p);
                 }
                 None => {
                     let _ = writeln!(out, "{}: {:.3}", stat.label, stat.value);

@@ -25,7 +25,10 @@ fn main() {
     // 320 Mbit of traffic per push/pull; heavy-tailed stragglers.
     let grad_flops = 3.2e9;
     let payload_bits = 32.0 * 10e6;
-    let overhead = OverheadModel::LogNormal { mu: -3.0, sigma: 1.0 };
+    let overhead = OverheadModel::LogNormal {
+        mu: -3.0,
+        sigma: 1.0,
+    };
     let updates = 256;
 
     println!(
@@ -48,11 +51,14 @@ fn main() {
                 )],
                 iterations: rounds.max(1),
             },
-            &BspConfig { cluster, overhead, seed: 11 },
+            &BspConfig {
+                cluster,
+                overhead,
+                seed: 11,
+            },
             n,
         );
-        let sync_throughput =
-            (rounds.max(1) * n) as f64 / sync_report.total.as_secs();
+        let sync_throughput = (rounds.max(1) * n) as f64 / sync_report.total.as_secs();
 
         // Asynchronous: same number of applied updates.
         let async_report = simulate_async(

@@ -28,7 +28,15 @@ fn main() {
     let mut unary = vec![1.0f64; v * 2];
     unary[0] = 50.0; // strong evidence at vertex 0 for state 0
     unary[1] = 0.02;
-    let mrf = PairwiseMrf::new(grid, 2, unary, PairwisePotential::Potts { same: 1.8, diff: 0.6 });
+    let mrf = PairwiseMrf::new(
+        grid,
+        2,
+        unary,
+        PairwisePotential::Potts {
+            same: 1.8,
+            diff: 0.6,
+        },
+    );
     let mut bp = BeliefPropagation::new(&mrf);
     let run = bp.run(200, 1e-8);
     println!(
@@ -64,7 +72,10 @@ fn main() {
         states: 2,
         flops,
         bandwidth: BitsPerSec::new(f64::INFINITY), // shared memory
-        overhead: OverheadModel::PerWorkerLinear { base: 2e-5 * t1, per_worker: 5e-4 * t1 },
+        overhead: OverheadModel::PerWorkerLinear {
+            base: 2e-5 * t1,
+            per_worker: 5e-4 * t1,
+        },
         trials: 3,
         iterations: 3,
         seed: 0xF16,

@@ -73,7 +73,10 @@ fn main() {
     );
     // Contrast: the same question under linear (flat) communication has no
     // answer once the exchange dominates — the paper's finite-scaling case.
-    let flat = GradientDescentModel { comm: GdComm::LinearFlat, ..weak_model };
+    let flat = GradientDescentModel {
+        comm: GdComm::LinearFlat,
+        ..weak_model
+    };
     let weak_flat = WeakScaling::new(|n| flat.weak_iteration_time(n), 1024);
     println!("Q2b: same question with flat (linear) communication:");
     match weak_flat.nodes_for_constant_time(8, 2.0, 0.10) {

@@ -34,7 +34,10 @@ fn main() {
 
     let ns: Vec<usize> = vec![10, 25, 50, 100, 150, 200, 400];
     let log_curve = model.weak_curve(ns.iter().copied()).rebased(50);
-    let linear = GradientDescentModel { comm: GdComm::LinearFlat, ..model };
+    let linear = GradientDescentModel {
+        comm: GdComm::LinearFlat,
+        ..model
+    };
     let lin_curve = linear.weak_curve(ns.iter().copied()).rebased(50);
 
     println!("\nper-instance speedup relative to 50 workers:");
@@ -46,12 +49,8 @@ fn main() {
             lin_curve.speedup_at(n).unwrap()
         );
     }
-    println!(
-        "\nlogarithmic aggregation: every doubling keeps helping (infinite weak scaling)."
-    );
-    println!(
-        "linear communication: saturates once the exchange dominates (finite scaling)."
-    );
+    println!("\nlogarithmic aggregation: every doubling keeps helping (infinite weak scaling).");
+    println!("linear communication: saturates once the exchange dominates (finite scaling).");
 
     // The instances-per-second view at a few cluster sizes.
     println!("\nthroughput view (instances/s, effective batch = 128·n):");

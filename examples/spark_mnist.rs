@@ -38,7 +38,10 @@ fn main() {
     };
     let workload = GdWorkload {
         model,
-        overhead: OverheadModel::ConstantPlusJitter { seconds: 0.3, jitter_mean: 0.3 },
+        overhead: OverheadModel::ConstantPlusJitter {
+            seconds: 0.3,
+            jitter_mean: 0.3,
+        },
         iterations: 5,
         seed: 2017,
     };
@@ -69,7 +72,10 @@ fn main() {
         if step % 10 == 0 {
             println!("step {step:>2}: single-node loss {l1:.4}, 8-shard loss {l2:.4}");
         }
-        assert!((l1 - l2).abs() < 1e-4, "data-parallel must match single-node");
+        assert!(
+            (l1 - l2).abs() < 1e-4,
+            "data-parallel must match single-node"
+        );
     }
     println!(
         "final accuracy: {:.1}% (single) vs {:.1}% (8 shards) — identical updates",

@@ -252,7 +252,9 @@ fn cmd_plan(flags: &HashMap<String, String>) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((command, rest)) = args.split_first() else { usage() };
+    let Some((command, rest)) = args.split_first() else {
+        usage()
+    };
     let flags = parse_flags(rest);
     match command.as_str() {
         "gd" => cmd_gd(&flags),

@@ -1,0 +1,80 @@
+//! Smoke tests executing every `examples/*.rs` binary end to end.
+//!
+//! `cargo test` builds all example targets before running integration
+//! tests, so the compiled binaries are guaranteed to sit in
+//! `target/<profile>/examples/` next to this test's own binary. Each test
+//! runs one example and asserts it exits cleanly with non-empty output —
+//! catching panics, infinite loops (via the harness timeout culture), and
+//! silent regressions in the demo entry points the README advertises.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn example_bin(name: &str) -> PathBuf {
+    // current_exe = target/<profile>/deps/example_smoke-<hash>
+    let mut path = std::env::current_exe().expect("test binary path");
+    path.pop(); // deps/
+    path.pop(); // <profile>/
+    path.push("examples");
+    path.push(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+    path
+}
+
+fn run_example(name: &str) -> String {
+    let bin = example_bin(name);
+    assert!(
+        bin.exists(),
+        "example binary {} not built (cargo test builds examples; was the \
+         example renamed?)",
+        bin.display()
+    );
+    let output = Command::new(&bin)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", bin.display()));
+    assert!(
+        output.status.success(),
+        "example `{name}` exited with {:?}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+    assert!(
+        !stdout.trim().is_empty(),
+        "example `{name}` printed nothing on stdout"
+    );
+    stdout
+}
+
+#[test]
+fn quickstart_runs_and_reports_an_optimum() {
+    let out = run_example("quickstart");
+    assert!(
+        out.contains("optimal cluster size"),
+        "quickstart output lost its optimum line:\n{out}"
+    );
+}
+
+#[test]
+fn spark_mnist_runs() {
+    run_example("spark_mnist");
+}
+
+#[test]
+fn gpu_weak_scaling_runs() {
+    run_example("gpu_weak_scaling");
+}
+
+#[test]
+fn bp_dns_runs() {
+    run_example("bp_dns");
+}
+
+#[test]
+fn capacity_planning_runs() {
+    run_example("capacity_planning");
+}
+
+#[test]
+fn async_sgd_runs() {
+    run_example("async_sgd");
+}

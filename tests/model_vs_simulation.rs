@@ -137,7 +137,11 @@ fn simulated_times_respect_bandwidth_lower_bound() {
         let program = BspProgram {
             supersteps: vec![SuperstepSpec {
                 loads: vec![0.0; 8],
-                comm: CommPhase::GradientExchange { bits: volume, broadcast: bk, reduce: rk },
+                comm: CommPhase::GradientExchange {
+                    bits: volume,
+                    broadcast: bk,
+                    reduce: rk,
+                },
             }],
             iterations: 1,
         };

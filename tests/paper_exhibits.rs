@@ -42,7 +42,11 @@ fn fig1_example_peaks_at_fourteen() {
 #[test]
 fn fig2_optimum_and_mape_in_band() {
     let r = fig2(13);
-    assert_eq!(stat(&r, "optimal n (model, n<=13)"), 9.0, "paper: nine workers");
+    assert_eq!(
+        stat(&r, "optimal n (model, n<=13)"),
+        9.0,
+        "paper: nine workers"
+    );
     let mape = stat(&r, "MAPE %");
     assert!(
         mape < 30.0,

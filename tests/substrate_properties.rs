@@ -144,7 +144,10 @@ fn exact_loads_round_trip_through_model() {
             FlopCount::new(s.max_incident_edges() as f64 * 14.0)
         })
         .collect();
-    let model = MaxLoad { max_load_per_n: loads.clone(), rate: FlopsRate::giga(1.0) };
+    let model = MaxLoad {
+        max_load_per_n: loads.clone(),
+        rate: FlopsRate::giga(1.0),
+    };
     for n in 1..=8usize {
         let expected = loads[n - 1].get() / 1e9;
         assert!((model.time(n).as_secs() - expected).abs() < 1e-12);

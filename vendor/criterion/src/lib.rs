@@ -1,0 +1,216 @@
+//! Vendored minimal stand-in for the `criterion` benchmarking crate.
+//!
+//! Implements the subset this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `Throughput`,
+//! `criterion_group!` / `criterion_main!` — with a simple fixed-budget
+//! timer instead of criterion's statistical machinery: each benchmark is
+//! warmed up briefly, then timed for a capped number of iterations, and
+//! the mean time per iteration is printed.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration measurement driver handed to benchmark closures.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration measured by the last `iter` call.
+    pub mean: Duration,
+    /// Iterations actually timed.
+    pub iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly within the bencher's budget and records the
+    /// mean per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call (also primes caches/allocations).
+        std::hint::black_box(f());
+        // Check the clock only once per batch so nanosecond-scale bodies
+        // are not dominated by `Instant::elapsed` overhead; the batch size
+        // doubles until a batch is long enough to time meaningfully.
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        let mut batch: u64 = 1;
+        loop {
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            iters += batch;
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget || iters >= 1_000_000 {
+                break;
+            }
+            if elapsed < self.budget / 20 && batch < 65_536 {
+                batch *= 2;
+            }
+        }
+        self.iters = iters;
+        self.mean = start.elapsed() / iters.max(1) as u32;
+    }
+}
+
+/// Throughput annotation for a benchmark group (recorded, reported
+/// alongside timings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    budget: Option<Duration>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; the vendored
+    /// runner uses a time budget instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time budget for this group's benchmarks
+    /// (scoped to the group, as in real criterion).
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<I: Into<String>, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+            iters: 0,
+            budget: self.budget.unwrap_or(self.criterion.budget),
+        };
+        f(&mut b);
+        let per_iter = b.mean;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                format!("  ({:.3e} elem/s)", n as f64 / per_iter.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+                format!("  ({:.3e} B/s)", n as f64 / per_iter.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<40} {:>12.3?} /iter over {} iters{}",
+            self.name, id, per_iter, b.iters, rate
+        );
+        self
+    }
+
+    /// Ends the group (criterion-API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted for compatibility with
+    /// `cargo bench -- <filter>`; the vendored runner ignores filters).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named [`BenchmarkGroup`].
+    pub fn benchmark_group<I: Into<String>>(&mut self, name: I) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            budget: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<I: Into<String>, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Opaque black box re-exported for API compatibility.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("selftest");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum_100", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group!(selftest_group, sample_bench);
+
+    #[test]
+    fn group_runs_and_measures() {
+        selftest_group();
+    }
+
+    #[test]
+    fn bencher_records_iters() {
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+            iters: 0,
+            budget: Duration::from_millis(5),
+        };
+        b.iter(|| std::hint::black_box(2 + 2));
+        assert!(b.iters > 0);
+    }
+}

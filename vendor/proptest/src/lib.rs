@@ -1,0 +1,193 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property suites use: the
+//! `proptest!` macro with a `#![proptest_config(...)]` block attribute,
+//! numeric-range strategies, `prop::collection::vec`, and the
+//! `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Unlike real proptest there is no shrinking: each test function draws
+//! `cases` inputs from a fixed-seed deterministic RNG (so failures are
+//! reproducible) and runs the body; assertion macros panic directly with
+//! the offending case's inputs already bound.
+
+#![warn(missing_docs)]
+
+pub use rand::rngs::StdRng;
+pub use rand::SeedableRng;
+
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+    /// Seed for the deterministic case generator.
+    pub rng_seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            rng_seed: 0x1cde_2017,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// A source of random values of a fixed type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategies over collections.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s with lengths drawn from `len` and
+    /// elements drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Creates a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror of real proptest's `prop` module path
+/// (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The things a property test file needs in scope.
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a property; panics with the formatted
+/// message on failure (no shrinking in this vendored version).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property test functions: each `fn name(pat in strategy, ...)`
+/// becomes a `#[test]` that checks the body over `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    ( config = ($config:expr); ) => {};
+    (
+        config = ($config:expr);
+        $(#[$attr:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = <$crate::StdRng as $crate::SeedableRng>::seed_from_u64(
+                __config.rng_seed,
+            );
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -1.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_len(v in prop::collection::vec(0.0f64..5.0, 2..20)) {
+            prop_assert!(v.len() >= 2 && v.len() < 20);
+            prop_assert!(v.iter().all(|&x| (0.0..5.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn default_config_budget_is_modest() {
+        assert!(ProptestConfig::default().cases <= 256);
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+}

@@ -1,0 +1,141 @@
+//! Vendored minimal stand-in for the `rand_distr` crate: the `Exp`,
+//! `Normal` and `LogNormal` distributions this workspace's simulator uses,
+//! implemented with exact inverse-transform / Box–Muller sampling.
+
+#![warn(missing_docs)]
+
+use rand::Rng;
+
+pub use rand::distributions::Distribution;
+
+/// Error returned by distribution constructors given invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// The exponential distribution `Exp(λ)`, mean `1/λ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Exp, ParamError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ParamError("Exp: lambda must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse transform: -ln(1 - U) / λ with U uniform in [0, 1).
+        let u: f64 = rng.gen();
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// The normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; `std_dev` must be non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, ParamError> {
+        if std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(ParamError("Normal: std_dev must be non-negative"))
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; the second variate is discarded for simplicity.
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        // Guard against ln(0).
+        let r = (-2.0 * (1.0 - u1).ln()).sqrt();
+        let z = r * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution over `exp(N(mu, sigma²))`;
+    /// `sigma` must be non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, ParamError> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_of(d: &impl Distribution<f64>, samples: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(12345);
+        (0..samples).map(|_| d.sample(&mut rng)).sum::<f64>() / samples as f64
+    }
+
+    #[test]
+    fn exp_mean_is_inverse_lambda() {
+        let d = Exp::new(4.0).unwrap();
+        assert!((mean_of(&d, 200_000) - 0.25).abs() < 0.005);
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        assert!((mean_of(&d, 200_000) - 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn lognormal_mean_matches_closed_form() {
+        let d = LogNormal::new(0.5, 0.4).unwrap();
+        let expected = (0.5f64 + 0.4f64 * 0.4 / 2.0).exp();
+        let got = mean_of(&d, 200_000);
+        assert!(
+            (got - expected).abs() / expected < 0.02,
+            "{got} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, -0.1).is_err());
+    }
+}

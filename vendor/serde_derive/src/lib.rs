@@ -1,0 +1,404 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the vendored `serde`.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the offline build
+//! has no `syn`/`quote`). Supports exactly what the workspace derives on:
+//! non-generic structs (unit, tuple/newtype, named-field) and enums whose
+//! variants are unit, tuple, or struct-like — with no `#[serde(...)]`
+//! attributes. Generated code follows real serde's JSON data model:
+//! newtype structs serialize transparently, unit variants as strings,
+//! data-carrying variants as `{"Variant": ...}` single-key maps.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` via the vendored `Value` data model.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` via the vendored `Value` data model.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    UnitStruct {
+        name: String,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = parse_item(input);
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&item),
+        Mode::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Consumes leading `#[...]` attributes (including doc comments) and a
+/// visibility qualifier from the token cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` / `pub(in ...)`.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported");
+        }
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            None => Item::UnitStruct { name },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: split_top_level(g.stream()).len(),
+                }
+            }
+            Some(other) => panic!("serde_derive: unexpected token after struct name: {other}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Splits a token stream at top-level commas, tracking angle-bracket depth
+/// so `Vec<(usize, f64)>`-style type arguments stay in one chunk. Groups
+/// are opaque tokens, so parens/brackets/braces are already atomic.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if !current.is_empty() {
+                        chunks.push(std::mem::take(&mut current));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Extracts field names from a named-field body: for each comma-separated
+/// chunk, the identifier immediately before the first top-level `:`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let i = skip_attrs_and_vis(&chunk, 0);
+            match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive: expected field name, got {other}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let i = skip_attrs_and_vis(&chunk, 0);
+            let name = match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, got {other}"),
+            };
+            let kind = match chunk.get(i + 1) {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(split_top_level(g.stream()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                    panic!("serde_derive (vendored): explicit discriminants not supported")
+                }
+                Some(other) => panic!("serde_derive: unexpected token in variant: {other}"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn map_entries(pairs: &[(String, String)]) -> String {
+    let entries: Vec<String> = pairs
+        .iter()
+        .map(|(key, expr)| format!("({key:?}.to_string(), serde::Serialize::to_value({expr}))"))
+        .collect();
+    format!("serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::UnitStruct { name } => (name, "serde::Value::Null".to_string()),
+        Item::TupleStruct { name, arity: 1 } => {
+            (name, "serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            (
+                name,
+                format!("serde::Value::Seq(vec![{}])", elems.join(", ")),
+            )
+        }
+        Item::NamedStruct { name, fields } => {
+            let pairs: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| (f.clone(), format!("&self.{f}")))
+                .collect();
+            (name, map_entries(&pairs))
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => serde::Value::Str({vname:?}.to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => serde::Value::Map(vec![({vname:?}.to_string(), serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => serde::Value::Map(vec![({vname:?}.to_string(), serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let pairs: Vec<(String, String)> =
+                                fields.iter().map(|f| (f.clone(), f.clone())).collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => serde::Value::Map(vec![({vname:?}.to_string(), {})]),",
+                                fields.join(", "),
+                                map_entries(&pairs)
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join(" ")))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{ {body} }}\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::UnitStruct { name } => (name, format!("Ok({name})")),
+        Item::TupleStruct { name, arity: 1 } => (
+            name,
+            format!("Ok({name}(serde::Deserialize::from_value(__v)?))"),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "let __items = __v.as_seq().ok_or_else(|| serde::Error::new(\"expected sequence for {name}\"))?;\n\
+                     if __items.len() != {arity} {{ return Err(serde::Error::new(\"wrong tuple arity for {name}\")); }}\n\
+                     Ok({name}({}))",
+                    elems.join(", ")
+                ),
+            )
+        }
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: serde::Deserialize::from_value(serde::field(__map, {f:?}))?")
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "let __map = __v.as_map().ok_or_else(|| serde::Error::new(\"expected map for {name}\"))?;\n\
+                     Ok({name} {{ {} }})",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => return Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vname:?} => return Ok({name}::{vname}(serde::Deserialize::from_value(__payload)?)),"
+                        )),
+                        VariantKind::Tuple(arity) => {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                 let __items = __payload.as_seq().ok_or_else(|| serde::Error::new(\"expected sequence for {name}::{vname}\"))?;\n\
+                                 if __items.len() != {arity} {{ return Err(serde::Error::new(\"wrong arity for {name}::{vname}\")); }}\n\
+                                 return Ok({name}::{vname}({}));\n\
+                                 }}",
+                                elems.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: serde::Deserialize::from_value(serde::field(__fields, {f:?}))?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                 let __fields = __payload.as_map().ok_or_else(|| serde::Error::new(\"expected map for {name}::{vname}\"))?;\n\
+                                 return Ok({name}::{vname} {{ {} }});\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "if let Some(__s) = __v.as_str() {{\n\
+                         match __s {{ {} _ => return Err(serde::Error::new(format!(\"unknown {name} variant {{__s}}\"))), }}\n\
+                     }}\n\
+                     if let Some(__entries) = __v.as_map() {{\n\
+                         if __entries.len() == 1 {{\n\
+                             let (__tag, __payload) = &__entries[0];\n\
+                             match __tag.as_str() {{ {} _ => return Err(serde::Error::new(format!(\"unknown {name} variant {{__tag}}\"))), }}\n\
+                         }}\n\
+                     }}\n\
+                     Err(serde::Error::new(\"expected enum representation for {name}\"))",
+                    unit_arms.join(" "),
+                    data_arms.join(" ")
+                ),
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n    fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n{body}\n    }}\n}}"
+    )
+}
