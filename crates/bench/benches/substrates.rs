@@ -3,7 +3,7 @@
 //! collectives, the alias sampler and the CSR builders.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use mlscale_core::hardware::{ClusterSpec, LinkSpec, NodeSpec};
+use mlscale_core::hardware::{ClusterSpec, LinkSpec, NodeSpec, RackSpec};
 use mlscale_core::units::{BitsPerSec, FlopsRate, Seconds};
 use mlscale_graph::generators::{gnm, grid2d};
 use mlscale_graph::mrf::{BeliefPropagation, PairwiseMrf, PairwisePotential};
@@ -11,7 +11,10 @@ use mlscale_graph::sampling::AliasTable;
 use mlscale_nn::tensor::Matrix;
 use mlscale_nn::train::{synthetic_blobs, MlpTrainer};
 use mlscale_sim::cluster::SimCluster;
-use mlscale_sim::collectives::{broadcast, reduce, BroadcastKind, ReduceKind};
+use mlscale_sim::collectives::{
+    broadcast, halving_doubling_all_reduce, hierarchical_all_reduce, reduce, ring_all_reduce,
+    BroadcastKind, ReduceKind,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -92,6 +95,37 @@ fn bench_collectives(c: &mut Criterion) {
             b.iter(|| {
                 let mut cluster = SimCluster::new(spec, n);
                 black_box(reduce(&mut cluster, ReduceKind::TwoWave, 1e9, &ready))
+            })
+        });
+        g.bench_function(format!("ring_all_reduce_n{n}"), |b| {
+            let ready = vec![Seconds::zero(); n];
+            b.iter(|| {
+                let mut cluster = SimCluster::new(spec, n);
+                black_box(ring_all_reduce(&mut cluster, 1e9, &ready))
+            })
+        });
+        g.bench_function(format!("halving_doubling_n{n}"), |b| {
+            let ready = vec![Seconds::zero(); n];
+            b.iter(|| {
+                let mut cluster = SimCluster::new(spec, n);
+                black_box(halving_doubling_all_reduce(&mut cluster, 1e9, &ready))
+            })
+        });
+    }
+    let racked = ClusterSpec::new(
+        NodeSpec::new(FlopsRate::giga(1.0), 1.0),
+        LinkSpec::bandwidth_only(BitsPerSec::giga(10.0)),
+    )
+    .with_racks(RackSpec::new(
+        16,
+        LinkSpec::bandwidth_only(BitsPerSec::giga(1.0)),
+    ));
+    for n in [16usize, 64] {
+        g.bench_function(format!("hierarchical_all_reduce_n{n}"), |b| {
+            let ready = vec![Seconds::zero(); n];
+            b.iter(|| {
+                let mut cluster = SimCluster::new(racked, n);
+                black_box(hierarchical_all_reduce(&mut cluster, 1e9, &ready))
             })
         });
     }

@@ -1,6 +1,7 @@
 //! Runs the extension experiments: async-SGD model vs simulation, the
 //! Gibbs-vs-BP inference cost comparison, architecture-zoo scalability,
-//! and cost/deadline provisioning.
+//! cost/deadline provisioning, and the flat-vs-hierarchical communication
+//! study.
 
 use mlscale_workloads::experiments::extensions;
 
@@ -9,6 +10,7 @@ fn main() {
     mlscale_bench::emit(&extensions::inference_costs(16));
     mlscale_bench::emit(&extensions::zoo_scalability(64, 4096.0));
     mlscale_bench::emit(&extensions::provisioning(1000.0, 2.0));
+    mlscale_bench::emit(&extensions::hierarchical_comm(64));
     mlscale_bench::emit(
         &mlscale_workloads::experiments::convergence::convergence_tradeoff(
             &convergence_model(),

@@ -28,6 +28,11 @@ pub fn results_dir() -> PathBuf {
 /// Prints an experiment result and persists it as JSON. Returns the path
 /// written, or `None` (with a warning on stderr) when persisting failed —
 /// printing always succeeds.
+///
+/// The write is atomic: the JSON goes to a `.json.tmp` sibling first and
+/// is renamed into place, so an interrupted `exp-*` run (ctrl-C, OOM kill
+/// mid-`exp-all`) can never leave a truncated `results/<id>.json` behind —
+/// readers see either the previous complete file or the new one.
 pub fn emit(result: &ExperimentResult) -> Option<PathBuf> {
     println!("{}", result.to_text());
     let dir = results_dir();
@@ -36,10 +41,16 @@ pub fn emit(result: &ExperimentResult) -> Option<PathBuf> {
         return None;
     }
     let path = dir.join(format!("{}.json", result.id));
+    let tmp = dir.join(format!("{}.json.tmp", result.id));
     match serde_json::to_string_pretty(result) {
         Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
+            if let Err(e) = std::fs::write(&tmp, json) {
+                eprintln!("warning: cannot write {}: {e}", tmp.display());
+                return None;
+            }
+            if let Err(e) = std::fs::rename(&tmp, &path) {
+                eprintln!("warning: cannot move {} into place: {e}", tmp.display());
+                let _ = std::fs::remove_file(&tmp);
                 return None;
             }
             Some(path)
@@ -69,6 +80,25 @@ mod tests {
         let path = emit(&result).expect("emit must persist");
         let json = std::fs::read_to_string(&path).unwrap();
         assert!(json.contains("selftest"));
+        // The staging file must not survive a successful emit.
+        assert!(!path.with_extension("json.tmp").exists());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn emit_replaces_existing_file_whole() {
+        let big = ExperimentResult::new("selftest-atomic", "first")
+            .with_series(Series::new("s", (1..200).map(|n| (n, n as f64)).collect()));
+        let path = emit(&big).expect("emit must persist");
+        let small = ExperimentResult::new("selftest-atomic", "second");
+        let path2 = emit(&small).expect("emit must persist");
+        assert_eq!(path, path2);
+        // Rename-over semantics: the shorter result fully replaces the
+        // longer one, no stale tail bytes, valid JSON throughout.
+        let json = std::fs::read_to_string(&path).unwrap();
+        let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.title, "second");
+        assert!(back.series.is_empty());
         let _ = std::fs::remove_file(path);
     }
 }

@@ -13,9 +13,33 @@
 //!   (`log₂ n` rounds) plus a two-wave `treeAggregate` whose waves touch
 //!   `⌈√n⌉` peers each.
 //!
-//! Every model implements [`CommModel`]; composites are built with
+//! # The α–β (latency-aware) form
+//!
+//! The paper's formulas are pure bandwidth terms `t = volume/B · shape(n)`
+//! — valid in the bandwidth-dominated regime of its exhibits (megabyte
+//! parameter payloads on gigabit Ethernet). Real collectives additionally
+//! pay a fixed per-message setup latency `α` on every serialised message
+//! round, giving the standard α–β cost of the collective-communication
+//! literature:
+//!
+//! ```text
+//! t(n) = rounds(n)·α + volume_terms(n)/B
+//! ```
+//!
+//! Latency dominates once `α > M/B` per round — small gradients, RPC-heavy
+//! frameworks, or fast links: at 10 µs latency on 100 Gbit/s, any message
+//! under ~125 KB is latency-bound. In that regime the *round count* decides
+//! the ordering (ring's `2(n−1)` rounds lose badly to a tree's `2·log₂ n`
+//! even though ring moves the least data), which is exactly where the flat
+//! bandwidth models mispredict the optimal cluster size.
+//!
+//! Every model reports its serialised message-round count via
+//! [`CommModel::rounds`]; wrap any pure-bandwidth model in [`AlphaBeta`] to
+//! add `rounds(n)·α`. [`Hierarchical`] is inherently latency-aware (its
+//! two link tiers carry their own `α`s). Composites are built with
 //! [`Composite`] / [`Scaled`].
 
+use crate::hardware::{ClusterSpec, LinkSpec};
 use crate::units::{Bits, BitsPerSec, Seconds};
 use serde::{Deserialize, Serialize};
 
@@ -27,6 +51,18 @@ pub trait CommModel: std::fmt::Debug + Send + Sync {
     /// `n == 1` must return zero for any model: a single worker has nobody
     /// to talk to (the paper's `t(1)` contains no communication term).
     fn time(&self, n: usize) -> Seconds;
+
+    /// Number of serialised message rounds on the collective's critical
+    /// path with `n` workers — the multiplier of the per-message latency
+    /// `α` in the α–β form `t = rounds·α + volume_terms/B`.
+    ///
+    /// Defaults to zero (a pure-bandwidth model that ignores latency), so
+    /// existing implementations keep compiling; every shipped model
+    /// overrides it. Must return zero at `n <= 1`.
+    fn rounds(&self, n: usize) -> f64 {
+        let _ = n;
+        0.0
+    }
 
     /// Human-readable name used in reports.
     fn name(&self) -> &'static str;
@@ -40,6 +76,10 @@ pub struct NoComm;
 impl CommModel for NoComm {
     fn time(&self, _n: usize) -> Seconds {
         Seconds::zero()
+    }
+
+    fn rounds(&self, _n: usize) -> f64 {
+        0.0
     }
 
     fn name(&self) -> &'static str {
@@ -67,6 +107,14 @@ impl CommModel for Linear {
             return Seconds::zero();
         }
         (self.volume / self.bandwidth) * n as f64
+    }
+
+    fn rounds(&self, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        // The master's NIC serialises one message per worker.
+        n as f64
     }
 
     fn name(&self) -> &'static str {
@@ -97,6 +145,13 @@ impl CommModel for LogTree {
         (self.volume / self.bandwidth) * (n as f64).log2()
     }
 
+    fn rounds(&self, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        (n as f64).log2()
+    }
+
     fn name(&self) -> &'static str {
         "log-tree"
     }
@@ -119,6 +174,13 @@ impl CommModel for TorrentBroadcast {
             return Seconds::zero();
         }
         (self.volume / self.bandwidth) * (n as f64).log2()
+    }
+
+    fn rounds(&self, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        (n as f64).log2()
     }
 
     fn name(&self) -> &'static str {
@@ -153,6 +215,13 @@ impl CommModel for TwoWaveAggregation {
         (self.volume / self.bandwidth) * (2.0 * Self::wave_width(n))
     }
 
+    fn rounds(&self, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        2.0 * Self::wave_width(n)
+    }
+
     fn name(&self) -> &'static str {
         "two-wave-aggregation"
     }
@@ -183,6 +252,13 @@ impl CommModel for SparkGradientExchange {
         unit * (n as f64).log2() + unit * (2.0 * TwoWaveAggregation::wave_width(n))
     }
 
+    fn rounds(&self, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        (n as f64).log2() + 2.0 * TwoWaveAggregation::wave_width(n)
+    }
+
     fn name(&self) -> &'static str {
         "spark-gradient-exchange"
     }
@@ -207,6 +283,13 @@ impl CommModel for TwoStageTreeExchange {
         (self.volume / self.bandwidth) * (2.0 * (n as f64).log2())
     }
 
+    fn rounds(&self, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        2.0 * (n as f64).log2()
+    }
+
     fn name(&self) -> &'static str {
         "two-stage-tree"
     }
@@ -229,6 +312,14 @@ impl CommModel for RingAllReduce {
             return Seconds::zero();
         }
         (self.volume / self.bandwidth) * (2.0 * (n as f64 - 1.0) / n as f64)
+    }
+
+    fn rounds(&self, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        // 2·(n−1) chunk steps: bandwidth-optimal but latency-hostile.
+        2.0 * (n as f64 - 1.0)
     }
 
     fn name(&self) -> &'static str {
@@ -259,8 +350,251 @@ impl CommModel for AlphaBetaTree {
         per_round * (n as f64).log2()
     }
 
+    fn rounds(&self, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        (n as f64).log2()
+    }
+
     fn name(&self) -> &'static str {
         "alpha-beta-tree"
+    }
+}
+
+/// Recursive halving/doubling all-reduce (Rabenseifner's algorithm):
+/// reduce-scatter by recursive halving, then all-gather by recursive
+/// doubling. For `p = 2^⌊log₂ n⌋` participants the pure-bandwidth cost is
+/// `2·(p−1)/p · M/B` in `2·log₂ p` rounds — ring's bandwidth optimality at
+/// a tree's round count, which is why MPI uses it for large messages on
+/// latency-bound networks.
+///
+/// Non-power-of-two `n` pays the standard penalty: the `n − p` extra
+/// workers fold their vectors into partners before the exchange and
+/// receive the result after it — two extra rounds moving the full `M`
+/// each. The model is therefore (intentionally) *not* monotone in `n`:
+/// `t(5) > t(8)`, exactly as the real algorithm behaves.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HalvingDoubling {
+    /// Full parameter payload.
+    pub volume: Bits,
+    /// Link bandwidth.
+    pub bandwidth: BitsPerSec,
+}
+
+impl HalvingDoubling {
+    /// `(p, extra)`: the power-of-two participant count and the number of
+    /// folded-in extra workers. `n <= 1` (nobody to exchange with) maps to
+    /// one participant and no extras.
+    #[inline]
+    pub fn split(n: usize) -> (usize, usize) {
+        if n <= 1 {
+            return (1, 0);
+        }
+        let p = 1 << n.ilog2();
+        (p, n - p)
+    }
+}
+
+impl CommModel for HalvingDoubling {
+    fn time(&self, n: usize) -> Seconds {
+        if n <= 1 {
+            return Seconds::zero();
+        }
+        let (p, extra) = Self::split(n);
+        let unit = self.volume / self.bandwidth;
+        let exchange = unit * (2.0 * (p as f64 - 1.0) / p as f64);
+        let fold = if extra > 0 {
+            unit * 2.0
+        } else {
+            Seconds::zero()
+        };
+        exchange + fold
+    }
+
+    fn rounds(&self, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        let (p, extra) = Self::split(n);
+        2.0 * f64::from(p.ilog2()) + if extra > 0 { 2.0 } else { 0.0 }
+    }
+
+    fn name(&self) -> &'static str {
+        "halving-doubling"
+    }
+}
+
+/// Two-tier hierarchical all-reduce over a racked cluster: binomial-tree
+/// reduce to each rack's leader over the intra-rack link, ring all-reduce
+/// among the `r` rack leaders over the uplink, binomial-tree broadcast
+/// back down. Inherently latency-aware — each tier's [`LinkSpec`] carries
+/// its own `α` — so it must **not** be wrapped in [`AlphaBeta`] (that
+/// would double-count the latency):
+///
+/// ```text
+/// t(n) = 2·⌈log₂ m⌉·(α_i + M/B_i)  +  2·(r−1)·(α_u + (M/r)/B_u)
+/// ```
+///
+/// with `m` the fullest rack's worker count and `r` the rack count. This
+/// is the shape flat models cannot express: the expensive uplink carries
+/// only `r − 1 ≪ n` hops of `M/r` chunks, so the cross-rack wall moves
+/// out by roughly the rack size.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Hierarchical {
+    /// Full parameter payload.
+    pub volume: Bits,
+    /// Workers per rack.
+    pub rack_size: usize,
+    /// Intra-rack link (bandwidth + per-message latency).
+    pub intra: LinkSpec,
+    /// Inter-rack uplink (bandwidth + per-message latency).
+    pub uplink: LinkSpec,
+}
+
+impl Hierarchical {
+    /// Builds the collective from a [`ClusterSpec`]. A flat cluster (no
+    /// rack topology) degenerates to a single all-encompassing rack: the
+    /// uplink is never used and the model reduces to a binomial-tree
+    /// exchange over the base link.
+    pub fn from_cluster(volume: Bits, cluster: &ClusterSpec) -> Self {
+        match cluster.rack {
+            Some(rack) => Self {
+                volume,
+                rack_size: rack.nodes_per_rack,
+                intra: cluster.link,
+                uplink: rack.uplink,
+            },
+            None => Self {
+                volume,
+                rack_size: usize::MAX,
+                intra: cluster.link,
+                uplink: cluster.link,
+            },
+        }
+    }
+
+    /// `(m, r)`: workers in the fullest rack and number of racks.
+    #[inline]
+    fn layout(&self, n: usize) -> (usize, usize) {
+        let m = self.rack_size.min(n);
+        let r = n.div_ceil(self.rack_size).max(1);
+        (m, r)
+    }
+
+    /// Binomial-tree rounds to reduce (or broadcast among) `m` rack
+    /// members including the leader: `⌈log₂ m⌉`.
+    #[inline]
+    fn intra_rounds(m: usize) -> f64 {
+        if m <= 1 {
+            0.0
+        } else {
+            (m as f64).log2().ceil()
+        }
+    }
+}
+
+impl CommModel for Hierarchical {
+    fn time(&self, n: usize) -> Seconds {
+        if n <= 1 {
+            return Seconds::zero();
+        }
+        let (m, r) = self.layout(n);
+        let intra_unit = self.intra.latency + self.volume / self.intra.bandwidth;
+        let intra = intra_unit * (2.0 * Self::intra_rounds(m));
+        let inter = if r > 1 {
+            let chunk = self.volume / r as f64;
+            (self.uplink.latency + chunk / self.uplink.bandwidth) * (2.0 * (r as f64 - 1.0))
+        } else {
+            Seconds::zero()
+        };
+        intra + inter
+    }
+
+    fn rounds(&self, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        let (m, r) = self.layout(n);
+        2.0 * Self::intra_rounds(m) + 2.0 * (r as f64 - 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "hierarchical"
+    }
+}
+
+/// Adds per-message latency to any pure-bandwidth model: the α–β form
+/// `t = α·rounds(n) + inner.time(n)`. With `latency == 0` this is exactly
+/// the wrapped model — the backwards-compatibility guarantee for every
+/// pre-existing exhibit answer.
+#[derive(Debug, Clone, Copy)]
+pub struct AlphaBeta<M> {
+    /// The pure-bandwidth collective being refined.
+    pub inner: M,
+    /// Per-message setup latency `α`.
+    pub latency: Seconds,
+}
+
+impl<M: CommModel> CommModel for AlphaBeta<M> {
+    fn time(&self, n: usize) -> Seconds {
+        if n <= 1 {
+            return Seconds::zero();
+        }
+        self.inner.time(n) + self.latency * self.inner.rounds(n)
+    }
+
+    fn rounds(&self, n: usize) -> f64 {
+        self.inner.rounds(n)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+/// A *flat* collective evaluated on a racked cluster: while the job fits
+/// inside one rack it runs at intra-rack cost (`within`); once it spans
+/// racks, every round is charged at the uplink tier (`spanning`).
+///
+/// For the ring pipeline this two-regime model is exact — a ring's
+/// throughput is set by the slowest link on the cycle, so one cross-rack
+/// hop gates all `2·(n−1)` steps. For tree-shaped schedules it is a
+/// conservative (pessimistic) bound: some rounds stay on fast intra-rack
+/// links, which only a topology-aware collective like [`Hierarchical`]
+/// can exploit — that gap *is* the case for hierarchical collectives.
+#[derive(Debug, Clone, Copy)]
+pub struct RackTiered<A, B> {
+    /// Workers per rack: the regime boundary.
+    pub rack_size: usize,
+    /// Model while `n <= rack_size` (intra-rack links).
+    pub within: A,
+    /// Model once `n > rack_size` (uplink tier).
+    pub spanning: B,
+}
+
+impl<A: CommModel, B: CommModel> CommModel for RackTiered<A, B> {
+    fn time(&self, n: usize) -> Seconds {
+        if n <= 1 {
+            return Seconds::zero();
+        }
+        if n <= self.rack_size {
+            self.within.time(n)
+        } else {
+            self.spanning.time(n)
+        }
+    }
+
+    fn rounds(&self, n: usize) -> f64 {
+        if n <= self.rack_size {
+            self.within.rounds(n)
+        } else {
+            self.spanning.rounds(n)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.within.name()
     }
 }
 
@@ -297,7 +631,19 @@ impl Composite {
 
 impl CommModel for Composite {
     fn time(&self, n: usize) -> Seconds {
+        if n <= 1 {
+            // Guard here as well as in the phases: the invariant must hold
+            // even for phases built from raw closures.
+            return Seconds::zero();
+        }
         self.phases.iter().map(|p| p.time(n)).sum()
+    }
+
+    fn rounds(&self, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        self.phases.iter().map(|p| p.rounds(n)).sum()
     }
 
     fn name(&self) -> &'static str {
@@ -317,7 +663,17 @@ pub struct Scaled<M> {
 
 impl<M: CommModel> CommModel for Scaled<M> {
     fn time(&self, n: usize) -> Seconds {
+        if n <= 1 {
+            return Seconds::zero();
+        }
         self.inner.time(n) * self.factor
+    }
+
+    fn rounds(&self, n: usize) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        self.inner.rounds(n) * self.factor
     }
 
     fn name(&self) -> &'static str {
@@ -362,6 +718,10 @@ impl<M: CommModel + ?Sized> CommModel for Box<M> {
         (**self).time(n)
     }
 
+    fn rounds(&self, n: usize) -> f64 {
+        (**self).rounds(n)
+    }
+
     fn name(&self) -> &'static str {
         (**self).name()
     }
@@ -370,6 +730,10 @@ impl<M: CommModel + ?Sized> CommModel for Box<M> {
 impl<M: CommModel + ?Sized> CommModel for std::sync::Arc<M> {
     fn time(&self, n: usize) -> Seconds {
         (**self).time(n)
+    }
+
+    fn rounds(&self, n: usize) -> f64 {
+        (**self).rounds(n)
     }
 
     fn name(&self) -> &'static str {
@@ -572,6 +936,229 @@ mod tests {
             (t - 0.003).abs() < 1e-6,
             "3 rounds of ~1 ms latency, got {t}"
         );
+    }
+
+    #[test]
+    fn halving_doubling_matches_ring_volume_on_powers_of_two() {
+        let hd = HalvingDoubling {
+            volume: vol(),
+            bandwidth: bw(),
+        };
+        let ring = RingAllReduce {
+            volume: vol(),
+            bandwidth: bw(),
+        };
+        for n in [2usize, 4, 8, 16, 64] {
+            assert!(
+                (hd.time(n).as_secs() - ring.time(n).as_secs()).abs() < 1e-12,
+                "same 2(n−1)/n·M/B volume term at n={n}"
+            );
+        }
+        // But far fewer rounds: 2·log₂ n vs 2·(n−1).
+        assert_eq!(hd.rounds(64), 12.0);
+        assert_eq!(ring.rounds(64), 126.0);
+    }
+
+    #[test]
+    fn halving_doubling_split_handles_degenerate_counts() {
+        assert_eq!(HalvingDoubling::split(0), (1, 0));
+        assert_eq!(HalvingDoubling::split(1), (1, 0));
+        assert_eq!(HalvingDoubling::split(2), (2, 0));
+        assert_eq!(HalvingDoubling::split(5), (4, 1));
+        assert_eq!(HalvingDoubling::split(64), (64, 0));
+    }
+
+    #[test]
+    fn rack_tiered_switches_regime_at_rack_size() {
+        let within = RingAllReduce {
+            volume: vol(),
+            bandwidth: BitsPerSec::giga(10.0),
+        };
+        let spanning = RingAllReduce {
+            volume: vol(),
+            bandwidth: bw(),
+        };
+        let tiered = RackTiered {
+            rack_size: 16,
+            within,
+            spanning,
+        };
+        assert!(tiered.time(1).is_zero());
+        assert_eq!(tiered.time(16), within.time(16), "fits one rack");
+        assert_eq!(tiered.time(17), spanning.time(17), "spans racks");
+        assert_eq!(tiered.rounds(64), spanning.rounds(64));
+        assert_eq!(tiered.name(), "ring-all-reduce");
+    }
+
+    #[test]
+    fn halving_doubling_non_power_pays_fold_penalty() {
+        let hd = HalvingDoubling {
+            volume: vol(),
+            bandwidth: bw(),
+        };
+        let unit = (vol() / bw()).as_secs();
+        // n=5 → p=4, extra=1: 2·(3/4)·unit + 2·unit.
+        assert!((hd.time(5).as_secs() - (1.5 + 2.0) * unit).abs() < 1e-9);
+        assert_eq!(hd.rounds(5), 2.0 * 2.0 + 2.0);
+        // The fold makes t(5) worse than t(8) — real algorithm behaviour.
+        assert!(hd.time(5) > hd.time(8));
+    }
+
+    #[test]
+    fn alpha_beta_wrapper_adds_rounds_times_latency() {
+        let inner = TwoStageTreeExchange {
+            volume: vol(),
+            bandwidth: bw(),
+        };
+        let ab = AlphaBeta {
+            inner,
+            latency: Seconds::from_millis(2.0),
+        };
+        let n = 16;
+        let expected = inner.time(n).as_secs() + 0.002 * inner.rounds(n);
+        assert!((ab.time(n).as_secs() - expected).abs() < 1e-12);
+        assert_eq!(ab.rounds(n), inner.rounds(n));
+        assert_eq!(ab.name(), inner.name());
+        assert!(ab.time(1).is_zero());
+    }
+
+    #[test]
+    fn alpha_beta_zero_latency_is_identity() {
+        let inner = SparkGradientExchange {
+            volume: vol(),
+            bandwidth: bw(),
+        };
+        let ab = AlphaBeta {
+            inner,
+            latency: Seconds::zero(),
+        };
+        for n in 1..=40 {
+            assert_eq!(ab.time(n), inner.time(n));
+        }
+    }
+
+    #[test]
+    fn alpha_beta_flips_ring_vs_tree_ordering() {
+        // Pure bandwidth: ring beats tree. Latency-bound (tiny payload):
+        // ring's 2(n−1) rounds lose to the tree's 2·log₂ n.
+        let volume = Bits::new(8e3); // 1 KB
+        let ring = AlphaBeta {
+            inner: RingAllReduce {
+                volume,
+                bandwidth: bw(),
+            },
+            latency: Seconds::from_micros(50.0),
+        };
+        let tree = AlphaBeta {
+            inner: TwoStageTreeExchange {
+                volume,
+                bandwidth: bw(),
+            },
+            latency: Seconds::from_micros(50.0),
+        };
+        assert!(tree.time(64) < ring.time(64), "latency-bound: tree wins");
+        let big = Bits::giga(1.0);
+        let ring_big = AlphaBeta {
+            inner: RingAllReduce {
+                volume: big,
+                bandwidth: bw(),
+            },
+            latency: Seconds::from_micros(50.0),
+        };
+        let tree_big = AlphaBeta {
+            inner: TwoStageTreeExchange {
+                volume: big,
+                bandwidth: bw(),
+            },
+            latency: Seconds::from_micros(50.0),
+        };
+        assert!(
+            ring_big.time(64) < tree_big.time(64),
+            "bandwidth-bound: ring wins"
+        );
+    }
+
+    #[test]
+    fn hierarchical_matches_closed_form() {
+        let h = Hierarchical {
+            volume: vol(),
+            rack_size: 8,
+            intra: LinkSpec::new(BitsPerSec::giga(10.0), Seconds::from_micros(5.0)),
+            uplink: LinkSpec::new(BitsPerSec::giga(1.0), Seconds::from_micros(50.0)),
+        };
+        // n = 32: m = 8 (⌈log₂ 8⌉ = 3 rounds each way), r = 4.
+        let intra_unit = 5e-6 + 100e6 / 10e9;
+        let chunk = 100e6 / 4.0;
+        let inter = 2.0 * 3.0 * (50e-6 + chunk / 1e9);
+        let expected = 2.0 * 3.0 * intra_unit + inter;
+        assert!((h.time(32).as_secs() - expected).abs() < 1e-12);
+        assert_eq!(h.rounds(32), 6.0 + 6.0);
+        assert!(h.time(1).is_zero());
+    }
+
+    #[test]
+    fn hierarchical_single_rack_skips_uplink() {
+        let h = Hierarchical {
+            volume: vol(),
+            rack_size: 16,
+            intra: LinkSpec::bandwidth_only(bw()),
+            uplink: LinkSpec::bandwidth_only(BitsPerSec::mega(1.0)), // terrible
+        };
+        // n = 8 fits one rack: only intra rounds, uplink untouched.
+        let unit = (vol() / bw()).as_secs();
+        assert!((h.time(8).as_secs() - 2.0 * 3.0 * unit).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_tree_across_racks() {
+        // A flat tree pays every round on the slow uplink-class network;
+        // the hierarchical composite keeps most hops on the fast intra
+        // links and moves only M/r chunks across racks.
+        let volume = vol();
+        let slow = LinkSpec::new(BitsPerSec::giga(1.0), Seconds::from_micros(50.0));
+        let fast = LinkSpec::new(BitsPerSec::giga(10.0), Seconds::from_micros(5.0));
+        let flat = AlphaBeta {
+            inner: TwoStageTreeExchange {
+                volume,
+                bandwidth: slow.bandwidth,
+            },
+            latency: slow.latency,
+        };
+        let hier = Hierarchical {
+            volume,
+            rack_size: 16,
+            intra: fast,
+            uplink: slow,
+        };
+        for n in [32usize, 48, 64] {
+            assert!(
+                hier.time(n) < flat.time(n),
+                "hierarchical must win at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchical_from_flat_cluster_degenerates_to_one_rack() {
+        use crate::hardware::presets;
+        let h = Hierarchical::from_cluster(vol(), &presets::spark_cluster());
+        let unit = (vol() / bw()).as_secs();
+        // One big rack: 2·⌈log₂ n⌉ intra rounds, no uplink term.
+        assert!((h.time(8).as_secs() - 6.0 * unit).abs() < 1e-9);
+        let racked = Hierarchical::from_cluster(vol(), &presets::two_tier_pod());
+        assert_eq!(racked.rack_size, 16);
+    }
+
+    #[test]
+    fn composite_and_scaled_zero_at_one_worker() {
+        let c = Composite::new().with(FnComm::new("raw", |_| Seconds::new(7.0)));
+        assert!(c.time(1).is_zero());
+        let s = Scaled {
+            inner: FnComm::new("raw", |_| Seconds::new(7.0)),
+            factor: 3.0,
+        };
+        assert!(s.time(1).is_zero());
+        assert_eq!(s.rounds(1), 0.0);
     }
 
     #[test]

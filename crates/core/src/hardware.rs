@@ -66,23 +66,64 @@ impl LinkSpec {
     }
 }
 
-/// A homogeneous cluster: `n` identical nodes joined by identical links.
+/// Two-tier rack topology: workers are grouped into racks of
+/// `nodes_per_rack`, joined inside a rack by the cluster's base link and
+/// between racks by a (typically slower, higher-latency) `uplink`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RackSpec {
+    /// Workers per rack (the intra-rack collective's fan-in).
+    pub nodes_per_rack: usize,
+    /// Inter-rack link capability (top-of-rack uplink).
+    pub uplink: LinkSpec,
+}
+
+impl RackSpec {
+    /// Creates a rack spec.
+    ///
+    /// # Panics
+    /// Panics when `nodes_per_rack == 0`.
+    pub fn new(nodes_per_rack: usize, uplink: LinkSpec) -> Self {
+        assert!(nodes_per_rack >= 1, "racks must hold at least one node");
+        Self {
+            nodes_per_rack,
+            uplink,
+        }
+    }
+}
+
+/// A homogeneous cluster: `n` identical nodes joined by identical links —
+/// optionally arranged in a two-tier rack topology ([`RackSpec`]).
 ///
 /// The number of *workers* is a model input that varies per evaluation
 /// point, so `ClusterSpec` intentionally does not store it; it describes
-/// what one node and one link look like.
+/// what one node and one link look like. With a rack topology, `link` is
+/// the *intra-rack* link and `rack.uplink` joins the racks.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ClusterSpec {
     /// Per-node compute capability.
     pub node: NodeSpec,
-    /// Inter-node link capability.
+    /// Inter-node link capability (intra-rack when `rack` is set).
     pub link: LinkSpec,
+    /// Optional two-tier rack topology.
+    pub rack: Option<RackSpec>,
 }
 
 impl ClusterSpec {
-    /// Creates a cluster from node and link specs.
+    /// Creates a flat (single-tier) cluster from node and link specs.
     pub fn new(node: NodeSpec, link: LinkSpec) -> Self {
-        Self { node, link }
+        Self {
+            node,
+            link,
+            rack: None,
+        }
+    }
+
+    /// Arranges the cluster in racks: `link` becomes the intra-rack link
+    /// and `rack.uplink` joins the racks.
+    #[must_use]
+    pub fn with_racks(mut self, rack: RackSpec) -> Self {
+        self.rack = Some(rack);
+        self
     }
 
     /// Effective per-node compute rate `F`.
@@ -91,10 +132,39 @@ impl ClusterSpec {
         self.node.effective()
     }
 
-    /// Link bandwidth `B`.
+    /// Link bandwidth `B` (intra-rack when a rack topology is set).
     #[inline]
     pub fn bandwidth(&self) -> BitsPerSec {
         self.link.bandwidth
+    }
+
+    /// The rack index of a worker (`1..=n`; the master, node 0, lives in
+    /// rack 0). Flat clusters are one big rack.
+    #[inline]
+    pub fn rack_of(&self, node: usize) -> usize {
+        match (node, self.rack) {
+            (0, _) | (_, None) => 0,
+            (w, Some(r)) => (w - 1) / r.nodes_per_rack,
+        }
+    }
+
+    /// Number of racks occupied by `n` workers (1 for a flat cluster).
+    #[inline]
+    pub fn racks_for(&self, n: usize) -> usize {
+        match self.rack {
+            None => 1,
+            Some(r) => n.div_ceil(r.nodes_per_rack).max(1),
+        }
+    }
+
+    /// The link joining two nodes: the base link inside a rack, the rack
+    /// uplink across racks.
+    #[inline]
+    pub fn link_between(&self, a: usize, b: usize) -> LinkSpec {
+        match self.rack {
+            Some(r) if self.rack_of(a) != self.rack_of(b) => r.uplink,
+            _ => self.link,
+        }
     }
 }
 
@@ -156,6 +226,23 @@ pub mod presets {
     pub fn dl980() -> ClusterSpec {
         ClusterSpec::new(dl980_core(), shared_memory())
     }
+
+    /// A modern two-tier datacenter pod: 10 Gbit/s intra-rack links with
+    /// 5 µs per-message latency, racks of 16 nodes, and a 1 Gbit/s
+    /// top-of-rack uplink with 50 µs latency. This is the regime the
+    /// paper's flat bandwidth-only models cannot describe: small messages
+    /// are latency-bound and cross-rack hops cost an order of magnitude
+    /// more than local ones.
+    pub fn two_tier_pod() -> ClusterSpec {
+        ClusterSpec::new(
+            xeon_e3_1240_double(),
+            LinkSpec::new(BitsPerSec::giga(10.0), Seconds::from_micros(5.0)),
+        )
+        .with_racks(RackSpec::new(
+            16,
+            LinkSpec::new(BitsPerSec::giga(1.0), Seconds::from_micros(50.0)),
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -210,5 +297,42 @@ mod tests {
         let c = spark_cluster();
         assert_eq!(c.flops(), c.node.effective());
         assert_eq!(c.bandwidth().get(), 1e9);
+    }
+
+    #[test]
+    fn flat_cluster_is_one_rack() {
+        let c = spark_cluster();
+        assert_eq!(c.rack_of(0), 0);
+        assert_eq!(c.rack_of(37), 0);
+        assert_eq!(c.racks_for(100), 1);
+        assert_eq!(c.link_between(1, 99), c.link);
+    }
+
+    #[test]
+    fn rack_assignment_groups_workers() {
+        let c = two_tier_pod();
+        // Workers 1..=16 in rack 0, 17..=32 in rack 1, master with rack 0.
+        assert_eq!(c.rack_of(1), 0);
+        assert_eq!(c.rack_of(16), 0);
+        assert_eq!(c.rack_of(17), 1);
+        assert_eq!(c.rack_of(0), 0);
+        assert_eq!(c.racks_for(16), 1);
+        assert_eq!(c.racks_for(17), 2);
+        assert_eq!(c.racks_for(64), 4);
+    }
+
+    #[test]
+    fn link_selection_follows_rack_boundary() {
+        let c = two_tier_pod();
+        let rack = c.rack.unwrap();
+        assert_eq!(c.link_between(1, 16), c.link, "same rack: intra link");
+        assert_eq!(c.link_between(1, 17), rack.uplink, "cross rack: uplink");
+        assert_eq!(c.link_between(17, 18), c.link);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_rack_rejected() {
+        let _ = RackSpec::new(0, gigabit_ethernet());
     }
 }

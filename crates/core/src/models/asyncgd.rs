@@ -40,12 +40,16 @@ pub struct AsyncGdModel {
     pub payload: Bits,
     /// Link bandwidth.
     pub bandwidth: BitsPerSec,
+    /// Per-message link latency `α` (each pull and each push is one
+    /// message, so it enters both the worker cycle and the server
+    /// occupancy — matching the simulator's per-transfer charge).
+    pub latency: Seconds,
 }
 
 impl AsyncGdModel {
-    /// One transfer's time `payload/B`.
+    /// One transfer's time `α + payload/B`.
     pub fn transfer_time(&self) -> Seconds {
-        self.payload / self.bandwidth
+        self.latency + self.payload / self.bandwidth
     }
 
     /// A worker's full cycle time: pull + compute + push.
@@ -102,6 +106,7 @@ mod tests {
             apply_work: FlopCount::new(1e6), // 1 ms apply
             payload: Bits::mega(100.0),      // 0.01 s per transfer
             bandwidth: BitsPerSec::giga(10.0),
+            latency: Seconds::zero(),
         }
     }
 
@@ -174,5 +179,21 @@ mod tests {
             ..model()
         };
         assert!(heavy.saturation_point() < light.saturation_point());
+    }
+
+    #[test]
+    fn link_latency_lowers_the_server_cap() {
+        let fast = model();
+        let laggy = AsyncGdModel {
+            latency: Seconds::from_millis(5.0),
+            ..model()
+        };
+        // α enters every pull/push: the server serialises fewer updates
+        // per second and saturates at a smaller worker count.
+        let cap_fast = 1.0 / fast.server_time_per_update().as_secs();
+        let cap_laggy = 1.0 / laggy.server_time_per_update().as_secs();
+        assert!(cap_laggy < cap_fast);
+        assert!(laggy.saturation_point() < fast.saturation_point());
+        assert!((laggy.transfer_time().as_secs() - 0.015).abs() < 1e-12);
     }
 }

@@ -16,7 +16,8 @@
 //! bandwidth.
 
 use crate::comm::{
-    CommModel, Linear, NoComm, RingAllReduce, SparkGradientExchange, TwoStageTreeExchange,
+    AlphaBeta, CommModel, HalvingDoubling, Hierarchical, Linear, NoComm, RackTiered, RingAllReduce,
+    SparkGradientExchange, TwoStageTreeExchange,
 };
 use crate::hardware::ClusterSpec;
 use crate::speedup::SpeedupCurve;
@@ -37,6 +38,13 @@ pub enum GdComm {
     LinearFlat,
     /// Bandwidth-optimal ring all-reduce, `t_cm = 2·(n−1)/n·(bits·W/B)`.
     Ring,
+    /// Recursive halving/doubling all-reduce: ring's bandwidth term in
+    /// only `2·log₂ n` rounds — the MPI large-message workhorse.
+    HalvingDoubling,
+    /// Two-tier rack-aware collective: intra-rack tree + inter-rack ring
+    /// over the cluster's [`crate::hardware::RackSpec`] topology. On a
+    /// flat cluster it degenerates to a single-rack tree exchange.
+    Hierarchical,
     /// No communication (upper bound / single-machine sanity checks).
     None,
 }
@@ -68,10 +76,40 @@ impl GradientDescentModel {
     }
 
     /// The communication model object for this configuration.
+    ///
+    /// When the cluster's link carries a per-message latency, every
+    /// pure-bandwidth collective is wrapped in [`AlphaBeta`] so `t_cm`
+    /// takes the full `rounds·α + volume/B` form; at zero latency the
+    /// wrapper is exactly the paper's bandwidth-only model.
+    /// [`GdComm::Hierarchical`] reads latency from its per-tier links and
+    /// is never double-wrapped.
+    ///
+    /// A *flat* collective on a cluster with a rack topology is evaluated
+    /// through [`RackTiered`]: intra-rack link parameters while the job
+    /// fits one rack, the uplink tier once it spans racks (exact for the
+    /// ring pipeline, conservative for tree shapes) — keeping the analytic
+    /// prediction honest against the rack-routing simulator instead of
+    /// silently assuming every hop is intra-rack.
     pub fn comm_model(&self) -> Box<dyn CommModel> {
         let volume = self.param_volume();
-        let bandwidth = self.cluster.bandwidth();
-        match self.comm {
+        if matches!(self.comm, GdComm::Hierarchical) {
+            return Box::new(Hierarchical::from_cluster(volume, &self.cluster));
+        }
+        match self.cluster.rack {
+            None => self.flat_comm_model(self.cluster.link),
+            Some(rack) => Box::new(RackTiered {
+                rack_size: rack.nodes_per_rack,
+                within: self.flat_comm_model(self.cluster.link),
+                spanning: self.flat_comm_model(rack.uplink),
+            }),
+        }
+    }
+
+    /// The configured flat collective priced over one link tier.
+    fn flat_comm_model(&self, link: crate::hardware::LinkSpec) -> Box<dyn CommModel> {
+        let volume = self.param_volume();
+        let bandwidth = link.bandwidth;
+        let base: Box<dyn CommModel> = match self.comm {
             GdComm::TwoStageTree => Box::new(TwoStageTreeExchange { volume, bandwidth }),
             GdComm::Spark => Box::new(SparkGradientExchange { volume, bandwidth }),
             GdComm::LinearFlat => Box::new(crate::comm::Scaled {
@@ -79,7 +117,17 @@ impl GradientDescentModel {
                 factor: 2.0,
             }),
             GdComm::Ring => Box::new(RingAllReduce { volume, bandwidth }),
+            GdComm::HalvingDoubling => Box::new(HalvingDoubling { volume, bandwidth }),
+            GdComm::Hierarchical => unreachable!("handled by comm_model"),
             GdComm::None => Box::new(NoComm),
+        };
+        if link.latency.is_zero() {
+            base
+        } else {
+            Box::new(AlphaBeta {
+                inner: base,
+                latency: link.latency,
+            })
         }
     }
 
@@ -283,6 +331,69 @@ mod tests {
             ..fig3_model()
         };
         assert!(ring.comm_time(256) < tree.comm_time(256));
+    }
+
+    #[test]
+    fn halving_doubling_beats_ring_on_latency_bound_links() {
+        use crate::hardware::{ClusterSpec, LinkSpec};
+        use crate::units::{BitsPerSec, Seconds};
+        let cluster = ClusterSpec::new(
+            presets::nvidia_k40(),
+            LinkSpec::new(BitsPerSec::giga(100.0), Seconds::from_micros(20.0)),
+        );
+        let hd = GradientDescentModel {
+            comm: GdComm::HalvingDoubling,
+            cluster,
+            ..fig3_model()
+        };
+        let ring = GradientDescentModel {
+            comm: GdComm::Ring,
+            cluster,
+            ..fig3_model()
+        };
+        // 25e6 params · 32 bit / 100 Gbit/s = 8 ms serialisation; at n=64
+        // ring pays 126 × 20 µs = 2.5 ms extra latency vs the tree's
+        // 12 × 20 µs — the α term decides once volume terms are close.
+        assert!(hd.comm_time(64) < ring.comm_time(64));
+    }
+
+    #[test]
+    fn latency_free_cluster_keeps_paper_predictions() {
+        // spark_cluster has a bandwidth-only link, so the α–β wrapper must
+        // not engage and the Fig 2 optimum stays at 9.
+        let m = fig2_model();
+        assert!(m.cluster.link.latency.is_zero());
+        let (n_opt, _) = m.strong_curve(1..=13).optimal();
+        assert_eq!(n_opt, 9);
+    }
+
+    #[test]
+    fn hierarchical_comm_scales_past_flat_optimum() {
+        let flat = fig2_model();
+        let hier = GradientDescentModel {
+            cluster: presets::two_tier_pod(),
+            comm: GdComm::Hierarchical,
+            ..fig2_model()
+        };
+        let (n_flat, s_flat) = flat.strong_curve(1..=64).optimal();
+        let (n_hier, s_hier) = hier.strong_curve(1..=64).optimal();
+        assert!(
+            n_hier > n_flat,
+            "racked pod must push the optimum out: flat {n_flat}, hier {n_hier}"
+        );
+        assert!(s_hier > s_flat);
+    }
+
+    #[test]
+    fn hierarchical_on_flat_cluster_is_tree_like() {
+        let m = GradientDescentModel {
+            comm: GdComm::Hierarchical,
+            ..fig2_model()
+        };
+        // One big rack: 2·⌈log₂ n⌉ rounds of the full payload.
+        let unit = 64.0 * 12e6 / 1e9;
+        assert!((m.comm_time(8).as_secs() - 2.0 * 3.0 * unit).abs() < 1e-9);
+        assert!(m.comm_time(1).is_zero());
     }
 
     #[test]

@@ -81,38 +81,52 @@ impl<F: Fn(usize) -> Seconds> Planner<F> {
 
     /// The cheapest cluster that finishes within `deadline`, or `None`
     /// when no candidate size makes the deadline (the "may sometimes
-    /// prevent them" answer).
+    /// prevent them" answer). Exact cost ties resolve to the smallest `n`
+    /// (fewer machines to provision for the same bill).
     pub fn cheapest_within_deadline(&self, deadline: Seconds) -> Option<Plan> {
         (1..=self.max_n)
             .map(|n| self.plan_at(n))
             .filter(|p| p.time <= deadline)
-            .min_by(|a, b| a.cost.total_cmp(&b.cost))
+            .min_by(|a, b| a.cost.total_cmp(&b.cost).then(a.n.cmp(&b.n)))
     }
 
     /// The fastest cluster whose cost stays within `budget`, or `None`
-    /// when even one node exceeds it.
+    /// when even one node exceeds it. Exact time ties resolve to the
+    /// smallest `n`.
     pub fn fastest_within_budget(&self, budget: f64) -> Option<Plan> {
         (1..=self.max_n)
             .map(|n| self.plan_at(n))
             .filter(|p| p.cost <= budget)
-            .min_by(|a, b| a.time.as_secs().total_cmp(&b.time.as_secs()))
+            .min_by(|a, b| {
+                a.time
+                    .as_secs()
+                    .total_cmp(&b.time.as_secs())
+                    .then(a.n.cmp(&b.n))
+            })
     }
 
     /// The minimum-cost configuration overall. With hourly-only pricing
     /// this is the efficiency sweet spot: cost ∝ `n·t(n)`, which is
-    /// minimal where parallel efficiency is highest.
+    /// minimal where parallel efficiency is highest. Exact cost ties
+    /// resolve to the smallest `n`.
     pub fn cheapest(&self) -> Plan {
         (1..=self.max_n)
             .map(|n| self.plan_at(n))
-            .min_by(|a, b| a.cost.total_cmp(&b.cost))
+            .min_by(|a, b| a.cost.total_cmp(&b.cost).then(a.n.cmp(&b.n)))
             .expect("max_n >= 1")
     }
 
-    /// The fastest configuration overall (the speedup optimum).
+    /// The fastest configuration overall (the speedup optimum). Exact
+    /// time ties resolve to the smallest `n`.
     pub fn fastest(&self) -> Plan {
         (1..=self.max_n)
             .map(|n| self.plan_at(n))
-            .min_by(|a, b| a.time.as_secs().total_cmp(&b.time.as_secs()))
+            .min_by(|a, b| {
+                a.time
+                    .as_secs()
+                    .total_cmp(&b.time.as_secs())
+                    .then(a.n.cmp(&b.n))
+            })
             .expect("max_n >= 1")
     }
 
@@ -226,5 +240,54 @@ mod tests {
         assert_eq!(t.len(), 64);
         assert_eq!(t[0].n, 1);
         assert_eq!(t[63].n, 64);
+    }
+
+    /// Perfect strong scaling on powers of two: t(n) = 4h/n, so hourly
+    /// cost n·t(n) is *exactly* 4·price for n ∈ {1, 2, 4, 8} (exact in
+    /// binary floating point). Everything else is deliberately terrible.
+    fn tied_cost_fn(n: usize) -> Seconds {
+        match n {
+            1 | 2 | 4 | 8 => Seconds::new(4.0 * 3600.0 / n as f64),
+            _ => Seconds::new(1e6),
+        }
+    }
+
+    #[test]
+    fn cheapest_tie_resolves_to_smallest_n() {
+        let p = Planner::new(tied_cost_fn, 8, Pricing::hourly(2.0));
+        // n ∈ {1, 2, 4, 8} all cost exactly 8.0; the tie must go to 1.
+        let plan = p.cheapest();
+        assert_eq!(plan.cost, 8.0, "fixture must produce an exact tie");
+        assert_eq!(plan.n, 1, "equal cost resolves to the smallest n");
+    }
+
+    #[test]
+    fn deadline_tie_resolves_to_smallest_feasible_n() {
+        let p = Planner::new(tied_cost_fn, 8, Pricing::hourly(2.0));
+        // A 2-hour deadline leaves {2, 4, 8} feasible, all at cost 8.0.
+        let plan = p
+            .cheapest_within_deadline(Seconds::new(2.0 * 3600.0))
+            .expect("feasible");
+        assert_eq!(plan.cost, 8.0);
+        assert_eq!(plan.n, 2, "cost tie among {{2,4,8}} resolves to 2");
+    }
+
+    #[test]
+    fn fastest_tie_resolves_to_smallest_n() {
+        // Identical times everywhere: the speed tie must pick one node.
+        let p = Planner::new(|_| Seconds::new(1000.0), 16, Pricing::hourly(1.0));
+        assert_eq!(p.fastest().n, 1);
+    }
+
+    #[test]
+    fn budget_tie_resolves_to_smallest_n() {
+        // n = 3 and n = 5 are equally fast and both affordable; 3 wins.
+        let time_fn = |n: usize| match n {
+            3 | 5 => Seconds::new(1000.0),
+            _ => Seconds::new(5000.0),
+        };
+        let p = Planner::new(time_fn, 8, Pricing::hourly(1.0));
+        let plan = p.fastest_within_budget(100.0).expect("affordable");
+        assert_eq!(plan.n, 3, "time tie resolves to the smaller cluster");
     }
 }

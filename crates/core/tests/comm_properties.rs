@@ -2,10 +2,11 @@
 //! the structural laws every model must satisfy regardless of parameters.
 
 use mlscale_core::comm::{
-    CommModel, Linear, LogTree, RingAllReduce, SparkGradientExchange, TorrentBroadcast,
-    TwoStageTreeExchange, TwoWaveAggregation,
+    AlphaBeta, CommModel, Composite, HalvingDoubling, Hierarchical, Linear, LogTree, RingAllReduce,
+    Scaled, SparkGradientExchange, TorrentBroadcast, TwoStageTreeExchange, TwoWaveAggregation,
 };
-use mlscale_core::units::{Bits, BitsPerSec};
+use mlscale_core::hardware::LinkSpec;
+use mlscale_core::units::{Bits, BitsPerSec, Seconds};
 use proptest::prelude::*;
 
 fn models(volume: Bits, bandwidth: BitsPerSec) -> Vec<Box<dyn CommModel>> {
@@ -17,31 +18,136 @@ fn models(volume: Bits, bandwidth: BitsPerSec) -> Vec<Box<dyn CommModel>> {
         Box::new(SparkGradientExchange { volume, bandwidth }),
         Box::new(TwoStageTreeExchange { volume, bandwidth }),
         Box::new(RingAllReduce { volume, bandwidth }),
+        Box::new(HalvingDoubling { volume, bandwidth }),
     ]
+}
+
+/// The full sweep for the `n == 1` / non-negativity invariant: every base
+/// model plus the combinators (α–β wrapper, composite, scaled) and the
+/// inherently latency-aware hierarchical model.
+fn all_models(volume: Bits, bandwidth: BitsPerSec, latency: Seconds) -> Vec<Box<dyn CommModel>> {
+    let mut all = models(volume, bandwidth);
+    let wrapped: Vec<Box<dyn CommModel>> = models(volume, bandwidth)
+        .into_iter()
+        .map(|inner| Box::new(AlphaBeta { inner, latency }) as Box<dyn CommModel>)
+        .collect();
+    all.extend(wrapped);
+    all.push(Box::new(Hierarchical {
+        volume,
+        rack_size: 8,
+        intra: LinkSpec::new(bandwidth, latency),
+        uplink: LinkSpec::new(BitsPerSec::new(bandwidth.get() / 10.0), latency * 10.0),
+    }));
+    all.push(Box::new(
+        Composite::new()
+            .with(LogTree { volume, bandwidth })
+            .with(TwoWaveAggregation { volume, bandwidth }),
+    ));
+    all.push(Box::new(Scaled {
+        inner: RingAllReduce { volume, bandwidth },
+        factor: 3.0,
+    }));
+    all
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Every model is zero at n = 1 (a single worker has nobody to talk
-    /// to) and non-negative everywhere.
+    /// Every model — including the α–β wrapped ones, the hierarchical
+    /// composite and the plain combinators — is zero at n = 1 (a single
+    /// worker has nobody to talk to) and non-negative everywhere, with
+    /// zero latency rounds at n = 1 too.
     #[test]
     fn zero_at_one_nonnegative_everywhere(
+        volume_mb in 0.1f64..1000.0,
+        bw_gb in 0.1f64..100.0,
+        latency_us in 0.0f64..1000.0,
+        n in 1usize..500,
+    ) {
+        let volume = Bits::mega(volume_mb);
+        let bandwidth = BitsPerSec::giga(bw_gb);
+        let latency = Seconds::from_micros(latency_us);
+        for m in all_models(volume, bandwidth, latency) {
+            prop_assert!(m.time(1).is_zero(), "{} at n=1", m.name());
+            prop_assert_eq!(m.rounds(1), 0.0, "{} rounds at n=1", m.name());
+            prop_assert!(m.time(n).as_secs() >= 0.0);
+            prop_assert!(m.rounds(n) >= 0.0);
+        }
+    }
+
+    /// With latency zero, every α–β model degenerates *exactly* to its
+    /// pure-bandwidth prediction — the backwards-compatibility guard for
+    /// all pre-existing exhibit answers (the quickstart `n_opt == 9`
+    /// doctest runs on exactly these latency-free models).
+    #[test]
+    fn zero_latency_degenerates_to_pure_bandwidth(
         volume_mb in 0.1f64..1000.0,
         bw_gb in 0.1f64..100.0,
         n in 1usize..500,
     ) {
         let volume = Bits::mega(volume_mb);
         let bandwidth = BitsPerSec::giga(bw_gb);
-        for m in models(volume, bandwidth) {
-            prop_assert!(m.time(1).is_zero(), "{} at n=1", m.name());
-            prop_assert!(m.time(n).as_secs() >= 0.0);
+        let pure = models(volume, bandwidth);
+        let wrapped = models(volume, bandwidth)
+            .into_iter()
+            .map(|inner| AlphaBeta { inner, latency: Seconds::zero() });
+        for (p, w) in pure.iter().zip(wrapped) {
+            prop_assert_eq!(
+                w.time(n), p.time(n),
+                "{} must be bit-identical at zero latency", p.name()
+            );
+        }
+        // The hierarchical model over zero-latency links likewise reduces
+        // to its bandwidth terms: 2·⌈log₂ m⌉·M/B_i + 2·(r−1)·(M/r)/B_u.
+        let h = Hierarchical {
+            volume,
+            rack_size: 8,
+            intra: LinkSpec::bandwidth_only(bandwidth),
+            uplink: LinkSpec::bandwidth_only(bandwidth),
+        };
+        let m = 8.min(n);
+        let r = n.div_ceil(8);
+        let unit = volume.get() / bandwidth.get();
+        let expected = if n <= 1 {
+            0.0
+        } else {
+            2.0 * (m as f64).log2().ceil() * unit
+                + if r > 1 { 2.0 * (r as f64 - 1.0) * unit / r as f64 } else { 0.0 }
+        };
+        prop_assert!((h.time(n).as_secs() - expected).abs() <= 1e-9 * expected.max(1.0));
+    }
+
+    /// Nonzero latency always adds time — `α·rounds(n)` on top of the
+    /// bandwidth term — and the surcharge is exactly linear in `α`.
+    #[test]
+    fn latency_surcharge_is_rounds_times_alpha(
+        volume_mb in 0.1f64..500.0,
+        bw_gb in 0.1f64..50.0,
+        latency_us in 1.0f64..1000.0,
+        n in 2usize..300,
+    ) {
+        let volume = Bits::mega(volume_mb);
+        let bandwidth = BitsPerSec::giga(bw_gb);
+        let latency = Seconds::from_micros(latency_us);
+        for inner in models(volume, bandwidth) {
+            let rounds = inner.rounds(n);
+            prop_assert!(rounds > 0.0, "{} must report rounds past n=1", inner.name());
+            let base = inner.time(n).as_secs();
+            let ab = AlphaBeta { inner, latency };
+            let surcharge = ab.time(n).as_secs() - base;
+            let expected = latency.as_secs() * rounds;
+            prop_assert!(
+                (surcharge - expected).abs() <= 1e-9 * expected.max(1e-12),
+                "{}: surcharge {surcharge} vs α·rounds {expected}", ab.name()
+            );
         }
     }
 
     /// Communication time is non-decreasing in the worker count for every
     /// master-coordinated collective (ring all-reduce included: its
-    /// 2(n−1)/n factor grows toward 2).
+    /// 2(n−1)/n factor grows toward 2). Halving/doubling is exempt by
+    /// design: its non-power-of-two fold makes t(5) > t(8), like the real
+    /// algorithm.
     #[test]
     fn monotone_in_workers(
         volume_mb in 0.1f64..1000.0,
@@ -51,12 +157,22 @@ proptest! {
         let volume = Bits::mega(volume_mb);
         let bandwidth = BitsPerSec::giga(bw_gb);
         for m in models(volume, bandwidth) {
+            if m.name() == "halving-doubling" {
+                continue;
+            }
             prop_assert!(
                 m.time(n + 1).as_secs() >= m.time(n).as_secs() - 1e-12,
                 "{} must not speed up when adding workers: n={n}",
                 m.name()
             );
         }
+        let h = Hierarchical {
+            volume,
+            rack_size: 8,
+            intra: LinkSpec::bandwidth_only(bandwidth),
+            uplink: LinkSpec::bandwidth_only(BitsPerSec::new(bandwidth.get() / 10.0)),
+        };
+        prop_assert!(h.time(n + 1).as_secs() >= h.time(n).as_secs() - 1e-12);
     }
 
     /// Time scales linearly in the payload volume (bandwidth-dominated

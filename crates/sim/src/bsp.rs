@@ -9,7 +9,10 @@
 //! experimental measurements.
 
 use crate::cluster::SimCluster;
-use crate::collectives::{broadcast, reduce, ring_all_reduce, BroadcastKind, ReduceKind};
+use crate::collectives::{
+    broadcast, halving_doubling_all_reduce, hierarchical_all_reduce, reduce, ring_all_reduce,
+    BroadcastKind, ReduceKind,
+};
 use crate::overhead::OverheadModel;
 use mlscale_core::hardware::ClusterSpec;
 use mlscale_core::units::Seconds;
@@ -42,6 +45,18 @@ pub enum CommPhase {
     },
     /// Ring all-reduce of per-worker `bits` contributions.
     RingAllReduce {
+        /// Payload per worker.
+        bits: f64,
+    },
+    /// Recursive halving/doubling all-reduce of per-worker `bits`
+    /// contributions (Rabenseifner's algorithm).
+    HalvingDoubling {
+        /// Payload per worker.
+        bits: f64,
+    },
+    /// Two-tier hierarchical all-reduce over the cluster's rack topology:
+    /// intra-rack tree reduce/broadcast plus an inter-rack leader ring.
+    Hierarchical {
         /// Payload per worker.
         bits: f64,
     },
@@ -185,6 +200,12 @@ pub fn simulate_with_speeds(
                     }
                 }
                 CommPhase::RingAllReduce { bits } => ring_all_reduce(&mut cluster, *bits, &done),
+                CommPhase::HalvingDoubling { bits } => {
+                    halving_doubling_all_reduce(&mut cluster, *bits, &done)
+                }
+                CommPhase::Hierarchical { bits } => {
+                    hierarchical_all_reduce(&mut cluster, *bits, &done)
+                }
             };
         }
         iteration_times.push(cursor - iter_start);
@@ -380,6 +401,57 @@ mod tests {
         // 1 s compute + 2·3/4 s ring.
         assert!(
             (report.total.as_secs() - 2.5).abs() < 1e-6,
+            "got {}",
+            report.total
+        );
+    }
+
+    #[test]
+    fn halving_doubling_phase_runs() {
+        let n = 4;
+        let program = BspProgram {
+            supersteps: vec![SuperstepSpec::even(
+                4e9,
+                n,
+                CommPhase::HalvingDoubling { bits: 1e9 },
+            )],
+            iterations: 1,
+        };
+        let report = simulate(&program, &config(), n);
+        // 1 s compute + 2·3/4 s exchange (same volume as ring at p = 4).
+        assert!(
+            (report.total.as_secs() - 2.5).abs() < 1e-6,
+            "got {}",
+            report.total
+        );
+    }
+
+    #[test]
+    fn hierarchical_phase_uses_rack_topology() {
+        use mlscale_core::hardware::RackSpec;
+        let mut cfg = config();
+        cfg.cluster = ClusterSpec::new(
+            NodeSpec::new(FlopsRate::giga(1.0), 1.0),
+            LinkSpec::bandwidth_only(BitsPerSec::giga(10.0)),
+        )
+        .with_racks(RackSpec::new(
+            4,
+            LinkSpec::bandwidth_only(BitsPerSec::giga(1.0)),
+        ));
+        let n = 16;
+        let program = BspProgram {
+            supersteps: vec![SuperstepSpec::even(
+                16e9,
+                n,
+                CommPhase::Hierarchical { bits: 1e9 },
+            )],
+            iterations: 1,
+        };
+        let report = simulate(&program, &cfg, n);
+        // 1 s compute + 2·0.1 intra reduce + 6·0.25 leader ring + 2·0.1
+        // intra broadcast.
+        assert!(
+            (report.total.as_secs() - 2.9).abs() < 1e-6,
             "got {}",
             report.total
         );

@@ -116,10 +116,22 @@ impl SimCluster {
         Seconds::new(state.cpu_free)
     }
 
+    /// The rack a node belongs to (rack 0 on flat clusters).
+    pub fn rack_of(&self, node: NodeId) -> usize {
+        self.spec.rack_of(node)
+    }
+
+    /// Workers per rack, when the cluster has a rack topology.
+    pub fn rack_size(&self) -> Option<usize> {
+        self.spec.rack.map(|r| r.nodes_per_rack)
+    }
+
     /// Schedules a point-to-point transfer of `bits` from `from` to `to`,
     /// not starting before `earliest`. Occupies both NIC halves for
-    /// `latency + bits/bandwidth`; returns the completion time. Free under
-    /// shared memory.
+    /// `latency + bits/bandwidth` of the link joining the two nodes — the
+    /// intra-rack link within a rack, the uplink across racks on a
+    /// cluster with a rack topology; returns the completion time. Free
+    /// under shared memory.
     ///
     /// # Panics
     /// Panics on a self-transfer — callers should skip those.
@@ -129,11 +141,12 @@ impl SimCluster {
         if self.shared_memory {
             return earliest;
         }
+        let link = self.spec.link_between(from, to);
         let start = self.nodes[from]
             .send_free
             .max(self.nodes[to].recv_free)
             .max(earliest.as_secs());
-        let duration = self.spec.link.latency.as_secs() + bits / self.spec.bandwidth().get();
+        let duration = link.latency.as_secs() + bits / link.bandwidth.get();
         let done = start + duration;
         self.nodes[from].send_free = done;
         self.nodes[to].recv_free = done;
@@ -270,6 +283,27 @@ mod tests {
     fn self_transfer_panics() {
         let mut c = cluster(2);
         let _ = c.transfer(1, 1, 1.0, Seconds::zero());
+    }
+
+    #[test]
+    fn cross_rack_transfers_use_the_uplink() {
+        use mlscale_core::hardware::RackSpec;
+        let spec = ClusterSpec::new(
+            NodeSpec::new(FlopsRate::giga(1.0), 1.0),
+            LinkSpec::bandwidth_only(BitsPerSec::giga(10.0)),
+        )
+        .with_racks(RackSpec::new(
+            2,
+            LinkSpec::bandwidth_only(BitsPerSec::giga(1.0)),
+        ));
+        let mut c = SimCluster::new(spec, 4);
+        // Workers 1,2 in rack 0; 3,4 in rack 1.
+        assert_eq!(c.rack_of(1), 0);
+        assert_eq!(c.rack_of(3), 1);
+        let intra = c.transfer(1, 2, 1e9, Seconds::zero());
+        let inter = c.transfer(3, 1, 1e9, Seconds::zero());
+        assert!((intra.as_secs() - 0.1).abs() < 1e-12, "10 Gbit/s intra");
+        assert!((inter.as_secs() - 1.0).abs() < 1e-12, "1 Gbit/s uplink");
     }
 
     #[test]

@@ -2,8 +2,11 @@
 //! future-work directions: an analytic model for asynchronous gradient
 //! descent validated against the event-level parameter-server simulation,
 //! a Gibbs-vs-BP inference cost comparison, scalability of the wider
-//! architecture zoo, and cost/deadline provisioning with the planner.
+//! architecture zoo, cost/deadline provisioning with the planner, and the
+//! latency/topology-aware communication study (flat α–β collectives vs a
+//! two-tier rack hierarchy).
 
+use crate::gd::GdWorkload;
 use crate::report::{ExperimentResult, Series};
 use mlscale_core::hardware::{presets, ClusterSpec, LinkSpec, NodeSpec};
 use mlscale_core::metrics::Comparison;
@@ -31,6 +34,7 @@ pub fn async_gd(ns: &[usize], updates: usize) -> ExperimentResult {
         apply_work: FlopCount::new(1e7),
         payload: Bits::new(32.0 * 10e6),
         bandwidth: cluster.bandwidth(),
+        latency: cluster.link.latency,
     };
     let sim_config = ParamServerConfig {
         cluster,
@@ -198,6 +202,67 @@ pub fn provisioning(iterations: f64, node_hour_price: f64) -> ExperimentResult {
     )
 }
 
+/// **Flat vs hierarchical communication** (the latency/topology extension):
+/// the paper's MNIST training job on (a) its original flat gigabit cluster
+/// with Spark's mechanism, (b) the same flat network with a latency-aware
+/// tree exchange, and (c) a two-tier rack pod with the hierarchical
+/// collective. The flat bandwidth-only model caps the job at a handful of
+/// workers; the rack topology keeps most hops on fast intra-rack links and
+/// pushes the optimum out by roughly the rack size. The hierarchical
+/// analytic curve is cross-validated against the discrete-event simulator
+/// on the same racked cluster.
+pub fn hierarchical_comm(max_n: usize) -> ExperimentResult {
+    let flat = super::figures::fig2_model();
+    let flat_tree = GradientDescentModel {
+        comm: GdComm::TwoStageTree,
+        ..flat
+    };
+    let hier = GradientDescentModel {
+        cluster: presets::two_tier_pod(),
+        comm: GdComm::Hierarchical,
+        ..flat
+    };
+    let ns: Vec<usize> = (1..=max_n).collect();
+    let flat_curve = flat.strong_curve(ns.iter().copied());
+    let tree_curve = flat_tree.strong_curve(ns.iter().copied());
+    let hier_curve = hier.strong_curve(ns.iter().copied());
+    let (n_flat, s_flat) = flat_curve.optimal();
+    let (n_tree, s_tree) = tree_curve.optimal();
+    let (n_hier, s_hier) = hier_curve.optimal();
+
+    // Cross-validate the hierarchical analytic model against the
+    // discrete-event twin executing the same schedule on the racked pod.
+    let sim_ns: Vec<usize> = ns
+        .iter()
+        .copied()
+        .filter(|&n| n % 8 == 0 || n == 1)
+        .collect();
+    let workload = GdWorkload::ideal(hier);
+    let (hier_model, hier_sim) = workload.strong_curves(&sim_ns);
+    let mape = Comparison::join(&hier_model.speedups(), &hier_sim.speedups()).mape();
+
+    ExperimentResult::new(
+        "ext-hierarchical-comm",
+        "Flat vs two-tier hierarchical gradient exchange (MNIST job, strong scaling)",
+    )
+    .with_series(Series::new("flat spark", flat_curve.speedups()))
+    .with_series(Series::new("flat tree", tree_curve.speedups()))
+    .with_series(Series::new("hierarchical", hier_curve.speedups()))
+    .with_series(Series::new("hierarchical sim", hier_sim.speedups()))
+    .with_stat("optimal n (flat spark)", n_flat as f64, None)
+    .with_stat("peak speedup (flat spark)", s_flat, None)
+    .with_stat("optimal n (flat tree)", n_tree as f64, None)
+    .with_stat("peak speedup (flat tree)", s_tree, None)
+    .with_stat("optimal n (hierarchical)", n_hier as f64, None)
+    .with_stat("peak speedup (hierarchical)", s_hier, None)
+    .with_stat("hierarchical model-vs-sim MAPE %", mape, None)
+    .with_note(
+        "t_cm = rounds·α + volume/B per tier: the uplink carries only r−1 \
+         leader hops of M/r chunks, so the cross-rack wall moves out by \
+         about the rack size — invisible to any flat f_cm(M, n)",
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +327,22 @@ mod tests {
         // The MNIST FC net (W/C = 1/2) is the most communication-bound of
         // all at this batch size.
         assert!(opt("mnist-fc") <= opt("alexnet"));
+    }
+
+    #[test]
+    fn hierarchical_extends_the_scaling_range() {
+        let r = hierarchical_comm(64);
+        let stat = |label: &str| r.stats.iter().find(|s| s.label == label).unwrap().value;
+        assert!(
+            stat("optimal n (hierarchical)") > stat("optimal n (flat spark)"),
+            "rack topology must push the optimum out"
+        );
+        assert!(stat("peak speedup (hierarchical)") > stat("peak speedup (flat spark)"));
+        assert!(
+            stat("hierarchical model-vs-sim MAPE %") < 5.0,
+            "analytic hierarchical model must track its simulator twin: {}",
+            stat("hierarchical model-vs-sim MAPE %")
+        );
     }
 
     #[test]

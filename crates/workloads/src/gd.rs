@@ -57,6 +57,8 @@ impl GdWorkload {
                 reduce: ReduceKind::Flat,
             },
             GdComm::Ring => CommPhase::RingAllReduce { bits },
+            GdComm::HalvingDoubling => CommPhase::HalvingDoubling { bits },
+            GdComm::Hierarchical => CommPhase::Hierarchical { bits },
             GdComm::None => CommPhase::None,
         }
     }
@@ -226,6 +228,35 @@ mod tests {
         w.model.comm = GdComm::Ring;
         let t = w.simulate_strong(4);
         assert!(t.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn halving_doubling_sim_matches_model_exactly() {
+        let mut w = fig2_workload();
+        w.model.comm = GdComm::HalvingDoubling;
+        for n in [2usize, 4, 8, 16] {
+            let model = w.model.strong_iteration_time(n).as_secs();
+            let sim = w.simulate_strong(n).as_secs();
+            assert!(
+                (model - sim).abs() / model < 1e-9,
+                "n={n}: model {model} vs sim {sim}"
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchical_workload_tracks_model_on_racked_cluster() {
+        let mut w = fig2_workload();
+        w.model.cluster = presets::two_tier_pod();
+        w.model.comm = GdComm::Hierarchical;
+        for n in [8usize, 16, 32, 64] {
+            let model = w.model.strong_iteration_time(n).as_secs();
+            let sim = w.simulate_strong(n).as_secs();
+            assert!(
+                (model - sim).abs() / model < 0.05,
+                "n={n}: model {model} vs sim {sim}"
+            );
+        }
     }
 
     #[test]

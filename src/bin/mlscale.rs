@@ -6,14 +6,19 @@
 //! mlscale gd   --params 12e6 --cost-per-example 72e6 --batch 60000 \
 //!              --flops 84.48e9 --bandwidth 1e9 --bits 64 --comm spark --max-n 16
 //! mlscale gd   --preset fig3 --weak --max-n 200
+//! mlscale gd   --preset pod --comm hier --max-n 64
 //! mlscale bp   --vertices 165000 --edges 1013000 --max-degree 9800 --max-n 80
 //! mlscale plan --preset fig2 --iterations 1000 --price 2.0 --deadline 7200
 //! ```
 //!
 //! All flags take `--flag value` form; numbers accept scientific notation.
+//! Every parsing failure is fatal: an unknown flag, an unknown `--comm` /
+//! `--preset` value, or an unparsable number aborts with a message naming
+//! the offending flag and a non-zero exit status — nothing silently falls
+//! back to a default.
 
 use mlscale::graph::sampling::zipf_weights;
-use mlscale::model::hardware::{presets, ClusterSpec, LinkSpec, NodeSpec};
+use mlscale::model::hardware::{presets, ClusterSpec, LinkSpec, NodeSpec, RackSpec};
 use mlscale::model::models::gd::{GdComm, GradientDescentModel};
 use mlscale::model::models::graphinf::{
     bp_cost_per_edge, max_edges_monte_carlo, EdgeLoad, GraphInferenceModel,
@@ -30,10 +35,13 @@ fn usage() -> ! {
         "usage: mlscale <gd|bp|plan> [--flag value]...\n\
          \n\
          gd   — gradient-descent speedup curve\n\
-              --preset fig2|fig3        load a paper configuration\n\
+              --preset fig2|fig3|pod    load a paper/pod configuration\n\
               --params W --cost-per-example C --batch S --bits 32|64\n\
               --flops F --bandwidth B   effective flop/s and bit/s\n\
-              --comm tree|spark|linear|ring|none\n\
+              --latency s               per-message link latency (alpha)\n\
+              --comm tree|spark|linear|ring|halving|hier|none\n\
+              --rack-size N             workers per rack (required by hier)\n\
+              --uplink-bandwidth B --uplink-latency s   inter-rack uplink\n\
               --max-n N [--weak]        evaluate 1..=N, weak scaling optional\n\
          bp   — graph-inference speedup curve (Monte-Carlo max-edges model)\n\
               --vertices V --edges E --max-degree D --states S\n\
@@ -45,56 +53,148 @@ fn usage() -> ! {
     exit(2)
 }
 
+/// Fatal flag error: names the offending flag, exits non-zero.
+fn die(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run `mlscale` with no arguments for usage");
+    exit(2)
+}
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: &[&str] = &["weak"];
+
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
-        let key = args[i]
-            .strip_prefix("--")
-            .unwrap_or_else(|| {
-                eprintln!("unexpected argument {:?}", args[i]);
-                usage()
-            })
-            .to_string();
-        if key == "weak" {
-            flags.insert(key, "true".to_string());
-            i += 1;
-            continue;
-        }
-        let Some(value) = args.get(i + 1) else {
-            eprintln!("flag --{key} needs a value");
-            usage()
+        let Some(key) = args[i].strip_prefix("--") else {
+            die(format_args!(
+                "unexpected argument {:?} (flags take --flag value form)",
+                args[i]
+            ))
         };
-        flags.insert(key, value.clone());
-        i += 2;
+        let key = key.to_string();
+        if key.is_empty() {
+            die("empty flag name `--`");
+        }
+        let (value, step) = if BOOLEAN_FLAGS.contains(&key.as_str()) {
+            ("true".to_string(), 1)
+        } else {
+            match args.get(i + 1) {
+                Some(v) => (v.clone(), 2),
+                None => die(format_args!("flag --{key} needs a value")),
+            }
+        };
+        if flags.insert(key.clone(), value).is_some() {
+            die(format_args!("flag --{key} given more than once"));
+        }
+        i += step;
     }
     flags
 }
 
-fn num(flags: &HashMap<String, String>, key: &str, default: Option<f64>) -> f64 {
-    match flags.get(key) {
-        Some(v) => v.parse().unwrap_or_else(|_| {
-            eprintln!("--{key}: cannot parse {v:?} as a number");
-            usage()
-        }),
-        None => default.unwrap_or_else(|| {
-            eprintln!("missing required flag --{key}");
-            usage()
-        }),
+/// Rejects any flag outside `allowed`, naming the offender and command.
+fn check_allowed(command: &str, flags: &HashMap<String, String>, allowed: &[&str]) {
+    for key in flags.keys() {
+        if !allowed.contains(&key.as_str()) {
+            die(format_args!("unknown flag --{key} for `mlscale {command}`"));
+        }
     }
 }
 
+/// Parses a required (or defaulted) finite, non-negative number, naming
+/// the flag on failure.
+fn num(flags: &HashMap<String, String>, key: &str, default: Option<f64>) -> f64 {
+    let v = match flags.get(key) {
+        Some(v) => match v.parse::<f64>() {
+            Ok(x) => x,
+            Err(_) => die(format_args!("--{key}: cannot parse {v:?} as a number")),
+        },
+        None => match default {
+            Some(d) => d,
+            None => die(format_args!("missing required flag --{key}")),
+        },
+    };
+    if !v.is_finite() || v < 0.0 {
+        die(format_args!(
+            "--{key}: expected a finite non-negative number, got {v}"
+        ));
+    }
+    v
+}
+
+/// Like [`num`] but rejects zero — for quantities the models divide by
+/// (flop rates, bandwidths, workload sizes), where 0 would otherwise
+/// surface as a panic or an inf/NaN curve deep inside the evaluation.
+fn pos(flags: &HashMap<String, String>, key: &str, default: Option<f64>) -> f64 {
+    let v = num(flags, key, default);
+    if v == 0.0 {
+        die(format_args!("--{key}: must be positive, got 0"));
+    }
+    v
+}
+
+/// Parses a strictly positive integer (no silent truncation of `3.7` or
+/// `-1`), naming the flag on failure.
+fn int(flags: &HashMap<String, String>, key: &str, default: Option<usize>) -> usize {
+    match flags.get(key) {
+        Some(v) => match v.parse::<usize>() {
+            Ok(0) => die(format_args!("--{key}: must be at least 1")),
+            Ok(x) => x,
+            Err(_) => die(format_args!(
+                "--{key}: cannot parse {v:?} as a positive integer"
+            )),
+        },
+        None => match default {
+            Some(d) => d,
+            None => die(format_args!("missing required flag --{key}")),
+        },
+    }
+}
+
+/// Flags accepted by the gd model builder (shared by `gd` and `plan`).
+const GD_MODEL_FLAGS: &[&str] = &[
+    "preset",
+    "params",
+    "cost-per-example",
+    "batch",
+    "bits",
+    "flops",
+    "bandwidth",
+    "latency",
+    "comm",
+    "rack-size",
+    "uplink-bandwidth",
+    "uplink-latency",
+];
+
 fn gd_model(flags: &HashMap<String, String>) -> GradientDescentModel {
     if let Some(preset) = flags.get("preset") {
-        return match preset.as_str() {
-            "fig2" => GradientDescentModel {
-                cost_per_example: FlopCount::new(6.0 * 12e6),
-                batch_size: 60_000.0,
-                params: 12e6,
-                bits_per_param: 64,
-                cluster: presets::spark_cluster(),
-                comm: GdComm::Spark,
-            },
+        // A preset is a complete hardware+workload configuration; mixing
+        // it with hand-set model flags would silently ignore them. Only
+        // --comm may override a preset (it swaps the collective, not the
+        // hardware or workload).
+        for &key in GD_MODEL_FLAGS
+            .iter()
+            .filter(|&&k| k != "preset" && k != "comm")
+        {
+            if flags.contains_key(key) {
+                die(format_args!(
+                    "--{key} conflicts with --preset {preset} (presets fix the model; \
+                     drop --preset to configure by hand)"
+                ));
+            }
+        }
+        let mnist = GradientDescentModel {
+            cost_per_example: FlopCount::new(6.0 * 12e6),
+            batch_size: 60_000.0,
+            params: 12e6,
+            bits_per_param: 64,
+            cluster: presets::spark_cluster(),
+            comm: GdComm::Spark,
+        };
+        let mut model = match preset.as_str() {
+            "fig2" => mnist,
             "fig3" => GradientDescentModel {
                 cost_per_example: FlopCount::new(3.0 * 5e9),
                 batch_size: 128.0,
@@ -103,39 +203,77 @@ fn gd_model(flags: &HashMap<String, String>) -> GradientDescentModel {
                 cluster: presets::gpu_cluster(),
                 comm: GdComm::TwoStageTree,
             },
-            other => {
-                eprintln!("unknown preset {other:?} (use fig2 or fig3)");
-                usage()
-            }
+            // The MNIST job on the two-tier rack pod (hierarchical study).
+            "pod" => GradientDescentModel {
+                cluster: presets::two_tier_pod(),
+                comm: GdComm::Hierarchical,
+                ..mnist
+            },
+            other => die(format_args!(
+                "unknown --preset {other:?} (use fig2, fig3 or pod)"
+            )),
         };
+        if flags.contains_key("comm") {
+            model.comm = parse_comm(flags, &model.cluster);
+        }
+        return model;
     }
-    let comm = match flags.get("comm").map(String::as_str).unwrap_or("tree") {
+    let bandwidth = BitsPerSec::new(pos(flags, "bandwidth", Some(1e9)));
+    let latency = Seconds::new(num(flags, "latency", Some(0.0)));
+    let mut cluster = ClusterSpec::new(
+        NodeSpec::new(FlopsRate::new(pos(flags, "flops", None)), 1.0),
+        LinkSpec::new(bandwidth, latency),
+    );
+    if flags.contains_key("rack-size") {
+        let uplink = LinkSpec::new(
+            BitsPerSec::new(pos(flags, "uplink-bandwidth", Some(bandwidth.get()))),
+            Seconds::new(num(flags, "uplink-latency", Some(latency.as_secs()))),
+        );
+        cluster = cluster.with_racks(RackSpec::new(int(flags, "rack-size", None), uplink));
+    } else if flags.contains_key("uplink-bandwidth") || flags.contains_key("uplink-latency") {
+        die("--uplink-bandwidth/--uplink-latency need --rack-size to define the racks");
+    }
+    let bits = int(flags, "bits", Some(32));
+    let bits_per_param =
+        u32::try_from(bits).unwrap_or_else(|_| die(format_args!("--bits: {bits} is out of range")));
+    GradientDescentModel {
+        cost_per_example: FlopCount::new(pos(flags, "cost-per-example", None)),
+        batch_size: pos(flags, "batch", None),
+        params: pos(flags, "params", None),
+        bits_per_param,
+        cluster,
+        comm: parse_comm(flags, &cluster),
+    }
+}
+
+fn parse_comm(flags: &HashMap<String, String>, cluster: &ClusterSpec) -> GdComm {
+    match flags.get("comm").map(String::as_str).unwrap_or("tree") {
         "tree" => GdComm::TwoStageTree,
         "spark" => GdComm::Spark,
         "linear" => GdComm::LinearFlat,
         "ring" => GdComm::Ring,
-        "none" => GdComm::None,
-        other => {
-            eprintln!("unknown --comm {other:?}");
-            usage()
+        "halving" => GdComm::HalvingDoubling,
+        "hier" => {
+            if cluster.rack.is_none() {
+                die("--comm hier needs a rack topology: pass --rack-size \
+                     (and optionally --uplink-bandwidth/--uplink-latency), \
+                     or use --preset pod");
+            }
+            GdComm::Hierarchical
         }
-    };
-    GradientDescentModel {
-        cost_per_example: FlopCount::new(num(flags, "cost-per-example", None)),
-        batch_size: num(flags, "batch", None),
-        params: num(flags, "params", None),
-        bits_per_param: num(flags, "bits", Some(32.0)) as u32,
-        cluster: ClusterSpec::new(
-            NodeSpec::new(FlopsRate::new(num(flags, "flops", None)), 1.0),
-            LinkSpec::bandwidth_only(BitsPerSec::new(num(flags, "bandwidth", Some(1e9)))),
-        ),
-        comm,
+        "none" => GdComm::None,
+        other => die(format_args!(
+            "unknown --comm {other:?} (use tree, spark, linear, ring, halving, hier or none)"
+        )),
     }
 }
 
 fn cmd_gd(flags: &HashMap<String, String>) {
+    let mut allowed = GD_MODEL_FLAGS.to_vec();
+    allowed.extend(["max-n", "weak"]);
+    check_allowed("gd", flags, &allowed);
     let model = gd_model(flags);
-    let max_n = num(flags, "max-n", Some(32.0)) as usize;
+    let max_n = int(flags, "max-n", Some(32));
     let curve = if flags.contains_key("weak") {
         println!("weak scaling (per-instance time), n = 1..={max_n}:\n");
         model.weak_curve(1..=max_n)
@@ -155,17 +293,31 @@ fn cmd_gd(flags: &HashMap<String, String>) {
 }
 
 fn cmd_bp(flags: &HashMap<String, String>) {
-    let v = num(flags, "vertices", None);
-    let e = num(flags, "edges", None);
-    let d_max = num(flags, "max-degree", Some((2.0 * e / v * 10.0).max(4.0)));
-    let states = num(flags, "states", Some(2.0)) as usize;
-    let flops = FlopsRate::new(num(flags, "flops", Some(7.6e9)));
+    check_allowed(
+        "bp",
+        flags,
+        &[
+            "vertices",
+            "edges",
+            "max-degree",
+            "states",
+            "flops",
+            "bandwidth",
+            "replication",
+            "max-n",
+        ],
+    );
+    let v = pos(flags, "vertices", None);
+    let e = pos(flags, "edges", None);
+    let d_max = pos(flags, "max-degree", Some((2.0 * e / v * 10.0).max(4.0)));
+    let states = int(flags, "states", Some(2));
+    let flops = FlopsRate::new(pos(flags, "flops", Some(7.6e9)));
     let bandwidth = match flags.get("bandwidth") {
-        Some(b) => BitsPerSec::new(b.parse().unwrap_or_else(|_| usage())),
+        Some(_) => BitsPerSec::new(pos(flags, "bandwidth", None)),
         None => BitsPerSec::new(f64::INFINITY), // shared memory default
     };
     let replication = num(flags, "replication", Some(0.5));
-    let max_n = num(flags, "max-n", Some(80.0)) as usize;
+    let max_n = int(flags, "max-n", Some(80));
 
     // Degree sequence from the calibrated Zipf weights (rounded), as the
     // generator would realise it — no need to materialise the graph.
@@ -196,10 +348,13 @@ fn cmd_bp(flags: &HashMap<String, String>) {
 }
 
 fn cmd_plan(flags: &HashMap<String, String>) {
+    let mut allowed = GD_MODEL_FLAGS.to_vec();
+    allowed.extend(["iterations", "price", "max-n", "deadline", "budget"]);
+    check_allowed("plan", flags, &allowed);
     let model = gd_model(flags);
-    let iterations = num(flags, "iterations", Some(1000.0));
-    let price = num(flags, "price", Some(1.0));
-    let max_n = num(flags, "max-n", Some(64.0)) as usize;
+    let iterations = pos(flags, "iterations", Some(1000.0));
+    let price = pos(flags, "price", Some(1.0));
+    let max_n = int(flags, "max-n", Some(64));
     let planner = Planner::new(
         move |n| model.strong_iteration_time(n) * iterations,
         max_n,
@@ -219,8 +374,8 @@ fn cmd_plan(flags: &HashMap<String, String>) {
         cheapest.time.as_secs(),
         cheapest.cost
     );
-    if let Some(deadline) = flags.get("deadline") {
-        let deadline = Seconds::new(deadline.parse().unwrap_or_else(|_| usage()));
+    if flags.contains_key("deadline") {
+        let deadline = Seconds::new(num(flags, "deadline", None));
         match planner.cheapest_within_deadline(deadline) {
             Some(p) => println!(
                 "cheapest within {:.0} s deadline: n = {}, time {:.1} s, cost {:.2}",
@@ -236,8 +391,8 @@ fn cmd_plan(flags: &HashMap<String, String>) {
             ),
         }
     }
-    if let Some(budget) = flags.get("budget") {
-        let budget: f64 = budget.parse().unwrap_or_else(|_| usage());
+    if flags.contains_key("budget") {
+        let budget = num(flags, "budget", None);
         match planner.fastest_within_budget(budget) {
             Some(p) => println!(
                 "fastest within budget {budget:.2}: n = {}, time {:.1} s, cost {:.2}",
@@ -260,6 +415,8 @@ fn main() {
         "gd" => cmd_gd(&flags),
         "bp" => cmd_bp(&flags),
         "plan" => cmd_plan(&flags),
-        _ => usage(),
+        other => die(format_args!(
+            "unknown command {other:?} (use gd, bp or plan)"
+        )),
     }
 }

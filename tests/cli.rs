@@ -1,0 +1,263 @@
+//! End-to-end tests of the `mlscale` CLI: happy paths keep printing the
+//! paper's answers, and every malformed input fails loudly — non-zero
+//! exit, message naming the offending flag — instead of silently falling
+//! back to a default.
+
+use std::process::{Command, Output};
+
+fn mlscale(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mlscale"))
+        .args(args)
+        .output()
+        .expect("failed to spawn mlscale")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn fig2_preset_reports_the_paper_optimum() {
+    let out = mlscale(&["gd", "--preset", "fig2", "--max-n", "13"]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("optimal workers: 9"),
+        "Fig 2 answer lost:\n{stdout}"
+    );
+}
+
+#[test]
+fn pod_preset_runs_hierarchical_comm() {
+    let out = mlscale(&["gd", "--preset", "pod", "--max-n", "64"]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("optimal workers:"));
+}
+
+#[test]
+fn hierarchical_comm_by_hand_needs_rack_size() {
+    let out = mlscale(&[
+        "gd",
+        "--params",
+        "12e6",
+        "--cost-per-example",
+        "72e6",
+        "--batch",
+        "60000",
+        "--flops",
+        "84.48e9",
+        "--comm",
+        "hier",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("--rack-size"));
+}
+
+#[test]
+fn hierarchical_comm_with_rack_flags_runs() {
+    let out = mlscale(&[
+        "gd",
+        "--params",
+        "12e6",
+        "--cost-per-example",
+        "72e6",
+        "--batch",
+        "60000",
+        "--flops",
+        "84.48e9",
+        "--bandwidth",
+        "10e9",
+        "--latency",
+        "5e-6",
+        "--comm",
+        "hier",
+        "--rack-size",
+        "16",
+        "--uplink-bandwidth",
+        "1e9",
+        "--uplink-latency",
+        "50e-6",
+        "--max-n",
+        "48",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+}
+
+#[test]
+fn unknown_comm_value_fails_loudly() {
+    let out = mlscale(&[
+        "gd",
+        "--params",
+        "1e6",
+        "--cost-per-example",
+        "6e6",
+        "--batch",
+        "100",
+        "--flops",
+        "1e9",
+        "--comm",
+        "mesh",
+    ]);
+    assert!(!out.status.success(), "unknown --comm must not fall back");
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(err.contains("--comm") && err.contains("mesh"), "got: {err}");
+}
+
+#[test]
+fn unparsable_number_names_the_flag() {
+    let out = mlscale(&["gd", "--preset", "fig2", "--max-n", "lots"]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("--max-n") && err.contains("lots"),
+        "got: {err}"
+    );
+}
+
+#[test]
+fn fractional_worker_count_rejected_not_truncated() {
+    let out = mlscale(&["gd", "--preset", "fig2", "--max-n", "13.7"]);
+    assert!(
+        !out.status.success(),
+        "13.7 workers must not truncate to 13"
+    );
+    assert!(stderr_of(&out).contains("--max-n"));
+}
+
+#[test]
+fn zero_divisor_flags_rejected_cleanly() {
+    // Zero flop rates / bandwidths / workload sizes would panic deep in
+    // the unit algebra; the CLI must refuse them up front, naming the flag.
+    for (flag, args) in [
+        (
+            "--flops",
+            vec![
+                "gd",
+                "--params",
+                "1e6",
+                "--cost-per-example",
+                "6e6",
+                "--batch",
+                "100",
+                "--flops",
+                "0",
+            ],
+        ),
+        (
+            "--bandwidth",
+            vec![
+                "gd",
+                "--params",
+                "1e6",
+                "--cost-per-example",
+                "6e6",
+                "--batch",
+                "100",
+                "--flops",
+                "1e9",
+                "--bandwidth",
+                "0",
+            ],
+        ),
+        (
+            "--batch",
+            vec![
+                "gd",
+                "--params",
+                "1e6",
+                "--cost-per-example",
+                "6e6",
+                "--batch",
+                "0",
+                "--flops",
+                "1e9",
+            ],
+        ),
+    ] {
+        let out = mlscale(&args);
+        assert!(!out.status.success(), "{flag} 0 must be rejected");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{flag} 0 must exit 2, not panic"
+        );
+        let err = stderr_of(&out);
+        assert!(
+            err.contains(flag) && err.contains("positive"),
+            "{flag}: got {err}"
+        );
+    }
+}
+
+#[test]
+fn unknown_flag_rejected() {
+    let out = mlscale(&["gd", "--preset", "fig2", "--max-m", "13"]);
+    assert!(!out.status.success(), "typo'd flag must not be ignored");
+    assert!(stderr_of(&out).contains("--max-m"));
+}
+
+#[test]
+fn preset_conflicts_with_model_flags() {
+    let out = mlscale(&["gd", "--preset", "fig2", "--params", "1e6"]);
+    assert!(!out.status.success(), "--params would be silently ignored");
+    let err = stderr_of(&out);
+    assert!(err.contains("--params") && err.contains("preset"));
+}
+
+#[test]
+fn missing_value_and_duplicates_rejected() {
+    let out = mlscale(&["gd", "--preset"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("--preset"));
+    let out = mlscale(&["gd", "--preset", "fig2", "--preset", "fig3"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("more than once"));
+}
+
+#[test]
+fn plan_deadline_parse_failure_names_flag() {
+    let out = mlscale(&["plan", "--preset", "fig2", "--deadline", "soon"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("--deadline") && err.contains("soon"),
+        "got: {err}"
+    );
+}
+
+#[test]
+fn plan_happy_path_reports_fastest_and_cheapest() {
+    let out = mlscale(&[
+        "plan",
+        "--preset",
+        "fig2",
+        "--iterations",
+        "100",
+        "--price",
+        "2.0",
+        "--deadline",
+        "7200",
+        "--budget",
+        "50",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fastest:") && stdout.contains("cheapest:"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = mlscale(&["train"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("train"));
+}
+
+#[test]
+fn bp_negative_input_rejected() {
+    let out = mlscale(&["bp", "--vertices", "-5", "--edges", "100"]);
+    assert!(!out.status.success());
+    assert!(stderr_of(&out).contains("--vertices"));
+}

@@ -3,10 +3,11 @@
 //! same schedules. These tests pin the relationship between `mlscale-core`
 //! (formulas) and `mlscale-sim` (event-level execution).
 
-use mlscale::model::hardware::{presets, ClusterSpec, LinkSpec, NodeSpec};
+use mlscale::model::comm::{AlphaBeta, CommModel, HalvingDoubling, Hierarchical, RingAllReduce};
+use mlscale::model::hardware::{presets, ClusterSpec, LinkSpec, NodeSpec, RackSpec};
 use mlscale::model::metrics::Comparison;
 use mlscale::model::models::gd::{GdComm, GradientDescentModel};
-use mlscale::model::units::{BitsPerSec, FlopCount, FlopsRate, Seconds};
+use mlscale::model::units::{Bits, BitsPerSec, FlopCount, FlopsRate, Seconds};
 use mlscale::sim::bsp::{simulate, BspConfig, BspProgram, CommPhase, SuperstepSpec};
 use mlscale::sim::collectives::{BroadcastKind, ReduceKind};
 use mlscale::sim::overhead::OverheadModel;
@@ -151,6 +152,166 @@ fn simulated_times_respect_bandwidth_lower_bound() {
             "reduce+broadcast cannot beat 2·volume/bandwidth: {t}"
         );
     }
+}
+
+/// Simulated time of one communication-only superstep (zero compute) on
+/// `cluster` with `n` workers.
+fn comm_only_sim(cluster: ClusterSpec, n: usize, comm: CommPhase) -> f64 {
+    let config = BspConfig {
+        cluster,
+        overhead: OverheadModel::None,
+        seed: 9,
+    };
+    let program = BspProgram {
+        supersteps: vec![SuperstepSpec {
+            loads: vec![0.0; n],
+            comm,
+        }],
+        iterations: 1,
+    };
+    simulate(&program, &config, n).mean_iteration().as_secs()
+}
+
+/// A latency-bearing flat cluster for the α–β collective twins.
+fn alpha_beta_cluster() -> ClusterSpec {
+    ClusterSpec::new(
+        NodeSpec::new(FlopsRate::giga(50.0), 1.0),
+        LinkSpec::new(BitsPerSec::giga(1.0), Seconds::from_micros(200.0)),
+    )
+}
+
+#[test]
+fn ring_alpha_beta_model_matches_simulator_twin() {
+    // t = 2(n−1)·α + 2(n−1)/n·M/B in both descriptions: the analytic ring
+    // and the chunked ring schedule agree within 5 % for every n.
+    let cluster = alpha_beta_cluster();
+    let volume = 3e8;
+    let model = AlphaBeta {
+        inner: RingAllReduce {
+            volume: Bits::new(volume),
+            bandwidth: cluster.link.bandwidth,
+        },
+        latency: cluster.link.latency,
+    };
+    for n in 2..=64usize {
+        let analytic = model.time(n).as_secs();
+        let simulated = comm_only_sim(cluster, n, CommPhase::RingAllReduce { bits: volume });
+        assert!(
+            (simulated - analytic).abs() / analytic < 0.05,
+            "n={n}: sim {simulated:.6} vs model {analytic:.6}"
+        );
+    }
+}
+
+#[test]
+fn halving_doubling_model_matches_simulator_twin() {
+    let cluster = alpha_beta_cluster();
+    let volume = 3e8;
+    let model = AlphaBeta {
+        inner: HalvingDoubling {
+            volume: Bits::new(volume),
+            bandwidth: cluster.link.bandwidth,
+        },
+        latency: cluster.link.latency,
+    };
+    for n in 2..=64usize {
+        let analytic = model.time(n).as_secs();
+        let simulated = comm_only_sim(cluster, n, CommPhase::HalvingDoubling { bits: volume });
+        assert!(
+            (simulated - analytic).abs() / analytic < 0.05,
+            "n={n}: sim {simulated:.6} vs model {analytic:.6}"
+        );
+    }
+}
+
+#[test]
+fn hierarchical_model_matches_simulator_twin() {
+    // Two-tier pod: fast low-latency intra-rack links, slow high-latency
+    // uplinks. The analytic phase sum must track the event-level schedule
+    // (intra tree reduce → leader ring → intra tree broadcast) within 5 %.
+    let cluster = ClusterSpec::new(
+        NodeSpec::new(FlopsRate::giga(50.0), 1.0),
+        LinkSpec::new(BitsPerSec::giga(10.0), Seconds::from_micros(5.0)),
+    )
+    .with_racks(RackSpec::new(
+        8,
+        LinkSpec::new(BitsPerSec::giga(1.0), Seconds::from_micros(50.0)),
+    ));
+    let volume = 3e8;
+    let model = Hierarchical::from_cluster(Bits::new(volume), &cluster);
+    for n in 2..=64usize {
+        let analytic = model.time(n).as_secs();
+        let simulated = comm_only_sim(cluster, n, CommPhase::Hierarchical { bits: volume });
+        assert!(
+            (simulated - analytic).abs() / analytic < 0.05,
+            "n={n}: sim {simulated:.6} vs model {analytic:.6}"
+        );
+    }
+}
+
+#[test]
+fn flat_collectives_on_racked_cluster_use_the_uplink_tier() {
+    // A flat (topology-blind) collective on a racked cluster must not be
+    // priced as if every hop were intra-rack. The RackTiered model charges
+    // the uplink tier once the job spans racks: exact for the ring (its
+    // pipeline is gated by the slowest link on the cycle), a conservative
+    // upper bound for tree-shaped schedules.
+    let pod = presets::two_tier_pod(); // racks of 16
+    let mnist = GradientDescentModel {
+        cluster: pod,
+        comm: GdComm::Ring,
+        ..mlscale::workloads::experiments::figures::fig2_model()
+    };
+    let bits = mnist.param_volume().get();
+    for n in [2usize, 8, 16, 17, 24, 32, 48, 64] {
+        let analytic = mnist.comm_time(n).as_secs();
+        let simulated = comm_only_sim(pod, n, CommPhase::RingAllReduce { bits });
+        assert!(
+            (simulated - analytic).abs() / analytic < 0.05,
+            "ring n={n}: sim {simulated:.4} vs model {analytic:.4}"
+        );
+    }
+    // Tree and halving/doubling keep some rounds on fast intra links, so
+    // the uplink-tier model must bound the simulation from above — never
+    // promise speedups the racked network cannot deliver.
+    for comm in [GdComm::HalvingDoubling, GdComm::TwoStageTree] {
+        let m = GradientDescentModel { comm, ..mnist };
+        for n in [24usize, 32, 48, 64] {
+            let analytic = m.comm_time(n).as_secs();
+            let phase = match comm {
+                GdComm::HalvingDoubling => CommPhase::HalvingDoubling { bits },
+                _ => CommPhase::GradientExchange {
+                    bits,
+                    broadcast: BroadcastKind::Tree,
+                    reduce: ReduceKind::Tree,
+                },
+            };
+            let simulated = comm_only_sim(pod, n, phase);
+            assert!(
+                analytic >= simulated * 0.999,
+                "{:?} n={n}: model {analytic:.4} must bound sim {simulated:.4}",
+                comm
+            );
+        }
+    }
+}
+
+#[test]
+fn latency_free_exhibits_unchanged_by_alpha_beta_layer() {
+    // With every latency at zero the α–β layer must vanish: the Fig 1
+    // example optimum stays at 14 and the Fig 2 Spark optimum at 9.
+    let fig1 = mlscale::workloads::experiments::fig1();
+    let opt = fig1
+        .stats
+        .iter()
+        .find(|s| s.label.contains("optimal"))
+        .expect("fig1 reports an optimum");
+    assert_eq!(opt.value, 14.0, "Fig 1 optimum must stay at 14");
+    // Pin the *canonical* exhibit model, so drift in figures::fig2_model
+    // itself is caught here too.
+    let fig2 = mlscale::workloads::experiments::figures::fig2_model();
+    let (n_opt, _) = fig2.strong_curve(1..=13).optimal();
+    assert_eq!(n_opt, 9, "Fig 2 optimum must stay at 9");
 }
 
 #[test]
