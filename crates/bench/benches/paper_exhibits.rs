@@ -56,6 +56,7 @@ fn bench_fig2(c: &mut Criterion) {
         },
         iterations: 5,
         seed: 2017,
+        ..GdWorkload::ideal(model)
     };
     g.bench_function("simulated_iteration_n9", |b| {
         b.iter(|| black_box(workload.simulate_strong(9)))

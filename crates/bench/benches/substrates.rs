@@ -150,11 +150,67 @@ fn bench_graph_infra(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_stragglers(c: &mut Criterion) {
+    use mlscale_core::straggler::StragglerModel;
+    use mlscale_sim::bsp::{
+        simulate_with_stragglers, BspConfig, BspProgram, CommPhase, StragglerSim, SuperstepSpec,
+    };
+    use mlscale_sim::overhead::OverheadModel;
+    let mut g = c.benchmark_group("stragglers");
+    // The analytic order-statistic quadratures: the planner's inner loop.
+    let lognormal = StragglerModel::LogNormalTail {
+        mu: -1.5,
+        sigma: 1.0,
+    };
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("expected_max_lognormal_n64", |b| {
+        b.iter(|| black_box(lognormal.expected_max(black_box(64))))
+    });
+    let exp = StragglerModel::ExponentialTail { mean: 0.3 };
+    let bases: Vec<f64> = (0..64)
+        .map(|w| if w % 3 == 0 { 1.5 } else { 1.0 })
+        .collect();
+    g.bench_function("expected_barrier_hetero_drop2_n64", |b| {
+        b.iter(|| black_box(exp.expected_barrier(black_box(&bases), 2)))
+    });
+    // The stochastic simulator twin: one 64-worker superstep per iter.
+    let config = BspConfig {
+        cluster: ClusterSpec::new(
+            NodeSpec::new(FlopsRate::giga(50.0), 1.0),
+            LinkSpec::bandwidth_only(BitsPerSec::giga(1.0)),
+        ),
+        overhead: OverheadModel::None,
+        seed: 9,
+    };
+    let program = BspProgram {
+        supersteps: vec![SuperstepSpec::even(64.0 * 50e9, 64, CommPhase::None)],
+        iterations: 1,
+    };
+    let speeds = vec![1.0; 64];
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("simulate_straggler_superstep_n64", |b| {
+        b.iter(|| {
+            black_box(simulate_with_stragglers(
+                &program,
+                &config,
+                64,
+                &speeds,
+                &StragglerSim {
+                    model: exp,
+                    backup_k: 2,
+                },
+            ))
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     substrates,
     bench_bp_engine,
     bench_trainer,
     bench_collectives,
-    bench_graph_infra
+    bench_graph_infra,
+    bench_stragglers
 );
 criterion_main!(substrates);

@@ -34,6 +34,7 @@ fn main() {
     mlscale_bench::emit(&extensions::zoo_scalability(64, 4096.0));
     mlscale_bench::emit(&extensions::provisioning(1000.0, 2.0));
     mlscale_bench::emit(&extensions::hierarchical_comm(64));
+    mlscale_bench::emit(&mlscale_workloads::experiments::stragglers(16));
     mlscale_bench::emit(
         &mlscale_workloads::experiments::convergence::convergence_tradeoff(
             &convergence_model(),

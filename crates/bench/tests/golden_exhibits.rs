@@ -1,0 +1,135 @@
+//! Golden-snapshot tests for the exhibit binaries: every `exp-*`/`ext-*`
+//! binary runs with its fixed built-in seeds, and the `results/<id>.json`
+//! it emits must match the checked-in fixture under
+//! `crates/bench/tests/golden/` — so any drift in a model, the simulator,
+//! an experiment definition or the report serialisation is caught by
+//! tier-1 instead of silently changing the published numbers.
+//!
+//! To refresh the fixtures after an *intentional* change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p mlscale-bench --test golden_exhibits
+//! ```
+//!
+//! then commit the updated files with a note on what moved and why.
+//! (`exp-all` is deliberately not snapshotted: it is the concatenation of
+//! the other binaries and would only re-run the same exhibits, racing
+//! with them on the shared `results/` files.)
+
+use mlscale_workloads::ExperimentResult;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// `crates/bench/tests/golden/` — the fixture directory.
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Runs one exhibit binary and checks each emitted results file against
+/// its fixture (or rewrites the fixtures under `UPDATE_GOLDEN=1`).
+fn check(bin: &str, exe: &str, ids: &[&str]) {
+    let out = Command::new(exe)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    for id in ids {
+        let produced_path = mlscale_bench::results_dir().join(format!("{id}.json"));
+        let produced_json = std::fs::read_to_string(&produced_path)
+            .unwrap_or_else(|e| panic!("{bin} did not produce {}: {e}", produced_path.display()));
+        let produced: ExperimentResult = serde_json::from_str(&produced_json)
+            .unwrap_or_else(|e| panic!("{bin} wrote invalid JSON for {id}: {e}"));
+        let fixture_path = golden_dir().join(format!("{id}.json"));
+        if update {
+            std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+            std::fs::write(&fixture_path, &produced_json)
+                .unwrap_or_else(|e| panic!("cannot write fixture {id}: {e}"));
+            continue;
+        }
+        let fixture_json = std::fs::read_to_string(&fixture_path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden fixture {} ({e}); generate it with \
+                 `UPDATE_GOLDEN=1 cargo test -p mlscale-bench --test golden_exhibits`",
+                fixture_path.display()
+            )
+        });
+        let expected: ExperimentResult =
+            serde_json::from_str(&fixture_json).expect("fixture JSON parses");
+        assert_eq!(
+            produced, expected,
+            "{bin}: results/{id}.json drifted from its golden fixture; if the \
+             change is intentional, refresh with `UPDATE_GOLDEN=1 cargo test \
+             -p mlscale-bench --test golden_exhibits` and commit the diff"
+        );
+    }
+}
+
+#[test]
+fn golden_exp_table1() {
+    check("exp-table1", env!("CARGO_BIN_EXE_exp-table1"), &["table1"]);
+}
+
+#[test]
+fn golden_exp_fig1() {
+    check("exp-fig1", env!("CARGO_BIN_EXE_exp-fig1"), &["fig1"]);
+}
+
+#[test]
+fn golden_exp_fig2() {
+    check("exp-fig2", env!("CARGO_BIN_EXE_exp-fig2"), &["fig2"]);
+}
+
+#[test]
+fn golden_exp_fig3() {
+    check("exp-fig3", env!("CARGO_BIN_EXE_exp-fig3"), &["fig3"]);
+}
+
+#[test]
+fn golden_exp_fig4() {
+    check("exp-fig4", env!("CARGO_BIN_EXE_exp-fig4"), &["fig4-small"]);
+}
+
+#[test]
+fn golden_exp_ablations() {
+    check(
+        "exp-ablations",
+        env!("CARGO_BIN_EXE_exp-ablations"),
+        &[
+            "ablation-comm",
+            "ablation-weak-comm",
+            "ablation-batch",
+            "ablation-precision",
+            "ablation-partition",
+            "ablation-amdahl",
+        ],
+    );
+}
+
+#[test]
+fn golden_exp_extensions() {
+    check(
+        "exp-extensions",
+        env!("CARGO_BIN_EXE_exp-extensions"),
+        &[
+            "ext-async-gd",
+            "ext-inference-costs",
+            "ext-zoo",
+            "ext-provisioning",
+            "ext-hierarchical-comm",
+            "ext-convergence",
+        ],
+    );
+}
+
+#[test]
+fn golden_ext_stragglers() {
+    check(
+        "ext-stragglers",
+        env!("CARGO_BIN_EXE_ext-stragglers"),
+        &["ext-stragglers"],
+    );
+}

@@ -168,6 +168,76 @@ impl ClusterSpec {
     }
 }
 
+/// Compute-speed heterogeneity across the workers of a cluster.
+///
+/// The paper's framework assumes `n` *identical* nodes; real fleets mix
+/// hardware generations and noisy neighbours. A `Heterogeneity` value maps
+/// a cluster and a worker count to per-worker speed multipliers (1.0 =
+/// nominal), consumed by the straggler-aware models
+/// ([`crate::straggler`]) and by the discrete-event simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Heterogeneity {
+    /// All workers run at nominal speed (the paper's assumption).
+    Uniform,
+    /// `count` of the workers (the first ones) run at `factor`× nominal
+    /// speed — a batch of older or throttled machines.
+    SlowWorkers {
+        /// How many workers are degraded (clamped to `n`).
+        count: usize,
+        /// Their speed multiplier, in `(0, ∞)`; `0.5` = half speed.
+        factor: f64,
+    },
+    /// Rack `r` runs at `factor^r` of nominal — generational drift across
+    /// racks (rack 0 newest). Needs a [`RackSpec`] topology to be
+    /// meaningful; on a flat cluster every worker sits in rack 0 and the
+    /// cluster stays homogeneous.
+    RackDecay {
+        /// Per-rack geometric speed factor, in `(0, ∞)`.
+        factor: f64,
+    },
+}
+
+impl Heterogeneity {
+    /// True when every worker runs at nominal speed.
+    pub fn is_uniform(&self) -> bool {
+        match *self {
+            Heterogeneity::Uniform => true,
+            Heterogeneity::SlowWorkers { count, factor } => count == 0 || factor == 1.0,
+            Heterogeneity::RackDecay { factor } => factor == 1.0,
+        }
+    }
+
+    /// Per-worker speed multipliers for `n` workers of `cluster`
+    /// (`result[w]` multiplies worker `w+1`'s compute rate).
+    ///
+    /// # Panics
+    /// Panics when a speed factor is not positive and finite.
+    pub fn speed_factors(&self, cluster: &ClusterSpec, n: usize) -> Vec<f64> {
+        let check = |f: f64| {
+            assert!(
+                f > 0.0 && f.is_finite(),
+                "speed factor must be positive and finite, got {f}"
+            );
+            f
+        };
+        match *self {
+            Heterogeneity::Uniform => vec![1.0; n],
+            Heterogeneity::SlowWorkers { count, factor } => {
+                check(factor);
+                (0..n)
+                    .map(|w| if w < count { factor } else { 1.0 })
+                    .collect()
+            }
+            Heterogeneity::RackDecay { factor } => {
+                check(factor);
+                (1..=n)
+                    .map(|w| check(factor.powi(cluster.rack_of(w) as i32)))
+                    .collect()
+            }
+        }
+    }
+}
+
 /// Hardware presets used in the paper's evaluation (Section V).
 pub mod presets {
     use super::*;
@@ -334,5 +404,59 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_rack_rejected() {
         let _ = RackSpec::new(0, gigabit_ethernet());
+    }
+
+    #[test]
+    fn uniform_heterogeneity_is_all_ones() {
+        let c = spark_cluster();
+        assert!(Heterogeneity::Uniform.is_uniform());
+        assert_eq!(Heterogeneity::Uniform.speed_factors(&c, 4), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn slow_workers_degrade_a_prefix() {
+        let c = spark_cluster();
+        let h = Heterogeneity::SlowWorkers {
+            count: 2,
+            factor: 0.5,
+        };
+        assert!(!h.is_uniform());
+        assert_eq!(h.speed_factors(&c, 4), vec![0.5, 0.5, 1.0, 1.0]);
+        // Count clamps to n.
+        assert_eq!(h.speed_factors(&c, 1), vec![0.5]);
+        // Degenerate parameters are uniform.
+        assert!(Heterogeneity::SlowWorkers {
+            count: 0,
+            factor: 0.5
+        }
+        .is_uniform());
+        assert!(Heterogeneity::SlowWorkers {
+            count: 3,
+            factor: 1.0
+        }
+        .is_uniform());
+    }
+
+    #[test]
+    fn rack_decay_follows_rack_assignment() {
+        let c = two_tier_pod(); // racks of 16
+        let h = Heterogeneity::RackDecay { factor: 0.8 };
+        let f = h.speed_factors(&c, 33);
+        assert_eq!(f[0], 1.0, "worker 1 in rack 0");
+        assert_eq!(f[15], 1.0, "worker 16 in rack 0");
+        assert!((f[16] - 0.8).abs() < 1e-12, "worker 17 in rack 1");
+        assert!((f[32] - 0.64).abs() < 1e-12, "worker 33 in rack 2");
+        // Flat cluster: everyone in rack 0, still homogeneous.
+        assert_eq!(h.speed_factors(&spark_cluster(), 8), vec![1.0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed factor")]
+    fn zero_speed_heterogeneity_rejected() {
+        let h = Heterogeneity::SlowWorkers {
+            count: 1,
+            factor: 0.0,
+        };
+        let _ = h.speed_factors(&spark_cluster(), 2);
     }
 }

@@ -18,7 +18,10 @@
 //!   machines to keep up with growing data?";
 //! * [`models::gd`] and [`models::graphinf`] instantiate the framework for
 //!   gradient descent and graphical-model inference, the paper's two use
-//!   cases; [`metrics`] quantifies model-vs-measurement agreement (MAPE).
+//!   cases; [`metrics`] quantifies model-vs-measurement agreement (MAPE);
+//! * [`straggler`] extends the deterministic framework with stochastic
+//!   per-worker runtimes: expected barrier costs as order statistics,
+//!   heterogeneous clusters, and the drop-slowest-k backup mitigation.
 //!
 //! ## Quick example — the paper's Fig 2 configuration
 //!
@@ -51,6 +54,7 @@ pub mod metrics;
 pub mod planner;
 pub mod scaling;
 pub mod speedup;
+pub mod straggler;
 pub mod superstep;
 pub mod units;
 
@@ -63,6 +67,7 @@ pub mod models {
 
 pub use comm::CommModel;
 pub use comp::CompModel;
-pub use hardware::{ClusterSpec, LinkSpec, NodeSpec};
+pub use hardware::{ClusterSpec, Heterogeneity, LinkSpec, NodeSpec};
 pub use speedup::SpeedupCurve;
+pub use straggler::{StragglerGdModel, StragglerGraphModel, StragglerModel};
 pub use superstep::{AlgorithmModel, Superstep};

@@ -7,20 +7,28 @@
 //! it); the server applies updates in arrival order. Two resources bound
 //! the system:
 //!
-//! * each worker's cycle time `t_cycle = t_pull + t_comp + t_push`, giving
-//!   an offered load of `n / t_cycle` updates per second;
-//! * the server NIC, which serialises one pull and one push per update:
-//!   `t_srv = t_pull + t_push + t_apply`, capping throughput at
-//!   `1 / t_srv`.
+//! * each worker's cycle time
+//!   `t_cycle = t_pull + t_comp + t_push + t_apply` (the next pull returns
+//!   parameters only once the worker's own update has been applied),
+//!   giving an offered load of `n / t_cycle` updates per second;
+//! * the server, whose NIC halves are full duplex and whose CPU applies
+//!   update `i` while the NIC already receives push `i+1` — consecutive
+//!   updates *pipeline*, so the serialised cost per update is the widest
+//!   stage, `t_srv = max(t_transfer, t_apply)`, capping throughput at
+//!   `1 / t_srv` (validated against the event-level simulator in
+//!   `tests/model_vs_simulation.rs`).
 //!
 //! ```text
 //! X(n) = min( n / t_cycle , 1 / t_srv )          (updates per second)
 //! ```
 //!
 //! Expected gradient staleness is the number of other updates applied
-//! during one worker's cycle: `E[staleness] = X(n)·t_cycle − 1 ≈ n − 1`
-//! before saturation, and grows no further benefit — the
-//! parallelism-vs-convergence trade-off the paper highlights.
+//! between a worker's pull and the application of its push. Each of the
+//! other `n − 1` workers lands exactly one update per own-cycle, in or out
+//! of saturation (queueing stretches every cycle equally), so
+//! `E[staleness] = n − 1`: past the saturation point parallelism adds
+//! staleness without adding throughput — the parallelism-vs-convergence
+//! trade-off the paper highlights.
 
 use crate::units::{Bits, BitsPerSec, FlopCount, FlopsRate, Seconds};
 use serde::{Deserialize, Serialize};
@@ -52,17 +60,23 @@ impl AsyncGdModel {
         self.latency + self.payload / self.bandwidth
     }
 
-    /// A worker's full cycle time: pull + compute + push.
+    /// A worker's full cycle time: pull + compute + push + apply — the
+    /// next pull can only return parameters that include the worker's own
+    /// update, so the apply step sits on the worker's critical path too.
     pub fn cycle_time(&self) -> Seconds {
-        self.transfer_time() * 2.0 + self.grad_work / self.worker_flops
+        self.transfer_time() * 2.0
+            + self.grad_work / self.worker_flops
+            + self.apply_work / self.server_flops
     }
 
-    /// Server occupancy per update. The NIC is full duplex: pulls occupy
-    /// the send half while pushes occupy the receive half, so the
-    /// serialised cost per update is the *wider* of the two directions
-    /// (they are equal here) plus the apply step.
+    /// Server occupancy per update. The NIC is full duplex (pulls occupy
+    /// the send half, pushes the receive half) and the CPU applies update
+    /// `i` while the receive half already takes in push `i+1`, so
+    /// consecutive updates pipeline: the serialised cost is the *widest*
+    /// stage, `max(t_transfer, t_apply)` — not their sum.
     pub fn server_time_per_update(&self) -> Seconds {
-        self.transfer_time() + self.apply_work / self.server_flops
+        self.transfer_time()
+            .max(self.apply_work / self.server_flops)
     }
 
     /// Predicted throughput in updates per second with `n` workers:
@@ -81,11 +95,14 @@ impl AsyncGdModel {
         ratio.ceil().max(1.0) as usize
     }
 
-    /// Expected staleness of an applied gradient with `n` workers:
-    /// updates applied by others during one cycle,
-    /// `X(n)·t_cycle − 1` (never negative).
+    /// Expected staleness of an applied gradient with `n` workers: each of
+    /// the other `n − 1` workers applies exactly one update per own-cycle
+    /// (saturation stretches every cycle equally), so `E[staleness] = n − 1`
+    /// — it keeps growing past the saturation point even though throughput
+    /// no longer does.
     pub fn expected_staleness(&self, n: usize) -> f64 {
-        (self.throughput(n) * self.cycle_time().as_secs() - 1.0).max(0.0)
+        assert!(n >= 1);
+        n as f64 - 1.0
     }
 
     /// Throughput speedup over one worker.
@@ -113,7 +130,8 @@ mod tests {
     #[test]
     fn cycle_time_components() {
         let m = model();
-        let expected = 0.01 + 1.0 + 0.01;
+        // pull + compute + push + apply.
+        let expected = 0.01 + 1.0 + 0.01 + 0.001;
         assert!((m.cycle_time().as_secs() - expected).abs() < 1e-12);
     }
 
@@ -142,12 +160,30 @@ mod tests {
         // Just below saturation: still (nearly) linear; just above: capped.
         assert!(m.throughput(sat + 1) <= m.throughput(sat) + 1e-9);
         assert!(m.throughput(sat.saturating_sub(2).max(1)) < m.throughput(sat) + 1e-9);
-        // cycle 1.02 s / server 0.011 s ≈ 92.7 → 93.
-        assert_eq!(sat, 93);
+        // cycle 1.021 s / server max(0.01, 0.001) s = 102.1 → 103.
+        assert_eq!(sat, 103);
     }
 
     #[test]
-    fn staleness_near_n_minus_1_before_saturation() {
+    fn server_stages_pipeline_rather_than_serialise() {
+        // Transfer 0.01 s, apply 0.005 s: the pipelined cap is 1/0.01,
+        // not 1/0.015 — consecutive pushes stream through the NIC while
+        // the CPU applies the previous update.
+        let m = AsyncGdModel {
+            apply_work: FlopCount::new(5e6),
+            ..model()
+        };
+        assert!((m.server_time_per_update().as_secs() - 0.01).abs() < 1e-12);
+        // Apply-bound server: cap flips to the CPU stage.
+        let cpu_bound = AsyncGdModel {
+            apply_work: FlopCount::new(5e7),
+            ..model()
+        };
+        assert!((cpu_bound.server_time_per_update().as_secs() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staleness_is_n_minus_1() {
         let m = model();
         for n in [1usize, 2, 8, 32] {
             let s = m.expected_staleness(n);
@@ -156,14 +192,16 @@ mod tests {
     }
 
     #[test]
-    fn staleness_capped_after_saturation() {
+    fn staleness_keeps_growing_after_saturation() {
+        // Past the saturation point parallelism buys staleness, not
+        // throughput — the trade-off the event simulator exhibits.
         let m = model();
-        let at_sat = m.expected_staleness(m.saturation_point());
-        let beyond = m.expected_staleness(m.saturation_point() * 4);
-        assert!(
-            (beyond - at_sat).abs() < 1.0,
-            "staleness stops growing usefully"
-        );
+        let sat = m.saturation_point();
+        let at_sat = m.expected_staleness(sat);
+        let beyond = m.expected_staleness(sat * 4);
+        assert!((beyond - (4 * sat) as f64 + 1.0).abs() < 1e-9);
+        assert!(beyond > at_sat);
+        assert!((m.throughput(sat * 4) - m.throughput(sat)).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,944 @@
+//! Straggler-aware stochastic runtime models: order statistics of the BSP
+//! barrier.
+//!
+//! The paper's framework assumes every superstep ends exactly when its
+//! deterministic `t_cp + t_cm` terms say it does. On real clusters the
+//! synchronisation barrier is paced by the *slowest* worker: per-task
+//! jitter, heavy-tailed stragglers and mixed hardware generations all bend
+//! the speedup curve downward precisely where the optimal-`n` answer
+//! lives, because the expected maximum of `n` draws *grows* with `n` while
+//! the per-worker compute share shrinks.
+//!
+//! This module provides the analytic twin of the stochastic simulator in
+//! `mlscale-sim`:
+//!
+//! * [`StragglerModel`] — per-worker delay distributions (deterministic,
+//!   bounded jitter, exponential and log-normal tails) with closed-form or
+//!   quadrature-exact expected order statistics: `E[max of n]` is
+//!   `mean·H_n` for exponential tails (harmonic numbers, exact),
+//!   `spread·n/(n+1)` for bounded jitter (exact), and a
+//!   Gauss-quadrature-free deterministic integration of the order-statistic
+//!   survival function for log-normal tails and heterogeneous clusters;
+//! * [`StragglerModel::expected_barrier`] — the expected barrier time
+//!   `E[(n−k)-th order statistic of {b_i + X_i}]` over per-worker base
+//!   times `b_i` with the *drop-slowest-k* (backup worker / speculative
+//!   execution) mitigation;
+//! * [`StragglerGdModel`] / [`StragglerGraphModel`] — composition with the
+//!   paper's two algorithm models, yielding *expected* iteration times,
+//!   speedup curves, and [`Planner`]s that optimise expected time/cost.
+//!
+//! At zero jitter on a homogeneous cluster every expected quantity
+//! degenerates **bit-identically** to the deterministic model, so the
+//! paper's Fig 1/Fig 2 optima (14/9) are reproduced exactly.
+
+use crate::hardware::Heterogeneity;
+use crate::models::gd::GradientDescentModel;
+use crate::models::graphinf::GraphInferenceModel;
+use crate::planner::{Planner, Pricing};
+use crate::speedup::SpeedupCurve;
+use crate::units::Seconds;
+use rand::Rng;
+use rand_distr::{Distribution, Exp, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// Distribution of the per-worker, per-superstep straggler delay added on
+/// top of a worker's deterministic compute time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StragglerModel {
+    /// No stochastic delay: the paper's deterministic framework.
+    Deterministic,
+    /// Uniform jitter on `[0, spread]` seconds — bounded OS/scheduling
+    /// noise. `E[max of n] = spread·n/(n+1)` (exact).
+    BoundedJitter {
+        /// Width of the jitter window in seconds.
+        spread: f64,
+    },
+    /// Exponential delay with the given mean — memoryless scheduling
+    /// jitter. `E[max of n] = mean·H_n` with `H_n` the n-th harmonic
+    /// number (exact), and `E[(n−k)-th order stat] = mean·(H_n − H_k)`.
+    ExponentialTail {
+        /// Mean delay in seconds.
+        mean: f64,
+    },
+    /// Log-normal delay `exp(N(mu, sigma²))` — the heavy-tailed straggler
+    /// regime observed in production traces. Expected order statistics are
+    /// computed by deterministic quadrature in the underlying normal's
+    /// `z`-space (no sampling).
+    LogNormalTail {
+        /// Location of the underlying normal.
+        mu: f64,
+        /// Scale of the underlying normal (tail weight).
+        sigma: f64,
+    },
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf expansion
+/// (|error| < 1.5·10⁻⁷, monotone — ample for 5 %-level cross-validation).
+fn normal_cdf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    let (sign, x) = if x < 0.0 { (-1.0, -x) } else { (1.0, x) };
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erf = 1.0 - poly * (-x * x).exp();
+    0.5 * (1.0 + sign * erf)
+}
+
+/// `H_j = Σ_{i=1..j} 1/i`, the j-th harmonic number (`H_0 = 0`).
+fn harmonic(j: usize) -> f64 {
+    (1..=j).map(|i| 1.0 / i as f64).sum()
+}
+
+impl StragglerModel {
+    /// Asserts the parameters are usable (finite, non-negative scales).
+    fn assert_valid(&self) {
+        match *self {
+            StragglerModel::Deterministic => {}
+            StragglerModel::BoundedJitter { spread } => {
+                assert!(
+                    spread.is_finite() && spread >= 0.0,
+                    "jitter spread must be finite and non-negative, got {spread}"
+                );
+            }
+            StragglerModel::ExponentialTail { mean } => {
+                assert!(
+                    mean.is_finite() && mean >= 0.0,
+                    "exponential mean must be finite and non-negative, got {mean}"
+                );
+            }
+            StragglerModel::LogNormalTail { mu, sigma } => {
+                assert!(mu.is_finite(), "lognormal mu must be finite, got {mu}");
+                assert!(
+                    sigma.is_finite() && sigma >= 0.0,
+                    "lognormal sigma must be finite and non-negative, got {sigma}"
+                );
+            }
+        }
+    }
+
+    /// True when the delay is *identically zero* — the configuration that
+    /// must reproduce the deterministic model bit-for-bit.
+    pub fn is_zero(&self) -> bool {
+        match *self {
+            StragglerModel::Deterministic => true,
+            StragglerModel::BoundedJitter { spread } => spread == 0.0,
+            StragglerModel::ExponentialTail { mean } => mean == 0.0,
+            StragglerModel::LogNormalTail { .. } => false,
+        }
+    }
+
+    /// Expected value of a single delay draw.
+    pub fn mean_delay(&self) -> f64 {
+        self.assert_valid();
+        match *self {
+            StragglerModel::Deterministic => 0.0,
+            StragglerModel::BoundedJitter { spread } => spread / 2.0,
+            StragglerModel::ExponentialTail { mean } => mean,
+            StragglerModel::LogNormalTail { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+        }
+    }
+
+    /// CDF of one delay draw, `P(X ≤ x)`.
+    pub fn delay_cdf(&self, x: f64) -> f64 {
+        match *self {
+            StragglerModel::Deterministic => {
+                if x >= 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            StragglerModel::BoundedJitter { spread } => {
+                if spread == 0.0 {
+                    if x >= 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    (x / spread).clamp(0.0, 1.0)
+                }
+            }
+            StragglerModel::ExponentialTail { mean } => {
+                if x <= 0.0 {
+                    0.0
+                } else if mean == 0.0 {
+                    1.0
+                } else {
+                    1.0 - (-x / mean).exp()
+                }
+            }
+            StragglerModel::LogNormalTail { mu, sigma } => {
+                if x <= 0.0 {
+                    0.0
+                } else if sigma == 0.0 {
+                    if x.ln() >= mu {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    normal_cdf((x.ln() - mu) / sigma)
+                }
+            }
+        }
+    }
+
+    /// Samples one delay. [`StragglerModel::Deterministic`] (and
+    /// zero-scale parameterisations) consume no randomness, so existing
+    /// seeded simulations are unchanged when stragglers are disabled.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.assert_valid();
+        match *self {
+            StragglerModel::Deterministic => 0.0,
+            StragglerModel::BoundedJitter { spread } => {
+                if spread == 0.0 {
+                    0.0
+                } else {
+                    spread * rng.gen::<f64>()
+                }
+            }
+            StragglerModel::ExponentialTail { mean } => {
+                if mean == 0.0 {
+                    0.0
+                } else {
+                    Exp::new(1.0 / mean).expect("validated").sample(rng)
+                }
+            }
+            StragglerModel::LogNormalTail { mu, sigma } => {
+                LogNormal::new(mu, sigma).expect("validated").sample(rng)
+            }
+        }
+    }
+
+    /// A delay value the maximum of `n` draws exceeds with negligible
+    /// probability (< ~10⁻¹⁴) — the quadrature's upper cut-off.
+    fn tail_bound(&self, n: usize) -> f64 {
+        match *self {
+            StragglerModel::Deterministic => 0.0,
+            StragglerModel::BoundedJitter { spread } => spread,
+            StragglerModel::ExponentialTail { mean } => mean * (34.5 + (n as f64).ln()),
+            StragglerModel::LogNormalTail { mu, sigma } => (mu + sigma * 8.5).exp(),
+        }
+    }
+
+    /// A delay value essentially no draw falls below — the quadrature's
+    /// lower cut-off when the deterministic bases are zero.
+    fn low_bound(&self) -> f64 {
+        match *self {
+            StragglerModel::Deterministic => 0.0,
+            StragglerModel::BoundedJitter { spread } => spread * 1e-12,
+            StragglerModel::ExponentialTail { mean } => mean * 1e-12,
+            // Floored so the log-spaced grid always starts strictly above
+            // zero even when the quantile underflows; the truncation error
+            // is bounded by the cut-off itself.
+            StragglerModel::LogNormalTail { mu, sigma } => (mu - sigma * 8.5).exp().max(1e-15),
+        }
+    }
+
+    /// `E[max of n i.i.d. delay draws]` — the expected extra barrier cost
+    /// stragglers add to an evenly loaded superstep on `n` homogeneous
+    /// workers.
+    pub fn expected_max(&self, n: usize) -> f64 {
+        self.expected_order_stat(n, 0)
+    }
+
+    /// `E[(n−k)-th order statistic of n i.i.d. delay draws]` — the barrier
+    /// cost when the slowest `k` workers are dropped (covered by backup
+    /// workers). `k = 0` is the plain maximum.
+    ///
+    /// Exponential tails use the exact harmonic-number form
+    /// `mean·(H_n − H_k)`; bounded jitter uses the exact
+    /// `spread·(n−k)/(n+1)`; log-normal tails integrate the order-statistic
+    /// density in the underlying normal's `z`-space.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `k >= n`.
+    pub fn expected_order_stat(&self, n: usize, k: usize) -> f64 {
+        self.assert_valid();
+        assert!(n >= 1, "need at least one draw");
+        assert!(k < n, "cannot drop all {n} workers (k = {k})");
+        match *self {
+            StragglerModel::Deterministic => 0.0,
+            StragglerModel::BoundedJitter { spread } => spread * (n - k) as f64 / (n as f64 + 1.0),
+            StragglerModel::ExponentialTail { mean } => mean * (harmonic(n) - harmonic(k)),
+            StragglerModel::LogNormalTail { mu, sigma } => {
+                if sigma == 0.0 {
+                    return mu.exp();
+                }
+                // E[X_(m)] = coeff·∫ e^{mu+σz}·Φ(z)^{m−1}(1−Φ(z))^k φ(z) dz
+                // with m = n−k and coeff = m·C(n, k)·(falling product) =
+                // n!/((m−1)!·k!); small because k is small.
+                let m = n - k;
+                let mut coeff = m as f64; // m · C(n, k)
+                for j in 1..=k {
+                    coeff *= (n - j + 1) as f64 / j as f64;
+                }
+                let lo = -9.0f64;
+                let hi = 10.0 + sigma;
+                let steps = 4000usize; // even, for composite Simpson
+                let h = (hi - lo) / steps as f64;
+                let integrand = |z: f64| {
+                    let phi_cdf = normal_cdf(z);
+                    let density = (-z * z / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
+                    coeff
+                        * (mu + sigma * z).exp()
+                        * phi_cdf.powi(m as i32 - 1)
+                        * (1.0 - phi_cdf).powi(k as i32)
+                        * density
+                };
+                let mut sum = integrand(lo) + integrand(hi);
+                for i in 1..steps {
+                    let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+                    sum += w * integrand(lo + i as f64 * h);
+                }
+                sum * h / 3.0
+            }
+        }
+    }
+
+    /// Expected barrier time `E[(n−k)-th order statistic of {b_i + X_i}]`:
+    /// worker `i` finishes its deterministic base work `b_i` seconds after
+    /// the superstep starts, plus an independent straggler delay `X_i`;
+    /// the barrier waits for all but the slowest `k` (their shards are
+    /// covered by backup workers). With `k = 0` this is the plain
+    /// `E[max]`; with zero jitter it is *exactly* the `(n−k)`-th smallest
+    /// base (bit-identical to the deterministic model).
+    ///
+    /// Homogeneous bases route through the exact/1-D forms of
+    /// [`Self::expected_order_stat`]; heterogeneous bases integrate the
+    /// Poisson-binomial order-statistic survival function on a log-spaced
+    /// grid (deterministic quadrature, no sampling).
+    ///
+    /// # Panics
+    /// Panics when `bases` is empty or `drop_k >= bases.len()`.
+    pub fn expected_barrier(&self, bases: &[f64], drop_k: usize) -> Seconds {
+        self.assert_valid();
+        let n = bases.len();
+        assert!(n >= 1, "need at least one worker");
+        assert!(
+            drop_k < n,
+            "cannot drop all {n} workers (backup_k = {drop_k})"
+        );
+        let homogeneous = bases.iter().all(|&b| b == bases[0]);
+        if self.is_zero() {
+            // Zero jitter: the barrier is the (n−k)-th smallest base,
+            // computed without quadrature so the homogeneous case stays
+            // bit-identical to the deterministic model.
+            if drop_k == 0 {
+                return Seconds::new(bases.iter().copied().fold(f64::MIN, f64::max));
+            }
+            let mut sorted = bases.to_vec();
+            sorted.sort_by(f64::total_cmp);
+            return Seconds::new(sorted[n - 1 - drop_k]);
+        }
+        if homogeneous {
+            return Seconds::new(bases[0] + self.expected_order_stat(n, drop_k));
+        }
+        Seconds::new(self.expected_barrier_hetero(bases, drop_k))
+    }
+
+    /// Heterogeneous-base expected order statistic by quadrature:
+    /// `E[Y_(m)] = x_lo + ∫_{x_lo}^{x_hi} (1 − P(Y_(m) ≤ x)) dx` with
+    /// `P(Y_(m) ≤ x) = P(#{i : b_i + X_i ≤ x} ≥ m)` evaluated through a
+    /// Poisson-binomial recursion capped at `k` failures. The grid is
+    /// log-spaced so heavy log-normal tails are resolved as finely as the
+    /// bulk.
+    fn expected_barrier_hetero(&self, bases: &[f64], k: usize) -> f64 {
+        let n = bases.len();
+        let m = n - k;
+        let mut sorted = bases.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let b_m = sorted[m - 1]; // below this, P(Y_(m) ≤ x) = 0 exactly
+        let b_max = sorted[n - 1];
+        let x_lo = if b_m > 0.0 { b_m } else { self.low_bound() };
+        let x_hi = b_max + self.tail_bound(n);
+        if x_hi <= x_lo {
+            return b_m;
+        }
+        // P(at least m of the Y_i ≤ x), i.e. at most k exceed x.
+        let survival = |x: f64| {
+            let mut q = vec![0.0f64; k + 2]; // q[k+1] absorbs ≥ k+1 failures
+            q[0] = 1.0;
+            for &b in bases {
+                let p = self.delay_cdf(x - b);
+                let s = 1.0 - p;
+                for f in (0..=k).rev() {
+                    q[f + 1] += q[f] * s;
+                    q[f] *= p;
+                }
+            }
+            let reached: f64 = q[..=k].iter().sum();
+            1.0 - reached
+        };
+        // Trapezoid on a log grid over [x_lo, x_hi].
+        let (u_lo, u_hi) = (x_lo.ln(), x_hi.ln());
+        let steps = 4096usize;
+        let h = (u_hi - u_lo) / steps as f64;
+        let g = |u: f64| {
+            let x = u.exp();
+            survival(x) * x // dx = e^u du
+        };
+        let mut sum = 0.5 * (g(u_lo) + g(u_hi));
+        for i in 1..steps {
+            sum += g(u_lo + i as f64 * h);
+        }
+        x_lo + sum * h
+    }
+}
+
+/// Clamp the drop-count to leave at least one worker standing.
+fn effective_k(backup_k: usize, n: usize) -> usize {
+    backup_k.min(n.saturating_sub(1))
+}
+
+/// Straggler-aware gradient descent: wraps a [`GradientDescentModel`] with
+/// a delay distribution, cluster heterogeneity and the drop-slowest-k
+/// mitigation, and reports *expected* iteration times.
+///
+/// With `StragglerModel::Deterministic`, `Heterogeneity::Uniform` and
+/// `backup_k = 0` every method reproduces the inner model bit-for-bit.
+#[derive(Debug, Clone, Copy)]
+pub struct StragglerGdModel {
+    /// The deterministic model (hardware, workload, collective).
+    pub inner: GradientDescentModel,
+    /// Per-worker per-superstep delay distribution.
+    pub straggler: StragglerModel,
+    /// Compute-speed heterogeneity across workers.
+    pub hetero: Heterogeneity,
+    /// Drop the slowest `k` workers each superstep (backup workers cover
+    /// their shards); clamped to `n − 1` at evaluation time.
+    pub backup_k: usize,
+}
+
+impl StragglerGdModel {
+    /// Wraps a model with the degenerate (deterministic) scenario.
+    pub fn deterministic(inner: GradientDescentModel) -> Self {
+        Self {
+            inner,
+            straggler: StragglerModel::Deterministic,
+            hetero: Heterogeneity::Uniform,
+            backup_k: 0,
+        }
+    }
+
+    /// Per-worker compute-phase base times for an even strong-scaling
+    /// split of the batch across `n` workers.
+    fn strong_bases(&self, n: usize) -> Vec<f64> {
+        let even = self.inner.strong_comp_time(n).as_secs();
+        self.hetero
+            .speed_factors(&self.inner.cluster, n)
+            .into_iter()
+            .map(|s| even / s)
+            .collect()
+    }
+
+    /// Per-worker compute-phase base times for weak scaling (every worker
+    /// keeps a full per-worker batch).
+    fn weak_bases(&self, n: usize) -> Vec<f64> {
+        let per_worker = (self.inner.cost_per_example * self.inner.batch_size
+            / self.inner.cluster.flops())
+        .as_secs();
+        self.hetero
+            .speed_factors(&self.inner.cluster, n)
+            .into_iter()
+            .map(|s| per_worker / s)
+            .collect()
+    }
+
+    /// Expected compute-phase barrier time at `n` workers (strong
+    /// scaling): `E[(n−k)-th order stat of {t_cp/s_i + X_i}]`.
+    pub fn expected_strong_comp_time(&self, n: usize) -> Seconds {
+        assert!(n >= 1);
+        self.straggler
+            .expected_barrier(&self.strong_bases(n), effective_k(self.backup_k, n))
+    }
+
+    /// Expected strong-scaling iteration time
+    /// `E[barrier] + t_cm(n)` — communication is unchanged by compute
+    /// stragglers (the collective starts at the barrier).
+    pub fn expected_strong_iteration_time(&self, n: usize) -> Seconds {
+        self.expected_strong_comp_time(n) + self.inner.comm_time(n)
+    }
+
+    /// Expected weak-scaling iteration time.
+    pub fn expected_weak_iteration_time(&self, n: usize) -> Seconds {
+        assert!(n >= 1);
+        let barrier = self
+            .straggler
+            .expected_barrier(&self.weak_bases(n), effective_k(self.backup_k, n));
+        barrier + self.inner.comm_time(n)
+    }
+
+    /// Expected weak-scaling per-instance time (the paper's Fig 3 metric).
+    pub fn expected_weak_per_instance_time(&self, n: usize) -> Seconds {
+        self.expected_weak_iteration_time(n) / n as f64
+    }
+
+    /// Expected strong-scaling speedup curve over `ns`.
+    pub fn strong_curve(&self, ns: impl IntoIterator<Item = usize>) -> SpeedupCurve {
+        SpeedupCurve::from_fn(ns, |n| self.expected_strong_iteration_time(n))
+    }
+
+    /// Expected weak-scaling per-instance speedup curve over `ns`.
+    pub fn weak_curve(&self, ns: impl IntoIterator<Item = usize>) -> SpeedupCurve {
+        SpeedupCurve::from_fn(ns, |n| self.expected_weak_per_instance_time(n))
+    }
+
+    /// A [`Planner`] over the *expected* job time
+    /// `iterations · E[t_iter(n)]` — provisioning answers (cheapest within
+    /// deadline, fastest within budget) that price the straggler tail in,
+    /// rather than the deterministic best case.
+    pub fn planner(
+        &self,
+        iterations: f64,
+        max_n: usize,
+        pricing: Pricing,
+    ) -> Planner<impl Fn(usize) -> Seconds + '_> {
+        Planner::new(
+            move |n| self.expected_strong_iteration_time(n) * iterations,
+            max_n,
+            pricing,
+        )
+    }
+}
+
+/// Straggler-aware graph inference: wraps a [`GraphInferenceModel`].
+///
+/// The inner model already charges the whole superstep at the
+/// most-loaded worker (`max_i E_i`). Here that worker carries base time
+/// `t_cp(n)` while the remaining `n − 1` carry the balanced share
+/// `E/n·c(S)/F`, each divided by its heterogeneous speed factor — so
+/// drop-slowest-k can model speculative re-execution of the hub
+/// partition, the dominant BP mitigation.
+#[derive(Debug, Clone)]
+pub struct StragglerGraphModel {
+    /// The deterministic graph-inference model.
+    pub inner: GraphInferenceModel,
+    /// Per-worker per-superstep delay distribution.
+    pub straggler: StragglerModel,
+    /// Compute-speed heterogeneity across workers.
+    pub hetero: Heterogeneity,
+    /// Drop the slowest `k` workers each superstep.
+    pub backup_k: usize,
+}
+
+impl StragglerGraphModel {
+    /// Wraps a model with the degenerate (deterministic) scenario.
+    pub fn deterministic(inner: GraphInferenceModel) -> Self {
+        Self {
+            inner,
+            straggler: StragglerModel::Deterministic,
+            hetero: Heterogeneity::Uniform,
+            backup_k: 0,
+        }
+    }
+
+    /// Per-worker base times: one worker holds the maximum edge load, the
+    /// rest the balanced share.
+    fn bases(&self, n: usize) -> Vec<f64> {
+        // GraphInferenceModel carries no ClusterSpec (and therefore no rack
+        // topology); a per-rack heterogeneity would silently degenerate to
+        // uniform speeds here, so reject it loudly instead.
+        assert!(
+            !matches!(self.hetero, Heterogeneity::RackDecay { .. }),
+            "GraphInferenceModel has no rack topology; use Heterogeneity::SlowWorkers \
+             or Uniform with StragglerGraphModel"
+        );
+        let gating = self.inner.comp_time(n).as_secs();
+        let balanced = (self.inner.cost_per_edge * (self.inner.edges / n as f64)
+            / self.inner.flops)
+            .as_secs()
+            .min(gating);
+        // SlowWorkers factors are defined per worker index; the hub
+        // partition is placed on worker 1 (index 0).
+        let cluster = crate::hardware::ClusterSpec::new(
+            crate::hardware::NodeSpec::new(self.inner.flops, 1.0),
+            crate::hardware::LinkSpec::bandwidth_only(self.inner.bandwidth),
+        );
+        self.hetero
+            .speed_factors(&cluster, n)
+            .into_iter()
+            .enumerate()
+            .map(|(w, s)| if w == 0 { gating / s } else { balanced / s })
+            .collect()
+    }
+
+    /// Expected compute-phase barrier at `n` workers.
+    pub fn expected_comp_time(&self, n: usize) -> Seconds {
+        assert!(n >= 1);
+        self.straggler
+            .expected_barrier(&self.bases(n), effective_k(self.backup_k, n))
+    }
+
+    /// Expected iteration time `E[barrier] + t_cm(n)`.
+    pub fn expected_iteration_time(&self, n: usize) -> Seconds {
+        self.expected_comp_time(n) + self.inner.comm_time(n)
+    }
+
+    /// Expected speedup curve over `ns`.
+    pub fn curve(&self, ns: impl IntoIterator<Item = usize>) -> SpeedupCurve {
+        SpeedupCurve::from_fn(ns, |n| self.expected_iteration_time(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::presets;
+    use crate::models::gd::GdComm;
+    use crate::units::FlopCount;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fig2_model() -> GradientDescentModel {
+        GradientDescentModel {
+            cost_per_example: FlopCount::new(6.0 * 12e6),
+            batch_size: 60_000.0,
+            params: 12e6,
+            bits_per_param: 64,
+            cluster: presets::spark_cluster(),
+            comm: GdComm::Spark,
+        }
+    }
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.0) - 0.841_344_7).abs() < 1e-6);
+        assert!((normal_cdf(-1.96) - 0.024_997_9).abs() < 1e-6);
+        assert!(normal_cdf(9.0) > 1.0 - 1e-15);
+    }
+
+    #[test]
+    fn harmonic_numbers() {
+        assert_eq!(harmonic(0), 0.0);
+        assert_eq!(harmonic(1), 1.0);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exponential_expected_max_is_harmonic() {
+        let m = StragglerModel::ExponentialTail { mean: 0.2 };
+        assert!((m.expected_max(1) - 0.2).abs() < 1e-15);
+        assert!((m.expected_max(4) - 0.2 * (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_expected_max_is_n_over_n_plus_1() {
+        let m = StragglerModel::BoundedJitter { spread: 0.6 };
+        assert!((m.expected_max(1) - 0.3).abs() < 1e-15);
+        assert!((m.expected_max(5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lognormal_expected_max_single_draw_is_mean() {
+        let m = StragglerModel::LogNormalTail {
+            mu: -2.0,
+            sigma: 0.8,
+        };
+        // E[X_(1) of 1] = E[X] = exp(mu + sigma²/2).
+        let expected = (-2.0f64 + 0.32).exp();
+        let got = m.expected_max(1);
+        assert!(
+            (got - expected).abs() / expected < 1e-4,
+            "quadrature {got} vs closed form {expected}"
+        );
+    }
+
+    #[test]
+    fn lognormal_quadrature_matches_monte_carlo() {
+        let m = StragglerModel::LogNormalTail {
+            mu: -2.5,
+            sigma: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [2usize, 8, 32] {
+            let reps = 40_000;
+            let mc: f64 = (0..reps)
+                .map(|_| (0..n).map(|_| m.sample(&mut rng)).fold(f64::MIN, f64::max))
+                .sum::<f64>()
+                / reps as f64;
+            let analytic = m.expected_max(n);
+            assert!(
+                (mc - analytic).abs() / analytic < 0.03,
+                "n={n}: MC {mc} vs quadrature {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn hetero_quadrature_agrees_with_iid_path_on_equal_bases() {
+        for model in [
+            StragglerModel::ExponentialTail { mean: 0.15 },
+            StragglerModel::BoundedJitter { spread: 0.4 },
+            StragglerModel::LogNormalTail {
+                mu: -3.0,
+                sigma: 0.9,
+            },
+        ] {
+            for n in [2usize, 7, 24] {
+                for k in [0usize, 1, 2] {
+                    if k >= n {
+                        continue;
+                    }
+                    let iid = model.expected_barrier(&vec![1.0; n], k).as_secs();
+                    let hetero = model.expected_barrier_hetero(&vec![1.0; n], k);
+                    assert!(
+                        (iid - hetero).abs() / iid < 5e-3,
+                        "{model:?} n={n} k={k}: iid {iid} vs hetero {hetero}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hetero_barrier_matches_monte_carlo() {
+        let model = StragglerModel::ExponentialTail { mean: 0.1 };
+        let bases = [1.0, 1.0, 2.0, 0.5];
+        let mut rng = StdRng::seed_from_u64(11);
+        for k in [0usize, 1] {
+            let analytic = model.expected_barrier(&bases, k).as_secs();
+            let reps = 60_000;
+            let mc: f64 = (0..reps)
+                .map(|_| {
+                    let mut draws: Vec<f64> =
+                        bases.iter().map(|&b| b + model.sample(&mut rng)).collect();
+                    draws.sort_by(f64::total_cmp);
+                    draws[bases.len() - 1 - k]
+                })
+                .sum::<f64>()
+                / reps as f64;
+            assert!(
+                (mc - analytic).abs() / analytic < 0.01,
+                "k={k}: MC {mc} vs quadrature {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_base_with_underflowing_lognormal_stays_finite() {
+        // Heterogeneous bases whose (n−k)-th smallest is zero route the
+        // quadrature's lower cut-off through low_bound(); an extreme mu
+        // underflows exp() and must floor at a tiny positive value instead
+        // of poisoning the log grid with ln(0) = −∞.
+        let m = StragglerModel::LogNormalTail {
+            mu: -800.0,
+            sigma: 1.0,
+        };
+        let e = m.expected_barrier(&[0.0, 0.0, 1.0], 1).as_secs();
+        assert!(e.is_finite(), "got {e}");
+        assert!(
+            e < 1e-9,
+            "dropping the loaded worker leaves two ≈0 finish times: {e}"
+        );
+        // Moderate parameters through the same zero-base path.
+        let ln = StragglerModel::LogNormalTail {
+            mu: -2.0,
+            sigma: 0.8,
+        };
+        let barrier = ln.expected_barrier(&[0.0, 0.0, 1.0], 1).as_secs();
+        assert!(barrier.is_finite() && barrier > 0.0, "got {barrier}");
+    }
+
+    #[test]
+    fn zero_jitter_barrier_is_exact_max() {
+        let bases = [0.25, 0.5, 0.125];
+        for model in [
+            StragglerModel::Deterministic,
+            StragglerModel::BoundedJitter { spread: 0.0 },
+            StragglerModel::ExponentialTail { mean: 0.0 },
+        ] {
+            assert_eq!(model.expected_barrier(&bases, 0).as_secs(), 0.5);
+            assert_eq!(model.expected_barrier(&bases, 1).as_secs(), 0.25);
+            assert_eq!(model.expected_barrier(&bases, 2).as_secs(), 0.125);
+        }
+    }
+
+    #[test]
+    fn deterministic_wrapper_is_bit_identical() {
+        let inner = fig2_model();
+        let wrapped = StragglerGdModel::deterministic(inner);
+        for n in [1usize, 2, 9, 13, 64] {
+            assert_eq!(
+                wrapped.expected_strong_iteration_time(n),
+                inner.strong_iteration_time(n),
+                "strong n={n}"
+            );
+            assert_eq!(
+                wrapped.expected_weak_per_instance_time(n),
+                inner.weak_per_instance_time(n),
+                "weak n={n}"
+            );
+        }
+        let (n_opt, _) = wrapped.strong_curve(1..=13).optimal();
+        assert_eq!(n_opt, 9, "Fig 2 optimum preserved");
+    }
+
+    #[test]
+    fn stragglers_shift_the_fig2_optimum_down() {
+        let light = StragglerGdModel {
+            inner: fig2_model(),
+            straggler: StragglerModel::ExponentialTail { mean: 1.0 },
+            hetero: Heterogeneity::Uniform,
+            backup_k: 0,
+        };
+        let (n_det, s_det) = fig2_model().strong_curve(1..=13).optimal();
+        let (n_str, s_str) = light.strong_curve(1..=13).optimal();
+        assert!(
+            n_str <= n_det,
+            "stragglers cannot push the optimum out: {n_str} vs {n_det}"
+        );
+        assert!(s_str < s_det, "stragglers cost speedup");
+    }
+
+    #[test]
+    fn backup_workers_recover_some_speedup() {
+        let base = StragglerGdModel {
+            inner: fig2_model(),
+            straggler: StragglerModel::LogNormalTail {
+                mu: 0.0,
+                sigma: 1.5,
+            },
+            hetero: Heterogeneity::Uniform,
+            backup_k: 0,
+        };
+        let mitigated = StragglerGdModel {
+            backup_k: 2,
+            ..base
+        };
+        for n in [4usize, 9, 16] {
+            assert!(
+                mitigated.expected_strong_iteration_time(n)
+                    <= base.expected_strong_iteration_time(n),
+                "drop-slowest-k must not slow things down at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn slow_workers_gate_the_expected_barrier() {
+        let uniform = StragglerGdModel::deterministic(fig2_model());
+        let hetero = StragglerGdModel {
+            hetero: Heterogeneity::SlowWorkers {
+                count: 1,
+                factor: 0.5,
+            },
+            ..uniform
+        };
+        let n = 8;
+        // One half-speed worker doubles the evenly-split compute phase.
+        let t_u = uniform.expected_strong_comp_time(n).as_secs();
+        let t_h = hetero.expected_strong_comp_time(n).as_secs();
+        assert!((t_h / t_u - 2.0).abs() < 1e-12, "{t_h} vs {t_u}");
+        // Dropping that worker restores the nominal barrier.
+        let mitigated = StragglerGdModel {
+            backup_k: 1,
+            ..hetero
+        };
+        assert_eq!(mitigated.expected_strong_comp_time(n).as_secs(), t_u);
+    }
+
+    #[test]
+    fn planner_prices_the_tail_in() {
+        let det = StragglerGdModel::deterministic(fig2_model());
+        let tailed = StragglerGdModel {
+            straggler: StragglerModel::ExponentialTail { mean: 5.0 },
+            ..det
+        };
+        let pricing = Pricing::hourly(2.0);
+        let fast_det = det.planner(100.0, 32, pricing).fastest();
+        let fast_tail = tailed.planner(100.0, 32, pricing).fastest();
+        assert!(
+            fast_tail.time > fast_det.time,
+            "expected time includes tail"
+        );
+        assert!(
+            fast_tail.n <= fast_det.n,
+            "stragglers never ask for more machines: {} vs {}",
+            fast_tail.n,
+            fast_det.n
+        );
+    }
+
+    #[test]
+    fn graph_wrapper_degenerates_to_inner_model() {
+        use crate::models::graphinf::EdgeLoad;
+        use crate::units::{BitsPerSec, FlopsRate};
+        let inner = GraphInferenceModel::belief_propagation(
+            10_000.0,
+            50_000.0,
+            2,
+            FlopsRate::giga(7.6),
+            BitsPerSec::new(f64::INFINITY),
+            0.5,
+            EdgeLoad::Balanced,
+        );
+        let wrapped = StragglerGraphModel::deterministic(inner.clone());
+        for n in [1usize, 4, 16, 64] {
+            assert_eq!(
+                wrapped.expected_iteration_time(n),
+                inner.iteration_time(n),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn graph_wrapper_stragglers_slow_inference() {
+        use crate::models::graphinf::EdgeLoad;
+        use crate::units::{BitsPerSec, FlopsRate};
+        let inner = GraphInferenceModel::belief_propagation(
+            10_000.0,
+            50_000.0,
+            2,
+            FlopsRate::giga(7.6),
+            BitsPerSec::new(f64::INFINITY),
+            0.5,
+            EdgeLoad::Balanced,
+        );
+        let tailed = StragglerGraphModel {
+            straggler: StragglerModel::ExponentialTail { mean: 1e-4 },
+            ..StragglerGraphModel::deterministic(inner.clone())
+        };
+        for n in [2usize, 16, 64] {
+            assert!(tailed.expected_iteration_time(n) > inner.iteration_time(n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no rack topology")]
+    fn rack_decay_on_graph_model_rejected() {
+        use crate::models::graphinf::EdgeLoad;
+        use crate::units::{BitsPerSec, FlopsRate};
+        let inner = GraphInferenceModel::belief_propagation(
+            1_000.0,
+            5_000.0,
+            2,
+            FlopsRate::giga(7.6),
+            BitsPerSec::new(f64::INFINITY),
+            0.5,
+            EdgeLoad::Balanced,
+        );
+        let m = StragglerGraphModel {
+            hetero: Heterogeneity::RackDecay { factor: 0.5 },
+            ..StragglerGraphModel::deterministic(inner)
+        };
+        let _ = m.expected_comp_time(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot drop all")]
+    fn dropping_every_worker_rejected() {
+        let _ = StragglerModel::ExponentialTail { mean: 0.1 }.expected_order_stat(3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_spread_rejected() {
+        let _ = StragglerModel::BoundedJitter { spread: -1.0 }.expected_max(2);
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests over the straggler-aware runtime subsystem: the
+//! structural laws the analytic order-statistic model must satisfy
+//! regardless of parameters — monotone in the worker count and in the
+//! tail weight, bit-identical degeneracy at zero jitter, and the
+//! drop-slowest-k mitigation never making the expected barrier worse.
+
+use mlscale_core::hardware::{presets, Heterogeneity};
+use mlscale_core::models::gd::{GdComm, GradientDescentModel};
+use mlscale_core::straggler::{StragglerGdModel, StragglerModel};
+use mlscale_core::units::FlopCount;
+use proptest::prelude::*;
+
+fn fig2_model() -> GradientDescentModel {
+    GradientDescentModel {
+        cost_per_example: FlopCount::new(6.0 * 12e6),
+        batch_size: 60_000.0,
+        params: 12e6,
+        bits_per_param: 64,
+        cluster: presets::spark_cluster(),
+        comm: GdComm::Spark,
+    }
+}
+
+/// The three stochastic families at a sampled tail weight.
+fn models(scale: f64, sigma: f64) -> Vec<StragglerModel> {
+    vec![
+        StragglerModel::BoundedJitter { spread: scale },
+        StragglerModel::ExponentialTail { mean: scale },
+        StragglerModel::LogNormalTail {
+            mu: scale.ln(),
+            sigma,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `E[max of n draws]` is non-decreasing in `n` for every family: a
+    /// bigger cluster can only wait longer at the barrier.
+    #[test]
+    fn expected_max_monotone_in_n(scale in 1e-3f64..10.0, sigma in 0.05f64..2.0) {
+        for model in models(scale, sigma) {
+            let mut prev = 0.0f64;
+            for n in 1..=48usize {
+                let e = model.expected_max(n);
+                prop_assert!(
+                    e >= prev - 1e-9 * prev.abs(),
+                    "{model:?}: E[max] fell from {prev} to {e} at n={n}"
+                );
+                prev = e;
+            }
+        }
+    }
+
+    /// The expected barrier is monotone in the tail weight: scaling the
+    /// jitter spread / exponential mean / lognormal sigma up never
+    /// shortens the expected barrier.
+    #[test]
+    fn expected_barrier_monotone_in_tail_weight(
+        scale in 1e-3f64..5.0,
+        grow in 1.05f64..4.0,
+        n in 2usize..40,
+    ) {
+        let pairs = [
+            (
+                StragglerModel::BoundedJitter { spread: scale },
+                StragglerModel::BoundedJitter { spread: scale * grow },
+            ),
+            (
+                StragglerModel::ExponentialTail { mean: scale },
+                StragglerModel::ExponentialTail { mean: scale * grow },
+            ),
+            (
+                StragglerModel::LogNormalTail { mu: -1.0, sigma: 0.3 * scale.min(3.0) },
+                StragglerModel::LogNormalTail { mu: -1.0, sigma: 0.3 * scale.min(3.0) * grow },
+            ),
+        ];
+        for (light, heavy) in pairs {
+            let l = light.expected_max(n);
+            let h = heavy.expected_max(n);
+            prop_assert!(
+                h >= l * (1.0 - 1e-9),
+                "{light:?} -> {heavy:?} at n={n}: E[max] fell from {l} to {h}"
+            );
+        }
+    }
+
+    /// Zero-jitter configurations degenerate *bit-identically* to the
+    /// deterministic model, for every worker count and mitigation level.
+    #[test]
+    fn zero_jitter_is_bit_identical(n in 1usize..64, k in 0usize..4) {
+        let det = fig2_model();
+        for straggler in [
+            StragglerModel::Deterministic,
+            StragglerModel::BoundedJitter { spread: 0.0 },
+            StragglerModel::ExponentialTail { mean: 0.0 },
+        ] {
+            let wrapped = StragglerGdModel {
+                inner: det,
+                straggler,
+                hetero: Heterogeneity::Uniform,
+                backup_k: k,
+            };
+            prop_assert_eq!(
+                wrapped.expected_strong_iteration_time(n),
+                det.strong_iteration_time(n),
+                "strong, {:?}, n={}, k={}", straggler, n, k
+            );
+            prop_assert_eq!(
+                wrapped.expected_weak_per_instance_time(n),
+                det.weak_per_instance_time(n),
+                "weak, {:?}, n={}, k={}", straggler, n, k
+            );
+        }
+    }
+
+    /// Dropping the slowest `k+1` workers never yields a longer expected
+    /// barrier than dropping `k` — backup workers cannot hurt.
+    #[test]
+    fn drop_slowest_k_never_increases_barrier(
+        scale in 1e-3f64..5.0,
+        sigma in 0.05f64..1.8,
+        n in 3usize..32,
+    ) {
+        for model in models(scale, sigma) {
+            let bases = vec![1.0; n];
+            let mut prev = f64::INFINITY;
+            for k in 0..n.min(5) {
+                let e = model.expected_barrier(&bases, k).as_secs();
+                prop_assert!(
+                    e <= prev * (1.0 + 1e-9),
+                    "{model:?} n={n}: E[barrier] rose from {prev} to {e} at k={k}"
+                );
+                prev = e;
+            }
+        }
+    }
+
+    /// The same mitigation law holds on heterogeneous clusters (the
+    /// Poisson-binomial quadrature path).
+    #[test]
+    fn drop_slowest_k_never_increases_hetero_barrier(
+        scale in 0.01f64..2.0,
+        slow in 0.2f64..0.9,
+        n in 3usize..24,
+    ) {
+        let model = StragglerModel::ExponentialTail { mean: scale };
+        let bases: Vec<f64> = (0..n)
+            .map(|w| if w % 3 == 0 { 1.0 / slow } else { 1.0 })
+            .collect();
+        let mut prev = f64::INFINITY;
+        for k in 0..n.min(4) {
+            let e = model.expected_barrier(&bases, k).as_secs();
+            prop_assert!(
+                e <= prev * (1.0 + 1e-6),
+                "n={n} slow={slow}: E[barrier] rose from {prev} to {e} at k={k}"
+            );
+            prev = e;
+        }
+    }
+
+    /// Heterogeneity is never free: degrading some workers' speed can only
+    /// increase the expected barrier.
+    #[test]
+    fn slower_workers_never_shorten_the_barrier(
+        count in 1usize..4,
+        factor in 0.2f64..0.99,
+        n in 4usize..32,
+    ) {
+        let uniform = StragglerGdModel {
+            inner: fig2_model(),
+            straggler: StragglerModel::ExponentialTail { mean: 0.5 },
+            hetero: Heterogeneity::Uniform,
+            backup_k: 0,
+        };
+        let degraded = StragglerGdModel {
+            hetero: Heterogeneity::SlowWorkers { count, factor },
+            ..uniform
+        };
+        let u = uniform.expected_strong_comp_time(n).as_secs();
+        let d = degraded.expected_strong_comp_time(n).as_secs();
+        prop_assert!(
+            d >= u * (1.0 - 1e-6),
+            "count={count} factor={factor} n={n}: barrier fell from {u} to {d}"
+        );
+    }
+}

@@ -15,6 +15,7 @@ use crate::collectives::{
 };
 use crate::overhead::OverheadModel;
 use mlscale_core::hardware::ClusterSpec;
+use mlscale_core::straggler::StragglerModel;
 use mlscale_core::units::Seconds;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -102,6 +103,38 @@ pub struct BspConfig {
     pub seed: u64,
 }
 
+/// Straggler injection for the simulator: a per-worker per-superstep delay
+/// draw added to each compute phase, plus the drop-slowest-k (backup
+/// worker / speculative execution) mitigation. This is the discrete-event
+/// twin of the analytic order-statistic model in
+/// [`mlscale_core::straggler`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StragglerSim {
+    /// Delay distribution sampled once per worker per superstep.
+    pub model: StragglerModel,
+    /// The barrier waits only for the fastest `n − k` workers; the slowest
+    /// `k` are killed at the barrier (their shards covered by backups).
+    /// Clamped to `n − 1` at execution time.
+    pub backup_k: usize,
+}
+
+impl StragglerSim {
+    /// No stragglers: the simulator behaves exactly as without this layer
+    /// (no RNG draws are consumed).
+    pub fn none() -> Self {
+        Self {
+            model: StragglerModel::Deterministic,
+            backup_k: 0,
+        }
+    }
+}
+
+impl Default for StragglerSim {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
 /// Result of simulating a BSP program.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BspReport {
@@ -143,6 +176,35 @@ pub fn simulate_with_speeds(
     workers: usize,
     speed_factors: &[f64],
 ) -> BspReport {
+    simulate_with_stragglers(
+        program,
+        config,
+        workers,
+        speed_factors,
+        &StragglerSim::none(),
+    )
+}
+
+/// The full simulator entry point: heterogeneous per-worker compute speeds
+/// *and* stochastic straggler injection with the drop-slowest-k backup
+/// mitigation. Each superstep samples one delay per worker from
+/// `straggler.model` (on top of the [`OverheadModel`]); the barrier waits
+/// for the fastest `n − k` workers, the slowest `k` tasks are killed at
+/// the barrier and their contributions treated as covered by backups.
+///
+/// With [`StragglerSim::none`] this is bit-identical to
+/// [`simulate_with_speeds`] under the same seed: the deterministic model
+/// consumes no randomness.
+///
+/// # Panics
+/// Panics when the factor list does not cover every worker.
+pub fn simulate_with_stragglers(
+    program: &BspProgram,
+    config: &BspConfig,
+    workers: usize,
+    speed_factors: &[f64],
+    straggler: &StragglerSim,
+) -> BspReport {
     assert!(workers >= 1, "need at least one worker");
     assert!(program.iterations >= 1, "need at least one iteration");
     assert_eq!(
@@ -150,6 +212,7 @@ pub fn simulate_with_speeds(
         workers,
         "need a speed factor per worker"
     );
+    let drop_k = straggler.backup_k.min(workers - 1);
     let mut cluster = SimCluster::new(config.cluster, workers);
     for (w, &f) in speed_factors.iter().enumerate() {
         cluster.set_speed_factor(w + 1, f);
@@ -166,15 +229,34 @@ pub fn simulate_with_speeds(
                 workers,
                 "superstep loads must cover every worker"
             );
-            // Compute phase: overhead + load per worker, from the barrier.
+            // Compute phase: overhead + straggler delay + load per worker,
+            // from the barrier.
             let mut done = Vec::with_capacity(workers);
             for (w, &load) in step.loads.iter().enumerate() {
                 let node = w + 1;
-                let overhead = config.overhead.sample(workers, &mut rng);
+                let overhead = config.overhead.sample(workers, &mut rng)
+                    + Seconds::new(straggler.model.sample(&mut rng));
                 let after_overhead = cluster.occupy(node, overhead, cursor);
                 done.push(cluster.compute(node, load, after_overhead));
             }
-            let barrier = done.iter().copied().fold(cursor, Seconds::max);
+            // Barrier: the (n−k)-th order statistic of the finish times.
+            // The k dropped tasks are killed (speculative execution) and
+            // their contributions clamped to the barrier — a backup copy
+            // finished by then.
+            let barrier = if drop_k == 0 {
+                done.iter().copied().fold(cursor, Seconds::max)
+            } else {
+                let mut sorted = done.clone();
+                sorted.sort_by(|a, b| a.as_secs().total_cmp(&b.as_secs()));
+                let kept = sorted[workers - 1 - drop_k].max(cursor);
+                for (w, d) in done.iter_mut().enumerate() {
+                    if *d > kept {
+                        *d = kept;
+                        cluster.truncate_compute(w + 1, kept);
+                    }
+                }
+                kept
+            };
             // Communication phase.
             cursor = match &step.comm {
                 CommPhase::None => barrier,
@@ -505,6 +587,120 @@ mod tests {
             iterations: 1,
         };
         let _ = simulate(&program, &config(), 2);
+    }
+
+    #[test]
+    fn no_stragglers_is_bit_identical_to_plain_simulation() {
+        let mut cfg = config();
+        cfg.overhead = OverheadModel::Exponential { mean: 0.1 };
+        let program = BspProgram {
+            supersteps: vec![SuperstepSpec::even(4e9, 4, CommPhase::None)],
+            iterations: 5,
+        };
+        let plain = simulate(&program, &cfg, 4);
+        let layered = simulate_with_stragglers(&program, &cfg, 4, &[1.0; 4], &StragglerSim::none());
+        assert_eq!(plain, layered, "disabled stragglers must not perturb RNG");
+    }
+
+    #[test]
+    fn straggler_draws_slow_the_barrier() {
+        let n = 8;
+        let program = BspProgram {
+            supersteps: vec![SuperstepSpec::even(8e9, n, CommPhase::None)],
+            iterations: 20,
+        };
+        let ideal = simulate(&program, &config(), n);
+        let straggled = simulate_with_stragglers(
+            &program,
+            &config(),
+            n,
+            &vec![1.0; n],
+            &StragglerSim {
+                model: StragglerModel::ExponentialTail { mean: 0.3 },
+                backup_k: 0,
+            },
+        );
+        // E[max of 8 Exp(0.3)] = 0.3·H_8 ≈ 0.82 s per superstep.
+        assert!(straggled.total > ideal.total + Seconds::new(10.0));
+    }
+
+    #[test]
+    fn dropping_slowest_k_shortens_iterations() {
+        let n = 8;
+        let program = BspProgram {
+            supersteps: vec![SuperstepSpec::even(8e9, n, CommPhase::None)],
+            iterations: 50,
+        };
+        let model = StragglerModel::LogNormalTail {
+            mu: -1.0,
+            sigma: 1.5,
+        };
+        let plain = simulate_with_stragglers(
+            &program,
+            &config(),
+            n,
+            &vec![1.0; n],
+            &StragglerSim { model, backup_k: 0 },
+        );
+        let mitigated = simulate_with_stragglers(
+            &program,
+            &config(),
+            n,
+            &vec![1.0; n],
+            &StragglerSim { model, backup_k: 2 },
+        );
+        assert!(
+            mitigated.total < plain.total,
+            "drop-slowest-2 must shorten the run: {} vs {}",
+            mitigated.total,
+            plain.total
+        );
+    }
+
+    #[test]
+    fn backup_k_clamps_to_leave_one_worker() {
+        let program = BspProgram {
+            supersteps: vec![SuperstepSpec::even(2e9, 2, CommPhase::None)],
+            iterations: 1,
+        };
+        let report = simulate_with_stragglers(
+            &program,
+            &config(),
+            2,
+            &[1.0; 2],
+            &StragglerSim {
+                model: StragglerModel::Deterministic,
+                backup_k: 99,
+            },
+        );
+        // k clamps to 1: barrier = fastest worker, 1 s of compute each.
+        assert!((report.total.as_secs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn killed_tasks_do_not_leak_into_the_next_superstep() {
+        // One worker is 10× slower; with backup_k = 1 its task is killed
+        // at each barrier, so iterations stay at the fast workers' pace
+        // instead of queueing ever further behind.
+        let n = 4;
+        let program = BspProgram {
+            supersteps: vec![SuperstepSpec::even(4e9, n, CommPhase::None)],
+            iterations: 10,
+        };
+        let report = simulate_with_stragglers(
+            &program,
+            &config(),
+            n,
+            &[1.0, 1.0, 1.0, 0.1],
+            &StragglerSim {
+                model: StragglerModel::Deterministic,
+                backup_k: 1,
+            },
+        );
+        // Every iteration: 1 s for the three nominal workers.
+        for t in &report.iteration_times {
+            assert!((t.as_secs() - 1.0).abs() < 1e-9, "got {t}");
+        }
     }
 
     #[test]

@@ -116,6 +116,16 @@ impl SimCluster {
         Seconds::new(state.cpu_free)
     }
 
+    /// Kills whatever is still running on a node's CPU past `t`, pulling
+    /// its next-free clock back to `t` — speculative-execution semantics:
+    /// when a straggling task's shard has been covered by a backup worker,
+    /// the original attempt is cancelled rather than left running into the
+    /// next superstep. No-op when the CPU is already free by `t`.
+    pub fn truncate_compute(&mut self, node: NodeId, t: Seconds) {
+        let state = &mut self.nodes[node];
+        state.cpu_free = state.cpu_free.min(t.as_secs());
+    }
+
     /// The rack a node belongs to (rack 0 on flat clusters).
     pub fn rack_of(&self, node: NodeId) -> usize {
         self.spec.rack_of(node)

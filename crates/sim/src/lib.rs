@@ -16,7 +16,9 @@
 //!   exponential, log-normal stragglers, per-worker contention);
 //! * [`bsp`] — executes per-superstep per-worker flop loads + collective
 //!   phases and reports per-iteration wall times (the "experimental"
-//!   curves of the reproduction);
+//!   curves of the reproduction), with per-worker straggler-delay draws,
+//!   heterogeneous compute speeds and the drop-slowest-k backup-worker
+//!   mitigation ([`bsp::StragglerSim`]);
 //! * [`paramserver`] — asynchronous parameter-server mode (the paper's
 //!   future-work direction), reporting throughput and gradient staleness.
 //!
@@ -47,7 +49,10 @@ pub mod collectives;
 pub mod overhead;
 pub mod paramserver;
 
-pub use bsp::{simulate, BspConfig, BspProgram, BspReport, CommPhase, SuperstepSpec};
+pub use bsp::{
+    simulate, simulate_with_speeds, simulate_with_stragglers, BspConfig, BspProgram, BspReport,
+    CommPhase, StragglerSim, SuperstepSpec,
+};
 pub use cluster::SimCluster;
 pub use collectives::{BroadcastKind, ReduceKind};
 pub use overhead::OverheadModel;

@@ -80,26 +80,31 @@ pub fn fig3_model() -> GradientDescentModel {
     }
 }
 
-/// **Fig 1** — the introductory example: computation shrinking as `1/n`
-/// against tree communication growing as `log₂ n`, with the speedup
-/// peaking "at around 14 nodes".
-pub fn fig1() -> ExperimentResult {
-    // Calibrated so t(n) = 1/n + 2·(32W/B)·log₂ n peaks at n = 14:
-    // the continuous optimum of 1/n + c·log₂ n sits at n* = ln 2 / c,
-    // so c = 2·(32·W/B) = ln 2 / 14.
+/// The Fig 1 model configuration: the introductory example, calibrated so
+/// `t(n) = 1/n + 2·(32W/B)·log₂ n` peaks at n = 14 (the continuous
+/// optimum of `1/n + c·log₂ n` sits at `n* = ln 2 / c`, so
+/// `c = 2·(32·W/B) = ln 2 / 14`).
+pub fn fig1_model() -> GradientDescentModel {
     let cluster = ClusterSpec::new(
         NodeSpec::new(FlopsRate::giga(100.0), 1.0),
         LinkSpec::bandwidth_only(BitsPerSec::giga(1.0)),
     );
     let params = (2f64).ln() / 28.0 * 1e9 / 32.0;
-    let model = GradientDescentModel {
+    GradientDescentModel {
         cost_per_example: FlopCount::new(1e7),
         batch_size: 1e4, // C·S/F = 1 s at n = 1
         params,
         bits_per_param: 32,
         cluster,
         comm: GdComm::TwoStageTree,
-    };
+    }
+}
+
+/// **Fig 1** — the introductory example: computation shrinking as `1/n`
+/// against tree communication growing as `log₂ n`, with the speedup
+/// peaking "at around 14 nodes".
+pub fn fig1() -> ExperimentResult {
+    let model = fig1_model();
     let curve = model.strong_curve(1..=32);
     let (n_opt, s_opt) = curve.optimal();
     let comp = Series::new(
@@ -166,7 +171,6 @@ pub fn table1() -> ExperimentResult {
 /// workers, MAPE 13.7 %.
 pub fn fig2(max_n: usize) -> ExperimentResult {
     let workload = GdWorkload {
-        model: fig2_model(),
         // Spark task-launch cost plus scheduling jitter — the source of
         // the paper's model-vs-experiment gap beyond ~5 workers.
         overhead: OverheadModel::ConstantPlusJitter {
@@ -175,6 +179,7 @@ pub fn fig2(max_n: usize) -> ExperimentResult {
         },
         iterations: 5,
         seed: 2017,
+        ..GdWorkload::ideal(fig2_model())
     };
     let ns: Vec<usize> = (1..=max_n).collect();
     let (model, sim) = workload.strong_curves(&ns);
@@ -219,12 +224,12 @@ pub fn fig2(max_n: usize) -> ExperimentResult {
 /// Paper: MAPE 1.2 % against Chen et al.'s measurements.
 pub fn fig3() -> ExperimentResult {
     let workload = GdWorkload {
-        model: fig3_model(),
         // The GPU cluster measurements sit very close to the model; a
         // small constant per-step overhead reproduces that regime.
         overhead: OverheadModel::Constant { seconds: 0.01 },
         iterations: 3,
         seed: 2016,
+        ..GdWorkload::ideal(fig3_model())
     };
     let ns: Vec<usize> = vec![10, 25, 50, 100, 150, 200];
     let (model, sim) = workload.weak_curves(&ns, 50);

@@ -7,5 +7,7 @@ pub mod ablations;
 pub mod convergence;
 pub mod extensions;
 pub mod figures;
+pub mod stragglers;
 
 pub use figures::{fig1, fig2, fig3, fig4, table1, DnsScale};
+pub use stragglers::stragglers;

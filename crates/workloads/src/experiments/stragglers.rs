@@ -1,0 +1,209 @@
+//! The straggler extension exhibit: how the paper's Fig 1/Fig 2 optima
+//! (14/9 workers) move once per-worker runtime variability is priced in.
+//!
+//! The paper's deterministic framework assumes every superstep ends when
+//! `t_cp + t_cm` says it does; with stochastic per-worker delays the
+//! barrier instead waits for the *maximum* of `n` draws, a term that grows
+//! with `n` and therefore pushes the speedup optimum toward smaller
+//! clusters as the tail gets heavier. The drop-slowest-k (backup worker)
+//! mitigation claws part of the lost scaling range back. The analytic
+//! order-statistic curves are cross-validated against the discrete-event
+//! straggler simulator on the same schedule.
+
+use crate::gd::GdWorkload;
+use crate::report::{ExperimentResult, Series};
+use mlscale_core::hardware::Heterogeneity;
+use mlscale_core::metrics::Comparison;
+use mlscale_core::straggler::{StragglerGdModel, StragglerModel};
+
+/// Wraps the Fig 2 model in a straggler scenario.
+fn fig2_with(straggler: StragglerModel, backup_k: usize) -> StragglerGdModel {
+    StragglerGdModel {
+        straggler,
+        backup_k,
+        ..StragglerGdModel::deterministic(super::figures::fig2_model())
+    }
+}
+
+/// **Stragglers and heterogeneity** — expected speedup of the paper's two
+/// introductory configurations under growing straggler tails, the
+/// drop-slowest-k mitigation, and a mixed-generation cluster.
+pub fn stragglers(max_n: usize) -> ExperimentResult {
+    let ns: Vec<usize> = (1..=max_n).collect();
+
+    // Fig 2 (MNIST on Spark, optimum 9): growing exponential tails.
+    let det = fig2_with(StragglerModel::Deterministic, 0);
+    let light = fig2_with(StragglerModel::ExponentialTail { mean: 1.0 }, 0);
+    let heavy = fig2_with(StragglerModel::ExponentialTail { mean: 8.0 }, 0);
+    let lognormal = fig2_with(
+        StragglerModel::LogNormalTail {
+            mu: 0.33,
+            sigma: 1.2,
+        },
+        0,
+    );
+    let mitigated = fig2_with(StragglerModel::ExponentialTail { mean: 8.0 }, 2);
+    let hetero = StragglerGdModel {
+        hetero: Heterogeneity::SlowWorkers {
+            count: 2,
+            factor: 0.5,
+        },
+        ..det
+    };
+
+    let det_curve = det.strong_curve(ns.iter().copied());
+    let light_curve = light.strong_curve(ns.iter().copied());
+    let heavy_curve = heavy.strong_curve(ns.iter().copied());
+    let lognormal_curve = lognormal.strong_curve(ns.iter().copied());
+    let mitigated_curve = mitigated.strong_curve(ns.iter().copied());
+    let hetero_curve = hetero.strong_curve(ns.iter().copied());
+
+    // Cross-validate the heavy-tail analytic curve against the
+    // discrete-event straggler simulator (many seeded replications). The
+    // halving/doubling collective is used on power-of-two points because
+    // its simulator twin matches the analytic form exactly — so the
+    // comparison isolates the order-statistic barrier term instead of
+    // collective discretisation.
+    let sim_ns: Vec<usize> = ns
+        .iter()
+        .copied()
+        .filter(|&n| n.is_power_of_two())
+        .collect();
+    let sim_model = mlscale_core::models::gd::GradientDescentModel {
+        comm: mlscale_core::models::gd::GdComm::HalvingDoubling,
+        ..super::figures::fig2_model()
+    };
+    let mut workload = GdWorkload::ideal(sim_model).with_stragglers(
+        StragglerModel::ExponentialTail { mean: 8.0 },
+        Heterogeneity::Uniform,
+        0,
+    );
+    workload.iterations = 600;
+    workload.seed = 0x57A6;
+    let (heavy_model, heavy_sim) = workload.expected_strong_curves(&sim_ns);
+    let mape = Comparison::join(&heavy_model.speedups(), &heavy_sim.speedups()).mape();
+
+    // Fig 1 (introductory example, optimum 14): the optimum slides down
+    // as the exponential tail grows relative to the 1 s single-node time.
+    let fig1 = super::figures::fig1_model();
+    let fig1_optima: Vec<(usize, f64)> = [0.0, 0.01, 0.03, 0.1]
+        .iter()
+        .enumerate()
+        .map(|(i, &mean)| {
+            let m = StragglerGdModel {
+                straggler: StragglerModel::ExponentialTail { mean },
+                ..StragglerGdModel::deterministic(fig1)
+            };
+            let (n_opt, _) = m.strong_curve(1..=32).optimal();
+            (i, n_opt as f64)
+        })
+        .collect();
+
+    let opt = |c: &mlscale_core::SpeedupCurve| c.optimal();
+    // The paper's Fig 2 optimum (9) holds over its plotted 1..=13 range;
+    // past it the ⌈√n⌉ staircase plateaus, so the headline stat is pinned
+    // to the paper's range while the series span the requested one.
+    let (n_det, s_det) = det.strong_curve(1..=max_n.min(13)).optimal();
+    let (n_light, _) = opt(&light_curve);
+    let (n_heavy, s_heavy) = opt(&heavy_curve);
+    let (n_ln, _) = opt(&lognormal_curve);
+    let (n_mit, s_mit) = opt(&mitigated_curve);
+    let (n_het, _) = opt(&hetero_curve);
+    let (n_fig1_det, _) = StragglerGdModel::deterministic(fig1)
+        .strong_curve(1..=32)
+        .optimal();
+
+    ExperimentResult::new(
+        "ext-stragglers",
+        "Stragglers bend the speedup curve: expected optima under runtime variability (MNIST/Spark job)",
+    )
+    .with_series(Series::new("deterministic", det_curve.speedups()))
+    .with_series(Series::new("exp tail 1s", light_curve.speedups()))
+    .with_series(Series::new("exp tail 8s", heavy_curve.speedups()))
+    .with_series(Series::new("lognormal tail", lognormal_curve.speedups()))
+    .with_series(Series::new("exp 8s drop-2", mitigated_curve.speedups()))
+    .with_series(Series::new("2x half-speed nodes", hetero_curve.speedups()))
+    .with_series(Series::new("exp 8s simulated", heavy_sim.speedups()))
+    .with_series(Series::new("fig1 optimum vs tail", fig1_optima))
+    .with_stat("optimal n (deterministic)", n_det as f64, Some(9.0))
+    .with_stat("peak speedup (deterministic)", s_det, None)
+    .with_stat("optimal n (exp 1s)", n_light as f64, None)
+    .with_stat("optimal n (exp 8s)", n_heavy as f64, None)
+    .with_stat("peak speedup (exp 8s)", s_heavy, None)
+    .with_stat("optimal n (lognormal)", n_ln as f64, None)
+    .with_stat("optimal n (exp 8s, drop-2)", n_mit as f64, None)
+    .with_stat("peak speedup (exp 8s, drop-2)", s_mit, None)
+    .with_stat("optimal n (2x half-speed)", n_het as f64, None)
+    .with_stat("fig1 optimal n (deterministic)", n_fig1_det as f64, Some(14.0))
+    .with_stat("straggler model-vs-sim MAPE %", mape, None)
+    .with_note(
+        "E[barrier] = E[(n-k)-th order statistic of {t_cp/s_i + X_i}]: exact \
+         harmonic-number form for exponential tails, deterministic quadrature \
+         for lognormal and heterogeneous clusters",
+    )
+    .with_note(
+        "the deterministic rows reproduce the paper's optima bit-identically \
+         (Fig 2: 9 workers, Fig 1: 14); growing tails pull the optimum in, \
+         drop-slowest-k pushes it partway back out",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// The exhibit re-runs the 600-replication simulation; compute it once
+    /// and share it across the assertions below.
+    fn result() -> &'static ExperimentResult {
+        static RESULT: OnceLock<ExperimentResult> = OnceLock::new();
+        RESULT.get_or_init(|| stragglers(16))
+    }
+
+    #[test]
+    fn zero_jitter_reproduces_paper_optima() {
+        let r = result();
+        let stat = |label: &str| r.stats.iter().find(|s| s.label == label).unwrap().value;
+        assert_eq!(stat("optimal n (deterministic)"), 9.0);
+        assert_eq!(stat("fig1 optimal n (deterministic)"), 14.0);
+    }
+
+    #[test]
+    fn heavier_tails_pull_the_optimum_in() {
+        let r = result();
+        let stat = |label: &str| r.stats.iter().find(|s| s.label == label).unwrap().value;
+        assert!(stat("optimal n (exp 8s)") <= stat("optimal n (exp 1s)"));
+        assert!(stat("optimal n (exp 1s)") <= stat("optimal n (deterministic)"));
+        assert!(
+            stat("optimal n (exp 8s)") < stat("optimal n (deterministic)"),
+            "a 4 s tail must visibly shift the Fig 2 optimum"
+        );
+        // Fig 1's optimum decays monotonically along the tail grid.
+        let fig1 = r.series("fig1 optimum vs tail").unwrap();
+        for pair in fig1.points.windows(2) {
+            assert!(pair[1].1 <= pair[0].1, "fig1 optimum must not grow");
+        }
+    }
+
+    #[test]
+    fn mitigation_recovers_speedup() {
+        let r = result();
+        let stat = |label: &str| r.stats.iter().find(|s| s.label == label).unwrap().value;
+        assert!(stat("peak speedup (exp 8s, drop-2)") >= stat("peak speedup (exp 8s)"));
+    }
+
+    #[test]
+    fn analytic_tracks_straggler_simulation() {
+        let r = result();
+        let mape = r
+            .stats
+            .iter()
+            .find(|s| s.label == "straggler model-vs-sim MAPE %")
+            .unwrap()
+            .value;
+        assert!(
+            mape < 5.0,
+            "order-statistic model must track the simulator: {mape:.2}%"
+        );
+    }
+}

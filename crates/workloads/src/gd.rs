@@ -4,15 +4,21 @@
 //! shard sizes, real payload, chosen collective — on the discrete-event
 //! cluster with overhead injection.
 
+use mlscale_core::hardware::Heterogeneity;
 use mlscale_core::models::gd::{GdComm, GradientDescentModel};
 use mlscale_core::speedup::SpeedupCurve;
+use mlscale_core::straggler::{StragglerGdModel, StragglerModel};
 use mlscale_core::units::Seconds;
-use mlscale_sim::bsp::{simulate, BspConfig, BspProgram, CommPhase, SuperstepSpec};
+use mlscale_sim::bsp::{
+    simulate_with_stragglers, BspConfig, BspProgram, CommPhase, StragglerSim, SuperstepSpec,
+};
 use mlscale_sim::collectives::{BroadcastKind, ReduceKind};
 use mlscale_sim::overhead::OverheadModel;
 
 /// A gradient-descent workload: the analytic model plus the simulation
-/// knobs (overhead, seed, iterations to average over).
+/// knobs (overhead, seed, iterations to average over) and the straggler
+/// scenario (delay distribution, heterogeneity, backup workers) shared by
+/// the analytic twin and the simulator.
 #[derive(Debug, Clone, Copy)]
 pub struct GdWorkload {
     /// The analytic model configuration (also defines the simulated
@@ -24,16 +30,51 @@ pub struct GdWorkload {
     pub iterations: usize,
     /// Determinism seed.
     pub seed: u64,
+    /// Per-worker per-superstep straggler delay distribution.
+    pub straggler: StragglerModel,
+    /// Compute-speed heterogeneity across workers.
+    pub hetero: Heterogeneity,
+    /// Drop the slowest `k` workers each superstep (backup mitigation).
+    pub backup_k: usize,
 }
 
 impl GdWorkload {
-    /// A workload with no overhead (simulation should match the model).
+    /// A workload with no overhead and no stragglers (simulation should
+    /// match the model).
     pub fn ideal(model: GradientDescentModel) -> Self {
         Self {
             model,
             overhead: OverheadModel::None,
             iterations: 3,
             seed: 0xC0FFEE,
+            straggler: StragglerModel::Deterministic,
+            hetero: Heterogeneity::Uniform,
+            backup_k: 0,
+        }
+    }
+
+    /// Adds a straggler scenario to the workload.
+    #[must_use]
+    pub fn with_stragglers(
+        mut self,
+        straggler: StragglerModel,
+        hetero: Heterogeneity,
+        backup_k: usize,
+    ) -> Self {
+        self.straggler = straggler;
+        self.hetero = hetero;
+        self.backup_k = backup_k;
+        self
+    }
+
+    /// The analytic order-statistic twin of this workload's straggler
+    /// scenario.
+    pub fn straggler_model(&self) -> StragglerGdModel {
+        StragglerGdModel {
+            inner: self.model,
+            straggler: self.straggler,
+            hetero: self.hetero,
+            backup_k: self.backup_k,
         }
     }
 
@@ -110,22 +151,55 @@ impl GdWorkload {
         }
     }
 
+    /// The simulator's straggler knobs for this workload.
+    fn straggler_sim(&self) -> StragglerSim {
+        StragglerSim {
+            model: self.straggler,
+            backup_k: self.backup_k,
+        }
+    }
+
     /// Simulated mean iteration time at `n` workers (strong scaling).
     pub fn simulate_strong(&self, n: usize) -> Seconds {
-        simulate(&self.strong_program(n), &self.config(), n).mean_iteration()
+        simulate_with_stragglers(
+            &self.strong_program(n),
+            &self.config(),
+            n,
+            &self.hetero.speed_factors(&self.model.cluster, n),
+            &self.straggler_sim(),
+        )
+        .mean_iteration()
     }
 
     /// Simulated per-instance time at `n` workers (weak scaling): the mean
     /// iteration time divided by `n` (per-worker batch constant, so
     /// instances processed per iteration grow as `S·n`).
     pub fn simulate_weak_per_instance(&self, n: usize) -> Seconds {
-        simulate(&self.weak_program(n), &self.config(), n).mean_iteration() / n as f64
+        simulate_with_stragglers(
+            &self.weak_program(n),
+            &self.config(),
+            n,
+            &self.hetero.speed_factors(&self.model.cluster, n),
+            &self.straggler_sim(),
+        )
+        .mean_iteration()
+            / n as f64
     }
 
     /// Analytic and simulated strong-scaling speedup curves over `ns`.
     pub fn strong_curves(&self, ns: &[usize]) -> (SpeedupCurve, SpeedupCurve) {
         let model =
             SpeedupCurve::from_fn(ns.iter().copied(), |n| self.model.strong_iteration_time(n));
+        let sim = SpeedupCurve::from_fn(ns.iter().copied(), |n| self.simulate_strong(n));
+        (model, sim)
+    }
+
+    /// *Expected*-analytic (order-statistic) and simulated strong-scaling
+    /// speedup curves over `ns` under the straggler scenario. With the
+    /// scenario disabled this coincides with [`Self::strong_curves`].
+    pub fn expected_strong_curves(&self, ns: &[usize]) -> (SpeedupCurve, SpeedupCurve) {
+        let twin = self.straggler_model();
+        let model = twin.strong_curve(ns.iter().copied());
         let sim = SpeedupCurve::from_fn(ns.iter().copied(), |n| self.simulate_strong(n));
         (model, sim)
     }
@@ -264,5 +338,54 @@ mod tests {
         let mut w = fig2_workload();
         w.overhead = OverheadModel::Exponential { mean: 0.2 };
         assert_eq!(w.simulate_strong(6), w.simulate_strong(6));
+    }
+
+    #[test]
+    fn straggler_scenario_slows_the_simulation() {
+        let base = fig2_workload();
+        let straggled = base.with_stragglers(
+            StragglerModel::ExponentialTail { mean: 5.0 },
+            Heterogeneity::Uniform,
+            0,
+        );
+        for n in [2usize, 8] {
+            assert!(
+                straggled.simulate_strong(n) > base.simulate_strong(n),
+                "stragglers must slow iteration at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn hetero_workload_routes_speed_factors_to_the_simulator() {
+        let base = fig2_workload();
+        let hetero = base.with_stragglers(
+            StragglerModel::Deterministic,
+            Heterogeneity::SlowWorkers {
+                count: 1,
+                factor: 0.5,
+            },
+            0,
+        );
+        let n = 4;
+        // The analytic expected barrier and the simulated compute phase
+        // both double when one worker runs at half speed.
+        let twin = hetero.straggler_model();
+        assert!(
+            twin.expected_strong_comp_time(n).as_secs()
+                > base.model.strong_comp_time(n).as_secs() * 1.99
+        );
+        assert!(hetero.simulate_strong(n) > base.simulate_strong(n) * 1.5);
+    }
+
+    #[test]
+    fn expected_curves_coincide_with_plain_curves_when_disabled() {
+        let w = fig2_workload();
+        let ns: Vec<usize> = (1..=8).collect();
+        let (plain, _) = w.strong_curves(&ns);
+        let (expected, _) = w.expected_strong_curves(&ns);
+        for n in &ns {
+            assert_eq!(plain.time_at(*n), expected.time_at(*n));
+        }
     }
 }

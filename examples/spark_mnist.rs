@@ -44,6 +44,7 @@ fn main() {
         },
         iterations: 5,
         seed: 2017,
+        ..GdWorkload::ideal(model)
     };
     let ns: Vec<usize> = (1..=16).collect();
     let (analytic, simulated) = workload.strong_curves(&ns);

@@ -18,12 +18,13 @@
 //! back to a default.
 
 use mlscale::graph::sampling::zipf_weights;
-use mlscale::model::hardware::{presets, ClusterSpec, LinkSpec, NodeSpec, RackSpec};
+use mlscale::model::hardware::{presets, ClusterSpec, Heterogeneity, LinkSpec, NodeSpec, RackSpec};
 use mlscale::model::models::gd::{GdComm, GradientDescentModel};
 use mlscale::model::models::graphinf::{
     bp_cost_per_edge, max_edges_monte_carlo, EdgeLoad, GraphInferenceModel,
 };
 use mlscale::model::planner::{Planner, Pricing};
+use mlscale::model::straggler::{StragglerGdModel, StragglerModel};
 use mlscale::model::units::{BitsPerSec, FlopCount, FlopsRate, Seconds};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,6 +44,11 @@ fn usage() -> ! {
               --rack-size N             workers per rack (required by hier)\n\
               --uplink-bandwidth B --uplink-latency s   inter-rack uplink\n\
               --max-n N [--weak]        evaluate 1..=N, weak scaling optional\n\
+              --straggler det|jitter:S|exp:MEAN|lognormal:MU:SIGMA\n\
+                                        per-worker delay distribution (expected times)\n\
+              --jitter S                shorthand for --straggler jitter:S\n\
+              --hetero slow:COUNT:FACTOR|rack:FACTOR   mixed-speed workers\n\
+              --backup-k K              drop the slowest K workers per step\n\
          bp   — graph-inference speedup curve (Monte-Carlo max-edges model)\n\
               --vertices V --edges E --max-degree D --states S\n\
               --flops F [--bandwidth B --replication R] --max-n N\n\
@@ -150,6 +156,161 @@ fn int(flags: &HashMap<String, String>, key: &str, default: Option<usize>) -> us
             None => die(format_args!("missing required flag --{key}")),
         },
     }
+}
+
+/// Parses a non-negative integer (unlike [`int`], zero is allowed —
+/// `--backup-k 0` explicitly disables the mitigation).
+fn uint(flags: &HashMap<String, String>, key: &str, default: usize) -> usize {
+    match flags.get(key) {
+        Some(v) => v.parse::<usize>().unwrap_or_else(|_| {
+            die(format_args!(
+                "--{key}: cannot parse {v:?} as a non-negative integer"
+            ))
+        }),
+        None => default,
+    }
+}
+
+/// Straggler-scenario flags (valid for `gd` and `plan`, composable with
+/// `--preset`: presets fix the hardware and workload, the scenario is an
+/// orthogonal runtime axis).
+const STRAGGLER_FLAGS: &[&str] = &["straggler", "jitter", "hetero", "backup-k"];
+
+/// One numeric field of a colon-separated spec value, naming flag and
+/// field on failure.
+fn spec_num(flag: &str, field: &str, raw: &str) -> f64 {
+    match raw.parse::<f64>() {
+        Ok(v) if v.is_finite() => v,
+        _ => die(format_args!(
+            "--{flag}: cannot parse {field} {raw:?} as a finite number"
+        )),
+    }
+}
+
+/// Parses `--straggler` / `--jitter` into a delay distribution.
+fn parse_straggler_model(flags: &HashMap<String, String>) -> StragglerModel {
+    if flags.contains_key("straggler") && flags.contains_key("jitter") {
+        die("--jitter is shorthand for --straggler jitter:S; pass only one of them");
+    }
+    if let Some(spread) = flags.get("jitter") {
+        let s = spec_num("jitter", "spread", spread);
+        if s < 0.0 {
+            die(format_args!(
+                "--jitter: spread must be non-negative, got {s}"
+            ));
+        }
+        return StragglerModel::BoundedJitter { spread: s };
+    }
+    let Some(spec) = flags.get("straggler") else {
+        return StragglerModel::Deterministic;
+    };
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["det"] => StragglerModel::Deterministic,
+        ["jitter", s] => {
+            let spread = spec_num("straggler", "spread", s);
+            if spread < 0.0 {
+                die(format_args!(
+                    "--straggler: jitter spread must be non-negative, got {spread}"
+                ));
+            }
+            StragglerModel::BoundedJitter { spread }
+        }
+        ["exp", m] => {
+            let mean = spec_num("straggler", "mean", m);
+            if mean < 0.0 {
+                die(format_args!(
+                    "--straggler: exponential mean must be non-negative, got {mean}"
+                ));
+            }
+            StragglerModel::ExponentialTail { mean }
+        }
+        ["lognormal", mu, sigma] => {
+            let mu = spec_num("straggler", "mu", mu);
+            let sigma = spec_num("straggler", "sigma", sigma);
+            if sigma < 0.0 {
+                die(format_args!(
+                    "--straggler: lognormal sigma must be non-negative, got {sigma}"
+                ));
+            }
+            StragglerModel::LogNormalTail { mu, sigma }
+        }
+        _ => die(format_args!(
+            "unknown --straggler {spec:?} (use det, jitter:S, exp:MEAN or lognormal:MU:SIGMA)"
+        )),
+    }
+}
+
+/// Parses `--hetero` into a heterogeneity spec, validating it against the
+/// cluster (rack heterogeneity needs a rack topology).
+fn parse_hetero(flags: &HashMap<String, String>, cluster: &ClusterSpec) -> Heterogeneity {
+    let Some(spec) = flags.get("hetero") else {
+        return Heterogeneity::Uniform;
+    };
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["slow", count, factor] => {
+            let count = count.parse::<usize>().unwrap_or_else(|_| {
+                die(format_args!(
+                    "--hetero: cannot parse worker count {count:?} as a non-negative integer"
+                ))
+            });
+            let factor = spec_num("hetero", "factor", factor);
+            if factor <= 0.0 {
+                die(format_args!(
+                    "--hetero: speed factor must be positive, got {factor}"
+                ));
+            }
+            Heterogeneity::SlowWorkers { count, factor }
+        }
+        ["rack", factor] => {
+            if cluster.rack.is_none() {
+                die(
+                    "--hetero rack:FACTOR needs a rack topology: pass --rack-size \
+                     or use --preset pod (flat presets like fig2/fig3 conflict with it)",
+                );
+            }
+            let factor = spec_num("hetero", "factor", factor);
+            if factor <= 0.0 {
+                die(format_args!(
+                    "--hetero: speed factor must be positive, got {factor}"
+                ));
+            }
+            Heterogeneity::RackDecay { factor }
+        }
+        _ => die(format_args!(
+            "unknown --hetero {spec:?} (use slow:COUNT:FACTOR or rack:FACTOR)"
+        )),
+    }
+}
+
+/// Assembles the full straggler scenario for a command, or `None` when no
+/// scenario flag was given (deterministic output paths).
+fn parse_scenario(
+    flags: &HashMap<String, String>,
+    cluster: &ClusterSpec,
+    max_n: usize,
+) -> Option<(StragglerModel, Heterogeneity, usize)> {
+    let straggler = parse_straggler_model(flags);
+    let hetero = parse_hetero(flags, cluster);
+    let backup_k = uint(flags, "backup-k", 0);
+    if backup_k >= max_n {
+        die(format_args!(
+            "--backup-k: dropping {backup_k} workers leaves nothing at --max-n {max_n}; \
+             use a value below the cluster size"
+        ));
+    }
+    let scenario_given = flags.keys().any(|k| STRAGGLER_FLAGS.contains(&k.as_str()));
+    if !scenario_given {
+        return None;
+    }
+    if backup_k > 0 && straggler.is_zero() && hetero.is_uniform() {
+        die(
+            "--backup-k has no effect without a straggler distribution or \
+             heterogeneity; add --straggler/--jitter/--hetero or drop it",
+        );
+    }
+    Some((straggler, hetero, backup_k))
 }
 
 /// Flags accepted by the gd model builder (shared by `gd` and `plan`).
@@ -271,15 +432,36 @@ fn parse_comm(flags: &HashMap<String, String>, cluster: &ClusterSpec) -> GdComm 
 fn cmd_gd(flags: &HashMap<String, String>) {
     let mut allowed = GD_MODEL_FLAGS.to_vec();
     allowed.extend(["max-n", "weak"]);
+    allowed.extend(STRAGGLER_FLAGS);
     check_allowed("gd", flags, &allowed);
     let model = gd_model(flags);
     let max_n = int(flags, "max-n", Some(32));
-    let curve = if flags.contains_key("weak") {
-        println!("weak scaling (per-instance time), n = 1..={max_n}:\n");
-        model.weak_curve(1..=max_n)
-    } else {
-        println!("strong scaling (per-iteration time), n = 1..={max_n}:\n");
-        model.strong_curve(1..=max_n)
+    let scenario = parse_scenario(flags, &model.cluster, max_n);
+    let weak = flags.contains_key("weak");
+    let curve = match scenario {
+        Some((straggler, hetero, backup_k)) => {
+            let wrapped = StragglerGdModel {
+                inner: model,
+                straggler,
+                hetero,
+                backup_k,
+            };
+            if weak {
+                println!("expected weak scaling under stragglers (per-instance time), n = 1..={max_n}:\n");
+                wrapped.weak_curve(1..=max_n)
+            } else {
+                println!("expected strong scaling under stragglers (per-iteration time), n = 1..={max_n}:\n");
+                wrapped.strong_curve(1..=max_n)
+            }
+        }
+        None if weak => {
+            println!("weak scaling (per-instance time), n = 1..={max_n}:\n");
+            model.weak_curve(1..=max_n)
+        }
+        None => {
+            println!("strong scaling (per-iteration time), n = 1..={max_n}:\n");
+            model.strong_curve(1..=max_n)
+        }
     };
     println!("{}", curve.to_table());
     let (n_opt, s_opt) = curve.optimal();
@@ -350,16 +532,29 @@ fn cmd_bp(flags: &HashMap<String, String>) {
 fn cmd_plan(flags: &HashMap<String, String>) {
     let mut allowed = GD_MODEL_FLAGS.to_vec();
     allowed.extend(["iterations", "price", "max-n", "deadline", "budget"]);
+    allowed.extend(STRAGGLER_FLAGS);
     check_allowed("plan", flags, &allowed);
     let model = gd_model(flags);
     let iterations = pos(flags, "iterations", Some(1000.0));
     let price = pos(flags, "price", Some(1.0));
     let max_n = int(flags, "max-n", Some(64));
-    let planner = Planner::new(
-        move |n| model.strong_iteration_time(n) * iterations,
-        max_n,
-        Pricing::hourly(price),
-    );
+    let scenario = parse_scenario(flags, &model.cluster, max_n);
+    if scenario.is_some() {
+        println!("planning over *expected* times under the straggler scenario");
+    }
+    let time_fn = move |n: usize| match scenario {
+        Some((straggler, hetero, backup_k)) => {
+            let wrapped = StragglerGdModel {
+                inner: model,
+                straggler,
+                hetero,
+                backup_k,
+            };
+            wrapped.expected_strong_iteration_time(n) * iterations
+        }
+        None => model.strong_iteration_time(n) * iterations,
+    };
+    let planner = Planner::new(time_fn, max_n, Pricing::hourly(price));
     let fastest = planner.fastest();
     let cheapest = planner.cheapest();
     println!(

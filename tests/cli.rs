@@ -261,3 +261,230 @@ fn bp_negative_input_rejected() {
     assert!(!out.status.success());
     assert!(stderr_of(&out).contains("--vertices"));
 }
+
+#[test]
+fn straggler_scenario_reports_expected_curve() {
+    let out = mlscale(&[
+        "gd",
+        "--preset",
+        "fig2",
+        "--max-n",
+        "13",
+        "--straggler",
+        "exp:4",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("expected strong scaling under stragglers"),
+        "must announce the stochastic regime:\n{stdout}"
+    );
+    assert!(stdout.contains("optimal workers:"));
+}
+
+#[test]
+fn zero_jitter_scenario_keeps_the_paper_answer() {
+    let out = mlscale(&[
+        "gd",
+        "--preset",
+        "fig2",
+        "--max-n",
+        "13",
+        "--straggler",
+        "exp:0",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("optimal workers: 9"),
+        "zero-mean tail must degenerate to the paper's optimum:\n{stdout}"
+    );
+}
+
+#[test]
+fn invalid_straggler_specs_fail_loudly() {
+    for spec in [
+        "bogus",
+        "exp",
+        "exp:lots",
+        "exp:-1",
+        "lognormal:0",
+        "jitter:-2",
+    ] {
+        let out = mlscale(&["gd", "--preset", "fig2", "--straggler", spec]);
+        assert!(!out.status.success(), "--straggler {spec} must be rejected");
+        assert_eq!(out.status.code(), Some(2), "--straggler {spec} must exit 2");
+        assert!(
+            stderr_of(&out).contains("--straggler"),
+            "--straggler {spec}: got {}",
+            stderr_of(&out)
+        );
+    }
+}
+
+#[test]
+fn invalid_backup_k_values_fail_loudly() {
+    for bad in ["-1", "2.5", "many"] {
+        let out = mlscale(&[
+            "gd",
+            "--preset",
+            "fig2",
+            "--straggler",
+            "exp:1",
+            "--backup-k",
+            bad,
+        ]);
+        assert!(!out.status.success(), "--backup-k {bad} must be rejected");
+        assert_eq!(out.status.code(), Some(2));
+        assert!(stderr_of(&out).contains("--backup-k"));
+    }
+    // Dropping every worker is meaningless.
+    let out = mlscale(&[
+        "gd",
+        "--preset",
+        "fig2",
+        "--straggler",
+        "exp:1",
+        "--max-n",
+        "8",
+        "--backup-k",
+        "8",
+    ]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("--backup-k"));
+}
+
+#[test]
+fn backup_k_without_a_scenario_rejected() {
+    let out = mlscale(&["gd", "--preset", "fig2", "--backup-k", "2"]);
+    assert!(!out.status.success(), "a no-op --backup-k must be loud");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("--backup-k"));
+}
+
+#[test]
+fn duplicate_and_conflicting_straggler_flags_rejected() {
+    // The same flag twice.
+    let out = mlscale(&[
+        "gd",
+        "--preset",
+        "fig2",
+        "--straggler",
+        "exp:1",
+        "--straggler",
+        "exp:2",
+    ]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("more than once"));
+    // Two ways of specifying the same distribution.
+    let out = mlscale(&[
+        "gd",
+        "--preset",
+        "fig2",
+        "--straggler",
+        "exp:1",
+        "--jitter",
+        "0.5",
+    ]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("--jitter") && err.contains("--straggler"),
+        "got: {err}"
+    );
+}
+
+#[test]
+fn rack_heterogeneity_conflicts_with_flat_presets() {
+    // fig2 is a flat cluster: rack-decay heterogeneity has nothing to
+    // attach to and must not be silently ignored.
+    let out = mlscale(&["gd", "--preset", "fig2", "--hetero", "rack:0.8"]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("--hetero") && err.contains("rack"),
+        "got: {err}"
+    );
+    // On the racked pod preset the same flag is valid.
+    let out = mlscale(&[
+        "gd", "--preset", "pod", "--hetero", "rack:0.8", "--max-n", "48",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+}
+
+#[test]
+fn invalid_hetero_specs_fail_loudly() {
+    for spec in ["bogus", "slow:2", "slow:x:0.5", "slow:2:0", "rack:-1"] {
+        let out = mlscale(&["gd", "--preset", "pod", "--hetero", spec]);
+        assert!(!out.status.success(), "--hetero {spec} must be rejected");
+        assert_eq!(out.status.code(), Some(2), "--hetero {spec} must exit 2");
+        assert!(stderr_of(&out).contains("--hetero"));
+    }
+}
+
+#[test]
+fn preset_model_flag_conflict_still_fires_with_straggler_flags() {
+    let out = mlscale(&[
+        "gd",
+        "--preset",
+        "fig2",
+        "--straggler",
+        "exp:1",
+        "--params",
+        "1e6",
+    ]);
+    assert!(!out.status.success(), "--params would be silently ignored");
+    let err = stderr_of(&out);
+    assert!(err.contains("--params") && err.contains("preset"));
+}
+
+#[test]
+fn plan_with_stragglers_uses_expected_times() {
+    let base = mlscale(&[
+        "plan",
+        "--preset",
+        "fig2",
+        "--iterations",
+        "100",
+        "--price",
+        "2.0",
+    ]);
+    let straggled = mlscale(&[
+        "plan",
+        "--preset",
+        "fig2",
+        "--iterations",
+        "100",
+        "--price",
+        "2.0",
+        "--straggler",
+        "exp:8",
+    ]);
+    assert!(base.status.success());
+    assert!(
+        straggled.status.success(),
+        "stderr: {}",
+        stderr_of(&straggled)
+    );
+    let out = String::from_utf8_lossy(&straggled.stdout).into_owned();
+    assert!(
+        out.contains("expected"),
+        "must announce expected-time planning"
+    );
+    // Expected fastest time under an 8 s tail must exceed the deterministic one.
+    let fastest_secs = |s: &str| -> f64 {
+        let line = s.lines().find(|l| l.starts_with("fastest:")).unwrap();
+        let time = line.split("time").nth(1).unwrap();
+        time.split_whitespace().next().unwrap().parse().unwrap()
+    };
+    let det = fastest_secs(&String::from_utf8_lossy(&base.stdout));
+    let tail = fastest_secs(&out);
+    assert!(
+        tail > det,
+        "expected planning must price the tail in: {tail} vs {det}"
+    );
+}

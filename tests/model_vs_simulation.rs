@@ -4,13 +4,19 @@
 //! (formulas) and `mlscale-sim` (event-level execution).
 
 use mlscale::model::comm::{AlphaBeta, CommModel, HalvingDoubling, Hierarchical, RingAllReduce};
-use mlscale::model::hardware::{presets, ClusterSpec, LinkSpec, NodeSpec, RackSpec};
+use mlscale::model::hardware::{presets, ClusterSpec, Heterogeneity, LinkSpec, NodeSpec, RackSpec};
 use mlscale::model::metrics::Comparison;
+use mlscale::model::models::asyncgd::AsyncGdModel;
 use mlscale::model::models::gd::{GdComm, GradientDescentModel};
+use mlscale::model::straggler::StragglerModel;
 use mlscale::model::units::{Bits, BitsPerSec, FlopCount, FlopsRate, Seconds};
-use mlscale::sim::bsp::{simulate, BspConfig, BspProgram, CommPhase, SuperstepSpec};
+use mlscale::sim::bsp::{
+    simulate, simulate_with_stragglers, BspConfig, BspProgram, CommPhase, StragglerSim,
+    SuperstepSpec,
+};
 use mlscale::sim::collectives::{BroadcastKind, ReduceKind};
 use mlscale::sim::overhead::OverheadModel;
+use mlscale::sim::paramserver::{simulate_async, ParamServerConfig};
 use mlscale::workloads::gd::GdWorkload;
 
 fn test_cluster() -> ClusterSpec {
@@ -312,6 +318,218 @@ fn latency_free_exhibits_unchanged_by_alpha_beta_layer() {
     let fig2 = mlscale::workloads::experiments::figures::fig2_model();
     let (n_opt, _) = fig2.strong_curve(1..=13).optimal();
     assert_eq!(n_opt, 9, "Fig 2 optimum must stay at 9");
+}
+
+/// Mean simulated barrier time of a compute-only superstep (1 s of work
+/// per nominal worker) over `reps` seeded replications, with straggler
+/// injection and optional heterogeneous speed factors.
+fn mean_straggler_barrier(
+    n: usize,
+    model: StragglerModel,
+    backup_k: usize,
+    speed_factors: &[f64],
+    reps: usize,
+) -> f64 {
+    let config = BspConfig {
+        cluster: test_cluster(), // 50 Gflop/s nominal nodes
+        overhead: OverheadModel::None,
+        seed: 0xBA44 + n as u64,
+    };
+    let program = BspProgram {
+        // 50 Gflop per worker = 1 s of base compute each.
+        supersteps: vec![SuperstepSpec {
+            loads: vec![50e9; n],
+            comm: CommPhase::None,
+        }],
+        iterations: reps,
+    };
+    simulate_with_stragglers(
+        &program,
+        &config,
+        n,
+        speed_factors,
+        &StragglerSim { model, backup_k },
+    )
+    .mean_iteration()
+    .as_secs()
+}
+
+#[test]
+fn exponential_straggler_sim_matches_order_statistic_model() {
+    // E[barrier] = 1 + mean·H_n exactly; the seeded replications must land
+    // within 5 % for every n ∈ 2..=64.
+    let model = StragglerModel::ExponentialTail { mean: 0.3 };
+    for n in 2..=64usize {
+        let analytic = model.expected_barrier(&vec![1.0; n], 0).as_secs();
+        let simulated = mean_straggler_barrier(n, model, 0, &vec![1.0; n], 400);
+        assert!(
+            (simulated - analytic).abs() / analytic < 0.05,
+            "n={n}: sim {simulated:.4} vs analytic {analytic:.4}"
+        );
+    }
+}
+
+#[test]
+fn lognormal_straggler_sim_matches_order_statistic_model() {
+    let model = StragglerModel::LogNormalTail {
+        mu: -1.5,
+        sigma: 1.0,
+    };
+    for n in 2..=64usize {
+        let analytic = model.expected_barrier(&vec![1.0; n], 0).as_secs();
+        let simulated = mean_straggler_barrier(n, model, 0, &vec![1.0; n], 600);
+        assert!(
+            (simulated - analytic).abs() / analytic < 0.05,
+            "n={n}: sim {simulated:.4} vs analytic {analytic:.4}"
+        );
+    }
+}
+
+#[test]
+fn heterogeneous_straggler_sim_matches_poisson_binomial_model() {
+    // Every third worker at 60 % speed: the analytic side integrates the
+    // Poisson-binomial order-statistic survival function; the simulator
+    // draws per-worker delays on shifted bases. Exponential and lognormal
+    // tails, n ∈ 2..=64.
+    for (model, reps) in [
+        (StragglerModel::ExponentialTail { mean: 0.25 }, 400),
+        (
+            StragglerModel::LogNormalTail {
+                mu: -1.8,
+                sigma: 0.9,
+            },
+            500,
+        ),
+    ] {
+        for n in 2..=64usize {
+            let speeds: Vec<f64> = (0..n).map(|w| if w % 3 == 0 { 0.6 } else { 1.0 }).collect();
+            let bases: Vec<f64> = speeds.iter().map(|s| 1.0 / s).collect();
+            let analytic = model.expected_barrier(&bases, 0).as_secs();
+            let simulated = mean_straggler_barrier(n, model, 0, &speeds, reps);
+            assert!(
+                (simulated - analytic).abs() / analytic < 0.05,
+                "{model:?} n={n}: sim {simulated:.4} vs analytic {analytic:.4}"
+            );
+        }
+    }
+}
+
+#[test]
+fn drop_slowest_k_sim_matches_order_statistic_model() {
+    // The backup-worker mitigation: barrier = (n−k)-th order statistic on
+    // both sides.
+    let model = StragglerModel::ExponentialTail { mean: 0.4 };
+    for k in [1usize, 2] {
+        for n in [4usize, 8, 16, 32, 64] {
+            let analytic = model.expected_barrier(&vec![1.0; n], k).as_secs();
+            let simulated = mean_straggler_barrier(n, model, k, &vec![1.0; n], 400);
+            assert!(
+                (simulated - analytic).abs() / analytic < 0.05,
+                "n={n} k={k}: sim {simulated:.4} vs analytic {analytic:.4}"
+            );
+        }
+    }
+}
+
+#[test]
+fn straggler_workload_end_to_end_tracks_expected_curve() {
+    // Full workload (compute + halving/doubling exchange, whose simulator
+    // twin is exact) under an exponential tail: the expected-time analytic
+    // curve and the straggler simulation agree within 5 % MAPE.
+    let mut workload = GdWorkload::ideal(GradientDescentModel {
+        cost_per_example: FlopCount::new(6.0 * 12e6),
+        batch_size: 60_000.0,
+        params: 12e6,
+        bits_per_param: 64,
+        cluster: presets::spark_cluster(),
+        comm: GdComm::HalvingDoubling,
+    })
+    .with_stragglers(
+        StragglerModel::ExponentialTail { mean: 2.0 },
+        Heterogeneity::Uniform,
+        0,
+    );
+    workload.iterations = 300;
+    workload.seed = 0x5EED;
+    let ns: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64];
+    let (model, sim) = workload.expected_strong_curves(&ns);
+    let mape = Comparison::join(&model.speedups(), &sim.speedups()).mape();
+    assert!(
+        mape < 5.0,
+        "straggler workload must track its analytic twin: MAPE {mape:.2}%"
+    );
+}
+
+/// The async parameter-server regression fixture: apply cost comparable
+/// to the transfer cost, so the pipelined-vs-serialised server question
+/// actually matters.
+fn async_fixture() -> (AsyncGdModel, ParamServerConfig) {
+    let cluster = ClusterSpec::new(
+        NodeSpec::new(FlopsRate::giga(1.0), 1.0),
+        LinkSpec::bandwidth_only(BitsPerSec::giga(10.0)),
+    );
+    let model = AsyncGdModel {
+        grad_work: FlopCount::giga(1.0),
+        worker_flops: cluster.flops(),
+        server_flops: cluster.flops(),
+        apply_work: FlopCount::new(8e7), // 0.08 s apply
+        payload: Bits::new(1e9),         // 0.1 s transfer
+        bandwidth: cluster.bandwidth(),
+        latency: Seconds::zero(),
+    };
+    let config = ParamServerConfig {
+        cluster,
+        grad_flops: model.grad_work.get(),
+        payload_bits: model.payload.get(),
+        apply_flops: model.apply_work.get(),
+        overhead: OverheadModel::None,
+        seed: 3,
+    };
+    (model, config)
+}
+
+#[test]
+fn paramserver_sim_throughput_matches_async_model() {
+    // Pre-saturation the cycle (pull + compute + push + apply) sets the
+    // rate; deep in saturation the server pipeline (max of NIC direction
+    // and apply) caps it. The analytic model must track the event-level
+    // simulation through both regimes and across the knee.
+    let (model, config) = async_fixture();
+    for n in [1usize, 2, 4, 8, 12, 16, 24, 32, 64] {
+        let updates = (50 * n).max(200);
+        let report = simulate_async(&config, n, updates);
+        let predicted = model.throughput(n);
+        assert!(
+            (report.throughput - predicted).abs() / predicted < 0.05,
+            "n={n}: sim {:.3} upd/s vs model {predicted:.3} upd/s",
+            report.throughput
+        );
+    }
+}
+
+#[test]
+fn paramserver_sim_staleness_matches_async_model() {
+    // E[staleness] = n − 1 in and out of saturation: parallelism keeps
+    // buying staleness after throughput stops improving.
+    let (model, config) = async_fixture();
+    for n in [1usize, 2, 4, 8, 16, 32, 64] {
+        let updates = (80 * n).max(400);
+        let report = simulate_async(&config, n, updates);
+        let predicted = model.expected_staleness(n);
+        assert!(
+            (report.mean_staleness - predicted).abs() <= 0.05 * predicted + 0.5,
+            "n={n}: sim staleness {:.2} vs model {predicted:.2}",
+            report.mean_staleness
+        );
+    }
+    // The saturated regime specifically: throughput flat, staleness grows.
+    let sat = model.saturation_point();
+    let flat_a = simulate_async(&config, sat + 4, 60 * sat).throughput;
+    let flat_b = simulate_async(&config, (sat + 4) * 2, 60 * sat).throughput;
+    assert!(
+        (flat_a - flat_b).abs() / flat_a < 0.05,
+        "saturated throughput must stay flat: {flat_a} vs {flat_b}"
+    );
 }
 
 #[test]
