@@ -205,12 +205,89 @@ fn bench_stragglers(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_parallel_hot_paths(c: &mut Criterion) {
+    use mlscale_core::planner::{Planner, Pricing};
+    use mlscale_core::straggler::{StragglerGdModel, StragglerModel};
+    use mlscale_core::SpeedupCurve;
+    let mut g = c.benchmark_group("hot_paths");
+    let lognormal = StragglerModel::LogNormalTail {
+        mu: -1.5,
+        sigma: 1.0,
+    };
+    // The shared-grid order-statistic table vs the per-n quadrature loop
+    // it replaced: O(grid) vs O(grid·n_max) CDF evaluations.
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("order_stats_shared_grid_n64", |b| {
+        b.iter(|| black_box(lognormal.expected_order_stats(64, 0)))
+    });
+    g.bench_function("order_stats_per_n_n64", |b| {
+        b.iter(|| {
+            black_box(
+                (1..=64usize)
+                    .map(|n| lognormal.expected_order_stat(n, 0))
+                    .collect::<Vec<f64>>(),
+            )
+        })
+    });
+    // Curve generation through the table + parallel map vs the per-n
+    // singles path (the pre-rewrite implementation, still exposed).
+    let twin = StragglerGdModel {
+        straggler: lognormal,
+        ..StragglerGdModel::deterministic(mlscale_workloads::experiments::figures::fig2_model())
+    };
+    g.bench_function("straggler_curve_shared_n64", |b| {
+        b.iter(|| black_box(twin.strong_curve(1..=64)))
+    });
+    g.bench_function("straggler_curve_per_n_n64", |b| {
+        b.iter(|| {
+            black_box(SpeedupCurve::from_fn(1..=64, |n| {
+                twin.expected_strong_iteration_time(n)
+            }))
+        })
+    });
+    // The planner's cached sweep answering all four verbs vs one sweep
+    // per verb (what the query methods used to cost).
+    let verbs = |p: &Planner| {
+        black_box(p.fastest());
+        black_box(p.cheapest());
+        black_box(p.cheapest_within_deadline(Seconds::new(3.0e5)));
+        black_box(p.fastest_within_budget(500.0));
+    };
+    g.bench_function("planner_cached_4_verbs_n64", |b| {
+        b.iter(|| verbs(&twin.planner(1000.0, 64, Pricing::hourly(2.0))))
+    });
+    g.bench_function("planner_resweep_4_verbs_n64", |b| {
+        b.iter(|| {
+            // One full sweep per verb — the pre-cache cost profile.
+            for _ in 0..4 {
+                let p = Planner::new(
+                    |n| twin.expected_strong_iteration_time(n) * 1000.0,
+                    64,
+                    Pricing::hourly(2.0),
+                );
+                black_box(p.fastest());
+            }
+        })
+    });
+    // Blocked/parallel gemm at a size past the parallel threshold.
+    let mut rng = StdRng::seed_from_u64(41);
+    let a = Matrix::random(256, 256, 0.5, &mut rng);
+    let bm = Matrix::random(256, 256, 0.5, &mut rng);
+    g.throughput(Throughput::Elements(256 * 256 * 256));
+    g.bench_function("gemm_256x256x256", |b| b.iter(|| black_box(a.matmul(&bm))));
+    g.bench_function("gemm_t_256x256x256", |b| {
+        b.iter(|| black_box(a.t_matmul(&bm)))
+    });
+    g.finish();
+}
+
 criterion_group!(
     substrates,
     bench_bp_engine,
     bench_trainer,
     bench_collectives,
     bench_graph_infra,
-    bench_stragglers
+    bench_stragglers,
+    bench_parallel_hot_paths
 );
 criterion_main!(substrates);

@@ -21,7 +21,11 @@
 //!   cases; [`metrics`] quantifies model-vs-measurement agreement (MAPE);
 //! * [`straggler`] extends the deterministic framework with stochastic
 //!   per-worker runtimes: expected barrier costs as order statistics,
-//!   heterogeneous clusters, and the drop-slowest-k backup mitigation.
+//!   heterogeneous clusters, and the drop-slowest-k backup mitigation;
+//! * [`par`] is the dependency-free chunked parallel map every hot path
+//!   (curve sweeps, planner tables, workload simulations) fans out
+//!   through — deterministic ordering, `MLSCALE_THREADS` override, and
+//!   bit-identical to serial evaluation.
 //!
 //! ## Quick example — the paper's Fig 2 configuration
 //!
@@ -51,6 +55,7 @@ pub mod comm;
 pub mod comp;
 pub mod hardware;
 pub mod metrics;
+pub mod par;
 pub mod planner;
 pub mod scaling;
 pub mod speedup;
@@ -69,5 +74,5 @@ pub use comm::CommModel;
 pub use comp::CompModel;
 pub use hardware::{ClusterSpec, Heterogeneity, LinkSpec, NodeSpec};
 pub use speedup::SpeedupCurve;
-pub use straggler::{StragglerGdModel, StragglerGraphModel, StragglerModel};
+pub use straggler::{OrderStatCache, StragglerGdModel, StragglerGraphModel, StragglerModel};
 pub use superstep::{AlgorithmModel, Superstep};

@@ -1,0 +1,220 @@
+//! Dependency-free chunked data parallelism for the model/sim/bench stack.
+//!
+//! The paper's whole point is predicting distributed-ML scalability
+//! cheaply — so the evaluator itself should use every core it is given.
+//! This module is the single primitive the hot paths share: a
+//! [`map`] over a slice that fans contiguous chunks out across scoped
+//! `std::thread` workers and reassembles the results **in input order**,
+//! so a parallel run is bit-identical to a serial one whenever the
+//! per-item function is pure (every caller in this workspace is).
+//!
+//! Thread-count resolution, in priority order:
+//!
+//! 1. a scoped override installed with [`with_thread_count`] (used by the
+//!    determinism property tests to pin 1/2/7 workers);
+//! 2. the `MLSCALE_THREADS` environment variable (a positive integer;
+//!    anything else aborts loudly rather than silently running serial);
+//! 3. [`std::thread::available_parallelism`], i.e. whatever the OS or the
+//!    container's cpuset/cgroup quota grants.
+//!
+//! With an effective count of 1 (or a single-item input) no thread is
+//! spawned at all — the map degenerates to a plain serial loop, which is
+//! also why `MLSCALE_THREADS=1` is the reference configuration the
+//! bit-identity tests compare against.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Scoped thread-count override for the current thread (tests).
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel maps on this thread will use.
+///
+/// # Panics
+/// Panics when `MLSCALE_THREADS` is set to anything but a positive
+/// integer — a typo'd override should fail loudly, not degrade silently.
+pub fn thread_count() -> usize {
+    if let Some(n) = OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    match std::env::var("MLSCALE_THREADS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("MLSCALE_THREADS must be a positive integer, got {raw:?}"),
+        },
+        Err(_) => std::thread::available_parallelism().map_or(1, usize::from),
+    }
+}
+
+/// Runs `f` with the thread count pinned to `n` on the current thread
+/// (nested maps launched by worker threads fall back to the global
+/// resolution). The previous override is restored even if `f` panics.
+pub fn with_thread_count<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|c| c.replace(Some(n))));
+    f()
+}
+
+/// Parallel map with deterministic output ordering: `out[i] == f(&items[i])`
+/// exactly as a serial loop would produce, regardless of the thread count.
+///
+/// Items are split into at most [`thread_count`] contiguous chunks, each
+/// chunk is processed by one scoped worker, and the per-chunk results are
+/// concatenated in chunk order. A panic in `f` is propagated to the caller
+/// with its original payload.
+pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = thread_count().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    // Nested maps inside a worker run serial: the caller
+                    // already fanned out to the machine's width, and a
+                    // second level would multiply thread counts
+                    // quadratically (e.g. exp-all workers running curve
+                    // sweeps).
+                    with_thread_count(1, || part.iter().map(f).collect::<Vec<R>>())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+/// Parallel in-place fill: splits `data` into contiguous chunks of
+/// `chunk_len` and runs `f(chunk_index, chunk)` on each, one scoped
+/// worker per chunk. Unlike [`map`] there is no result reassembly — each
+/// element is written exactly once, in place — so callers producing
+/// large outputs (e.g. gemm) avoid a second full copy. Serial fallback
+/// when the thread count is 1 or there is only one chunk; panics in `f`
+/// propagate.
+///
+/// # Panics
+/// Panics when `chunk_len == 0`.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len >= 1, "chunks must be non-empty");
+    if thread_count() <= 1 || data.len() <= chunk_len {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            // Serial nesting inside workers, as in `map`.
+            scope.spawn(move || with_thread_count(1, || f(i, chunk)));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_for_every_thread_count() {
+        let items: Vec<usize> = (0..103).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        for threads in [1usize, 2, 3, 7, 16, 200] {
+            let got = with_thread_count(threads, || map(&items, |&x| x * x));
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map(&empty, |&x| x).is_empty());
+        assert_eq!(with_thread_count(8, || map(&[5u32], |&x| x + 1)), vec![6]);
+    }
+
+    #[test]
+    fn float_results_bit_identical_across_thread_counts() {
+        // The guarantee the golden-snapshot suite relies on: the same f64
+        // stream regardless of parallelism.
+        let items: Vec<f64> = (1..=97).map(|i| i as f64 * 0.173).collect();
+        let work = |&x: &f64| (x.sin() * x.exp()).ln_1p() / (1.0 + x * x);
+        let serial = with_thread_count(1, || map(&items, work));
+        for threads in [2usize, 7] {
+            let par = with_thread_count(threads, || map(&items, work));
+            let same = serial
+                .iter()
+                .zip(&par)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "threads = {threads} drifted");
+        }
+    }
+
+    #[test]
+    fn override_is_scoped_and_panic_safe() {
+        let outer = thread_count();
+        let result = std::panic::catch_unwind(|| {
+            with_thread_count(5, || {
+                assert_eq!(thread_count(), 5);
+                panic!("boom");
+            })
+        });
+        assert!(result.is_err());
+        assert_eq!(thread_count(), outer, "override must unwind away");
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let items = [1u32, 2, 3, 4];
+        let caught = std::panic::catch_unwind(|| {
+            with_thread_count(2, || {
+                map(&items, |&x| {
+                    assert!(x != 3, "worker failure surfaces");
+                    x
+                })
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn zero_override_clamps_to_serial() {
+        assert_eq!(with_thread_count(0, thread_count), 1);
+    }
+
+    #[test]
+    fn chunk_fill_matches_serial_for_every_thread_count() {
+        let expected: Vec<usize> = (0..57).map(|i| i * 3).collect();
+        for threads in [1usize, 2, 7] {
+            let mut data = vec![0usize; 57];
+            with_thread_count(threads, || {
+                for_each_chunk_mut(&mut data, 10, |ci, chunk| {
+                    for (local, v) in chunk.iter_mut().enumerate() {
+                        *v = (ci * 10 + local) * 3;
+                    }
+                });
+            });
+            assert_eq!(data, expected, "threads = {threads}");
+        }
+    }
+}

@@ -50,32 +50,55 @@ pub struct Plan {
 }
 
 /// A planner over a time model `t(n)` evaluated on `1..=max_n`.
-pub struct Planner<F> {
-    time_fn: F,
-    max_n: usize,
-    pricing: Pricing,
+///
+/// The sweep is evaluated **once** at construction into a cached plan
+/// table; every query verb ([`Self::cheapest`], [`Self::fastest`],
+/// [`Self::cheapest_within_deadline`], [`Self::fastest_within_budget`],
+/// [`Self::table`]) reads the cache, so an expensive `time_fn` (e.g. a
+/// straggler order-statistic quadrature) runs once per candidate size no
+/// matter how many questions are asked. Use [`Self::new_par`] to fan the
+/// sweep itself out across threads.
+pub struct Planner {
+    plans: Vec<Plan>,
 }
 
-impl<F: Fn(usize) -> Seconds> Planner<F> {
-    /// Creates a planner.
+impl Planner {
+    /// Creates a planner, evaluating `time_fn` serially on `1..=max_n`.
     ///
     /// # Panics
     /// Panics when `max_n == 0`.
-    pub fn new(time_fn: F, max_n: usize, pricing: Pricing) -> Self {
+    pub fn new(time_fn: impl Fn(usize) -> Seconds, max_n: usize, pricing: Pricing) -> Self {
         assert!(max_n >= 1, "need at least one candidate size");
-        Self {
-            time_fn,
-            max_n,
-            pricing,
-        }
+        let plans = (1..=max_n)
+            .map(|n| Self::plan_at(&time_fn, pricing, n))
+            .collect();
+        Self { plans }
     }
 
-    fn plan_at(&self, n: usize) -> Plan {
-        let time = (self.time_fn)(n);
+    /// Creates a planner with the sweep fanned out across threads
+    /// ([`crate::par`]). Plans are bit-identical to [`Self::new`] for a
+    /// pure `time_fn` — the candidate evaluations are independent and the
+    /// table keeps input order.
+    ///
+    /// # Panics
+    /// Panics when `max_n == 0`.
+    pub fn new_par(
+        time_fn: impl Fn(usize) -> Seconds + Sync,
+        max_n: usize,
+        pricing: Pricing,
+    ) -> Self {
+        assert!(max_n >= 1, "need at least one candidate size");
+        let ns: Vec<usize> = (1..=max_n).collect();
+        let plans = crate::par::map(&ns, |&n| Self::plan_at(&time_fn, pricing, n));
+        Self { plans }
+    }
+
+    fn plan_at(time_fn: &impl Fn(usize) -> Seconds, pricing: Pricing, n: usize) -> Plan {
+        let time = time_fn(n);
         Plan {
             n,
             time,
-            cost: self.pricing.cost(n, time),
+            cost: pricing.cost(n, time),
         }
     }
 
@@ -84,8 +107,9 @@ impl<F: Fn(usize) -> Seconds> Planner<F> {
     /// prevent them" answer). Exact cost ties resolve to the smallest `n`
     /// (fewer machines to provision for the same bill).
     pub fn cheapest_within_deadline(&self, deadline: Seconds) -> Option<Plan> {
-        (1..=self.max_n)
-            .map(|n| self.plan_at(n))
+        self.plans
+            .iter()
+            .copied()
             .filter(|p| p.time <= deadline)
             .min_by(|a, b| a.cost.total_cmp(&b.cost).then(a.n.cmp(&b.n)))
     }
@@ -94,8 +118,9 @@ impl<F: Fn(usize) -> Seconds> Planner<F> {
     /// when even one node exceeds it. Exact time ties resolve to the
     /// smallest `n`.
     pub fn fastest_within_budget(&self, budget: f64) -> Option<Plan> {
-        (1..=self.max_n)
-            .map(|n| self.plan_at(n))
+        self.plans
+            .iter()
+            .copied()
             .filter(|p| p.cost <= budget)
             .min_by(|a, b| {
                 a.time
@@ -110,8 +135,9 @@ impl<F: Fn(usize) -> Seconds> Planner<F> {
     /// minimal where parallel efficiency is highest. Exact cost ties
     /// resolve to the smallest `n`.
     pub fn cheapest(&self) -> Plan {
-        (1..=self.max_n)
-            .map(|n| self.plan_at(n))
+        self.plans
+            .iter()
+            .copied()
             .min_by(|a, b| a.cost.total_cmp(&b.cost).then(a.n.cmp(&b.n)))
             .expect("max_n >= 1")
     }
@@ -119,8 +145,9 @@ impl<F: Fn(usize) -> Seconds> Planner<F> {
     /// The fastest configuration overall (the speedup optimum). Exact
     /// time ties resolve to the smallest `n`.
     pub fn fastest(&self) -> Plan {
-        (1..=self.max_n)
-            .map(|n| self.plan_at(n))
+        self.plans
+            .iter()
+            .copied()
             .min_by(|a, b| {
                 a.time
                     .as_secs()
@@ -132,7 +159,7 @@ impl<F: Fn(usize) -> Seconds> Planner<F> {
 
     /// Full `(n, time, cost)` table for reporting.
     pub fn table(&self) -> Vec<Plan> {
-        (1..=self.max_n).map(|n| self.plan_at(n)).collect()
+        self.plans.clone()
     }
 }
 
@@ -146,7 +173,7 @@ mod tests {
         Seconds::new(3600.0 * (1.0 / n as f64 + 0.05 * (n as f64).log2()))
     }
 
-    fn planner() -> Planner<fn(usize) -> Seconds> {
+    fn planner() -> Planner {
         Planner::new(time_fn, 64, Pricing::hourly(2.0))
     }
 
@@ -277,6 +304,38 @@ mod tests {
         // Identical times everywhere: the speed tie must pick one node.
         let p = Planner::new(|_| Seconds::new(1000.0), 16, Pricing::hourly(1.0));
         assert_eq!(p.fastest().n, 1);
+    }
+
+    #[test]
+    fn sweep_runs_once_across_all_query_verbs() {
+        use std::cell::Cell;
+        let calls = Cell::new(0usize);
+        let counted = |n: usize| {
+            calls.set(calls.get() + 1);
+            time_fn(n)
+        };
+        let p = Planner::new(counted, 32, Pricing::hourly(2.0));
+        assert_eq!(calls.get(), 32, "construction sweeps each n exactly once");
+        let _ = p.cheapest();
+        let _ = p.fastest();
+        let _ = p.cheapest_within_deadline(Seconds::new(1800.0));
+        let _ = p.fastest_within_budget(50.0);
+        let _ = p.table();
+        assert_eq!(calls.get(), 32, "query verbs must reuse the cached table");
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let pricing = Pricing {
+            node_hour: 2.0,
+            per_node_fixed: 0.25,
+        };
+        let serial = Planner::new(time_fn, 48, pricing);
+        for threads in [1usize, 2, 7] {
+            let par =
+                crate::par::with_thread_count(threads, || Planner::new_par(time_fn, 48, pricing));
+            assert_eq!(serial.table(), par.table(), "threads = {threads}");
+        }
     }
 
     #[test]

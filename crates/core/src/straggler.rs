@@ -34,12 +34,15 @@
 use crate::hardware::Heterogeneity;
 use crate::models::gd::GradientDescentModel;
 use crate::models::graphinf::GraphInferenceModel;
+use crate::par;
 use crate::planner::{Planner, Pricing};
 use crate::speedup::SpeedupCurve;
 use crate::units::Seconds;
 use rand::Rng;
 use rand_distr::{Distribution, Exp, LogNormal};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
 
 /// Distribution of the per-worker, per-superstep straggler delay added on
 /// top of a worker's deterministic compute time.
@@ -89,6 +92,89 @@ fn normal_cdf(z: f64) -> f64 {
 /// `H_j = Σ_{i=1..j} 1/i`, the j-th harmonic number (`H_0 = 0`).
 fn harmonic(j: usize) -> f64 {
     (1..=j).map(|i| 1.0 / i as f64).sum()
+}
+
+/// The log-normal order-statistic quadrature grid, with the per-point
+/// transcendentals (`Φ(z)`, `e^{μ+σz}`, `φ(z)`) evaluated once and shared
+/// across every `(n, k)` the grid is queried for. The per-query Simpson
+/// sum repeats the serial path's arithmetic operation for operation —
+/// only the transcendental evaluations are hoisted — so each query is
+/// bit-identical to an inline per-`n` integration.
+struct LogNormalGrid {
+    /// `Φ(z_i)` at each grid point.
+    phi: Vec<f64>,
+    /// `e^{μ+σ·z_i}` at each grid point.
+    exp_term: Vec<f64>,
+    /// Standard normal density `φ(z_i)` at each grid point.
+    density: Vec<f64>,
+    /// Simpson step width `h = (hi − lo)/steps`.
+    h: f64,
+}
+
+impl LogNormalGrid {
+    /// Grid cut-offs and step count exactly as the per-`n` quadrature:
+    /// `z ∈ [−9, 10 + σ]`, 4000 composite-Simpson steps.
+    fn new(mu: f64, sigma: f64) -> Self {
+        let lo = -9.0f64;
+        let hi = 10.0 + sigma;
+        let steps = 4000usize; // even, for composite Simpson
+        let h = (hi - lo) / steps as f64;
+        // Endpoints use the literal bounds (not lo + steps·h) so the grid
+        // values match the serial integrand's arguments bit for bit.
+        let zs: Vec<f64> = (0..=steps)
+            .map(|i| {
+                if i == 0 {
+                    lo
+                } else if i == steps {
+                    hi
+                } else {
+                    lo + i as f64 * h
+                }
+            })
+            .collect();
+        // The transcendental sweep stays serial: ~4000 points are far too
+        // little work to pay for a thread spawn, and single
+        // `expected_order_stat` calls (the fallback path) build a grid
+        // per call — they must not allocate a thread team each time. The
+        // batch path parallelises across the per-`n` Simpson sums instead.
+        let phi: Vec<f64> = zs.iter().map(|&z| normal_cdf(z)).collect();
+        let exp_term: Vec<f64> = zs.iter().map(|&z| (mu + sigma * z).exp()).collect();
+        let density: Vec<f64> = zs
+            .iter()
+            .map(|&z| (-z * z / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt())
+            .collect();
+        Self {
+            phi,
+            exp_term,
+            density,
+            h,
+        }
+    }
+
+    /// `E[X_(m)] = coeff·∫ e^{mu+σz}·Φ(z)^{m−1}(1−Φ(z))^k φ(z) dz` with
+    /// `m = n−k` and `coeff = m·C(n, k)` — the serial quadrature evaluated
+    /// over the precomputed grid.
+    fn expected_order_stat(&self, n: usize, k: usize) -> f64 {
+        let m = n - k;
+        let mut coeff = m as f64; // m · C(n, k)
+        for j in 1..=k {
+            coeff *= (n - j + 1) as f64 / j as f64;
+        }
+        let steps = self.phi.len() - 1;
+        let integrand = |i: usize| {
+            coeff
+                * self.exp_term[i]
+                * self.phi[i].powi(m as i32 - 1)
+                * (1.0 - self.phi[i]).powi(k as i32)
+                * self.density[i]
+        };
+        let mut sum = integrand(0) + integrand(steps);
+        for i in 1..steps {
+            let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+            sum += w * integrand(i);
+        }
+        sum * self.h / 3.0
+    }
 }
 
 impl StragglerModel {
@@ -268,33 +354,61 @@ impl StragglerModel {
                 if sigma == 0.0 {
                     return mu.exp();
                 }
-                // E[X_(m)] = coeff·∫ e^{mu+σz}·Φ(z)^{m−1}(1−Φ(z))^k φ(z) dz
-                // with m = n−k and coeff = m·C(n, k)·(falling product) =
-                // n!/((m−1)!·k!); small because k is small.
-                let m = n - k;
-                let mut coeff = m as f64; // m · C(n, k)
-                for j in 1..=k {
-                    coeff *= (n - j + 1) as f64 / j as f64;
+                LogNormalGrid::new(mu, sigma).expected_order_stat(n, k)
+            }
+        }
+    }
+
+    /// Shared-grid batch form of [`Self::expected_order_stat`]: returns
+    /// `E[(n−kₙ)-th order statistic of n draws]` for every `n ∈ 1..=n_max`
+    /// with `kₙ = drop_k.min(n−1)` (the same clamping the models apply).
+    ///
+    /// The expensive transcendentals — the underlying normal's CDF and
+    /// density for log-normal tails, the running harmonic sum for
+    /// exponential tails — are evaluated **once per grid point** and
+    /// reused for every `n`, so the whole table costs O(grid) CDF
+    /// evaluations instead of the O(grid·n_max) a per-`n` loop pays.
+    /// Every entry is **bit-identical** to the corresponding
+    /// `expected_order_stat(n, kₙ)` call: the per-`n` arithmetic (Simpson
+    /// weights, multiplication order, harmonic partial sums) is exactly
+    /// the serial path's, only the transcendental evaluations are shared.
+    pub fn expected_order_stats(&self, n_max: usize, drop_k: usize) -> Vec<f64> {
+        self.assert_valid();
+        assert!(n_max >= 1, "need at least one draw");
+        match *self {
+            StragglerModel::Deterministic => vec![0.0; n_max],
+            StragglerModel::BoundedJitter { spread } => (1..=n_max)
+                .map(|n| {
+                    let k = drop_k.min(n - 1);
+                    spread * (n - k) as f64 / (n as f64 + 1.0)
+                })
+                .collect(),
+            StragglerModel::ExponentialTail { mean } => {
+                let h_fixed = harmonic(drop_k);
+                let mut h = 0.0f64; // running H_n, bit-identical to harmonic(n)
+                (1..=n_max)
+                    .map(|n| {
+                        let h_prev = h; // H_{n−1}
+                        h += 1.0 / n as f64;
+                        // k = n−1 only while n ≤ drop_k, where H_k = H_{n−1}.
+                        let h_k = if drop_k.min(n - 1) == drop_k {
+                            h_fixed
+                        } else {
+                            h_prev
+                        };
+                        mean * (h - h_k)
+                    })
+                    .collect()
+            }
+            StragglerModel::LogNormalTail { mu, sigma } => {
+                if sigma == 0.0 {
+                    return vec![mu.exp(); n_max];
                 }
-                let lo = -9.0f64;
-                let hi = 10.0 + sigma;
-                let steps = 4000usize; // even, for composite Simpson
-                let h = (hi - lo) / steps as f64;
-                let integrand = |z: f64| {
-                    let phi_cdf = normal_cdf(z);
-                    let density = (-z * z / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
-                    coeff
-                        * (mu + sigma * z).exp()
-                        * phi_cdf.powi(m as i32 - 1)
-                        * (1.0 - phi_cdf).powi(k as i32)
-                        * density
-                };
-                let mut sum = integrand(lo) + integrand(hi);
-                for i in 1..steps {
-                    let w = if i % 2 == 1 { 4.0 } else { 2.0 };
-                    sum += w * integrand(lo + i as f64 * h);
-                }
-                sum * h / 3.0
+                let grid = LogNormalGrid::new(mu, sigma);
+                let ns: Vec<usize> = (1..=n_max).collect();
+                // The per-n Simpson sums over the shared grid are
+                // independent — fan them out too.
+                par::map(&ns, |&n| grid.expected_order_stat(n, drop_k.min(n - 1)))
             }
         }
     }
@@ -315,6 +429,21 @@ impl StragglerModel {
     /// # Panics
     /// Panics when `bases` is empty or `drop_k >= bases.len()`.
     pub fn expected_barrier(&self, bases: &[f64], drop_k: usize) -> Seconds {
+        self.expected_barrier_with(bases, drop_k, &|n, k| self.expected_order_stat(n, k))
+    }
+
+    /// [`Self::expected_barrier`] with a caller-supplied source for the
+    /// homogeneous i.i.d. order statistic — a memo table or a shared-grid
+    /// batch ([`Self::expected_order_stats`]) instead of a fresh
+    /// quadrature per call. The source must return exactly
+    /// `expected_order_stat(n, k)` for the queried pair; both the memo
+    /// cache and the batch table do, bit for bit.
+    fn expected_barrier_with(
+        &self,
+        bases: &[f64],
+        drop_k: usize,
+        order_stat: &dyn Fn(usize, usize) -> f64,
+    ) -> Seconds {
         self.assert_valid();
         let n = bases.len();
         assert!(n >= 1, "need at least one worker");
@@ -335,7 +464,7 @@ impl StragglerModel {
             return Seconds::new(sorted[n - 1 - drop_k]);
         }
         if homogeneous {
-            return Seconds::new(bases[0] + self.expected_order_stat(n, drop_k));
+            return Seconds::new(bases[0] + order_stat(n, drop_k));
         }
         Seconds::new(self.expected_barrier_hetero(bases, drop_k))
     }
@@ -392,6 +521,130 @@ impl StragglerModel {
 /// Clamp the drop-count to leave at least one worker standing.
 fn effective_k(backup_k: usize, n: usize) -> usize {
     backup_k.min(n.saturating_sub(1))
+}
+
+/// The shared-grid table for a sweep up to `n_max`, or `None` when the
+/// barrier path cannot consume it: zero jitter (the exact sorted-base
+/// path never asks for an order statistic) or heterogeneous bases (the
+/// Poisson-binomial quadrature is used instead). Homogeneity is probed
+/// at `n_max` — every `Heterogeneity` variant yields prefix-structured
+/// speed factors, so an all-equal widest profile implies all-equal
+/// narrower ones; a wrong probe only costs the fallback path, never
+/// correctness.
+fn order_stat_table(
+    straggler: StragglerModel,
+    backup_k: usize,
+    n_max: usize,
+    probe_bases: &[f64],
+) -> Option<Vec<f64>> {
+    let homogeneous = probe_bases.iter().all(|&b| b == probe_bases[0]);
+    (homogeneous && !straggler.is_zero()).then(|| straggler.expected_order_stats(n_max, backup_k))
+}
+
+impl StragglerModel {
+    /// An order-statistic source reading from `table` when present and
+    /// falling back to the per-`n` quadrature otherwise — both
+    /// bit-identical to [`Self::expected_order_stat`].
+    fn order_stat_from<'a>(
+        &self,
+        table: &'a Option<Vec<f64>>,
+    ) -> impl Fn(usize, usize) -> f64 + 'a {
+        let model = *self;
+        move |n, k| match table {
+            Some(t) => t[n - 1],
+            None => model.expected_order_stat(n, k),
+        }
+    }
+}
+
+/// An order-statistic source: `(n, k) → E[(n−k)-th of n]`.
+type OrderStatFn<'a> = &'a dyn Fn(usize, usize) -> f64;
+
+/// Sweep scaffolding shared by the straggler curve builders: collect the
+/// worker counts, build the shared-grid order-statistic table when the
+/// barrier path can consume it, and fan the per-`n` evaluations out
+/// across threads — bit-identical to a serial per-`n` loop.
+fn sweep_curve(
+    ns: impl IntoIterator<Item = usize>,
+    straggler: StragglerModel,
+    backup_k: usize,
+    probe_bases: &dyn Fn(usize) -> Vec<f64>,
+    time_via: &(dyn Fn(OrderStatFn, usize) -> Seconds + Sync),
+) -> SpeedupCurve {
+    let ns: Vec<usize> = ns.into_iter().collect();
+    assert!(!ns.is_empty(), "need at least one worker count");
+    let n_max = ns.iter().copied().max().expect("non-empty");
+    let table = order_stat_table(straggler, backup_k, n_max, &probe_bases(n_max));
+    let times = par::map(&ns, |&n| time_via(&straggler.order_stat_from(&table), n));
+    SpeedupCurve::from_samples(ns.into_iter().zip(times))
+}
+
+/// Per-model memo cache for expected order statistics, keyed on `(n, k)`.
+///
+/// The batch sweep paths (curves, planner construction) already share
+/// one grid pass internally; this cache is for callers issuing repeated
+/// *ad-hoc* `expected_max`/`expected_barrier` queries — interactive
+/// what-if loops, custom sweeps over scenarios that revisit the same
+/// `(n, k)` pairs — where each distinct pair should hit the quadrature
+/// once and every repeat be a hash lookup. [`Self::warm`] batch-fills
+/// the cache through the shared-grid quadrature
+/// ([`StragglerModel::expected_order_stats`]), the cheap way to populate
+/// a whole `1..=n_max` sweep up front.
+///
+/// Cached values are bit-identical to uncached
+/// [`StragglerModel::expected_order_stat`] calls, so routing a hot path
+/// through the cache never changes a result.
+pub struct OrderStatCache {
+    model: StragglerModel,
+    memo: RefCell<HashMap<(usize, usize), f64>>,
+}
+
+impl OrderStatCache {
+    /// An empty cache for one delay model.
+    pub fn new(model: StragglerModel) -> Self {
+        Self {
+            model,
+            memo: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The cached model.
+    pub fn model(&self) -> StragglerModel {
+        self.model
+    }
+
+    /// Batch-fills `(n, drop_k.min(n−1))` for every `n ∈ 1..=n_max` in a
+    /// single shared-grid pass.
+    pub fn warm(&self, n_max: usize, drop_k: usize) {
+        let table = self.model.expected_order_stats(n_max, drop_k);
+        let mut memo = self.memo.borrow_mut();
+        for (i, &v) in table.iter().enumerate() {
+            let n = i + 1;
+            memo.insert((n, drop_k.min(n - 1)), v);
+        }
+    }
+
+    /// Memoised [`StragglerModel::expected_order_stat`].
+    pub fn expected_order_stat(&self, n: usize, k: usize) -> f64 {
+        if let Some(&v) = self.memo.borrow().get(&(n, k)) {
+            return v;
+        }
+        let v = self.model.expected_order_stat(n, k);
+        self.memo.borrow_mut().insert((n, k), v);
+        v
+    }
+
+    /// Memoised [`StragglerModel::expected_max`].
+    pub fn expected_max(&self, n: usize) -> f64 {
+        self.expected_order_stat(n, 0)
+    }
+
+    /// [`StragglerModel::expected_barrier`] with the homogeneous
+    /// order-statistic term served from the memo.
+    pub fn expected_barrier(&self, bases: &[f64], drop_k: usize) -> Seconds {
+        self.model
+            .expected_barrier_with(bases, drop_k, &|n, k| self.expected_order_stat(n, k))
+    }
 }
 
 /// Straggler-aware gradient descent: wraps a [`GradientDescentModel`] with
@@ -477,28 +730,86 @@ impl StragglerGdModel {
         self.expected_weak_iteration_time(n) / n as f64
     }
 
-    /// Expected strong-scaling speedup curve over `ns`.
-    pub fn strong_curve(&self, ns: impl IntoIterator<Item = usize>) -> SpeedupCurve {
-        SpeedupCurve::from_fn(ns, |n| self.expected_strong_iteration_time(n))
+    /// Strong-scaling iteration time with the homogeneous order-statistic
+    /// term served from a caller-supplied source (shared-grid table or
+    /// memo) — bit-identical to [`Self::expected_strong_iteration_time`].
+    fn strong_iteration_time_via(
+        &self,
+        order_stat: &dyn Fn(usize, usize) -> f64,
+        n: usize,
+    ) -> Seconds {
+        assert!(n >= 1);
+        let barrier = self.straggler.expected_barrier_with(
+            &self.strong_bases(n),
+            effective_k(self.backup_k, n),
+            order_stat,
+        );
+        barrier + self.inner.comm_time(n)
     }
 
-    /// Expected weak-scaling per-instance speedup curve over `ns`.
+    /// Weak-scaling per-instance time via a caller-supplied
+    /// order-statistic source.
+    fn weak_per_instance_time_via(
+        &self,
+        order_stat: &dyn Fn(usize, usize) -> f64,
+        n: usize,
+    ) -> Seconds {
+        assert!(n >= 1);
+        let barrier = self.straggler.expected_barrier_with(
+            &self.weak_bases(n),
+            effective_k(self.backup_k, n),
+            order_stat,
+        );
+        (barrier + self.inner.comm_time(n)) / n as f64
+    }
+
+    /// Expected strong-scaling speedup curve over `ns`.
+    ///
+    /// The homogeneous order-statistic terms for the whole sweep come
+    /// from one shared-grid quadrature pass
+    /// ([`StragglerModel::expected_order_stats`]) and the per-`n`
+    /// evaluations fan out across threads ([`crate::par`]); both are
+    /// bit-identical to the serial per-`n` path.
+    pub fn strong_curve(&self, ns: impl IntoIterator<Item = usize>) -> SpeedupCurve {
+        sweep_curve(
+            ns,
+            self.straggler,
+            self.backup_k,
+            &|n| self.strong_bases(n),
+            &|os, n| self.strong_iteration_time_via(os, n),
+        )
+    }
+
+    /// Expected weak-scaling per-instance speedup curve over `ns` (same
+    /// shared-grid + parallel evaluation as [`Self::strong_curve`]).
     pub fn weak_curve(&self, ns: impl IntoIterator<Item = usize>) -> SpeedupCurve {
-        SpeedupCurve::from_fn(ns, |n| self.expected_weak_per_instance_time(n))
+        sweep_curve(
+            ns,
+            self.straggler,
+            self.backup_k,
+            &|n| self.weak_bases(n),
+            &|os, n| self.weak_per_instance_time_via(os, n),
+        )
     }
 
     /// A [`Planner`] over the *expected* job time
     /// `iterations · E[t_iter(n)]` — provisioning answers (cheapest within
     /// deadline, fastest within budget) that price the straggler tail in,
-    /// rather than the deterministic best case.
-    pub fn planner(
-        &self,
-        iterations: f64,
-        max_n: usize,
-        pricing: Pricing,
-    ) -> Planner<impl Fn(usize) -> Seconds + '_> {
-        Planner::new(
-            move |n| self.expected_strong_iteration_time(n) * iterations,
+    /// rather than the deterministic best case. The sweep's order
+    /// statistics come from one shared-grid pass and the candidate sizes
+    /// are evaluated in parallel.
+    pub fn planner(&self, iterations: f64, max_n: usize, pricing: Pricing) -> Planner {
+        let table = order_stat_table(
+            self.straggler,
+            self.backup_k,
+            max_n,
+            &self.strong_bases(max_n),
+        );
+        Planner::new_par(
+            move |n| {
+                self.strong_iteration_time_via(&self.straggler.order_stat_from(&table), n)
+                    * iterations
+            },
             max_n,
             pricing,
         )
@@ -578,9 +889,25 @@ impl StragglerGraphModel {
         self.expected_comp_time(n) + self.inner.comm_time(n)
     }
 
-    /// Expected speedup curve over `ns`.
+    /// Expected speedup curve over `ns` — one shared-grid order-statistic
+    /// pass for the sweep (when the base profile is homogeneous enough to
+    /// consume it), per-`n` evaluation fanned out across threads,
+    /// bit-identical to the serial per-`n` path.
     pub fn curve(&self, ns: impl IntoIterator<Item = usize>) -> SpeedupCurve {
-        SpeedupCurve::from_fn(ns, |n| self.expected_iteration_time(n))
+        sweep_curve(
+            ns,
+            self.straggler,
+            self.backup_k,
+            &|n| self.bases(n),
+            &|os, n| {
+                let barrier = self.straggler.expected_barrier_with(
+                    &self.bases(n),
+                    effective_k(self.backup_k, n),
+                    os,
+                );
+                barrier + self.inner.comm_time(n)
+            },
+        )
     }
 }
 

@@ -35,6 +35,7 @@ pub mod generators;
 pub mod gibbs;
 pub mod mrf;
 pub mod mrf_builders;
+pub mod pargibbs;
 pub mod partition;
 pub mod sampling;
 pub mod traversal;

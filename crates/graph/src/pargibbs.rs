@@ -1,0 +1,349 @@
+//! Partition-parallel Gibbs sampling — the distributed sampler the
+//! scalability model prices.
+//!
+//! [`crate::gibbs::GibbsSampler`] resamples vertices strictly one at a
+//! time, which is exactly the serial schedule the paper's `t(1)` measures.
+//! Distributed samplers (GraphLab-style) instead split the vertex set
+//! across workers with the same partitioner the scalability model uses
+//! ([`crate::partition::Partition`]) and run one *superstep* per sweep:
+//! every worker resamples its own vertices **sequentially**
+//! (Gauss–Seidel within the partition) while reading *stale*
+//! start-of-sweep states for neighbours owned by other workers — the
+//! cross-partition messages a BSP barrier would deliver. Only cut edges
+//! see stale values, so a good partition keeps the sampler close to the
+//! sequential chain; with a single partition it **is** the sequential
+//! chain, draw for draw.
+//!
+//! Each worker owns a seeded RNG stream, so a sweep is a deterministic
+//! function of `(seed, partition)` — independent of the thread count.
+//! The per-partition tasks fan out across threads via
+//! [`mlscale_core::par`] and write disjoint state slices, making the
+//! parallel sweep bit-identical to a serial loop over partitions.
+
+use crate::csr::VertexId;
+use crate::mrf::PairwiseMrf;
+use crate::partition::Partition;
+use mlscale_core::par;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A partition-parallel Gibbs sampler over a pairwise MRF.
+#[derive(Debug)]
+pub struct PartitionedGibbsSampler<'a> {
+    mrf: &'a PairwiseMrf,
+    /// `owner[v]` = worker holding vertex `v`.
+    owner: Vec<u32>,
+    /// `local_index[v]` = position of `v` within its worker's block.
+    local_index: Vec<u32>,
+    /// Per-worker owned vertices, ascending (the sweep order).
+    blocks: Vec<Vec<VertexId>>,
+    /// Per-worker RNG streams.
+    rngs: Vec<StdRng>,
+    /// Current state of every variable.
+    state: Vec<u16>,
+    /// Start-of-sweep snapshot buffer, reused across sweeps (the value
+    /// remote neighbours read).
+    snapshot: Vec<u16>,
+    /// Per-vertex, per-state visit counts (accumulated after burn-in).
+    counts: Vec<u64>,
+    /// Recorded sweeps.
+    recorded: u64,
+}
+
+impl<'a> PartitionedGibbsSampler<'a> {
+    /// Builds the sampler over an explicit partition; worker `p`'s RNG
+    /// stream is derived from `seed` and `p` (worker 0 reuses `seed`
+    /// itself, so a single-partition sampler replays the sequential
+    /// sampler's draws exactly).
+    ///
+    /// # Panics
+    /// Panics when the partition does not cover the MRF's vertices, or
+    /// the state count exceeds the sampler storage.
+    pub fn new(mrf: &'a PairwiseMrf, partition: &Partition, seed: u64) -> Self {
+        assert_eq!(
+            partition.vertices(),
+            mrf.vertices(),
+            "partition must cover every MRF vertex"
+        );
+        assert!(
+            mrf.states <= u16::MAX as usize,
+            "state count exceeds sampler storage"
+        );
+        let workers = partition.workers();
+        let mut owner = vec![0u32; mrf.vertices()];
+        let mut local_index = vec![0u32; mrf.vertices()];
+        let mut blocks: Vec<Vec<VertexId>> = vec![Vec::new(); workers];
+        for v in 0..mrf.vertices() as VertexId {
+            let w = partition.owner(v);
+            owner[v as usize] = w;
+            local_index[v as usize] = blocks[w as usize].len() as u32;
+            blocks[w as usize].push(v);
+        }
+        let rngs = (0..workers as u64)
+            .map(|p| StdRng::seed_from_u64(seed ^ p.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .collect();
+        Self {
+            mrf,
+            owner,
+            local_index,
+            blocks,
+            rngs,
+            state: vec![0; mrf.vertices()],
+            snapshot: vec![0; mrf.vertices()],
+            counts: vec![0; mrf.vertices() * mrf.states],
+            recorded: 0,
+        }
+    }
+
+    /// Convenience: LPT degree-balanced blocks from the CSR partitioner
+    /// ([`Partition::greedy_balanced`]) — the partition the scalability
+    /// model's `max_i(E_i)` term assumes a good system would use.
+    pub fn balanced(mrf: &'a PairwiseMrf, workers: usize, seed: u64) -> Self {
+        let partition = Partition::greedy_balanced(&mrf.graph, workers);
+        Self::new(mrf, &partition, seed)
+    }
+
+    /// Randomises the initial state: each worker initialises its own
+    /// vertices from its own stream (deterministic, thread-count
+    /// independent).
+    pub fn randomize(&mut self) {
+        let states = self.mrf.states;
+        for (block, rng) in self.blocks.iter().zip(&mut self.rngs) {
+            for &v in block {
+                self.state[v as usize] = rng.gen_range(0..states) as u16;
+            }
+        }
+    }
+
+    /// One parallel sweep: every worker resamples its block sequentially
+    /// (local neighbours see this sweep's updates, remote neighbours the
+    /// start-of-sweep snapshot), all workers in parallel.
+    pub fn sweep(&mut self) {
+        self.snapshot.copy_from_slice(&self.state);
+        let snapshot = &self.snapshot;
+        let states = self.mrf.states;
+        let mrf = self.mrf;
+        let (owner, local_index) = (&self.owner, &self.local_index);
+        let workers: Vec<usize> = (0..self.blocks.len()).collect();
+        let blocks = &self.blocks;
+        let rngs = &self.rngs;
+        let results: Vec<(Vec<u16>, StdRng)> = par::map(&workers, |&p| {
+            let mut rng = rngs[p].clone();
+            let block = &blocks[p];
+            let mut local: Vec<u16> = block.iter().map(|&v| snapshot[v as usize]).collect();
+            let mut conditional = vec![0.0f64; states];
+            for li in 0..block.len() {
+                let v = block[li];
+                // Conditional ∝ φ_v(x)·Π_{u∈N(v)} ψ(x, state_u), with
+                // state_u read from this sweep for local neighbours and
+                // from the snapshot for remote ones.
+                for (x, c) in conditional.iter_mut().enumerate() {
+                    *c = mrf.unary(v, x);
+                }
+                for &u in mrf.graph.neighbors(v) {
+                    let xu = if owner[u as usize] as usize == p {
+                        local[local_index[u as usize] as usize] as usize
+                    } else {
+                        snapshot[u as usize] as usize
+                    };
+                    for (x, c) in conditional.iter_mut().enumerate() {
+                        *c *= mrf.pairwise.eval(x, xu);
+                    }
+                }
+                let total: f64 = conditional.iter().sum();
+                let mut draw = rng.gen::<f64>() * total;
+                let mut chosen = states - 1;
+                for (x, &c) in conditional.iter().enumerate() {
+                    if draw < c {
+                        chosen = x;
+                        break;
+                    }
+                    draw -= c;
+                }
+                local[li] = chosen as u16;
+            }
+            (local, rng)
+        });
+        for (p, (local, rng)) in results.into_iter().enumerate() {
+            for (&v, &s) in self.blocks[p].iter().zip(&local) {
+                self.state[v as usize] = s;
+            }
+            self.rngs[p] = rng;
+        }
+    }
+
+    /// Records the current state into the marginal counts.
+    fn record(&mut self) {
+        let s = self.mrf.states;
+        for (v, &x) in self.state.iter().enumerate() {
+            self.counts[v * s + x as usize] += 1;
+        }
+        self.recorded += 1;
+    }
+
+    /// Runs `burn_in` discarded sweeps followed by `samples` recorded
+    /// sweeps.
+    pub fn run(&mut self, burn_in: usize, samples: usize) {
+        assert!(samples >= 1, "need at least one recorded sweep");
+        for _ in 0..burn_in {
+            self.sweep();
+        }
+        for _ in 0..samples {
+            self.sweep();
+            self.record();
+        }
+    }
+
+    /// Estimated marginal of a vertex from the recorded samples.
+    ///
+    /// # Panics
+    /// Panics when no sweeps have been recorded yet.
+    pub fn marginal(&self, v: VertexId) -> Vec<f64> {
+        assert!(self.recorded > 0, "no samples recorded yet");
+        let s = self.mrf.states;
+        self.counts[v as usize * s..(v as usize + 1) * s]
+            .iter()
+            .map(|&c| c as f64 / self.recorded as f64)
+            .collect()
+    }
+
+    /// All estimated marginals, `V × S` row-major.
+    pub fn marginals(&self) -> Vec<f64> {
+        (0..self.mrf.vertices() as VertexId)
+            .flat_map(|v| self.marginal(v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid2d, path};
+    use crate::gibbs::GibbsSampler;
+    use crate::mrf::{exact_marginals, PairwisePotential};
+
+    fn chain_mrf(v: usize) -> PairwiseMrf {
+        let unary: Vec<f64> = (0..v * 2).map(|i| 0.5 + (i % 3) as f64 * 0.5).collect();
+        PairwiseMrf::new(
+            path(v),
+            2,
+            unary,
+            PairwisePotential::Potts {
+                same: 1.6,
+                diff: 0.7,
+            },
+        )
+    }
+
+    #[test]
+    fn single_partition_replays_the_sequential_sampler() {
+        // One block in vertex order + the base seed stream = the exact
+        // draw sequence of GibbsSampler.
+        let mrf = chain_mrf(6);
+        let seed = 0xAB5;
+        let mut sequential = GibbsSampler::new(&mrf);
+        let mut rng = StdRng::seed_from_u64(seed);
+        sequential.randomize(&mut rng);
+        sequential.run(20, 500, &mut rng);
+
+        let partition = Partition::new(vec![0; 6], 1);
+        let mut partitioned = PartitionedGibbsSampler::new(&mrf, &partition, seed);
+        partitioned.randomize();
+        partitioned.run(20, 500);
+        assert_eq!(sequential.marginals(), partitioned.marginals());
+    }
+
+    #[test]
+    fn parallel_sweeps_bit_identical_across_thread_counts() {
+        let mrf = chain_mrf(40);
+        let run = |threads: usize| {
+            mlscale_core::par::with_thread_count(threads, || {
+                let mut s = PartitionedGibbsSampler::balanced(&mrf, 4, 7);
+                s.randomize();
+                s.run(10, 200);
+                s.marginals()
+            })
+        };
+        let serial = run(1);
+        for threads in [2usize, 7] {
+            assert_eq!(serial, run(threads), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn partitioned_marginals_match_exact_on_chain() {
+        // Three blocks on a 9-vertex chain: only the two cut edges read
+        // stale states, so the stationary marginals stay near the exact
+        // ones.
+        let mrf = chain_mrf(9);
+        let exact = exact_marginals(&mrf);
+        let mut sampler = PartitionedGibbsSampler::new(&mrf, &Partition::block(9, 3), 11);
+        sampler.randomize();
+        sampler.run(300, 30_000);
+        for (i, (&e, &got)) in exact.iter().zip(&sampler.marginals()).enumerate() {
+            assert!(
+                (e - got).abs() < 0.03,
+                "marginal {i}: exact {e:.3} vs partitioned {got:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_matches_sequential_sampler_on_grid() {
+        // Against the sequential sampler on a loopy graph (no exact
+        // reference): both estimate the same stationary marginals.
+        let g = grid2d(4, 4);
+        let mrf = PairwiseMrf::uniform(
+            g,
+            2,
+            PairwisePotential::Potts {
+                same: 1.5,
+                diff: 0.8,
+            },
+        );
+        let mut sequential = GibbsSampler::new(&mrf);
+        let mut rng = StdRng::seed_from_u64(5);
+        sequential.randomize(&mut rng);
+        sequential.run(300, 30_000, &mut rng);
+        let mut partitioned = PartitionedGibbsSampler::balanced(&mrf, 4, 23);
+        partitioned.randomize();
+        partitioned.run(300, 30_000);
+        for v in 0..16 {
+            let a = sequential.marginal(v);
+            let b = partitioned.marginal(v);
+            assert!(
+                (a[0] - b[0]).abs() < 0.03,
+                "vertex {v}: sequential {a:?} vs partitioned {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_partition() {
+        let mrf = chain_mrf(12);
+        let run = |seed: u64| {
+            let mut s = PartitionedGibbsSampler::balanced(&mrf, 3, seed);
+            s.randomize();
+            s.run(5, 50);
+            s.marginals()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10), "different seeds must differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every MRF vertex")]
+    fn mismatched_partition_rejected() {
+        let mrf = chain_mrf(5);
+        let partition = Partition::new(vec![0; 3], 1);
+        let _ = PartitionedGibbsSampler::new(&mrf, &partition, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples recorded")]
+    fn marginal_before_sampling_panics() {
+        let mrf = chain_mrf(4);
+        let sampler = PartitionedGibbsSampler::balanced(&mrf, 2, 0);
+        let _ = sampler.marginal(0);
+    }
+}

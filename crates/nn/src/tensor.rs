@@ -4,9 +4,49 @@
 //!
 //! This is deliberately simple, allocation-conscious code — the trainer
 //! exists to prove the modelled gradient-descent schedule corresponds to a
-//! real computation, not to compete with BLAS.
+//! real computation, not to compete with BLAS. The gemm kernels are
+//! blocked by output row and fan contiguous row blocks out across threads
+//! ([`mlscale_core::par`]) once the multiply-add volume is worth a spawn;
+//! the transposed-left product packs `selfᵀ` first so every inner loop
+//! streams contiguous memory. Each output element accumulates its
+//! products in the same order on every path, so results are bit-identical
+//! regardless of the thread count.
 
+use mlscale_core::par;
 use rand::Rng;
+
+/// Multiply-add volume below which the gemm kernels stay serial — under
+/// this, thread-spawn overhead dominates the product itself.
+const GEMM_PAR_MIN_MADDS: usize = 1 << 16;
+
+/// Fills `rows` output rows of width `cols`, fanning contiguous row
+/// blocks out across threads when `madds` (the total multiply-add count)
+/// is large enough. Each row is produced by `fill(i, row)` exactly as in
+/// a serial loop, so the assembled matrix is bit-identical either way.
+fn fill_rows(
+    rows: usize,
+    cols: usize,
+    madds: usize,
+    fill: impl Fn(usize, &mut [f32]) + Sync,
+) -> Vec<f32> {
+    let threads = par::thread_count();
+    let mut data = vec![0.0f32; rows * cols];
+    if threads <= 1 || rows < 2 || madds < GEMM_PAR_MIN_MADDS {
+        for (i, row) in data.chunks_mut(cols).enumerate() {
+            fill(i, row);
+        }
+        return data;
+    }
+    // Workers write disjoint row blocks of the one output allocation —
+    // every element is written exactly once, no reassembly copy.
+    let block = rows.div_ceil(threads);
+    par::for_each_chunk_mut(&mut data, block * cols, |bi, chunk| {
+        for (local, row) in chunk.chunks_mut(cols).enumerate() {
+            fill(bi * block + local, row);
+        }
+    });
+    data
+}
 
 /// Row-major matrix of `f32`.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,62 +118,81 @@ impl Matrix {
         self.data[r * self.cols + c] = v;
     }
 
-    /// `self · other` (classic ikj-ordered gemm).
+    /// `self` in column-major order (`cols × rows`, each source column
+    /// contiguous) — the packed operand of [`Self::t_matmul`].
+    fn packed_transpose(&self) -> Vec<f32> {
+        let mut packed = vec![0.0f32; self.rows * self.cols];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (c, &v) in row.iter().enumerate() {
+                packed[c * self.rows + r] = v;
+            }
+        }
+        packed
+    }
+
+    /// `self · other` (ikj-ordered gemm, row-blocked and parallel).
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "inner dimensions must agree");
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
+        let (inner, ocols) = (self.cols, other.cols);
+        let data = fill_rows(self.rows, ocols, self.rows * inner * ocols, |i, out_row| {
+            for k in 0..inner {
+                let a = self.data[i * inner + k];
                 if a == 0.0 {
                     continue;
                 }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                let orow = &other.data[k * ocols..(k + 1) * ocols];
                 for (o, &b) in out_row.iter_mut().zip(orow) {
                     *o += a * b;
                 }
             }
-        }
-        out
+        });
+        Matrix::from_vec(self.rows, ocols, data)
     }
 
-    /// `selfᵀ · other` without materialising the transpose.
+    /// `selfᵀ · other`, with `selfᵀ` packed contiguously first so the
+    /// per-output-row loop streams both operands instead of striding down
+    /// a column.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "row counts must agree for AᵀB");
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let arow = &self.data[r * self.cols..(r + 1) * self.cols];
-            let brow = &other.data[r * other.cols..(r + 1) * other.cols];
-            for (i, &a) in arow.iter().enumerate() {
+        let packed = self.packed_transpose();
+        let (inner, ocols) = (self.rows, other.cols);
+        let data = fill_rows(self.cols, ocols, self.cols * inner * ocols, |i, out_row| {
+            let acol = &packed[i * inner..(i + 1) * inner];
+            for (r, &a) in acol.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                let brow = &other.data[r * ocols..(r + 1) * ocols];
                 for (o, &b) in out_row.iter_mut().zip(brow) {
                     *o += a * b;
                 }
             }
-        }
-        out
+        });
+        Matrix::from_vec(self.cols, ocols, data)
     }
 
-    /// `self · otherᵀ` without materialising the transpose.
+    /// `self · otherᵀ` without materialising the transpose (both operands
+    /// already stream row-contiguously; row-blocked and parallel).
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "column counts must agree for ABᵀ");
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..other.rows {
-                let brow = &other.data[j * other.cols..(j + 1) * other.cols];
-                let dot: f32 = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
-                out.data[i * other.rows + j] = dot;
-            }
-        }
-        out
+        let inner = self.cols;
+        let data = fill_rows(
+            self.rows,
+            other.rows,
+            self.rows * inner * other.rows,
+            |i, out_row| {
+                let arow = &self.data[i * inner..(i + 1) * inner];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let brow = &other.data[j * inner..(j + 1) * inner];
+                    *o = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
+                }
+            },
+        );
+        Matrix::from_vec(self.rows, other.rows, data)
     }
 
     /// Applies `f` to every element in place.
@@ -277,6 +336,29 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let m = Matrix::random(10, 10, 0.5, &mut rng);
         assert!(m.data().iter().all(|&v| (-0.5..=0.5).contains(&v)));
+    }
+
+    #[test]
+    fn gemm_bit_identical_across_thread_counts() {
+        // Big enough to clear GEMM_PAR_MIN_MADDS, odd shapes so the row
+        // blocks are uneven.
+        let mut rng = StdRng::seed_from_u64(17);
+        let a = Matrix::random(67, 45, 1.0, &mut rng);
+        let b = Matrix::random(45, 53, 1.0, &mut rng);
+        let c = Matrix::random(67, 53, 1.0, &mut rng);
+        let serial = mlscale_core::par::with_thread_count(1, || {
+            (a.matmul(&b), a.t_matmul(&c), c.matmul_t(&c))
+        });
+        for threads in [2usize, 7] {
+            let par = mlscale_core::par::with_thread_count(threads, || {
+                (a.matmul(&b), a.t_matmul(&c), c.matmul_t(&c))
+            });
+            // Matrix PartialEq is exact f32 equality — bit-identity for
+            // non-NaN data.
+            assert_eq!(serial.0, par.0, "matmul drifted at {threads} threads");
+            assert_eq!(serial.1, par.1, "t_matmul drifted at {threads} threads");
+            assert_eq!(serial.2, par.2, "matmul_t drifted at {threads} threads");
+        }
     }
 
     #[test]

@@ -220,6 +220,9 @@ pub fn simulate_with_stragglers(
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut iteration_times = Vec::with_capacity(program.iterations);
     let mut cursor = Seconds::zero();
+    // Per-superstep scratch, allocated once for the whole run.
+    let mut done: Vec<Seconds> = Vec::with_capacity(workers);
+    let mut order: Vec<Seconds> = Vec::with_capacity(workers);
 
     for _ in 0..program.iterations {
         let iter_start = cursor;
@@ -231,7 +234,7 @@ pub fn simulate_with_stragglers(
             );
             // Compute phase: overhead + straggler delay + load per worker,
             // from the barrier.
-            let mut done = Vec::with_capacity(workers);
+            done.clear();
             for (w, &load) in step.loads.iter().enumerate() {
                 let node = w + 1;
                 let overhead = config.overhead.sample(workers, &mut rng)
@@ -242,13 +245,18 @@ pub fn simulate_with_stragglers(
             // Barrier: the (n−k)-th order statistic of the finish times.
             // The k dropped tasks are killed (speculative execution) and
             // their contributions clamped to the barrier — a backup copy
-            // finished by then.
+            // finished by then. A quickselect finds the order statistic in
+            // O(n) without sorting (total_cmp is a total order, so the
+            // selected value equals the fully-sorted one).
             let barrier = if drop_k == 0 {
                 done.iter().copied().fold(cursor, Seconds::max)
             } else {
-                let mut sorted = done.clone();
-                sorted.sort_by(|a, b| a.as_secs().total_cmp(&b.as_secs()));
-                let kept = sorted[workers - 1 - drop_k].max(cursor);
+                order.clear();
+                order.extend_from_slice(&done);
+                let idx = workers - 1 - drop_k;
+                let (_, kth, _) =
+                    order.select_nth_unstable_by(idx, |a, b| a.as_secs().total_cmp(&b.as_secs()));
+                let kept = (*kth).max(cursor);
                 for (w, d) in done.iter_mut().enumerate() {
                     if *d > kept {
                         *d = kept;
@@ -302,18 +310,21 @@ pub fn simulate_with_stragglers(
 /// suitable for building a [`mlscale_core::SpeedupCurve`]. The
 /// `program_for` closure receives the worker count so per-worker loads can
 /// be derived from a real partition/shard of the workload.
+///
+/// The per-`n` simulations are independent — each [`simulate`] call seeds
+/// its own RNG from `config.seed` — so the sweep fans out across threads
+/// ([`mlscale_core::par`]) with results bit-identical to a serial loop.
 pub fn time_curve(
     config: &BspConfig,
     ns: impl IntoIterator<Item = usize>,
-    mut program_for: impl FnMut(usize) -> BspProgram,
+    program_for: impl Fn(usize) -> BspProgram + Sync,
 ) -> Vec<(usize, Seconds)> {
-    ns.into_iter()
-        .map(|n| {
-            let program = program_for(n);
-            let report = simulate(&program, config, n);
-            (n, report.mean_iteration())
-        })
-        .collect()
+    let ns: Vec<usize> = ns.into_iter().collect();
+    mlscale_core::par::map(&ns, |&n| {
+        let program = program_for(n);
+        let report = simulate(&program, config, n);
+        (n, report.mean_iteration())
+    })
 }
 
 #[cfg(test)]

@@ -130,9 +130,15 @@ impl<'a> BpWorkload<'a> {
         simulate(&program, &config, n).mean_iteration()
     }
 
-    /// Simulated speedup curve over `ns`.
+    /// Simulated speedup curve over `ns`, with the per-`n` runs fanned out
+    /// across threads: [`Self::simulate`] derives an independent seed per
+    /// worker count, so the parallel sweep is bit-identical to a serial
+    /// loop. (The *model* curve stays serial on purpose — its Monte-Carlo
+    /// trials share one RNG stream across `n`, and splitting that stream
+    /// would change the published numbers.)
     pub fn simulated_curve(&self, ns: &[usize]) -> SpeedupCurve {
-        SpeedupCurve::from_fn(ns.iter().copied(), |n| self.simulate(n))
+        let times = mlscale_core::par::map(ns, |&n| self.simulate(n));
+        SpeedupCurve::from_samples(ns.iter().copied().zip(times))
     }
 }
 

@@ -6,6 +6,7 @@
 
 use mlscale_core::hardware::Heterogeneity;
 use mlscale_core::models::gd::{GdComm, GradientDescentModel};
+use mlscale_core::par;
 use mlscale_core::speedup::SpeedupCurve;
 use mlscale_core::straggler::{StragglerGdModel, StragglerModel};
 use mlscale_core::units::Seconds;
@@ -186,12 +187,20 @@ impl GdWorkload {
             / n as f64
     }
 
+    /// Simulated strong-scaling times over `ns`, fanned out across
+    /// threads: each [`Self::simulate_strong`] call seeds its own RNG, so
+    /// the per-`n` runs are independent and the parallel sweep is
+    /// bit-identical to a serial loop.
+    fn simulated_strong_curve(&self, ns: &[usize]) -> SpeedupCurve {
+        let times = par::map(ns, |&n| self.simulate_strong(n));
+        SpeedupCurve::from_samples(ns.iter().copied().zip(times))
+    }
+
     /// Analytic and simulated strong-scaling speedup curves over `ns`.
     pub fn strong_curves(&self, ns: &[usize]) -> (SpeedupCurve, SpeedupCurve) {
         let model =
             SpeedupCurve::from_fn(ns.iter().copied(), |n| self.model.strong_iteration_time(n));
-        let sim = SpeedupCurve::from_fn(ns.iter().copied(), |n| self.simulate_strong(n));
-        (model, sim)
+        (model, self.simulated_strong_curve(ns))
     }
 
     /// *Expected*-analytic (order-statistic) and simulated strong-scaling
@@ -200,18 +209,18 @@ impl GdWorkload {
     pub fn expected_strong_curves(&self, ns: &[usize]) -> (SpeedupCurve, SpeedupCurve) {
         let twin = self.straggler_model();
         let model = twin.strong_curve(ns.iter().copied());
-        let sim = SpeedupCurve::from_fn(ns.iter().copied(), |n| self.simulate_strong(n));
-        (model, sim)
+        (model, self.simulated_strong_curve(ns))
     }
 
     /// Analytic and simulated weak-scaling per-instance curves over `ns`,
-    /// both rebased at `baseline_n` (the paper's Fig 3 uses 50).
+    /// both rebased at `baseline_n` (the paper's Fig 3 uses 50). The
+    /// simulated sweep is parallel, like [`Self::strong_curves`].
     pub fn weak_curves(&self, ns: &[usize], baseline_n: usize) -> (SpeedupCurve, SpeedupCurve) {
         let model =
             SpeedupCurve::from_fn(ns.iter().copied(), |n| self.model.weak_per_instance_time(n))
                 .rebased(baseline_n);
-        let sim = SpeedupCurve::from_fn(ns.iter().copied(), |n| self.simulate_weak_per_instance(n))
-            .rebased(baseline_n);
+        let sim_times = par::map(ns, |&n| self.simulate_weak_per_instance(n));
+        let sim = SpeedupCurve::from_samples(ns.iter().copied().zip(sim_times)).rebased(baseline_n);
         (model, sim)
     }
 }

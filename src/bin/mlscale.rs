@@ -542,19 +542,24 @@ fn cmd_plan(flags: &HashMap<String, String>) {
     if scenario.is_some() {
         println!("planning over *expected* times under the straggler scenario");
     }
-    let time_fn = move |n: usize| match scenario {
-        Some((straggler, hetero, backup_k)) => {
-            let wrapped = StragglerGdModel {
-                inner: model,
-                straggler,
-                hetero,
-                backup_k,
-            };
-            wrapped.expected_strong_iteration_time(n) * iterations
+    // The sweep is evaluated once into the planner's cached table (all
+    // four query verbs reuse it) and fans out across threads; the
+    // straggler path additionally shares one order-statistic grid pass
+    // across the whole sweep.
+    let planner = match scenario {
+        Some((straggler, hetero, backup_k)) => StragglerGdModel {
+            inner: model,
+            straggler,
+            hetero,
+            backup_k,
         }
-        None => model.strong_iteration_time(n) * iterations,
+        .planner(iterations, max_n, Pricing::hourly(price)),
+        None => Planner::new_par(
+            move |n| model.strong_iteration_time(n) * iterations,
+            max_n,
+            Pricing::hourly(price),
+        ),
     };
-    let planner = Planner::new(time_fn, max_n, Pricing::hourly(price));
     let fastest = planner.fastest();
     let cheapest = planner.cheapest();
     println!(

@@ -199,14 +199,11 @@ fn ring_alpha_beta_model_matches_simulator_twin() {
         },
         latency: cluster.link.latency,
     };
-    for n in 2..=64usize {
+    assert_sim_tracks_model_over(2..=64, "ring α–β", |n| {
         let analytic = model.time(n).as_secs();
         let simulated = comm_only_sim(cluster, n, CommPhase::RingAllReduce { bits: volume });
-        assert!(
-            (simulated - analytic).abs() / analytic < 0.05,
-            "n={n}: sim {simulated:.6} vs model {analytic:.6}"
-        );
-    }
+        (analytic, simulated)
+    });
 }
 
 #[test]
@@ -220,14 +217,11 @@ fn halving_doubling_model_matches_simulator_twin() {
         },
         latency: cluster.link.latency,
     };
-    for n in 2..=64usize {
+    assert_sim_tracks_model_over(2..=64, "halving/doubling α–β", |n| {
         let analytic = model.time(n).as_secs();
         let simulated = comm_only_sim(cluster, n, CommPhase::HalvingDoubling { bits: volume });
-        assert!(
-            (simulated - analytic).abs() / analytic < 0.05,
-            "n={n}: sim {simulated:.6} vs model {analytic:.6}"
-        );
-    }
+        (analytic, simulated)
+    });
 }
 
 #[test]
@@ -245,14 +239,11 @@ fn hierarchical_model_matches_simulator_twin() {
     ));
     let volume = 3e8;
     let model = Hierarchical::from_cluster(Bits::new(volume), &cluster);
-    for n in 2..=64usize {
+    assert_sim_tracks_model_over(2..=64, "hierarchical", |n| {
         let analytic = model.time(n).as_secs();
         let simulated = comm_only_sim(cluster, n, CommPhase::Hierarchical { bits: volume });
-        assert!(
-            (simulated - analytic).abs() / analytic < 0.05,
-            "n={n}: sim {simulated:.6} vs model {analytic:.6}"
-        );
-    }
+        (analytic, simulated)
+    });
 }
 
 #[test]
@@ -354,19 +345,35 @@ fn mean_straggler_barrier(
     .as_secs()
 }
 
+/// Runs `check(n)` → `(analytic, simulated)` over `ns` in parallel — the
+/// per-`n` replications are independently seeded, so the fan-out
+/// ([`mlscale::model::par`]) changes wall time only — and asserts each
+/// pair lands within 5 %.
+fn assert_sim_tracks_model_over(
+    ns: impl IntoIterator<Item = usize>,
+    label: &str,
+    check: impl Fn(usize) -> (f64, f64) + Sync,
+) {
+    let ns: Vec<usize> = ns.into_iter().collect();
+    let pairs = mlscale::model::par::map(&ns, |&n| check(n));
+    for (&n, (analytic, simulated)) in ns.iter().zip(pairs) {
+        assert!(
+            (simulated - analytic).abs() / analytic < 0.05,
+            "{label} n={n}: sim {simulated:.4} vs analytic {analytic:.4}"
+        );
+    }
+}
+
 #[test]
 fn exponential_straggler_sim_matches_order_statistic_model() {
     // E[barrier] = 1 + mean·H_n exactly; the seeded replications must land
     // within 5 % for every n ∈ 2..=64.
     let model = StragglerModel::ExponentialTail { mean: 0.3 };
-    for n in 2..=64usize {
+    assert_sim_tracks_model_over(2..=64, "exp", |n| {
         let analytic = model.expected_barrier(&vec![1.0; n], 0).as_secs();
         let simulated = mean_straggler_barrier(n, model, 0, &vec![1.0; n], 400);
-        assert!(
-            (simulated - analytic).abs() / analytic < 0.05,
-            "n={n}: sim {simulated:.4} vs analytic {analytic:.4}"
-        );
-    }
+        (analytic, simulated)
+    });
 }
 
 #[test]
@@ -375,14 +382,11 @@ fn lognormal_straggler_sim_matches_order_statistic_model() {
         mu: -1.5,
         sigma: 1.0,
     };
-    for n in 2..=64usize {
+    assert_sim_tracks_model_over(2..=64, "lognormal", |n| {
         let analytic = model.expected_barrier(&vec![1.0; n], 0).as_secs();
         let simulated = mean_straggler_barrier(n, model, 0, &vec![1.0; n], 600);
-        assert!(
-            (simulated - analytic).abs() / analytic < 0.05,
-            "n={n}: sim {simulated:.4} vs analytic {analytic:.4}"
-        );
-    }
+        (analytic, simulated)
+    });
 }
 
 #[test]
@@ -401,16 +405,13 @@ fn heterogeneous_straggler_sim_matches_poisson_binomial_model() {
             500,
         ),
     ] {
-        for n in 2..=64usize {
+        assert_sim_tracks_model_over(2..=64, "hetero", |n| {
             let speeds: Vec<f64> = (0..n).map(|w| if w % 3 == 0 { 0.6 } else { 1.0 }).collect();
             let bases: Vec<f64> = speeds.iter().map(|s| 1.0 / s).collect();
             let analytic = model.expected_barrier(&bases, 0).as_secs();
             let simulated = mean_straggler_barrier(n, model, 0, &speeds, reps);
-            assert!(
-                (simulated - analytic).abs() / analytic < 0.05,
-                "{model:?} n={n}: sim {simulated:.4} vs analytic {analytic:.4}"
-            );
-        }
+            (analytic, simulated)
+        });
     }
 }
 
@@ -420,14 +421,11 @@ fn drop_slowest_k_sim_matches_order_statistic_model() {
     // both sides.
     let model = StragglerModel::ExponentialTail { mean: 0.4 };
     for k in [1usize, 2] {
-        for n in [4usize, 8, 16, 32, 64] {
+        assert_sim_tracks_model_over([4usize, 8, 16, 32, 64], "drop-k", |n| {
             let analytic = model.expected_barrier(&vec![1.0; n], k).as_secs();
             let simulated = mean_straggler_barrier(n, model, k, &vec![1.0; n], 400);
-            assert!(
-                (simulated - analytic).abs() / analytic < 0.05,
-                "n={n} k={k}: sim {simulated:.4} vs analytic {analytic:.4}"
-            );
-        }
+            (analytic, simulated)
+        });
     }
 }
 
