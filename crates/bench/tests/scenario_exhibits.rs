@@ -1,0 +1,120 @@
+//! Cross-validation of the declarative scenario layer against the golden
+//! exhibit fixtures: every exhibit-kind scenario checked in under
+//! `scenarios/` must drive the sweep engine to output that is
+//! **byte-identical** to the corresponding `exp-*`/`ext-*` binary's
+//! fixture in `crates/bench/tests/golden/` — the scenario file is then a
+//! faithful, data-only re-expression of the exhibit, not a lookalike.
+//!
+//! Also a repo-level guard: every file in `scenarios/` must parse,
+//! validate and expand, so a broken checked-in scenario fails tier-1
+//! rather than only the CI sweep-smoke job.
+
+use mlscale_scenario::{run, ScenarioSpec, WorkloadSpec};
+use std::path::{Path, PathBuf};
+
+/// The workspace root (two up from `crates/bench`).
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn scenario_files() -> Vec<PathBuf> {
+    let dir = workspace_root().join("scenarios");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|entry| entry.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no scenario files checked in");
+    files
+}
+
+fn load(path: &Path) -> ScenarioSpec {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    ScenarioSpec::from_json(&text)
+        .unwrap_or_else(|e| panic!("{} does not validate: {e}", path.display()))
+}
+
+#[test]
+fn every_checked_in_scenario_validates_and_expands() {
+    for path in scenario_files() {
+        let spec = load(&path);
+        let points = spec.expand().unwrap_or_else(|e| {
+            panic!("{} does not expand: {e}", path.display());
+        });
+        assert!(!points.is_empty(), "{}: empty grid", path.display());
+        // The file is named after the scenario, so sweep outputs are
+        // discoverable from the file name alone.
+        assert_eq!(
+            path.file_stem().and_then(|s| s.to_str()),
+            Some(spec.name.as_str()),
+            "{}: file name and scenario name disagree",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn at_least_four_exhibits_are_reexpressed_as_scenarios() {
+    let exhibit_ids: Vec<String> = scenario_files()
+        .iter()
+        .filter_map(|path| match load(path).workload {
+            WorkloadSpec::Exhibit(ex) => Some(ex.id),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        exhibit_ids.len() >= 4,
+        "expected at least 4 exhibit scenarios, found {exhibit_ids:?}"
+    );
+    for required in ["fig1", "fig2", "ext-hierarchical-comm", "ext-stragglers"] {
+        assert!(
+            exhibit_ids.iter().any(|id| id == required),
+            "exhibit {required} is not re-expressed as a scenario (found {exhibit_ids:?})"
+        );
+    }
+}
+
+#[test]
+fn exhibit_scenarios_reproduce_golden_fixtures_byte_identically() {
+    let golden_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let mut checked = 0usize;
+    for path in scenario_files() {
+        let spec = load(&path);
+        let WorkloadSpec::Exhibit(_) = &spec.workload else {
+            continue;
+        };
+        let outcome = run(&spec).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            outcome.points.len(),
+            1,
+            "{}: one exhibit result",
+            path.display()
+        );
+        let produced = serde_json::to_string_pretty(&outcome.points[0]).expect("serialises");
+        let fixture_path = golden_dir.join(format!("{}.json", outcome.points[0].id));
+        let fixture = std::fs::read_to_string(&fixture_path).unwrap_or_else(|e| {
+            panic!(
+                "{}: exhibit scenario has no golden fixture {} ({e})",
+                path.display(),
+                fixture_path.display()
+            )
+        });
+        assert!(
+            produced == fixture,
+            "{}: scenario-driven output is not byte-identical to {}",
+            path.display(),
+            fixture_path.display()
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 4,
+        "only {checked} exhibit scenarios cross-validated"
+    );
+}

@@ -653,7 +653,7 @@ impl OrderStatCache {
 ///
 /// With `StragglerModel::Deterministic`, `Heterogeneity::Uniform` and
 /// `backup_k = 0` every method reproduces the inner model bit-for-bit.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StragglerGdModel {
     /// The deterministic model (hardware, workload, collective).
     pub inner: GradientDescentModel,
@@ -813,6 +813,67 @@ impl StragglerGdModel {
             max_n,
             pricing,
         )
+    }
+
+    /// Expected strong-scaling curve with the homogeneous order-statistic
+    /// terms served from a caller-owned [`OrderStatCache`] — bit-identical
+    /// to [`Self::strong_curve`].
+    ///
+    /// Batch sweeps over scenario grids (`mlscale sweep`) evaluate many
+    /// models that differ only in hardware or collective while sharing one
+    /// delay distribution; routing them through one cache means each
+    /// distinct `(n, k)` quadrature runs once for the whole grid instead
+    /// of once per grid point. Warm the cache first
+    /// ([`OrderStatCache::warm`]) to fill a whole `1..=n_max` sweep in a
+    /// single shared-grid pass.
+    ///
+    /// # Panics
+    /// Panics when the cache was built for a different delay model.
+    pub fn strong_curve_cached(
+        &self,
+        ns: impl IntoIterator<Item = usize>,
+        cache: &OrderStatCache,
+    ) -> SpeedupCurve {
+        self.curve_cached(ns, cache, &|os, n| self.strong_iteration_time_via(os, n))
+    }
+
+    /// Expected weak-scaling per-instance curve served from a shared
+    /// [`OrderStatCache`] — bit-identical to [`Self::weak_curve`]. See
+    /// [`Self::strong_curve_cached`] for the sweep-dedup rationale.
+    ///
+    /// # Panics
+    /// Panics when the cache was built for a different delay model.
+    pub fn weak_curve_cached(
+        &self,
+        ns: impl IntoIterator<Item = usize>,
+        cache: &OrderStatCache,
+    ) -> SpeedupCurve {
+        self.curve_cached(ns, cache, &|os, n| self.weak_per_instance_time_via(os, n))
+    }
+
+    /// Shared scaffolding for the cache-served curves. The cache is
+    /// `RefCell`-backed (single-threaded), so the per-`n` evaluations run
+    /// serially here; after a [`OrderStatCache::warm`] for this sweep's
+    /// `(n_max, backup_k)` every lookup is a memo hit and the loop is
+    /// dominated by the (cheap) communication-model evaluations.
+    fn curve_cached(
+        &self,
+        ns: impl IntoIterator<Item = usize>,
+        cache: &OrderStatCache,
+        time_via: &dyn Fn(OrderStatFn, usize) -> Seconds,
+    ) -> SpeedupCurve {
+        assert_eq!(
+            cache.model(),
+            self.straggler,
+            "OrderStatCache was built for a different straggler model"
+        );
+        let ns: Vec<usize> = ns.into_iter().collect();
+        assert!(!ns.is_empty(), "need at least one worker count");
+        let times: Vec<Seconds> = ns
+            .iter()
+            .map(|&n| time_via(&|n, k| cache.expected_order_stat(n, k), n))
+            .collect();
+        SpeedupCurve::from_samples(ns.into_iter().zip(times))
     }
 }
 
@@ -1261,6 +1322,85 @@ mod tests {
     #[should_panic(expected = "cannot drop all")]
     fn dropping_every_worker_rejected() {
         let _ = StragglerModel::ExponentialTail { mean: 0.1 }.expected_order_stat(3, 3);
+    }
+
+    #[test]
+    fn cached_curves_are_bit_identical_to_uncached() {
+        // Every straggler variant, with and without heterogeneity and
+        // drop-k: serving the order statistics from a shared cache must
+        // not change a single bit relative to the per-curve path.
+        let models = [
+            StragglerModel::Deterministic,
+            StragglerModel::BoundedJitter { spread: 2.0 },
+            StragglerModel::ExponentialTail { mean: 4.0 },
+            StragglerModel::LogNormalTail {
+                mu: 0.33,
+                sigma: 1.2,
+            },
+        ];
+        for straggler in models {
+            for (hetero, backup_k) in [
+                (Heterogeneity::Uniform, 0),
+                (Heterogeneity::Uniform, 2),
+                (
+                    Heterogeneity::SlowWorkers {
+                        count: 2,
+                        factor: 0.5,
+                    },
+                    1,
+                ),
+            ] {
+                let m = StragglerGdModel {
+                    straggler,
+                    hetero,
+                    backup_k,
+                    ..StragglerGdModel::deterministic(fig2_model())
+                };
+                let cache = OrderStatCache::new(straggler);
+                cache.warm(16, backup_k);
+                let plain = m.strong_curve(1..=16);
+                let cached = m.strong_curve_cached(1..=16, &cache);
+                assert_eq!(plain.times(), cached.times(), "{straggler:?} strong");
+                let plain_w = m.weak_curve(1..=16);
+                let cached_w = m.weak_curve_cached(1..=16, &cache);
+                assert_eq!(plain_w.times(), cached_w.times(), "{straggler:?} weak");
+            }
+        }
+    }
+
+    #[test]
+    fn one_cache_serves_models_sharing_a_distribution() {
+        // The sweep-dedup scenario: two models with different collectives
+        // share one delay distribution and one cache; both come out
+        // bit-identical to their uncached curves.
+        let straggler = StragglerModel::ExponentialTail { mean: 2.0 };
+        let cache = OrderStatCache::new(straggler);
+        cache.warm(12, 0);
+        for comm in [GdComm::Spark, GdComm::Ring, GdComm::TwoStageTree] {
+            let m = StragglerGdModel {
+                straggler,
+                ..StragglerGdModel::deterministic(GradientDescentModel {
+                    comm,
+                    ..fig2_model()
+                })
+            };
+            assert_eq!(
+                m.strong_curve(1..=12).times(),
+                m.strong_curve_cached(1..=12, &cache).times(),
+                "{comm:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different straggler model")]
+    fn cache_for_wrong_model_rejected() {
+        let m = StragglerGdModel {
+            straggler: StragglerModel::ExponentialTail { mean: 1.0 },
+            ..StragglerGdModel::deterministic(fig2_model())
+        };
+        let cache = OrderStatCache::new(StragglerModel::ExponentialTail { mean: 2.0 });
+        let _ = m.strong_curve_cached(1..=4, &cache);
     }
 
     #[test]

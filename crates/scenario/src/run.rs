@@ -1,0 +1,582 @@
+//! The batch sweep engine: expands a scenario's grid, evaluates every
+//! point, and assembles per-point results plus a roll-up report.
+//!
+//! Evaluation strategy:
+//!
+//! * **deterministic** gd points (no straggler tail) fan out across
+//!   threads through [`mlscale_core::par`] — each point's curve sweep
+//!   additionally parallelises over `n` internally;
+//! * **stochastic** gd points are grouped by their delay distribution and
+//!   served from one shared [`OrderStatCache`] per distinct distribution,
+//!   so a grid that revisits the same `(n, k)` order statistics (sweeping
+//!   latency, collectives, rack shapes under one straggler regime) runs
+//!   each quadrature exactly once — bit-identical to evaluating every
+//!   point in isolation;
+//! * **exhibit** scenarios call the same experiment definitions as the
+//!   `exp-*`/`ext-*` binaries with the same defaults and seeds, so their
+//!   output is byte-identical to the binaries' golden fixtures.
+
+use crate::spec::{
+    BpSpec, ExhibitSpec, GdSpec, GridPoint, ResolvedWorkload, ScenarioSpec, SpecError, WorkloadSpec,
+};
+use mlscale_core::models::graphinf::{
+    bp_cost_per_edge, max_edges_monte_carlo, EdgeLoad, GraphInferenceModel,
+};
+use mlscale_core::planner::Pricing;
+use mlscale_core::straggler::OrderStatCache;
+use mlscale_core::units::{BitsPerSec, FlopsRate, Seconds};
+use mlscale_core::{par, SpeedupCurve};
+use mlscale_graph::sampling::zipf_weights;
+use mlscale_workloads::experiments::extensions::hierarchical_comm;
+use mlscale_workloads::experiments::{fig1, fig2, fig3, fig4, stragglers, table1, DnsScale};
+use mlscale_workloads::{ExperimentResult, Series};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+
+/// Everything one `mlscale sweep` run produced, in grid order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// The scenario name (results-file prefix).
+    pub name: String,
+    /// The expanded grid, aligned with `points` (callers label rows from
+    /// here instead of re-expanding the spec).
+    pub grid: Vec<GridPoint>,
+    /// One result per grid point, in expansion order.
+    pub points: Vec<ExperimentResult>,
+    /// The roll-up report over all points.
+    pub rollup: ExperimentResult,
+}
+
+/// Expands and evaluates a validated scenario.
+///
+/// Returns an error only for grid/spec problems (all of which
+/// [`ScenarioSpec::from_json`] already screens); evaluation itself is
+/// infallible.
+pub fn run(spec: &ScenarioSpec) -> Result<SweepOutcome, SpecError> {
+    let grid = spec.expand()?;
+    let resolved: Vec<ResolvedWorkload> = grid
+        .iter()
+        .map(|p| spec.resolve(p))
+        .collect::<Result<_, _>>()?;
+    let points = match &spec.workload {
+        WorkloadSpec::Gd(_) => run_gd_points(spec, &grid, &resolved),
+        WorkloadSpec::Bp(_) => run_bp_points(spec, &grid, &resolved),
+        WorkloadSpec::Exhibit(ex) => vec![run_exhibit(ex)],
+    };
+    let rollup = build_rollup(spec, &grid, &points);
+    Ok(SweepOutcome {
+        name: spec.name.clone(),
+        grid,
+        points,
+        rollup,
+    })
+}
+
+/// Serialises every point result plus the roll-up into `dir` as
+/// `<id>.json`, atomically (temp file + rename, like the exhibit
+/// binaries' `emit`): an interrupted sweep never leaves a truncated
+/// results file behind. Returns the written paths in grid order
+/// (roll-up last).
+pub fn write_outcome(outcome: &SweepOutcome, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(outcome.points.len() + 1);
+    for result in outcome
+        .points
+        .iter()
+        .chain(std::iter::once(&outcome.rollup))
+    {
+        let path = dir.join(format!("{}.json", result.id));
+        let tmp = dir.join(format!("{}.json.tmp", result.id));
+        let json = serde_json::to_string_pretty(result).map_err(std::io::Error::other)?;
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, &path)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+// ---------------------------------------------------------------------------
+// Gradient descent
+// ---------------------------------------------------------------------------
+
+fn gd_of(workload: &ResolvedWorkload) -> &GdSpec {
+    match workload {
+        ResolvedWorkload::Gd(gd) => gd,
+        other => unreachable!("gd grid resolved to {other:?}"),
+    }
+}
+
+fn run_gd_points(
+    spec: &ScenarioSpec,
+    grid: &[GridPoint],
+    resolved: &[ResolvedWorkload],
+) -> Vec<ExperimentResult> {
+    let mut results: Vec<Option<ExperimentResult>> = vec![None; grid.len()];
+
+    // Deterministic points: pure functions of the spec, fanned out across
+    // threads (each curve additionally parallelises over n internally).
+    let det: Vec<usize> = (0..grid.len())
+        .filter(|&i| gd_of(&resolved[i]).straggler_model().is_zero())
+        .collect();
+    for (&i, result) in det.iter().zip(par::map(&det, |&i| {
+        eval_gd(spec, &grid[i], gd_of(&resolved[i]), None)
+    })) {
+        results[i] = Some(result);
+    }
+
+    // Stochastic points: group by delay distribution, one shared
+    // order-statistic cache per distinct distribution. Each distinct
+    // backup_k in a group gets one shared-grid warm pass sized to the
+    // group's widest sweep; every curve then reads memo hits.
+    let mut stochastic: Vec<usize> = (0..grid.len())
+        .filter(|&i| !gd_of(&resolved[i]).straggler_model().is_zero())
+        .collect();
+    while let Some(&first) = stochastic.first() {
+        let model = gd_of(&resolved[first]).straggler_model();
+        let (group, rest): (Vec<usize>, Vec<usize>) = stochastic
+            .iter()
+            .partition(|&&i| gd_of(&resolved[i]).straggler_model() == model);
+        stochastic = rest;
+        let cache = OrderStatCache::new(model);
+        let mut warmed: Vec<(usize, usize)> = Vec::new(); // (backup_k, n_max)
+        for &i in &group {
+            let gd = gd_of(&resolved[i]);
+            match warmed.iter_mut().find(|(k, _)| *k == gd.backup_k) {
+                Some((_, n_max)) => *n_max = (*n_max).max(gd.max_n),
+                None => warmed.push((gd.backup_k, gd.max_n)),
+            }
+        }
+        for &(backup_k, n_max) in &warmed {
+            cache.warm(n_max, backup_k);
+        }
+        for &i in &group {
+            results[i] = Some(eval_gd(spec, &grid[i], gd_of(&resolved[i]), Some(&cache)));
+        }
+    }
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every point evaluated"))
+        .collect()
+}
+
+fn eval_gd(
+    spec: &ScenarioSpec,
+    point: &GridPoint,
+    gd: &GdSpec,
+    cache: Option<&OrderStatCache>,
+) -> ExperimentResult {
+    let model = gd.build();
+    let ns = 1..=gd.max_n;
+    let curve = match (gd.weak, cache) {
+        (false, Some(cache)) => model.strong_curve_cached(ns, cache),
+        (false, None) => model.strong_curve(ns),
+        (true, Some(cache)) => model.weak_curve_cached(ns, cache),
+        (true, None) => model.weak_curve(ns),
+    };
+    let mut result = point_result(spec, point).with_note(if gd.weak {
+        "weak scaling: expected per-instance time, speedup relative to n = 1"
+    } else {
+        "strong scaling: expected per-iteration time, speedup relative to n = 1"
+    });
+    result = with_curve(result, &curve);
+    if let Some(plan) = &gd.plan {
+        let planner = model.planner(plan.iterations, gd.max_n, Pricing::hourly(plan.price));
+        let fastest = planner.fastest();
+        let cheapest = planner.cheapest();
+        result = result
+            .with_stat("fastest n", fastest.n as f64, None)
+            .with_stat("fastest time s", fastest.time.as_secs(), None)
+            .with_stat("fastest cost", fastest.cost, None)
+            .with_stat("cheapest n", cheapest.n as f64, None)
+            .with_stat("cheapest time s", cheapest.time.as_secs(), None)
+            .with_stat("cheapest cost", cheapest.cost, None);
+        if let Some(deadline) = plan.deadline {
+            result = match planner.cheapest_within_deadline(Seconds::new(deadline)) {
+                Some(p) => result
+                    .with_stat("cheapest n within deadline", p.n as f64, None)
+                    .with_stat("cheapest cost within deadline", p.cost, None),
+                None => result.with_note(format!(
+                    "no configuration up to max_n meets the {deadline} s deadline"
+                )),
+            };
+        }
+        if let Some(budget) = plan.budget {
+            result = match planner.fastest_within_budget(budget) {
+                Some(p) => result
+                    .with_stat("fastest n within budget", p.n as f64, None)
+                    .with_stat("fastest time s within budget", p.time.as_secs(), None),
+                None => result.with_note(format!("even one node exceeds the budget of {budget}")),
+            };
+        }
+    }
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Belief propagation
+// ---------------------------------------------------------------------------
+
+fn run_bp_points(
+    spec: &ScenarioSpec,
+    grid: &[GridPoint],
+    resolved: &[ResolvedWorkload],
+) -> Vec<ExperimentResult> {
+    let indices: Vec<usize> = (0..grid.len()).collect();
+    par::map(&indices, |&i| {
+        let ResolvedWorkload::Bp(bp) = &resolved[i] else {
+            unreachable!("bp grid resolved to {:?}", resolved[i]);
+        };
+        eval_bp(spec, &grid[i], bp)
+    })
+}
+
+/// Evaluates one bp grid point with the same defaults, degree model and
+/// Monte-Carlo seed as `mlscale bp` — a 1-point grid matches the CLI.
+fn eval_bp(spec: &ScenarioSpec, point: &GridPoint, bp: &BpSpec) -> ExperimentResult {
+    let d_max = bp
+        .max_degree
+        .unwrap_or((2.0 * bp.edges / bp.vertices * 10.0).max(4.0));
+    let bandwidth = BitsPerSec::new(bp.bandwidth.unwrap_or(f64::INFINITY));
+    let (weights, gamma) = zipf_weights(bp.vertices as usize, d_max, 2.0 * bp.edges);
+    let degrees: Vec<u32> = weights.iter().map(|&w| w.round().max(1.0) as u32).collect();
+    let mut rng = StdRng::seed_from_u64(0xC11);
+    let loads: Vec<f64> = (1..=bp.max_n)
+        .map(|n| max_edges_monte_carlo(&degrees, n, 3, &mut rng))
+        .collect();
+    let model = GraphInferenceModel {
+        vertices: bp.vertices,
+        edges: bp.edges,
+        states: bp.states,
+        cost_per_edge: bp_cost_per_edge(bp.states),
+        flops: FlopsRate::new(bp.flops),
+        bandwidth,
+        replication: bp.replication,
+        edge_load: EdgeLoad::PerWorkerMax(loads),
+    };
+    let curve = model.curve(1..=bp.max_n);
+    with_curve(point_result(spec, point), &curve)
+        .with_stat("zipf gamma", gamma, None)
+        .with_note(
+            "degree sequence from the calibrated Zipf weights, per-worker max edge \
+             load by Monte-Carlo (seed 0xC11), as in `mlscale bp`",
+        )
+}
+
+// ---------------------------------------------------------------------------
+// Exhibits
+// ---------------------------------------------------------------------------
+
+/// Reproduces a named exhibit with exactly the arguments its binary uses,
+/// so the emitted JSON is byte-identical to the golden fixture.
+fn run_exhibit(ex: &ExhibitSpec) -> ExperimentResult {
+    match ex.id.as_str() {
+        "table1" => table1(),
+        "fig1" => fig1(),
+        "fig2" => fig2(ex.max_n.unwrap_or(16)),
+        "fig3" => fig3(),
+        "fig4-small" => fig4(DnsScale::Small, &[1, 2, 4, 8, 16, 24, 32, 48, 64, 80]),
+        "ext-stragglers" => stragglers(ex.max_n.unwrap_or(16)),
+        "ext-hierarchical-comm" => hierarchical_comm(ex.max_n.unwrap_or(64)),
+        other => unreachable!("unvalidated exhibit {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Result assembly
+// ---------------------------------------------------------------------------
+
+/// The empty per-point result: id from the grid point, title carrying the
+/// axis assignments, numeric assignments echoed as stats (symbolic ones
+/// live in the title/notes).
+fn point_result(spec: &ScenarioSpec, point: &GridPoint) -> ExperimentResult {
+    let title = if point.assignments.is_empty() {
+        spec.display_title().to_string()
+    } else {
+        format!("{} [{}]", spec.display_title(), point.label())
+    };
+    let mut result = ExperimentResult::new(point.id.clone(), title);
+    for (param, value) in &point.assignments {
+        match value {
+            crate::spec::AxisValue::Num(x) => {
+                result = result.with_stat(format!("axis {param}"), *x, None);
+            }
+            crate::spec::AxisValue::Int(n) => {
+                result = result.with_stat(format!("axis {param}"), *n as f64, None);
+            }
+            crate::spec::AxisValue::Str(s) => {
+                result = result.with_note(format!("axis {param} = {s}"));
+            }
+        }
+    }
+    result
+}
+
+/// Attaches the evaluated curve: time and speedup series plus the
+/// optimum/baseline stats every roll-up reads.
+fn with_curve(result: ExperimentResult, curve: &SpeedupCurve) -> ExperimentResult {
+    let times: Vec<(usize, f64)> = curve
+        .ns()
+        .iter()
+        .zip(curve.times())
+        .map(|(&n, t)| (n, t.as_secs()))
+        .collect();
+    let (n_opt, s_opt) = curve.optimal();
+    let t_opt = curve.time_at(n_opt).expect("optimum sampled").as_secs();
+    let (_, t1) = curve.baseline();
+    result
+        .with_series(Series::new("time s", times))
+        .with_series(Series::new("speedup", curve.speedups()))
+        .with_stat("optimal n", n_opt as f64, None)
+        .with_stat("peak speedup", s_opt, None)
+        .with_stat("time at optimum s", t_opt, None)
+        .with_stat("baseline time s", t1.as_secs(), None)
+}
+
+/// Reads a stat back out of a point result (roll-up assembly).
+fn stat_of(result: &ExperimentResult, label: &str) -> Option<f64> {
+    result
+        .stats
+        .iter()
+        .find(|s| s.label == label)
+        .map(|s| s.value)
+}
+
+/// The roll-up report: per-point optima as series over the point index
+/// (1-based), the best point, and one note per point mapping its id to
+/// its axis assignments.
+fn build_rollup(
+    spec: &ScenarioSpec,
+    grid: &[GridPoint],
+    points: &[ExperimentResult],
+) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        format!("{}-rollup", spec.name),
+        format!("{} — sweep roll-up", spec.display_title()),
+    )
+    .with_stat("grid points", points.len() as f64, None);
+    for (i, axis) in spec.sweep.iter().enumerate() {
+        result = result.with_note(format!(
+            "axis {}: {} ({} values)",
+            i,
+            axis.param,
+            axis.values.len()
+        ));
+    }
+    let series_of = |label: &str| -> Option<Series> {
+        let pts: Vec<(usize, f64)> = points
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| stat_of(p, label).map(|v| (i + 1, v)))
+            .collect();
+        (pts.len() == points.len()).then(|| Series::new(format!("{label} per point"), pts))
+    };
+    let mut best: Option<(usize, f64)> = None;
+    for (label, s) in [
+        ("optimal n", series_of("optimal n")),
+        ("peak speedup", series_of("peak speedup")),
+        ("time at optimum s", series_of("time at optimum s")),
+        ("cheapest cost", series_of("cheapest cost")),
+    ] {
+        if let Some(s) = s {
+            if label == "peak speedup" {
+                best = s.argmax();
+            }
+            result = result.with_series(s);
+        }
+    }
+    if let Some((point, speedup)) = best {
+        let idx = point - 1;
+        result = result
+            .with_stat("best point", point as f64, None)
+            .with_stat("best peak speedup", speedup, None)
+            .with_stat(
+                "best point optimal n",
+                stat_of(&points[idx], "optimal n").unwrap_or(f64::NAN),
+                None,
+            )
+            .with_note(format!(
+                "best point: {} ({})",
+                points[idx].id,
+                if grid[idx].assignments.is_empty() {
+                    "no axes".to_string()
+                } else {
+                    grid[idx].label()
+                }
+            ));
+    }
+    for (point, p) in grid.iter().zip(points) {
+        result = result.with_note(format!(
+            "{}: {}",
+            p.id,
+            if point.assignments.is_empty() {
+                "single configuration".to_string()
+            } else {
+                point.label()
+            }
+        ));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_json(json: &str) -> SweepOutcome {
+        let spec = ScenarioSpec::from_json(json).expect("spec parses");
+        run(&spec).expect("sweep runs")
+    }
+
+    #[test]
+    fn one_point_grid_matches_direct_model_bit_for_bit() {
+        let outcome = run_json(
+            r#"{"name": "single",
+                "workload": {"kind": "gd", "preset": "fig2", "max_n": 13}}"#,
+        );
+        assert_eq!(outcome.points.len(), 1);
+        let point = &outcome.points[0];
+        assert_eq!(point.id, "single-p000");
+        // Bit-identical to the paper's Fig 2 model evaluated directly.
+        let direct = mlscale_workloads::experiments::figures::fig2_model().strong_curve(1..=13);
+        let times = point.series("time s").expect("time series");
+        for (&(n, t), (dn, dt)) in times.points.iter().zip(
+            direct
+                .ns()
+                .iter()
+                .zip(direct.times())
+                .map(|(&n, t)| (n, t.as_secs())),
+        ) {
+            assert_eq!(n, dn);
+            assert_eq!(t, dt, "time at n={n} must be bit-identical");
+        }
+        assert_eq!(stat_of(point, "optimal n"), Some(9.0));
+    }
+
+    #[test]
+    fn grid_results_follow_expansion_order() {
+        let outcome = run_json(
+            r#"{"name": "g",
+                "workload": {"kind": "gd", "params": 12e6, "cost_per_example": 72e6,
+                             "batch": 60000, "flops": 84.48e9, "max_n": 8},
+                "sweep": [{"param": "comm", "values": ["tree", "ring"]},
+                          {"param": "latency", "values": [0.0, 1e-4, 1e-3]}]}"#,
+        );
+        assert_eq!(outcome.points.len(), 6);
+        assert_eq!(outcome.points[0].id, "g-p000");
+        assert_eq!(outcome.points[5].id, "g-p005");
+        assert_eq!(stat_of(&outcome.rollup, "grid points"), Some(6.0));
+        // Latency only hurts: at fixed comm, peak speedup is non-increasing
+        // along the latency axis.
+        let s = |i: usize| stat_of(&outcome.points[i], "peak speedup").unwrap();
+        assert!(
+            s(0) >= s(1) && s(1) >= s(2),
+            "tree: {} {} {}",
+            s(0),
+            s(1),
+            s(2)
+        );
+        assert!(
+            s(3) >= s(4) && s(4) >= s(5),
+            "ring: {} {} {}",
+            s(3),
+            s(4),
+            s(5)
+        );
+    }
+
+    #[test]
+    fn shared_cache_matches_isolated_evaluation() {
+        // A straggler grid served by the shared cache must equal each
+        // point evaluated in isolation, bit for bit.
+        let json = r#"{"name": "s",
+            "workload": {"kind": "gd", "params": 12e6, "cost_per_example": 72e6,
+                         "batch": 60000, "flops": 84.48e9, "max_n": 10,
+                         "straggler": {"kind": "exp", "mean": 4.0}},
+            "sweep": [{"param": "comm", "values": ["tree", "ring", "spark"]},
+                      {"param": "backup_k", "values": [0, 2]}]}"#;
+        let spec = ScenarioSpec::from_json(json).unwrap();
+        let outcome = run(&spec).unwrap();
+        for (point, result) in spec.expand().unwrap().iter().zip(&outcome.points) {
+            let ResolvedWorkload::Gd(gd) = spec.resolve(point).unwrap() else {
+                unreachable!()
+            };
+            let isolated = gd.build().strong_curve(1..=gd.max_n);
+            let times = result.series("time s").unwrap();
+            for (&(n, t), expected) in times.points.iter().zip(isolated.times()) {
+                assert_eq!(t, expected.as_secs(), "point {} n={n}", result.id);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_spec_reports_provisioning_stats() {
+        let outcome = run_json(
+            r#"{"name": "p",
+                "workload": {"kind": "gd", "preset": "fig2", "max_n": 16,
+                             "plan": {"iterations": 1000, "price": 2.0, "deadline": 1e6}}}"#,
+        );
+        let point = &outcome.points[0];
+        assert!(stat_of(point, "fastest n").is_some());
+        assert!(stat_of(point, "cheapest cost").is_some());
+        assert!(stat_of(point, "cheapest n within deadline").is_some());
+        // Rollup picks the cheapest-cost series up when present.
+        assert!(outcome.rollup.series("cheapest cost per point").is_some());
+    }
+
+    #[test]
+    fn bp_point_evaluates() {
+        let outcome = run_json(
+            r#"{"name": "b",
+                "workload": {"kind": "bp", "vertices": 16259, "edges": 99785,
+                             "max_degree": 1100, "max_n": 8}}"#,
+        );
+        let point = &outcome.points[0];
+        assert!(stat_of(point, "optimal n").unwrap() >= 1.0);
+        assert!(stat_of(point, "zipf gamma").is_some());
+    }
+
+    #[test]
+    fn weak_scaling_grid_runs() {
+        let outcome = run_json(
+            r#"{"name": "w",
+                "workload": {"kind": "gd", "preset": "fig3", "weak": true, "max_n": 16,
+                             "straggler": {"kind": "jitter", "spread": 0.1}}}"#,
+        );
+        assert!(stat_of(&outcome.points[0], "peak speedup").unwrap() > 1.0);
+    }
+
+    #[test]
+    fn exhibit_scenario_reproduces_fig1() {
+        let outcome =
+            run_json(r#"{"name": "fig1", "workload": {"kind": "exhibit", "id": "fig1"}}"#);
+        assert_eq!(outcome.points.len(), 1);
+        let direct = fig1();
+        assert_eq!(
+            outcome.points[0], direct,
+            "must equal the exhibit function output"
+        );
+        assert_eq!(outcome.rollup.id, "fig1-rollup");
+    }
+
+    #[test]
+    fn write_outcome_is_atomic_and_complete() {
+        let outcome = run_json(
+            r#"{"name": "wr",
+                "workload": {"kind": "gd", "preset": "fig2", "max_n": 4},
+                "sweep": [{"param": "jitter", "values": [0.0, 1.0]}]}"#,
+        );
+        let dir = std::env::temp_dir().join(format!("mlscale-sweep-test-{}", std::process::id()));
+        let paths = write_outcome(&outcome, &dir).expect("write");
+        assert_eq!(paths.len(), 3, "two points + rollup");
+        for path in &paths {
+            let json = std::fs::read_to_string(path).unwrap();
+            let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+            assert!(!back.id.is_empty());
+            assert!(!path.with_extension("json.tmp").exists());
+        }
+        assert!(paths[2].ends_with("wr-rollup.json"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,205 @@
+//! Property-based tests over the sweep grid: expansion is order-stable
+//! and exactly the cross product of its axes, and a degenerate 1-point
+//! grid prices the same model, bit for bit, as evaluating the equivalent
+//! single `mlscale gd`-style invocation directly.
+
+use mlscale_core::hardware::{ClusterSpec, LinkSpec, NodeSpec, RackSpec};
+use mlscale_core::models::gd::{GdComm, GradientDescentModel};
+use mlscale_core::straggler::{StragglerGdModel, StragglerModel};
+use mlscale_core::units::{BitsPerSec, FlopCount, FlopsRate, Seconds};
+use mlscale_scenario::{run, AxisValue, ResolvedWorkload, ScenarioSpec};
+use proptest::prelude::*;
+
+/// A random sweep document over jitter/backup_k/comm axes with the given
+/// per-axis value counts.
+fn grid_json(lens: &[usize]) -> String {
+    let axes: Vec<String> = lens
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| match i {
+            0 => {
+                let values: Vec<String> = (0..len).map(|v| format!("{}.5", v)).collect();
+                format!(
+                    r#"{{"param": "jitter", "values": [{}]}}"#,
+                    values.join(", ")
+                )
+            }
+            1 => format!(
+                r#"{{"param": "max_n", "range": {{"from": 8, "to": {}, "step": 1}}}}"#,
+                8 + len - 1
+            ),
+            _ => {
+                let all = ["tree", "spark", "linear", "ring", "halving"];
+                let values: Vec<String> = all[..len].iter().map(|c| format!("{c:?}")).collect();
+                format!(r#"{{"param": "comm", "values": [{}]}}"#, values.join(", "))
+            }
+        })
+        .collect();
+    format!(
+        r#"{{"name": "prop",
+            "workload": {{"kind": "gd", "params": 12e6, "cost_per_example": 72e6,
+                          "batch": 60000, "flops": 84.48e9, "max_n": 8}},
+            "sweep": [{}]}}"#,
+        axes.join(", ")
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Grid size is exactly the product of the axis lengths, and the
+    /// expansion is order-stable: expanding twice yields the identical
+    /// point list, and the points enumerate the cross product in odometer
+    /// order (last axis fastest).
+    #[test]
+    fn expansion_size_and_order(lens in proptest::collection::vec(1usize..5, 1..4)) {
+        let spec = ScenarioSpec::from_json(&grid_json(&lens)).expect("valid grid");
+        let points = spec.expand().expect("expands");
+        let expected: usize = lens.iter().product();
+        prop_assert_eq!(points.len(), expected);
+
+        // Order-stable: a second expansion is identical.
+        prop_assert_eq!(&points, &spec.expand().expect("expands again"));
+
+        // Odometer order: point index re-derives each assignment.
+        let axis_lens: Vec<usize> = spec.sweep.iter().map(|a| a.values.len()).collect();
+        for (index, point) in points.iter().enumerate() {
+            prop_assert_eq!(point.index, index);
+            let mut stride: usize = axis_lens.iter().product();
+            let mut rem = index;
+            for (axis_i, len) in axis_lens.iter().enumerate() {
+                stride /= len;
+                let expected_value = &spec.sweep[axis_i].values[rem / stride];
+                prop_assert_eq!(&point.assignments[axis_i].1, expected_value);
+                rem %= stride;
+            }
+        }
+    }
+
+    /// Point ids are zero-padded so lexicographic file order equals grid
+    /// order.
+    #[test]
+    fn point_ids_sort_like_the_grid(lens in proptest::collection::vec(1usize..5, 1..4)) {
+        let spec = ScenarioSpec::from_json(&grid_json(&lens)).expect("valid grid");
+        let points = spec.expand().expect("expands");
+        let mut ids: Vec<&str> = points.iter().map(|p| p.id.as_str()).collect();
+        let in_grid_order = ids.clone();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, in_grid_order);
+    }
+
+    /// A 1-point grid reproduces the equivalent direct model evaluation
+    /// bit-identically: same per-n times as building the
+    /// GradientDescentModel / StragglerGdModel by hand, exactly as the
+    /// `mlscale gd` CLI does.
+    #[test]
+    fn one_point_grid_is_bit_identical_to_direct_evaluation(
+        params in 1e5f64..1e8,
+        cost in 1e5f64..1e9,
+        batch in 1.0f64..1e5,
+        flops in 1e9f64..1e13,
+        bandwidth in 1e8f64..1e11,
+        latency in 0.0f64..1e-3,
+        comm_i in 0usize..5,
+        jitter in 0.0f64..4.0,
+        racked_i in 0usize..2,
+        max_n in 2usize..24,
+    ) {
+        let racked = racked_i == 1;
+        let comm_names = ["tree", "spark", "linear", "ring", "halving"];
+        let comm_kinds = [
+            GdComm::TwoStageTree,
+            GdComm::Spark,
+            GdComm::LinearFlat,
+            GdComm::Ring,
+            GdComm::HalvingDoubling,
+        ];
+        let rack_json = if racked {
+            r#""rack_size": 8, "uplink_bandwidth": 1e9, "uplink_latency": 1e-4,"#
+        } else {
+            ""
+        };
+        let json = format!(
+            r#"{{"name": "one",
+                "workload": {{"kind": "gd", "params": {params}, "cost_per_example": {cost},
+                              "batch": {batch}, "flops": {flops}, "bandwidth": {bandwidth},
+                              "latency": {latency}, {rack_json} "comm": "{comm}",
+                              "max_n": {max_n}}},
+                "sweep": [{{"param": "jitter", "values": [{jitter}]}}]}}"#,
+            comm = comm_names[comm_i],
+        );
+        let spec = ScenarioSpec::from_json(&json).expect("valid single-point spec");
+        let points = spec.expand().expect("expands");
+        prop_assert_eq!(points.len(), 1);
+
+        // The resolved workload builds exactly the hand-built model.
+        let mut cluster = ClusterSpec::new(
+            NodeSpec::new(FlopsRate::new(flops), 1.0),
+            LinkSpec::new(BitsPerSec::new(bandwidth), Seconds::new(latency)),
+        );
+        if racked {
+            cluster = cluster.with_racks(RackSpec::new(
+                8,
+                LinkSpec::new(BitsPerSec::new(1e9), Seconds::new(1e-4)),
+            ));
+        }
+        let direct = StragglerGdModel {
+            straggler: StragglerModel::BoundedJitter { spread: jitter },
+            ..StragglerGdModel::deterministic(GradientDescentModel {
+                cost_per_example: FlopCount::new(cost),
+                batch_size: batch,
+                params,
+                bits_per_param: 32,
+                cluster,
+                comm: comm_kinds[comm_i],
+            })
+        };
+        match spec.resolve(&points[0]).expect("resolves") {
+            ResolvedWorkload::Gd(gd) => prop_assert_eq!(&gd.build(), &direct),
+            other => prop_assert!(false, "wrong workload {:?}", other),
+        }
+
+        // And the engine's reported times are bit-identical to the direct
+        // curve evaluation.
+        let outcome = run(&spec).expect("runs");
+        let expected = direct.strong_curve(1..=max_n);
+        let times = outcome.points[0].series("time s").expect("time series");
+        for ((n, t), (en, et)) in times.points.iter().zip(
+            expected.ns().iter().zip(expected.times()).map(|(&n, t)| (n, t.as_secs())),
+        ) {
+            prop_assert_eq!(*n, en);
+            prop_assert_eq!(*t, et, "time at n={} drifted", n);
+        }
+    }
+}
+
+/// Axis values survive the round trip into resolved specs for every
+/// shape (list, integer range, string list) — deterministic spot check
+/// complementing the proptests above.
+#[test]
+fn assignments_match_axis_values() {
+    let spec = ScenarioSpec::from_json(
+        r#"{"name": "t",
+            "workload": {"kind": "gd", "params": 1e6, "cost_per_example": 1e6,
+                         "batch": 10, "flops": 1e9, "max_n": 8,
+                         "straggler": {"kind": "exp", "mean": 1.0}},
+            "sweep": [{"param": "backup_k", "range": {"from": 0, "to": 2, "step": 1}},
+                      {"param": "comm", "values": ["tree", "ring"]}]}"#,
+    )
+    .unwrap();
+    let points = spec.expand().unwrap();
+    assert_eq!(points.len(), 6);
+    for point in &points {
+        let ResolvedWorkload::Gd(gd) = spec.resolve(point).unwrap() else {
+            unreachable!()
+        };
+        match &point.assignments[0].1 {
+            AxisValue::Int(k) => assert_eq!(gd.backup_k, *k),
+            other => panic!("backup_k axis must be integer, got {other:?}"),
+        }
+        match &point.assignments[1].1 {
+            AxisValue::Str(c) => assert_eq!(gd.comm.as_deref(), Some(c.as_str())),
+            other => panic!("comm axis must be string, got {other:?}"),
+        }
+    }
+}

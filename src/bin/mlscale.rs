@@ -9,6 +9,8 @@
 //! mlscale gd   --preset pod --comm hier --max-n 64
 //! mlscale bp   --vertices 165000 --edges 1013000 --max-degree 9800 --max-n 80
 //! mlscale plan --preset fig2 --iterations 1000 --price 2.0 --deadline 7200
+//! mlscale sweep scenarios/latency-grid.json
+//! mlscale scenario explain scenarios/fig2.json
 //! ```
 //!
 //! All flags take `--flag value` form; numbers accept scientific notation.
@@ -26,6 +28,8 @@ use mlscale::model::models::graphinf::{
 use mlscale::model::planner::{Planner, Pricing};
 use mlscale::model::straggler::{StragglerGdModel, StragglerModel};
 use mlscale::model::units::{BitsPerSec, FlopCount, FlopsRate, Seconds};
+use mlscale::scenario::{run as sweep_run, write_outcome, ScenarioSpec};
+use mlscale::workloads::experiments::figures;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -33,7 +37,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mlscale <gd|bp|plan> [--flag value]...\n\
+        "usage: mlscale <gd|bp|plan|sweep|scenario> [--flag value]...\n\
          \n\
          gd   — gradient-descent speedup curve\n\
               --preset fig2|fig3|pod    load a paper/pod configuration\n\
@@ -54,7 +58,13 @@ fn usage() -> ! {
               --flops F [--bandwidth B --replication R] --max-n N\n\
          plan — cost/deadline provisioning over the gd model\n\
               (gd flags) --iterations K --price $/node-hour\n\
-              [--deadline seconds | --budget amount]"
+              [--deadline seconds | --budget amount]\n\
+         sweep <file.json> [--out DIR]\n\
+              expand the scenario's grid, evaluate every point, write one\n\
+              results JSON per point plus a roll-up (default DIR:\n\
+              results/sweeps/<name>)\n\
+         scenario <validate|explain> <file.json>\n\
+              check a scenario spec / print its expanded grid"
     );
     exit(2)
 }
@@ -346,29 +356,16 @@ fn gd_model(flags: &HashMap<String, String>) -> GradientDescentModel {
                 ));
             }
         }
-        let mnist = GradientDescentModel {
-            cost_per_example: FlopCount::new(6.0 * 12e6),
-            batch_size: 60_000.0,
-            params: 12e6,
-            bits_per_param: 64,
-            cluster: presets::spark_cluster(),
-            comm: GdComm::Spark,
-        };
+        // The models come from the canonical exhibit definitions, so the
+        // presets cannot drift from the figures they name.
         let mut model = match preset.as_str() {
-            "fig2" => mnist,
-            "fig3" => GradientDescentModel {
-                cost_per_example: FlopCount::new(3.0 * 5e9),
-                batch_size: 128.0,
-                params: 25e6,
-                bits_per_param: 32,
-                cluster: presets::gpu_cluster(),
-                comm: GdComm::TwoStageTree,
-            },
+            "fig2" => figures::fig2_model(),
+            "fig3" => figures::fig3_model(),
             // The MNIST job on the two-tier rack pod (hierarchical study).
             "pod" => GradientDescentModel {
                 cluster: presets::two_tier_pod(),
                 comm: GdComm::Hierarchical,
-                ..mnist
+                ..figures::fig2_model()
             },
             other => die(format_args!(
                 "unknown --preset {other:?} (use fig2, fig3 or pod)"
@@ -605,18 +602,172 @@ fn cmd_plan(flags: &HashMap<String, String>) {
     }
 }
 
+/// Loads and validates a scenario file, exiting with status 2 and the
+/// offending key's full path on any failure.
+fn load_scenario(path: &str) -> ScenarioSpec {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(format_args!("cannot read scenario {path}: {e}")));
+    ScenarioSpec::from_json(&text).unwrap_or_else(|e| die(format_args!("{path}: {e}")))
+}
+
+/// Splits a verb's arguments into one leading positional (the scenario
+/// file) and the trailing `--flag value` pairs.
+fn positional<'a>(command: &str, args: &'a [String]) -> (&'a str, &'a [String]) {
+    match args.first() {
+        Some(first) if !first.starts_with("--") => (first, &args[1..]),
+        _ => die(format_args!(
+            "`mlscale {command}` needs a scenario file as its first argument"
+        )),
+    }
+}
+
+fn cmd_sweep(args: &[String]) {
+    let (path, rest) = positional("sweep", args);
+    let flags = parse_flags(rest);
+    check_allowed("sweep", &flags, &["out"]);
+    let spec = load_scenario(path);
+    // The grid size is the product of the axis lengths — no need to
+    // expand here; the engine expands (and labels) the grid itself.
+    let grid_size: usize = spec.sweep.iter().map(|a| a.values.len()).product();
+    let out_dir = match flags.get("out") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::path::PathBuf::from("results/sweeps").join(&spec.name),
+    };
+    println!(
+        "sweep {}: {} grid point(s), {} axis/axes",
+        spec.name,
+        grid_size,
+        spec.sweep.len()
+    );
+    let outcome = sweep_run(&spec).unwrap_or_else(|e| die(format_args!("{path}: {e}")));
+    println!(
+        "\n{:<24} {:>10} {:>14} {:>16}",
+        "point", "optimal n", "peak speedup", "time at opt (s)"
+    );
+    for (point, result) in outcome.grid.iter().zip(&outcome.points) {
+        // Exhibit results carry their own stat labels (e.g. "optimal n
+        // (model, full range)"), so a missing generic stat renders as a
+        // dash, not a bogus 0/NaN.
+        let stat = |label: &str, decimals: usize| {
+            result
+                .stats
+                .iter()
+                .find(|s| s.label == label)
+                .map_or_else(|| "-".to_string(), |s| format!("{:.*}", decimals, s.value))
+        };
+        println!(
+            "{:<24} {:>10} {:>14} {:>16}   {}",
+            result.id,
+            stat("optimal n", 0),
+            stat("peak speedup", 3),
+            stat("time at optimum s", 6),
+            point.label()
+        );
+    }
+    match write_outcome(&outcome, &out_dir) {
+        Ok(paths) => {
+            println!(
+                "\nwrote {} results file(s) to {} (roll-up: {})",
+                paths.len(),
+                out_dir.display(),
+                paths
+                    .last()
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_default()
+            );
+        }
+        Err(e) => {
+            eprintln!("error: cannot write results to {}: {e}", out_dir.display());
+            exit(1);
+        }
+    }
+}
+
+fn cmd_scenario(args: &[String]) {
+    let Some((verb, rest)) = args.split_first() else {
+        die("`mlscale scenario` needs a sub-command: validate or explain")
+    };
+    match verb.as_str() {
+        "validate" => {
+            let (path, rest) = positional("scenario validate", rest);
+            check_allowed("scenario validate", &parse_flags(rest), &[]);
+            let spec = load_scenario(path);
+            let points = spec
+                .expand()
+                .unwrap_or_else(|e| die(format_args!("{path}: {e}")));
+            println!(
+                "ok: {} — {} grid point(s) over {} axis/axes",
+                spec.name,
+                points.len(),
+                spec.sweep.len()
+            );
+        }
+        "explain" => {
+            let (path, rest) = positional("scenario explain", rest);
+            check_allowed("scenario explain", &parse_flags(rest), &[]);
+            let spec = load_scenario(path);
+            let points = spec
+                .expand()
+                .unwrap_or_else(|e| die(format_args!("{path}: {e}")));
+            println!("scenario {} — {}", spec.name, spec.display_title());
+            let kind = match &spec.workload {
+                mlscale::scenario::WorkloadSpec::Gd(gd) => format!(
+                    "gd ({}, max_n {}, {})",
+                    gd.preset.as_deref().map_or_else(
+                        || "explicit hardware".to_string(),
+                        |p| format!("preset {p}")
+                    ),
+                    gd.max_n,
+                    if gd.weak {
+                        "weak scaling"
+                    } else {
+                        "strong scaling"
+                    }
+                ),
+                mlscale::scenario::WorkloadSpec::Bp(bp) => {
+                    format!("bp (V={}, E={}, max_n {})", bp.vertices, bp.edges, bp.max_n)
+                }
+                mlscale::scenario::WorkloadSpec::Exhibit(ex) => {
+                    format!("exhibit {} (byte-identical to its binary)", ex.id)
+                }
+            };
+            println!("workload: {kind}");
+            for (i, axis) in spec.sweep.iter().enumerate() {
+                let values: Vec<String> = axis.values.iter().map(|v| v.to_string()).collect();
+                println!("axis {i}: {} = [{}]", axis.param, values.join(", "));
+            }
+            println!("grid: {} point(s)", points.len());
+            for point in &points {
+                println!(
+                    "  {}  {}",
+                    point.id,
+                    if point.assignments.is_empty() {
+                        "single configuration".to_string()
+                    } else {
+                        point.label()
+                    }
+                );
+            }
+        }
+        other => die(format_args!(
+            "unknown scenario sub-command {other:?} (use validate or explain)"
+        )),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         usage()
     };
-    let flags = parse_flags(rest);
     match command.as_str() {
-        "gd" => cmd_gd(&flags),
-        "bp" => cmd_bp(&flags),
-        "plan" => cmd_plan(&flags),
+        "gd" => cmd_gd(&parse_flags(rest)),
+        "bp" => cmd_bp(&parse_flags(rest)),
+        "plan" => cmd_plan(&parse_flags(rest)),
+        "sweep" => cmd_sweep(rest),
+        "scenario" => cmd_scenario(rest),
         other => die(format_args!(
-            "unknown command {other:?} (use gd, bp or plan)"
+            "unknown command {other:?} (use gd, bp, plan, sweep or scenario)"
         )),
     }
 }

@@ -24,7 +24,9 @@
 //! * [`sim`] (`mlscale-sim`) — the discrete-event cluster simulator
 //!   (collectives, overhead models, async parameter server);
 //! * [`workloads`] (`mlscale-workloads`) — end-to-end drivers and the
-//!   `table1`/`fig1`…`fig4`/ablation experiment definitions.
+//!   `table1`/`fig1`…`fig4`/ablation experiment definitions;
+//! * [`scenario`] (`mlscale-scenario`) — declarative JSON scenario specs
+//!   and the batch sweep engine behind `mlscale sweep`.
 //!
 //! ## Quickstart
 //!
@@ -53,5 +55,6 @@
 pub use mlscale_core as model;
 pub use mlscale_graph as graph;
 pub use mlscale_nn as nn;
+pub use mlscale_scenario as scenario;
 pub use mlscale_sim as sim;
 pub use mlscale_workloads as workloads;

@@ -488,3 +488,204 @@ fn plan_with_stragglers_uses_expected_times() {
         "expected planning must price the tail in: {tail} vs {det}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Scenario specs and the sweep verb
+// ---------------------------------------------------------------------------
+
+/// Writes a scenario document to a unique temp file and returns its path.
+fn temp_scenario(tag: &str, json: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "mlscale-cli-test-{}-{tag}.json",
+        std::process::id()
+    ));
+    std::fs::write(&path, json).expect("write scenario");
+    path
+}
+
+/// Runs a scenario expecting exit status 2 and an error naming `key`.
+fn assert_rejected(tag: &str, json: &str, key: &str) {
+    let path = temp_scenario(tag, json);
+    for verb in [vec!["sweep"], vec!["scenario", "validate"]] {
+        let mut args: Vec<&str> = verb.clone();
+        let path_str = path.to_str().unwrap();
+        args.push(path_str);
+        let out = mlscale(&args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{tag}: `mlscale {}` must exit 2",
+            verb.join(" ")
+        );
+        let stderr = stderr_of(&out);
+        assert!(
+            stderr.contains(key),
+            "{tag}: error must name {key:?}, got:\n{stderr}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sweep_runs_the_checked_in_latency_grid() {
+    let out_dir = std::env::temp_dir().join(format!("mlscale-cli-sweep-{}", std::process::id()));
+    let out = mlscale(&[
+        "sweep",
+        "scenarios/latency-grid.json",
+        "--out",
+        out_dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("24 grid point(s)"), "{stdout}");
+    assert!(stdout.contains("wrote 25 results file(s)"), "{stdout}");
+    // One results JSON per grid point plus the roll-up, all valid JSON.
+    let mut files: Vec<_> = std::fs::read_dir(&out_dir)
+        .expect("out dir created")
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), 25);
+    for file in &files {
+        let json = std::fs::read_to_string(file).unwrap();
+        assert!(json.starts_with('{'), "{}: not JSON", file.display());
+    }
+    assert!(files[24].ends_with("latency-grid-rollup.json"));
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+#[test]
+fn one_point_sweep_agrees_with_the_gd_verb() {
+    let path = temp_scenario(
+        "parity",
+        r#"{"name": "parity", "workload": {"kind": "gd", "preset": "fig2", "max_n": 13}}"#,
+    );
+    let out_dir = std::env::temp_dir().join(format!("mlscale-cli-parity-{}", std::process::id()));
+    let sweep = mlscale(&[
+        "sweep",
+        path.to_str().unwrap(),
+        "--out",
+        out_dir.to_str().unwrap(),
+    ]);
+    assert!(sweep.status.success(), "stderr: {}", stderr_of(&sweep));
+    let gd = mlscale(&["gd", "--preset", "fig2", "--max-n", "13"]);
+    assert!(gd.status.success());
+    // Both views of the same configuration report the paper's optimum.
+    assert!(
+        String::from_utf8_lossy(&gd.stdout).contains("optimal workers: 9"),
+        "gd verb lost the Fig 2 answer"
+    );
+    let point_json =
+        std::fs::read_to_string(out_dir.join("parity-p000.json")).expect("point result");
+    let point: mlscale::workloads::ExperimentResult =
+        serde_json::from_str(&point_json).expect("point result parses");
+    let n_opt = point
+        .stats
+        .iter()
+        .find(|s| s.label == "optimal n")
+        .expect("optimal n stat")
+        .value;
+    assert_eq!(n_opt, 9.0, "sweep point must report the same optimum");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+#[test]
+fn scenario_explain_prints_the_grid() {
+    let out = mlscale(&[
+        "scenario",
+        "explain",
+        "scenarios/straggler-mitigation-grid.json",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("grid: 12 point(s)"), "{stdout}");
+    assert!(stdout.contains("comm=spark, backup_k=0"), "{stdout}");
+    assert!(
+        stdout.contains("straggler-mitigation-grid-p011"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn sweep_rejects_unknown_field_naming_its_path() {
+    assert_rejected(
+        "unknown-field",
+        r#"{"name": "t", "workload": {"kind": "gd", "preset": "fig2", "latancy": 1.0}}"#,
+        "workload.latancy",
+    );
+}
+
+#[test]
+fn sweep_rejects_negative_n_naming_the_key() {
+    assert_rejected(
+        "negative-n",
+        r#"{"name": "t", "workload": {"kind": "gd", "preset": "fig2", "max_n": -3}}"#,
+        "workload.max_n",
+    );
+}
+
+#[test]
+fn sweep_rejects_empty_grid_axis() {
+    assert_rejected(
+        "empty-axis",
+        r#"{"name": "t", "workload": {"kind": "gd", "preset": "fig2"},
+            "sweep": [{"param": "jitter", "values": []}]}"#,
+        "sweep[0].values",
+    );
+}
+
+#[test]
+fn sweep_rejects_conflicting_preset_and_rack_flags() {
+    assert_rejected(
+        "preset-rack-conflict",
+        r#"{"name": "t", "workload": {"kind": "gd", "preset": "pod", "rack_size": 8}}"#,
+        "workload.rack_size",
+    );
+}
+
+#[test]
+fn sweep_rejects_bad_axis_value_naming_the_grid_point() {
+    assert_rejected(
+        "bad-axis-value",
+        r#"{"name": "t", "workload": {"kind": "gd", "preset": "fig2"},
+            "sweep": [{"param": "comm", "values": ["tree", "warp"]}]}"#,
+        "grid point t-p001",
+    );
+}
+
+#[test]
+fn sweep_rejects_exhibit_with_sweep() {
+    assert_rejected(
+        "exhibit-sweep",
+        r#"{"name": "t", "workload": {"kind": "exhibit", "id": "fig1"},
+            "sweep": [{"param": "max_n", "values": [8]}]}"#,
+        "sweep",
+    );
+}
+
+#[test]
+fn sweep_rejects_invalid_json_syntax() {
+    assert_rejected("syntax", r#"{"name": "t", "workload": }"#, "invalid JSON");
+}
+
+#[test]
+fn sweep_rejects_missing_file_with_exit_2() {
+    let out = mlscale(&["sweep", "/nonexistent/scenario.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("cannot read scenario"));
+}
+
+#[test]
+fn sweep_rejects_unknown_flags() {
+    let out = mlscale(&["sweep", "scenarios/fig1.json", "--bogus", "1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("--bogus"));
+}
+
+#[test]
+fn scenario_needs_a_known_subcommand() {
+    let out = mlscale(&["scenario", "frobnicate", "scenarios/fig1.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("frobnicate"));
+}
