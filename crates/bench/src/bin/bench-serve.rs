@@ -1,0 +1,331 @@
+//! Load generator for the `mlscale serve` daemon: starts the server
+//! in-process on a loopback socket, hammers `POST /sweep` with the
+//! checked-in `scenarios/fig2.json` preset from concurrent clients, and
+//! records throughput plus client-side p50/p95/p99 latency and the
+//! server-side handling time (`x-mlscale-micros`) for the cold
+//! evaluation vs the cached repeat. Results land in `BENCH_serve.json`
+//! at the repo root.
+//!
+//! Run from the workspace root:
+//!
+//! ```text
+//! cargo run --release -p mlscale-bench --bin bench-serve
+//! ```
+
+use serde::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 250;
+
+fn main() {
+    let scenario = find_scenario();
+    let body = std::fs::read_to_string(&scenario)
+        .unwrap_or_else(|e| panic!("read {}: {e}", scenario.display()));
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let addr = mlscale_serve::Server::bind("127.0.0.1:0", threads)
+        .expect("bind loopback")
+        .start()
+        .expect("start server");
+
+    // Server-side handling time: one cold evaluation, then cached repeats.
+    let cold = post(addr, &body);
+    assert_eq!(cold.status, 200, "cold request failed: {}", cold.body);
+    assert_eq!(cold.cache.as_deref(), Some("miss"));
+    let mut warm_micros = Vec::new();
+    let mut warm_reply = None;
+    for _ in 0..50 {
+        let warm = post(addr, &body);
+        assert_eq!(warm.status, 200);
+        assert_eq!(warm.cache.as_deref(), Some("hit"));
+        assert_eq!(warm.body, cold.body, "cached repeat must be byte-identical");
+        warm_micros.push(warm.micros);
+        warm_reply = Some(warm);
+    }
+    warm_micros.sort_unstable();
+    let warm_median = warm_micros[warm_micros.len() / 2];
+    drop(warm_reply);
+
+    // Hot-cache load: every client repeats the same preset body.
+    let hot = load(
+        addr,
+        &(0..CLIENTS).map(|_| body.clone()).collect::<Vec<_>>(),
+    );
+
+    // Cold load: every request body is unique (a distinct scenario
+    // name), so no request can hit the response LRU — each one runs the
+    // sweep engine.
+    let cold_bodies: Vec<String> = (0..CLIENTS * REQUESTS_PER_CLIENT)
+        .map(|i| body.replacen("\"fig2\"", &format!("\"fig2-cold{i:04}\""), 1))
+        .collect();
+    let cold_load = load(addr, &cold_bodies);
+    assert_eq!(
+        cold_load.cache_hits, 0,
+        "cold phase bodies are unique; the LRU must not answer any of them"
+    );
+
+    let report = Value::Map(vec![
+        ("id".into(), Value::Str("BENCH_serve".into())),
+        (
+            "title".into(),
+            Value::Str("mlscale serve planner daemon: loopback load generator (PR 6)".into()),
+        ),
+        (
+            "runner".into(),
+            Value::Map(vec![
+                ("cpus_available".into(), Value::U64(threads as u64)),
+                ("server_threads".into(), Value::U64(threads as u64)),
+                ("clients".into(), Value::U64(CLIENTS as u64)),
+                (
+                    "toolchain".into(),
+                    Value::Str(
+                        "rustc from rust-toolchain.toml, cargo run --release, vendored \
+                         dependency-free HTTP layer over std::net"
+                            .into(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "method".into(),
+            Value::Str(format!(
+                "in-process Server::bind on 127.0.0.1:0; scenario body = scenarios/fig2.json; \
+                 server-side micros read from the x-mlscale-micros response header; load phases \
+                 run {CLIENTS} client threads x {REQUESTS_PER_CLIENT} keep-alive requests each; \
+                 the cold phase gives every request a unique scenario name so none can hit \
+                 the response LRU — each runs the sweep engine"
+            )),
+        ),
+        (
+            "results".into(),
+            Value::Seq(vec![
+                Value::Map(vec![
+                    (
+                        "path".into(),
+                        Value::Str("cold /sweep evaluation, scenarios/fig2.json".into()),
+                    ),
+                    ("server_micros".into(), Value::U64(cold.micros)),
+                    (
+                        "note".into(),
+                        Value::Str(
+                            "first sighting: spec validation + sweep engine + render".into(),
+                        ),
+                    ),
+                ]),
+                Value::Map(vec![
+                    (
+                        "path".into(),
+                        Value::Str("cached /sweep repeat, scenarios/fig2.json".into()),
+                    ),
+                    ("server_micros".into(), Value::U64(warm_median)),
+                    ("samples".into(), Value::U64(warm_micros.len() as u64)),
+                    (
+                        "note".into(),
+                        Value::Str(
+                            "median server-side handling of a response-LRU hit; byte-identical \
+                             to the cold body"
+                                .into(),
+                        ),
+                    ),
+                ]),
+                phase_result("hot-cache load (every client repeats the preset)", &hot),
+                phase_result("cold load (every body unique, zero LRU hits)", &cold_load),
+            ]),
+        ),
+        (
+            "determinism".into(),
+            Value::Str(
+                "every cached response is byte-identical to its cold evaluation (asserted per \
+                 request); the served JSON is byte-identical to the files `mlscale sweep` \
+                 writes (tests/serve.rs parity suite)"
+                    .into(),
+            ),
+        ),
+    ]);
+    let out = "BENCH_serve.json";
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&report).expect("render") + "\n",
+    )
+    .unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!(
+        "cold {} us | cached median {} us | hot {:.0} req/s (p99 {:.2} ms) | cold-load {:.0} req/s",
+        cold.micros, warm_median, hot.throughput_rps, hot.p99_ms, cold_load.throughput_rps
+    );
+    println!("wrote {out}");
+    assert!(
+        warm_median < 1_000,
+        "cached repeat took {warm_median} us server-side; the acceptance bar is sub-millisecond"
+    );
+}
+
+/// One measured load phase.
+struct Phase {
+    requests: u64,
+    cache_hits: u64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+fn phase_result(path: &str, phase: &Phase) -> Value {
+    Value::Map(vec![
+        ("path".into(), Value::Str(path.into())),
+        ("requests".into(), Value::U64(phase.requests)),
+        ("cache_hits".into(), Value::U64(phase.cache_hits)),
+        (
+            "throughput_rps".into(),
+            Value::F64(round2(phase.throughput_rps)),
+        ),
+        ("p50_ms".into(), Value::F64(round3(phase.p50_ms))),
+        ("p95_ms".into(), Value::F64(round3(phase.p95_ms))),
+        ("p99_ms".into(), Value::F64(round3(phase.p99_ms))),
+    ])
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+/// Runs `CLIENTS` threads of `REQUESTS_PER_CLIENT` keep-alive requests;
+/// client `c` cycles through `bodies[c % bodies.len()]`-style rotation.
+fn load(addr: SocketAddr, bodies: &[String]) -> Phase {
+    let start = Instant::now();
+    let per_client: Vec<(Vec<Duration>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                scope.spawn(move || {
+                    let mut samples = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                    let mut hits = 0u64;
+                    let stream = connect(addr);
+                    let mut writer = stream.try_clone().expect("clone stream");
+                    let mut reader = BufReader::new(stream);
+                    for round in 0..REQUESTS_PER_CLIENT {
+                        let body = &bodies[(client + round * CLIENTS) % bodies.len()];
+                        let sent = Instant::now();
+                        write_post(&mut writer, body);
+                        let reply = read_reply(&mut reader);
+                        samples.push(sent.elapsed());
+                        hits += u64::from(reply.cache.as_deref() == Some("hit"));
+                        assert_eq!(
+                            reply.status, 200,
+                            "client {client} round {round}: {}",
+                            reply.body
+                        );
+                    }
+                    (samples, hits)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    let cache_hits = per_client.iter().map(|(_, hits)| hits).sum();
+    let mut latencies: Vec<Duration> = per_client
+        .into_iter()
+        .flat_map(|(samples, _)| samples)
+        .collect();
+    latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        let i = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[i].as_secs_f64() * 1e3
+    };
+    Phase {
+        requests: latencies.len() as u64,
+        cache_hits,
+        throughput_rps: latencies.len() as f64 / wall.as_secs_f64(),
+        p50_ms: pct(0.50),
+        p95_ms: pct(0.95),
+        p99_ms: pct(0.99),
+    }
+}
+
+struct Reply {
+    status: u16,
+    micros: u64,
+    cache: Option<String>,
+    body: String,
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    stream.set_nodelay(true).ok();
+    stream
+}
+
+fn write_post<W: Write>(writer: &mut W, body: &str) {
+    write!(
+        writer,
+        "POST /sweep HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+}
+
+fn post(addr: SocketAddr, body: &str) -> Reply {
+    let stream = connect(addr);
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    write_post(&mut writer, body);
+    read_reply(&mut reader)
+}
+
+fn read_reply(reader: &mut BufReader<TcpStream>) -> Reply {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let (mut length, mut micros, mut cache) = (0usize, 0u64, None);
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line.split_once(':').expect("header");
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => length = value.parse().expect("length"),
+            "x-mlscale-micros" => micros = value.parse().expect("micros"),
+            "x-mlscale-cache" => cache = Some(value.to_string()),
+            _ => {}
+        }
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body).expect("body");
+    Reply {
+        status,
+        micros,
+        cache,
+        body: String::from_utf8(body).expect("UTF-8 body"),
+    }
+}
+
+/// The fig2 scenario, whether run from the workspace root or the bench
+/// crate directory.
+fn find_scenario() -> std::path::PathBuf {
+    for candidate in ["scenarios/fig2.json", "../../scenarios/fig2.json"] {
+        let path = std::path::PathBuf::from(candidate);
+        if path.exists() {
+            return path;
+        }
+    }
+    panic!("scenarios/fig2.json not found; run from the workspace root");
+}

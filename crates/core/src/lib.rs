@@ -74,5 +74,7 @@ pub use comm::CommModel;
 pub use comp::CompModel;
 pub use hardware::{ClusterSpec, Heterogeneity, LinkSpec, NodeSpec};
 pub use speedup::SpeedupCurve;
-pub use straggler::{OrderStatCache, StragglerGdModel, StragglerGraphModel, StragglerModel};
+pub use straggler::{
+    OrderStatCache, OrderStatCachePool, StragglerGdModel, StragglerGraphModel, StragglerModel,
+};
 pub use superstep::{AlgorithmModel, Superstep};

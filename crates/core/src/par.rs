@@ -35,15 +35,29 @@ thread_local! {
 /// Panics when `MLSCALE_THREADS` is set to anything but a positive
 /// integer — a typo'd override should fail loudly, not degrade silently.
 pub fn thread_count() -> usize {
+    match try_thread_count() {
+        Ok(n) => n,
+        Err(msg) => panic!("{msg}"),
+    }
+}
+
+/// Fallible variant of [`thread_count`] for long-lived front ends (the
+/// CLI and `mlscale serve`) that must turn a typo'd `MLSCALE_THREADS`
+/// into a named diagnostic — exit 2 or a refused startup — instead of a
+/// process-killing panic. The error message names the variable and the
+/// offending value.
+pub fn try_thread_count() -> Result<usize, String> {
     if let Some(n) = OVERRIDE.with(Cell::get) {
-        return n.max(1);
+        return Ok(n.max(1));
     }
     match std::env::var("MLSCALE_THREADS") {
         Ok(raw) => match raw.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => panic!("MLSCALE_THREADS must be a positive integer, got {raw:?}"),
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!(
+                "MLSCALE_THREADS must be a positive integer, got {raw:?}"
+            )),
         },
-        Err(_) => std::thread::available_parallelism().map_or(1, usize::from),
+        Err(_) => Ok(std::thread::available_parallelism().map_or(1, usize::from)),
     }
 }
 
@@ -200,6 +214,12 @@ mod tests {
     #[test]
     fn zero_override_clamps_to_serial() {
         assert_eq!(with_thread_count(0, thread_count), 1);
+    }
+
+    #[test]
+    fn try_thread_count_matches_infallible_path() {
+        assert_eq!(with_thread_count(6, try_thread_count), Ok(6));
+        assert_eq!(try_thread_count().ok(), Some(thread_count()));
     }
 
     #[test]

@@ -41,8 +41,8 @@ use crate::units::Seconds;
 use rand::Rng;
 use rand_distr::{Distribution, Exp, LogNormal};
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Distribution of the per-worker, per-superstep straggler delay added on
 /// top of a worker's deterministic compute time.
@@ -89,9 +89,65 @@ fn normal_cdf(z: f64) -> f64 {
     0.5 * (1.0 + sign * erf)
 }
 
-/// `H_j = Σ_{i=1..j} 1/i`, the j-th harmonic number (`H_0 = 0`).
+/// Term count up to which [`HarmonicSum`] accumulates with the plain
+/// forward sum. Every `H_j` with `j ≤ 64` — which covers all worker
+/// counts the checked-in golden fixtures exercise — is bit-identical to
+/// the uncompensated sum those fixtures were generated with; beyond the
+/// cutoff Kahan compensation takes over so the large-`j` tail (ROADMAP
+/// item 2's large-n ceilings) stops accumulating rounding error.
+const HARMONIC_KAHAN_CUTOFF: usize = 64;
+
+/// Incremental harmonic-number accumulator: after `push()` has been
+/// called `j` times, `value()` is `H_j = Σ_{i=1..j} 1/i` (`H_0 = 0`).
+///
+/// Both [`harmonic`] and the running sum in
+/// [`StragglerModel::expected_order_stats`] are built on this one
+/// accumulator, so the per-call and batch paths stay bit-identical by
+/// construction at every `j`.
+#[derive(Clone, Copy)]
+struct HarmonicSum {
+    j: usize,
+    sum: f64,
+    comp: f64,
+}
+
+impl HarmonicSum {
+    fn new() -> Self {
+        Self {
+            j: 0,
+            sum: 0.0,
+            comp: 0.0,
+        }
+    }
+
+    /// Adds the next term `1/(j+1)`.
+    fn push(&mut self) {
+        self.j += 1;
+        let term = 1.0 / self.j as f64;
+        if self.j <= HARMONIC_KAHAN_CUTOFF {
+            self.sum += term;
+        } else {
+            let y = term - self.comp;
+            let t = self.sum + y;
+            self.comp = (t - self.sum) - y;
+            self.sum = t;
+        }
+    }
+
+    fn value(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// `H_j = Σ_{i=1..j} 1/i`, the j-th harmonic number (`H_0 = 0`), summed
+/// with Kahan compensation past [`HARMONIC_KAHAN_CUTOFF`] terms so the
+/// absolute error stays within a few ulps even at `j = 10⁶`.
 fn harmonic(j: usize) -> f64 {
-    (1..=j).map(|i| 1.0 / i as f64).sum()
+    let mut h = HarmonicSum::new();
+    for _ in 0..j {
+        h.push();
+    }
+    h.value()
 }
 
 /// The log-normal order-statistic quadrature grid, with the per-point
@@ -385,18 +441,18 @@ impl StragglerModel {
                 .collect(),
             StragglerModel::ExponentialTail { mean } => {
                 let h_fixed = harmonic(drop_k);
-                let mut h = 0.0f64; // running H_n, bit-identical to harmonic(n)
+                let mut h = HarmonicSum::new(); // running H_n ≡ harmonic(n)
                 (1..=n_max)
                     .map(|n| {
-                        let h_prev = h; // H_{n−1}
-                        h += 1.0 / n as f64;
+                        let h_prev = h.value(); // H_{n−1}
+                        h.push();
                         // k = n−1 only while n ≤ drop_k, where H_k = H_{n−1}.
                         let h_k = if drop_k.min(n - 1) == drop_k {
                             h_fixed
                         } else {
                             h_prev
                         };
-                        mean * (h - h_k)
+                        mean * (h.value() - h_k)
                     })
                     .collect()
             }
@@ -594,9 +650,16 @@ fn sweep_curve(
 /// Cached values are bit-identical to uncached
 /// [`StragglerModel::expected_order_stat`] calls, so routing a hot path
 /// through the cache never changes a result.
+///
+/// The memo is `Mutex`-backed, so one cache can be shared across threads
+/// — `mlscale serve` keeps a process-wide cache per delay model and
+/// answers every request's order-statistic queries from it.
 pub struct OrderStatCache {
     model: StragglerModel,
-    memo: RefCell<HashMap<(usize, usize), f64>>,
+    memo: Mutex<HashMap<(usize, usize), f64>>,
+    /// `(drop_k, n_max)` warm passes already taken, so a shared cache
+    /// skips redundant batch quadratures across requests.
+    warmed: Mutex<Vec<(usize, usize)>>,
 }
 
 impl OrderStatCache {
@@ -604,7 +667,8 @@ impl OrderStatCache {
     pub fn new(model: StragglerModel) -> Self {
         Self {
             model,
-            memo: RefCell::new(HashMap::new()),
+            memo: Mutex::new(HashMap::new()),
+            warmed: Mutex::new(Vec::new()),
         }
     }
 
@@ -614,10 +678,20 @@ impl OrderStatCache {
     }
 
     /// Batch-fills `(n, drop_k.min(n−1))` for every `n ∈ 1..=n_max` in a
-    /// single shared-grid pass.
+    /// single shared-grid pass. A pass already covered by an earlier,
+    /// at-least-as-wide warm for the same `drop_k` is skipped — the memo
+    /// entries it would write are bit-identical to the ones in place.
     pub fn warm(&self, n_max: usize, drop_k: usize) {
+        {
+            let mut warmed = self.warmed.lock().expect("warm ledger poisoned");
+            if warmed.iter().any(|&(k, m)| k == drop_k && m >= n_max) {
+                return;
+            }
+            warmed.retain(|&(k, m)| k != drop_k || m > n_max);
+            warmed.push((drop_k, n_max));
+        }
         let table = self.model.expected_order_stats(n_max, drop_k);
-        let mut memo = self.memo.borrow_mut();
+        let mut memo = self.memo.lock().expect("order-stat memo poisoned");
         for (i, &v) in table.iter().enumerate() {
             let n = i + 1;
             memo.insert((n, drop_k.min(n - 1)), v);
@@ -626,11 +700,19 @@ impl OrderStatCache {
 
     /// Memoised [`StragglerModel::expected_order_stat`].
     pub fn expected_order_stat(&self, n: usize, k: usize) -> f64 {
-        if let Some(&v) = self.memo.borrow().get(&(n, k)) {
+        if let Some(&v) = self
+            .memo
+            .lock()
+            .expect("order-stat memo poisoned")
+            .get(&(n, k))
+        {
             return v;
         }
         let v = self.model.expected_order_stat(n, k);
-        self.memo.borrow_mut().insert((n, k), v);
+        self.memo
+            .lock()
+            .expect("order-stat memo poisoned")
+            .insert((n, k), v);
         v
     }
 
@@ -644,6 +726,48 @@ impl OrderStatCache {
     pub fn expected_barrier(&self, bases: &[f64], drop_k: usize) -> Seconds {
         self.model
             .expected_barrier_with(bases, drop_k, &|n, k| self.expected_order_stat(n, k))
+    }
+}
+
+/// A process-wide registry of [`OrderStatCache`]s, one per distinct
+/// delay model. Long-lived callers (`mlscale serve`) hold one pool for
+/// the life of the process so repeated requests over the same straggler
+/// regime reuse each other's quadrature work; a fresh pool degenerates
+/// to the old per-run behaviour.
+///
+/// Keyed by linear scan — `StragglerModel` is `PartialEq` but not
+/// `Eq`/`Hash` (f64 fields), and a server sees a handful of distinct
+/// models, not thousands.
+#[derive(Default)]
+pub struct OrderStatCachePool {
+    caches: Mutex<Vec<(StragglerModel, Arc<OrderStatCache>)>>,
+}
+
+impl OrderStatCachePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared cache for `model`, creating it on first request.
+    pub fn cache_for(&self, model: StragglerModel) -> Arc<OrderStatCache> {
+        let mut caches = self.caches.lock().expect("cache pool poisoned");
+        if let Some((_, cache)) = caches.iter().find(|(m, _)| *m == model) {
+            return Arc::clone(cache);
+        }
+        let cache = Arc::new(OrderStatCache::new(model));
+        caches.push((model, Arc::clone(&cache)));
+        cache
+    }
+
+    /// Number of distinct models cached so far.
+    pub fn len(&self) -> usize {
+        self.caches.lock().expect("cache pool poisoned").len()
+    }
+
+    /// Whether the pool has no caches yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -851,11 +975,11 @@ impl StragglerGdModel {
         self.curve_cached(ns, cache, &|os, n| self.weak_per_instance_time_via(os, n))
     }
 
-    /// Shared scaffolding for the cache-served curves. The cache is
-    /// `RefCell`-backed (single-threaded), so the per-`n` evaluations run
-    /// serially here; after a [`OrderStatCache::warm`] for this sweep's
-    /// `(n_max, backup_k)` every lookup is a memo hit and the loop is
-    /// dominated by the (cheap) communication-model evaluations.
+    /// Shared scaffolding for the cache-served curves. The per-`n`
+    /// evaluations run serially here — after a [`OrderStatCache::warm`]
+    /// for this sweep's `(n_max, backup_k)` every lookup is a memo hit
+    /// and the loop is dominated by the (cheap) communication-model
+    /// evaluations, so fanning out would only add lock traffic.
     fn curve_cached(
         &self,
         ns: impl IntoIterator<Item = usize>,
@@ -1005,6 +1129,50 @@ mod tests {
         assert_eq!(harmonic(0), 0.0);
         assert_eq!(harmonic(1), 1.0);
         assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn harmonic_prefix_is_bit_identical_to_plain_sum() {
+        // Golden fixtures pin exponential-tail values at small n; up to
+        // the Kahan cutoff the accumulator must reproduce the plain
+        // forward sum bit for bit.
+        let mut naive = 0.0f64;
+        for j in 1..=HARMONIC_KAHAN_CUTOFF {
+            naive += 1.0 / j as f64;
+            assert_eq!(harmonic(j).to_bits(), naive.to_bits(), "j = {j}");
+        }
+    }
+
+    #[test]
+    fn harmonic_tracks_asymptotic_at_a_million_terms() {
+        // H_j = ln j + γ + 1/(2j) − 1/(12j²) + O(j⁻⁴). The plain forward
+        // sum drifts ~1e-12 from the expansion by j = 10⁶; compensated
+        // summation must stay within the truncation term's own order.
+        const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+        let j = 1_000_000usize;
+        let approx = (j as f64).ln() + EULER_GAMMA + 1.0 / (2.0 * j as f64);
+        let truncation = 1.0 / (12.0 * (j as f64) * (j as f64));
+        let residual = harmonic(j) - approx;
+        assert!(
+            (residual + truncation).abs() < 1e-13,
+            "residual {residual:e} vs −{truncation:e}"
+        );
+    }
+
+    #[test]
+    fn batch_harmonic_path_is_bit_identical_to_per_call_at_large_n() {
+        // The running HarmonicSum in the batch table crosses the Kahan
+        // cutoff mid-sweep; every entry must still match the per-call
+        // form exactly.
+        let m = StragglerModel::ExponentialTail { mean: 1.7 };
+        for drop_k in [0usize, 2, 5] {
+            let table = m.expected_order_stats(500, drop_k);
+            for (i, &v) in table.iter().enumerate() {
+                let n = i + 1;
+                let direct = m.expected_order_stat(n, drop_k.min(n - 1));
+                assert_eq!(v.to_bits(), direct.to_bits(), "n = {n}, drop_k = {drop_k}");
+            }
+        }
     }
 
     #[test]
@@ -1390,6 +1558,32 @@ mod tests {
                 "{comm:?}"
             );
         }
+    }
+
+    #[test]
+    fn cache_pool_dedups_by_model_and_shares_across_threads() {
+        let pool = OrderStatCachePool::new();
+        assert!(pool.is_empty());
+        let a = pool.cache_for(StragglerModel::ExponentialTail { mean: 1.0 });
+        let b = pool.cache_for(StragglerModel::ExponentialTail { mean: 1.0 });
+        assert!(Arc::ptr_eq(&a, &b), "same model must share one cache");
+        let c = pool.cache_for(StragglerModel::ExponentialTail { mean: 2.0 });
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(pool.len(), 2);
+
+        // Concurrent queries through the shared cache stay bit-identical
+        // to the uncached path — the serve worker pool relies on this.
+        let direct = a.model().expected_order_stat(12, 2);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let a = Arc::clone(&a);
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        assert_eq!(a.expected_order_stat(12, 2).to_bits(), direct.to_bits());
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -53,6 +53,25 @@ proptest! {
         }
     }
 
+    /// `E[max of j unit-exponential draws]` is exactly the harmonic
+    /// number `H_j`, which the Euler–Maclaurin expansion pins to
+    /// `ln j + γ + 1/(2j) − 1/(12j²) + O(j⁻⁴)`. With compensated
+    /// summation the computed value must sit within a hair of the
+    /// expansion all the way to `j = 10⁶` — an uncompensated forward sum
+    /// drifts an order of magnitude further out by then.
+    #[test]
+    fn exponential_expected_max_tracks_harmonic_asymptotic(j in 10usize..=1_000_000) {
+        const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+        let h_j = StragglerModel::ExponentialTail { mean: 1.0 }.expected_max(j);
+        let approx = (j as f64).ln() + EULER_GAMMA + 1.0 / (2.0 * j as f64);
+        let truncation = 1.0 / (12.0 * (j as f64) * (j as f64));
+        prop_assert!(
+            (h_j - approx).abs() <= 1.5 * truncation + 1e-13,
+            "H_{j} = {h_j} drifted {:e} from the asymptotic (truncation {truncation:e})",
+            h_j - approx
+        );
+    }
+
     /// The expected barrier is monotone in the tail weight: scaling the
     /// jitter spread / exponential mean / lognormal sigma up never
     /// shortens the expected barrier.

@@ -40,7 +40,7 @@
 pub mod run;
 pub mod spec;
 
-pub use run::{run, write_outcome, SweepOutcome};
+pub use run::{run, run_pooled, write_outcome, SweepOutcome};
 pub use spec::{
     AxisSpec, AxisValue, BpSpec, ExhibitSpec, GdSpec, GridPoint, HeteroSpec, PlanSpec,
     ResolvedWorkload, ScenarioSpec, SpecError, StragglerSpec, WorkloadSpec, EXHIBITS,

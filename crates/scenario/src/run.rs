@@ -23,7 +23,7 @@ use mlscale_core::models::graphinf::{
     bp_cost_per_edge, max_edges_monte_carlo, EdgeLoad, GraphInferenceModel,
 };
 use mlscale_core::planner::Pricing;
-use mlscale_core::straggler::OrderStatCache;
+use mlscale_core::straggler::{OrderStatCache, OrderStatCachePool};
 use mlscale_core::units::{BitsPerSec, FlopsRate, Seconds};
 use mlscale_core::{par, SpeedupCurve};
 use mlscale_graph::sampling::zipf_weights;
@@ -51,17 +51,30 @@ pub struct SweepOutcome {
 /// Expands and evaluates a validated scenario.
 ///
 /// Returns an error only for grid/spec problems (all of which
-/// [`ScenarioSpec::from_json`] already screens); evaluation itself is
-/// infallible.
+/// [`ScenarioSpec::from_json`] already screens — an error out of
+/// evaluation itself signals a parse/validation desync, named by key
+/// path rather than panicking).
 pub fn run(spec: &ScenarioSpec) -> Result<SweepOutcome, SpecError> {
+    run_pooled(spec, &OrderStatCachePool::new())
+}
+
+/// [`run`] with the stochastic points' order-statistic caches drawn from
+/// a caller-owned pool. A long-lived caller (`mlscale serve`) holds one
+/// pool for the life of the process, so repeated requests over the same
+/// straggler regime reuse each other's quadrature work; results are
+/// bit-identical to [`run`] with a fresh pool.
+pub fn run_pooled(
+    spec: &ScenarioSpec,
+    pool: &OrderStatCachePool,
+) -> Result<SweepOutcome, SpecError> {
     let grid = spec.expand()?;
     let resolved: Vec<ResolvedWorkload> = grid
         .iter()
         .map(|p| spec.resolve(p))
         .collect::<Result<_, _>>()?;
     let points = match &spec.workload {
-        WorkloadSpec::Gd(_) => run_gd_points(spec, &grid, &resolved),
-        WorkloadSpec::Bp(_) => run_bp_points(spec, &grid, &resolved),
+        WorkloadSpec::Gd(_) => run_gd_points(spec, &grid, &resolved, pool)?,
+        WorkloadSpec::Bp(_) => run_bp_points(spec, &grid, &resolved)?,
         WorkloadSpec::Exhibit(ex) => vec![run_exhibit(ex)],
     };
     let rollup = build_rollup(spec, &grid, &points);
@@ -76,8 +89,13 @@ pub fn run(spec: &ScenarioSpec) -> Result<SweepOutcome, SpecError> {
 /// Serialises every point result plus the roll-up into `dir` as
 /// `<id>.json`, atomically (temp file + rename, like the exhibit
 /// binaries' `emit`): an interrupted sweep never leaves a truncated
-/// results file behind. Returns the written paths in grid order
-/// (roll-up last).
+/// results file behind. Point files from a previous, larger run of the
+/// same scenario (`<name>-pNNN.json` ids not in the current expansion,
+/// plus orphaned `.tmp` files) are removed, so the directory always
+/// reflects exactly the grid that was just swept — re-running a shrunk
+/// grid never leaves stale points beside the fresh roll-up. Files not
+/// matching this scenario's point-id pattern are untouched. Returns the
+/// written paths in grid order (roll-up last).
 pub fn write_outcome(outcome: &SweepOutcome, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
     std::fs::create_dir_all(dir)?;
     let mut paths = Vec::with_capacity(outcome.points.len() + 1);
@@ -93,7 +111,35 @@ pub fn write_outcome(outcome: &SweepOutcome, dir: &Path) -> std::io::Result<Vec<
         std::fs::rename(&tmp, &path)?;
         paths.push(path);
     }
+    let fresh: std::collections::HashSet<String> = outcome
+        .points
+        .iter()
+        .map(|r| format!("{}.json", r.id))
+        .collect();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let Ok(file_name) = entry.file_name().into_string() else {
+            continue;
+        };
+        if is_point_file(&file_name, &outcome.name) && !fresh.contains(&file_name) {
+            std::fs::remove_file(entry.path())?;
+        }
+    }
     Ok(paths)
+}
+
+/// Whether `file_name` is a point output (or orphaned temp file) of the
+/// named scenario: `<name>-p<digits>.json` or `…​.json.tmp`.
+fn is_point_file(file_name: &str, name: &str) -> bool {
+    let Some(rest) = file_name
+        .strip_prefix(name)
+        .and_then(|r| r.strip_prefix("-p"))
+    else {
+        return false;
+    };
+    let digits = rest.len() - rest.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+    let suffix = &rest[digits..];
+    digits > 0 && (suffix == ".json" || suffix == ".json.tmp")
 }
 
 // ---------------------------------------------------------------------------
@@ -111,7 +157,8 @@ fn run_gd_points(
     spec: &ScenarioSpec,
     grid: &[GridPoint],
     resolved: &[ResolvedWorkload],
-) -> Vec<ExperimentResult> {
+    pool: &OrderStatCachePool,
+) -> Result<Vec<ExperimentResult>, SpecError> {
     let mut results: Vec<Option<ExperimentResult>> = vec![None; grid.len()];
 
     // Deterministic points: pure functions of the spec, fanned out across
@@ -122,13 +169,14 @@ fn run_gd_points(
     for (&i, result) in det.iter().zip(par::map(&det, |&i| {
         eval_gd(spec, &grid[i], gd_of(&resolved[i]), None)
     })) {
-        results[i] = Some(result);
+        results[i] = Some(result?);
     }
 
     // Stochastic points: group by delay distribution, one shared
-    // order-statistic cache per distinct distribution. Each distinct
-    // backup_k in a group gets one shared-grid warm pass sized to the
-    // group's widest sweep; every curve then reads memo hits.
+    // order-statistic cache per distinct distribution (drawn from the
+    // caller's pool, so a daemon reuses them across requests). Each
+    // distinct backup_k in a group gets one shared-grid warm pass sized
+    // to the group's widest sweep; every curve then reads memo hits.
     let mut stochastic: Vec<usize> = (0..grid.len())
         .filter(|&i| !gd_of(&resolved[i]).straggler_model().is_zero())
         .collect();
@@ -138,7 +186,7 @@ fn run_gd_points(
             .iter()
             .partition(|&&i| gd_of(&resolved[i]).straggler_model() == model);
         stochastic = rest;
-        let cache = OrderStatCache::new(model);
+        let cache = pool.cache_for(model);
         let mut warmed: Vec<(usize, usize)> = Vec::new(); // (backup_k, n_max)
         for &i in &group {
             let gd = gd_of(&resolved[i]);
@@ -151,14 +199,14 @@ fn run_gd_points(
             cache.warm(n_max, backup_k);
         }
         for &i in &group {
-            results[i] = Some(eval_gd(spec, &grid[i], gd_of(&resolved[i]), Some(&cache)));
+            results[i] = Some(eval_gd(spec, &grid[i], gd_of(&resolved[i]), Some(&cache))?);
         }
     }
 
-    results
+    Ok(results
         .into_iter()
         .map(|r| r.expect("every point evaluated"))
-        .collect()
+        .collect())
 }
 
 fn eval_gd(
@@ -166,8 +214,8 @@ fn eval_gd(
     point: &GridPoint,
     gd: &GdSpec,
     cache: Option<&OrderStatCache>,
-) -> ExperimentResult {
-    let model = gd.build();
+) -> Result<ExperimentResult, SpecError> {
+    let model = gd.build()?;
     let ns = 1..=gd.max_n;
     let curve = match (gd.weak, cache) {
         (false, Some(cache)) => model.strong_curve_cached(ns, cache),
@@ -180,7 +228,7 @@ fn eval_gd(
     } else {
         "strong scaling: expected per-iteration time, speedup relative to n = 1"
     });
-    result = with_curve(result, &curve);
+    result = with_curve(result, &curve)?;
     if let Some(plan) = &gd.plan {
         let planner = model.planner(plan.iterations, gd.max_n, Pricing::hourly(plan.price));
         let fastest = planner.fastest();
@@ -211,7 +259,7 @@ fn eval_gd(
             };
         }
     }
-    result
+    Ok(result)
 }
 
 // ---------------------------------------------------------------------------
@@ -222,7 +270,7 @@ fn run_bp_points(
     spec: &ScenarioSpec,
     grid: &[GridPoint],
     resolved: &[ResolvedWorkload],
-) -> Vec<ExperimentResult> {
+) -> Result<Vec<ExperimentResult>, SpecError> {
     let indices: Vec<usize> = (0..grid.len()).collect();
     par::map(&indices, |&i| {
         let ResolvedWorkload::Bp(bp) = &resolved[i] else {
@@ -230,11 +278,17 @@ fn run_bp_points(
         };
         eval_bp(spec, &grid[i], bp)
     })
+    .into_iter()
+    .collect()
 }
 
 /// Evaluates one bp grid point with the same defaults, degree model and
 /// Monte-Carlo seed as `mlscale bp` — a 1-point grid matches the CLI.
-fn eval_bp(spec: &ScenarioSpec, point: &GridPoint, bp: &BpSpec) -> ExperimentResult {
+fn eval_bp(
+    spec: &ScenarioSpec,
+    point: &GridPoint,
+    bp: &BpSpec,
+) -> Result<ExperimentResult, SpecError> {
     let d_max = bp
         .max_degree
         .unwrap_or((2.0 * bp.edges / bp.vertices * 10.0).max(4.0));
@@ -256,12 +310,12 @@ fn eval_bp(spec: &ScenarioSpec, point: &GridPoint, bp: &BpSpec) -> ExperimentRes
         edge_load: EdgeLoad::PerWorkerMax(loads),
     };
     let curve = model.curve(1..=bp.max_n);
-    with_curve(point_result(spec, point), &curve)
+    Ok(with_curve(point_result(spec, point), &curve)?
         .with_stat("zipf gamma", gamma, None)
         .with_note(
             "degree sequence from the calibrated Zipf weights, per-worker max edge \
              load by Monte-Carlo (seed 0xC11), as in `mlscale bp`",
-        )
+        ))
 }
 
 // ---------------------------------------------------------------------------
@@ -314,8 +368,13 @@ fn point_result(spec: &ScenarioSpec, point: &GridPoint) -> ExperimentResult {
 }
 
 /// Attaches the evaluated curve: time and speedup series plus the
-/// optimum/baseline stats every roll-up reads.
-fn with_curve(result: ExperimentResult, curve: &SpeedupCurve) -> ExperimentResult {
+/// optimum/baseline stats every roll-up reads. A curve whose optimum is
+/// not among its own samples signals an engine desync — reported against
+/// the point id, never a panic (the serve daemon runs this path).
+fn with_curve(
+    result: ExperimentResult,
+    curve: &SpeedupCurve,
+) -> Result<ExperimentResult, SpecError> {
     let times: Vec<(usize, f64)> = curve
         .ns()
         .iter()
@@ -323,15 +382,23 @@ fn with_curve(result: ExperimentResult, curve: &SpeedupCurve) -> ExperimentResul
         .map(|(&n, t)| (n, t.as_secs()))
         .collect();
     let (n_opt, s_opt) = curve.optimal();
-    let t_opt = curve.time_at(n_opt).expect("optimum sampled").as_secs();
+    let t_opt = curve
+        .time_at(n_opt)
+        .ok_or_else(|| {
+            SpecError::new(
+                format!("grid point {}", result.id),
+                format!("optimum n = {n_opt} is not among the sampled worker counts"),
+            )
+        })?
+        .as_secs();
     let (_, t1) = curve.baseline();
-    result
+    Ok(result
         .with_series(Series::new("time s", times))
         .with_series(Series::new("speedup", curve.speedups()))
         .with_stat("optimal n", n_opt as f64, None)
         .with_stat("peak speedup", s_opt, None)
         .with_stat("time at optimum s", t_opt, None)
-        .with_stat("baseline time s", t1.as_secs(), None)
+        .with_stat("baseline time s", t1.as_secs(), None))
 }
 
 /// Reads a stat back out of a point result (roll-up assembly).
@@ -502,7 +569,7 @@ mod tests {
             let ResolvedWorkload::Gd(gd) = spec.resolve(point).unwrap() else {
                 unreachable!()
             };
-            let isolated = gd.build().strong_curve(1..=gd.max_n);
+            let isolated = gd.build().unwrap().strong_curve(1..=gd.max_n);
             let times = result.series("time s").unwrap();
             for (&(n, t), expected) in times.points.iter().zip(isolated.times()) {
                 assert_eq!(t, expected.as_secs(), "point {} n={n}", result.id);
@@ -578,5 +645,71 @@ mod tests {
         }
         assert!(paths[2].ends_with("wr-rollup.json"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rerun_with_shrunk_grid_clears_stale_points() {
+        // 24-point sweep, then a 4-point re-run of the same scenario name
+        // into the same directory: the 20 stale point files (and an
+        // orphaned temp file) must be gone, unrelated files untouched.
+        let wide = run_json(
+            r#"{"name": "shrink",
+                "workload": {"kind": "gd", "preset": "fig2", "max_n": 4},
+                "sweep": [{"param": "jitter", "values": [0.0, 0.1, 0.2, 0.4, 0.8, 1.6]},
+                          {"param": "comm", "values": ["tree", "ring", "spark", "halving"]}]}"#,
+        );
+        assert_eq!(wide.points.len(), 24);
+        let dir = std::env::temp_dir().join(format!("mlscale-sweep-shrink-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        write_outcome(&wide, &dir).expect("wide write");
+        std::fs::write(dir.join("shrink-p099.json.tmp"), b"{").unwrap();
+        std::fs::write(dir.join("unrelated-p000.json"), b"{}").unwrap();
+        std::fs::write(dir.join("notes.txt"), b"keep me").unwrap();
+
+        let narrow = run_json(
+            r#"{"name": "shrink",
+                "workload": {"kind": "gd", "preset": "fig2", "max_n": 4},
+                "sweep": [{"param": "comm", "values": ["tree", "ring", "spark", "halving"]}]}"#,
+        );
+        assert_eq!(narrow.points.len(), 4);
+        let paths = write_outcome(&narrow, &dir).expect("narrow write");
+        assert_eq!(paths.len(), 5);
+
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        assert_eq!(
+            names,
+            vec![
+                "notes.txt",
+                "shrink-p000.json",
+                "shrink-p001.json",
+                "shrink-p002.json",
+                "shrink-p003.json",
+                "shrink-rollup.json",
+                "unrelated-p000.json",
+            ],
+            "stale shrink-p004..p023 and the orphaned temp must be removed"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pooled_run_is_bit_identical_to_fresh_run() {
+        let json = r#"{"name": "pool",
+            "workload": {"kind": "gd", "preset": "fig2", "max_n": 10,
+                         "straggler": {"kind": "exp", "mean": 2.0}},
+            "sweep": [{"param": "backup_k", "values": [0, 1, 2]}]}"#;
+        let spec = ScenarioSpec::from_json(json).unwrap();
+        let fresh = run(&spec).unwrap();
+        let pool = OrderStatCachePool::new();
+        // Two pooled runs: the second reuses the warmed caches.
+        let first = run_pooled(&spec, &pool).unwrap();
+        let second = run_pooled(&spec, &pool).unwrap();
+        assert_eq!(pool.len(), 1, "one distinct delay model");
+        assert_eq!(fresh, first);
+        assert_eq!(fresh, second);
     }
 }

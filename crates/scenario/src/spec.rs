@@ -180,16 +180,16 @@ impl<'a> Obj<'a> {
 /// to reproduce). `pod` is the Fig 2 job moved onto the two-tier rack
 /// pod with the hierarchical collective — the same construction as the
 /// CLI's `--preset pod`.
-fn preset_model(preset: &str) -> GradientDescentModel {
+fn preset_model(preset: &str) -> Option<GradientDescentModel> {
     match preset {
-        "fig2" => mlscale_workloads::experiments::figures::fig2_model(),
-        "fig3" => mlscale_workloads::experiments::figures::fig3_model(),
-        "pod" => GradientDescentModel {
+        "fig2" => Some(mlscale_workloads::experiments::figures::fig2_model()),
+        "fig3" => Some(mlscale_workloads::experiments::figures::fig3_model()),
+        "pod" => Some(GradientDescentModel {
             cluster: presets::two_tier_pod(),
             comm: GdComm::Hierarchical,
             ..mlscale_workloads::experiments::figures::fig2_model()
-        },
-        other => panic!("unvalidated preset {other:?}"),
+        }),
+        _ => None,
     }
 }
 
@@ -1240,33 +1240,49 @@ impl GdSpec {
             .map_or(StragglerModel::Deterministic, |s| s.model())
     }
 
-    /// Builds the straggler-wrapped model. Assumes [`Self::validate`]
-    /// passed; violations surface as panics, not `SpecError`s.
-    pub fn build(&self) -> StragglerGdModel {
-        let inner = self.build_inner();
-        StragglerGdModel {
+    /// Builds the straggler-wrapped model. [`Self::validate`] screens
+    /// every failure mode ahead of time, but a parse/validation desync
+    /// must not kill a long-lived process (`mlscale serve`), so
+    /// violations surface as `SpecError`s naming the offending key path
+    /// instead of panics.
+    pub fn build(&self) -> Result<StragglerGdModel> {
+        let inner = self.build_inner()?;
+        Ok(StragglerGdModel {
             inner,
             straggler: self.straggler_model(),
             hetero: self.hetero.map_or(Heterogeneity::Uniform, |h| h.model()),
             backup_k: self.backup_k,
-        }
+        })
+    }
+
+    /// A required field that validation should have guaranteed; absence
+    /// is reported against its key path, not unwrapped.
+    fn required(field: Option<f64>, key: &str) -> Result<f64> {
+        field.ok_or_else(|| {
+            SpecError::new(
+                format!("workload.{key}"),
+                "required without a preset (validation desync)",
+            )
+        })
     }
 
     /// Builds the deterministic gd model — field for field the same
     /// construction as the CLI's `gd_model`, so a scenario and the
     /// equivalent `mlscale gd` invocation price bit-identical models.
-    fn build_inner(&self) -> GradientDescentModel {
+    fn build_inner(&self) -> Result<GradientDescentModel> {
         if let Some(preset) = &self.preset {
-            let mut model = preset_model(preset);
+            let mut model = preset_model(preset).ok_or_else(|| {
+                SpecError::new("workload.preset", format!("unknown preset {preset:?}"))
+            })?;
             if self.comm.is_some() {
-                model.comm = self.gd_comm();
+                model.comm = self.gd_comm()?;
             }
-            return model;
+            return Ok(model);
         }
         let bandwidth = BitsPerSec::new(self.bandwidth.unwrap_or(1e9));
         let latency = Seconds::new(self.latency.unwrap_or(0.0));
         let mut cluster = ClusterSpec::new(
-            NodeSpec::new(FlopsRate::new(self.flops.expect("validated")), 1.0),
+            NodeSpec::new(FlopsRate::new(Self::required(self.flops, "flops")?), 1.0),
             LinkSpec::new(bandwidth, latency),
         );
         if let Some(rack_size) = self.rack_size {
@@ -1276,26 +1292,32 @@ impl GdSpec {
             );
             cluster = cluster.with_racks(RackSpec::new(rack_size, uplink));
         }
-        GradientDescentModel {
-            cost_per_example: FlopCount::new(self.cost_per_example.expect("validated")),
-            batch_size: self.batch.expect("validated"),
-            params: self.params.expect("validated"),
+        Ok(GradientDescentModel {
+            cost_per_example: FlopCount::new(Self::required(
+                self.cost_per_example,
+                "cost_per_example",
+            )?),
+            batch_size: Self::required(self.batch, "batch")?,
+            params: Self::required(self.params, "params")?,
             bits_per_param: self.bits.unwrap_or(32) as u32,
             cluster,
-            comm: self.gd_comm(),
-        }
+            comm: self.gd_comm()?,
+        })
     }
 
-    fn gd_comm(&self) -> GdComm {
+    fn gd_comm(&self) -> Result<GdComm> {
         match self.comm.as_deref().unwrap_or("tree") {
-            "tree" => GdComm::TwoStageTree,
-            "spark" => GdComm::Spark,
-            "linear" => GdComm::LinearFlat,
-            "ring" => GdComm::Ring,
-            "halving" => GdComm::HalvingDoubling,
-            "hier" => GdComm::Hierarchical,
-            "none" => GdComm::None,
-            other => panic!("unvalidated comm {other:?}"),
+            "tree" => Ok(GdComm::TwoStageTree),
+            "spark" => Ok(GdComm::Spark),
+            "linear" => Ok(GdComm::LinearFlat),
+            "ring" => Ok(GdComm::Ring),
+            "halving" => Ok(GdComm::HalvingDoubling),
+            "hier" => Ok(GdComm::Hierarchical),
+            "none" => Ok(GdComm::None),
+            other => Err(SpecError::new(
+                "workload.comm",
+                format!("unknown collective {other:?}"),
+            )),
         }
     }
 }

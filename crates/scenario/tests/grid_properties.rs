@@ -155,7 +155,7 @@ proptest! {
             })
         };
         match spec.resolve(&points[0]).expect("resolves") {
-            ResolvedWorkload::Gd(gd) => prop_assert_eq!(&gd.build(), &direct),
+            ResolvedWorkload::Gd(gd) => prop_assert_eq!(&gd.build().expect("builds"), &direct),
             other => prop_assert!(false, "wrong workload {:?}", other),
         }
 

@@ -1,0 +1,245 @@
+//! A minimal HTTP/1.1 layer over `std::io`: request parsing (request
+//! line, headers, `Content-Length` body) and response writing, enough
+//! for the planner daemon's JSON POST endpoints. Vendored by policy —
+//! the workspace builds without crates.io access — and deliberately
+//! small: no chunked transfer, no TLS, no pipelining beyond serial
+//! keep-alive.
+
+use std::io::{BufRead, Read, Write};
+
+/// Upper bound on a request body (a scenario spec is a few KiB; the
+/// largest checked-in grid rolls up well under a MiB).
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// Upper bound on header count per request.
+pub const MAX_HEADERS: usize = 64;
+
+/// Upper bound on a single request/header line.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, upper-case as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path (query strings are not split off).
+    pub path: String,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Reads one request from a connection. `Ok(None)` is a clean
+/// end-of-stream before any request byte (the keep-alive peer went
+/// away); `Err` is a malformed or over-limit request the caller should
+/// answer with a 400 and close on.
+pub fn read_request<R: BufRead>(reader: &mut R) -> std::io::Result<Option<Request>> {
+    let Some(request_line) = read_line(reader, true)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(bad(format!("malformed request line {request_line:?}")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("unsupported protocol {version:?}")));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, false)?.ok_or_else(|| bad("truncated headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(bad(format!("more than {MAX_HEADERS} headers")));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad(format!("malformed header line {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    let length = match request.header("content-length") {
+        None => 0,
+        Some(raw) => raw
+            .parse::<usize>()
+            .map_err(|_| bad(format!("invalid Content-Length {raw:?}")))?,
+    };
+    if length > MAX_BODY_BYTES {
+        return Err(bad(format!(
+            "body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request { body, ..request }))
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line. `Ok(None)` only at
+/// immediate end-of-stream with `eof_ok`.
+fn read_line<R: BufRead>(reader: &mut R, eof_ok: bool) -> std::io::Result<Option<String>> {
+    let mut raw = Vec::new();
+    let mut limited = reader.take(MAX_LINE_BYTES as u64 + 1);
+    let n = limited.read_until(b'\n', &mut raw)?;
+    if n == 0 {
+        return if eof_ok {
+            Ok(None)
+        } else {
+            Err(bad("unexpected end of stream"))
+        };
+    }
+    if raw.len() > MAX_LINE_BYTES {
+        return Err(bad(format!("line exceeds {MAX_LINE_BYTES} bytes")));
+    }
+    while raw.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw)
+        .map(Some)
+        .map_err(|_| bad("non-UTF-8 request line or header"))
+}
+
+fn bad(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// One response to write back.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the always-present `Content-Type`,
+    /// `Content-Length` and `Connection`.
+    pub headers: Vec<(String, String)>,
+    /// JSON body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with no extra headers.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Serialises the response to the wire.
+    pub fn write_to<W: Write>(&self, out: &mut W) -> std::io::Result<()> {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        };
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n",
+            self.status,
+            reason,
+            self.body.len()
+        )?;
+        for (name, value) in &self.headers {
+            write!(out, "{name}: {value}\r\n")?;
+        }
+        write!(out, "\r\n")?;
+        out.write_all(self.body.as_bytes())?;
+        out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> std::io::Result<Option<Request>> {
+        read_request(&mut BufReader::new(raw))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(b"POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sweep");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"{\"a\":1}");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_get_without_body_and_bare_lf() {
+        let req = parse(b"GET / HTTP/1.1\nConnection: close\n\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_garbage_and_limits() {
+        assert!(parse(b"NOT-HTTP\r\n\r\n").is_err());
+        assert!(parse(b"POST / SPDY/3\r\n\r\n").is_err());
+        assert!(parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err());
+        assert!(parse(b"POST / HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n").is_err());
+        assert!(parse(b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab").is_err());
+        let long = format!("POST /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_LINE_BYTES));
+        assert!(parse(long.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::json(200, "{}")
+            .with_header("x-mlscale-cache", "hit")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("x-mlscale-cache: hit\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

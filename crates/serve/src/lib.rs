@@ -1,0 +1,403 @@
+//! # mlscale-serve — planner-as-a-service
+//!
+//! The paper's framework answers "how many workers should this job
+//! get?" — exactly the query a scheduler asks thousands of times per
+//! hour. This crate keeps the engine resident behind a socket:
+//! `mlscale serve` binds a `std::net::TcpListener`, fans connections out
+//! across a worker pool sized by `mlscale_core::par`'s thread
+//! resolution, and answers scenario-spec JSON on three endpoints:
+//!
+//! * `POST /gd`    — one gradient-descent configuration (no sweep axes);
+//!   the response is the same pretty-printed `ExperimentResult` JSON
+//!   `mlscale gd` writes;
+//! * `POST /plan`  — like `/gd` but requires `workload.plan`, so the
+//!   response carries the fastest/cheapest provisioning stats;
+//! * `POST /sweep` — any valid scenario (grids, bp, exhibits); the
+//!   response envelope `{"name", "points", "rollup"}` embeds every
+//!   per-point result byte-identically to the files `mlscale sweep`
+//!   writes.
+//!
+//! Validation is exactly `ScenarioSpec::from_json` — the CLI's exit-2
+//! diagnostics become `400` bodies naming the offending key path:
+//! `{"error": {"path": "workload.latancy", "message": "unknown field…"}}`.
+//!
+//! Two caches are shared process-wide: an
+//! [`OrderStatCachePool`](mlscale_core::straggler::OrderStatCachePool)
+//! (straggler order-statistic quadratures, reused across requests that
+//! share a delay model) and a rendered-response LRU ([`lru::ResponseLru`])
+//! keyed on `(endpoint, body)`, so a hot preset is answered without
+//! re-evaluating anything. Responses carry `x-mlscale-cache: hit|miss`
+//! and `x-mlscale-micros` (server-side handling time) so clients and the
+//! load-generator bench can separate cold from cached latency. Cached
+//! and cold responses are byte-identical.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod http;
+pub mod lru;
+
+use http::{read_request, Request, Response};
+use lru::ResponseLru;
+use mlscale_core::par;
+use mlscale_core::straggler::OrderStatCachePool;
+use mlscale_scenario::{run_pooled, ScenarioSpec, SpecError, WorkloadSpec};
+use serde::{Serialize, Value};
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Rendered responses kept in the LRU; a handful of hot scenarios is the
+/// expected working set, and entries are small (tens of KiB).
+const RESPONSE_CACHE_CAPACITY: usize = 64;
+
+/// Idle keep-alive connections are dropped after this long so a silent
+/// peer cannot pin a worker.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The endpoints the daemon serves.
+const ENDPOINTS: [&str; 3] = ["/gd", "/plan", "/sweep"];
+
+/// Process-wide state every worker shares.
+struct State {
+    caches: OrderStatCachePool,
+    responses: ResponseLru,
+}
+
+/// The planner daemon: a bound listener plus the shared caches.
+pub struct Server {
+    listener: Arc<TcpListener>,
+    threads: usize,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Binds `addr` (`HOST:PORT`; port 0 asks the OS for a free port)
+    /// with a pool of `threads` accept workers.
+    pub fn bind(addr: &str, threads: usize) -> std::io::Result<Self> {
+        Ok(Self {
+            listener: Arc::new(TcpListener::bind(addr)?),
+            threads: threads.max(1),
+            state: Arc::new(State {
+                caches: OrderStatCachePool::new(),
+                responses: ResponseLru::new(RESPONSE_CACHE_CAPACITY),
+            }),
+        })
+    }
+
+    /// The bound address (reports the OS-chosen port after binding `:0`).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Number of worker threads the pool will run.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Serves forever: the worker pool is a `mlscale_core::par` map over
+    /// the worker indices, each looping `accept → serve connection`.
+    /// (Inside a pool worker nested `par` maps run serial — concurrency
+    /// comes from serving many requests at once, and results are
+    /// bit-identical either way.)
+    pub fn run(&self) {
+        let ids: Vec<usize> = (0..self.threads).collect();
+        par::with_thread_count(self.threads, || {
+            par::map(&ids, |_| self.worker());
+        });
+    }
+
+    /// Spawns [`Self::run`] on a background thread and returns once the
+    /// listener is accepting — for in-process embedding (the bench, unit
+    /// tests). The workers run for the life of the process.
+    pub fn start(self) -> std::io::Result<SocketAddr> {
+        let addr = self.local_addr()?;
+        std::thread::spawn(move || self.run());
+        Ok(addr)
+    }
+
+    fn worker(&self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.serve_connection(stream),
+                Err(_) => continue, // transient accept failure
+            }
+        }
+    }
+
+    /// Serial keep-alive loop over one connection. Every malformed HTTP
+    /// exchange is answered with a 400 and the connection closed; a
+    /// panic out of evaluation becomes a 500, never a dead worker.
+    fn serve_connection(&self, stream: TcpStream) {
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(READ_TIMEOUT)).ok();
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = BufWriter::new(stream);
+        loop {
+            let request = match read_request(&mut reader) {
+                Ok(Some(request)) => request,
+                Ok(None) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                    let body = error_body("request", &e.to_string());
+                    let _ = Response::json(400, body).write_to(&mut writer);
+                    break;
+                }
+                Err(_) => break, // peer timeout / reset
+            };
+            let close = request.wants_close();
+            let started = Instant::now();
+            let response =
+                catch_unwind(AssertUnwindSafe(|| self.route(&request))).unwrap_or_else(|_| {
+                    Response::json(500, error_body("internal", "evaluation panicked"))
+                });
+            let micros = started.elapsed().as_micros();
+            let response = response.with_header("x-mlscale-micros", micros.to_string());
+            if response.write_to(&mut writer).is_err() || close {
+                break;
+            }
+        }
+    }
+
+    /// Maps one request to its response (no socket I/O here).
+    fn route(&self, request: &Request) -> Response {
+        if !ENDPOINTS.contains(&request.path.as_str()) {
+            return Response::json(
+                404,
+                error_body(
+                    &request.path,
+                    "unknown endpoint (expected POST /gd, /plan or /sweep)",
+                ),
+            );
+        }
+        if request.method != "POST" {
+            return Response::json(
+                405,
+                error_body(
+                    &request.path,
+                    &format!(
+                        "{} not allowed (scenario JSON goes in a POST body)",
+                        request.method
+                    ),
+                ),
+            )
+            .with_header("Allow", "POST");
+        }
+        let Ok(body) = std::str::from_utf8(&request.body) else {
+            return Response::json(400, error_body("request", "body is not valid UTF-8"));
+        };
+        if let Some(cached) = self.state.responses.get(&request.path, body) {
+            return Response::json(200, cached.as_str()).with_header("x-mlscale-cache", "hit");
+        }
+        match self.respond(&request.path, body) {
+            Ok(rendered) => {
+                self.state
+                    .responses
+                    .put(&request.path, body, Arc::clone(&rendered));
+                Response::json(200, rendered.as_str()).with_header("x-mlscale-cache", "miss")
+            }
+            Err(err) => Response::json(400, error_body(&err.path, &err.message)),
+        }
+    }
+
+    /// Validates and evaluates one request body — exactly the CLI's
+    /// validation, so every exit-2 diagnostic surfaces here as the 400
+    /// error path.
+    fn respond(&self, path: &str, body: &str) -> Result<Arc<String>, SpecError> {
+        let spec = ScenarioSpec::from_json(body)?;
+        let rendered = match path {
+            "/sweep" => {
+                let outcome = run_pooled(&spec, &self.state.caches)?;
+                let envelope = Value::Map(vec![
+                    ("name".to_string(), Value::Str(outcome.name.clone())),
+                    (
+                        "points".to_string(),
+                        Value::Seq(outcome.points.iter().map(|p| p.to_value()).collect()),
+                    ),
+                    ("rollup".to_string(), outcome.rollup.to_value()),
+                ]);
+                serde_json::to_string_pretty(&envelope).expect("infallible")
+            }
+            _ => {
+                // /gd and /plan: one configuration, answered with the
+                // same pretty ExperimentResult JSON the CLI emits.
+                let WorkloadSpec::Gd(gd) = &spec.workload else {
+                    return Err(SpecError::new(
+                        "workload.kind",
+                        format!("{path} serves gd workloads; POST this scenario to /sweep"),
+                    ));
+                };
+                if !spec.sweep.is_empty() {
+                    return Err(SpecError::new(
+                        "sweep",
+                        format!("{path} answers a single configuration; POST grids to /sweep"),
+                    ));
+                }
+                if path == "/plan" && gd.plan.is_none() {
+                    return Err(SpecError::new(
+                        "workload.plan",
+                        "required by /plan (set iterations and price)",
+                    ));
+                }
+                let outcome = run_pooled(&spec, &self.state.caches)?;
+                serde_json::to_string_pretty(&outcome.points[0]).expect("infallible")
+            }
+        };
+        Ok(Arc::new(rendered))
+    }
+}
+
+/// `{"error": {"path": …, "message": …}}` — the serve-side rendering of
+/// a [`SpecError`], naming the offending key path.
+fn error_body(path: &str, message: &str) -> String {
+    serde_json::to_string(&Value::Map(vec![(
+        "error".to_string(),
+        Value::Map(vec![
+            ("path".to_string(), Value::Str(path.to_string())),
+            ("message".to_string(), Value::Str(message.to_string())),
+        ]),
+    )]))
+    .expect("infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+
+    fn start_server() -> SocketAddr {
+        Server::bind("127.0.0.1:0", 2)
+            .expect("bind")
+            .start()
+            .expect("start")
+    }
+
+    fn roundtrip(addr: SocketAddr, raw: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(raw.as_bytes()).expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("recv");
+        response
+    }
+
+    fn post(addr: SocketAddr, path: &str, body: &str) -> String {
+        roundtrip(
+            addr,
+            &format!(
+                "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    const FIG2: &str = r#"{"name": "fig2-exhibit",
+        "workload": {"kind": "exhibit", "id": "fig2", "max_n": 16}}"#;
+
+    #[test]
+    fn sweep_endpoint_serves_and_caches() {
+        let addr = start_server();
+        let cold = post(addr, "/sweep", FIG2);
+        assert!(cold.starts_with("HTTP/1.1 200"), "{cold}");
+        assert!(cold.contains("x-mlscale-cache: miss"));
+        assert!(cold.contains("\"rollup\""));
+        let warm = post(addr, "/sweep", FIG2);
+        assert!(warm.contains("x-mlscale-cache: hit"));
+        let body = |r: &str| r.split("\r\n\r\n").nth(1).unwrap().to_string();
+        assert_eq!(body(&cold), body(&warm), "cached must be byte-identical");
+    }
+
+    #[test]
+    fn gd_and_plan_endpoints_answer_single_points() {
+        let addr = start_server();
+        let gd = r#"{"name": "q", "workload": {"kind": "gd", "preset": "fig2", "max_n": 13}}"#;
+        let response = post(addr, "/gd", gd);
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains("\"optimal n\""));
+
+        let no_plan = post(addr, "/plan", gd);
+        assert!(no_plan.starts_with("HTTP/1.1 400"), "{no_plan}");
+        assert!(no_plan.contains("workload.plan"));
+
+        let plan = r#"{"name": "q", "workload": {"kind": "gd", "preset": "fig2", "max_n": 16,
+            "plan": {"iterations": 1000, "price": 2.0}}}"#;
+        let planned = post(addr, "/plan", plan);
+        assert!(planned.starts_with("HTTP/1.1 200"), "{planned}");
+        assert!(planned.contains("cheapest cost"));
+    }
+
+    #[test]
+    fn validation_errors_name_the_key_path() {
+        let addr = start_server();
+        let bad = r#"{"name": "x", "workload": {"kind": "gd", "preset": "fig2",
+                      "latancy": 1e-4, "max_n": 4}}"#;
+        let response = post(addr, "/sweep", bad);
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        assert!(response.contains("workload.latancy"), "{response}");
+
+        let not_json = post(addr, "/gd", "{nope");
+        assert!(not_json.starts_with("HTTP/1.1 400"));
+
+        let exhibit_on_gd = post(addr, "/gd", FIG2);
+        assert!(exhibit_on_gd.starts_with("HTTP/1.1 400"));
+        assert!(exhibit_on_gd.contains("workload.kind"));
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_rejected() {
+        let addr = start_server();
+        let missing = post(addr, "/nope", "{}");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let get = roundtrip(
+            addr,
+            "GET /sweep HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert!(get.starts_with("HTTP/1.1 405"), "{get}");
+        assert!(get.contains("Allow: POST"));
+        let garbage = roundtrip(addr, "garbage\r\n\r\n");
+        assert!(garbage.starts_with("HTTP/1.1 400"), "{garbage}");
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests() {
+        let addr = start_server();
+        let gd = r#"{"name": "k", "workload": {"kind": "gd", "preset": "fig2", "max_n": 4}}"#;
+        let request = format!(
+            "POST /gd HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{gd}",
+            gd.len()
+        );
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        for round in 0..3 {
+            stream.write_all(request.as_bytes()).expect("send");
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let response = read_one_response(&mut reader);
+            assert!(response.starts_with("HTTP/1.1 200"), "round {round}");
+        }
+    }
+
+    /// Reads exactly one HTTP response (headers + Content-Length body).
+    fn read_one_response<R: std::io::BufRead>(reader: &mut R) -> String {
+        let mut head = String::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("header line");
+            head.push_str(&line);
+            if line == "\r\n" {
+                break;
+            }
+        }
+        let length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("length header")
+            .trim()
+            .parse()
+            .expect("numeric length");
+        let mut body = vec![0u8; length];
+        reader.read_exact(&mut body).expect("body");
+        head + &String::from_utf8(body).expect("utf8 body")
+    }
+}

@@ -1,0 +1,121 @@
+//! A small thread-safe LRU for rendered responses, keyed on
+//! `(endpoint path, request body)`. The daemon's hot path — a scheduler
+//! re-asking about the same checked-in scenario — becomes one lock, one
+//! linear key compare, one `Arc` clone; the plan/sweep evaluation runs
+//! only on the first sighting of a body.
+
+use std::sync::{Arc, Mutex};
+
+/// One cached entry: `(path, body)` key and the rendered response.
+type Entry = ((String, String), Arc<String>);
+
+/// Bounded most-recently-used-at-the-back cache. Capacity is small (the
+/// daemon serves a handful of hot presets), so a `Vec` with linear scan
+/// beats a hash map plus ordering bookkeeping.
+pub struct ResponseLru {
+    capacity: usize,
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl ResponseLru {
+    /// An empty cache holding at most `capacity` responses.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The cached response for `(path, body)`, refreshing its recency.
+    pub fn get(&self, path: &str, body: &str) -> Option<Arc<String>> {
+        let mut entries = self.entries.lock().expect("response lru poisoned");
+        let i = entries
+            .iter()
+            .position(|((p, b), _)| p == path && b == body)?;
+        let entry = entries.remove(i);
+        let value = Arc::clone(&entry.1);
+        entries.push(entry);
+        Some(value)
+    }
+
+    /// Inserts (or refreshes) a response, evicting the least recently
+    /// used entry when full.
+    pub fn put(&self, path: &str, body: &str, response: Arc<String>) {
+        let mut entries = self.entries.lock().expect("response lru poisoned");
+        if let Some(i) = entries
+            .iter()
+            .position(|((p, b), _)| p == path && b == body)
+        {
+            entries.remove(i);
+        } else if entries.len() >= self.capacity {
+            entries.remove(0);
+        }
+        entries.push(((path.to_string(), body.to_string()), response));
+    }
+
+    /// Number of cached responses.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("response lru poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_same_allocation() {
+        let lru = ResponseLru::new(4);
+        assert!(lru.get("/sweep", "{}").is_none());
+        let v = Arc::new("result".to_string());
+        lru.put("/sweep", "{}", Arc::clone(&v));
+        let hit = lru.get("/sweep", "{}").expect("hit");
+        assert!(Arc::ptr_eq(&hit, &v));
+        assert!(lru.get("/gd", "{}").is_none(), "path is part of the key");
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let lru = ResponseLru::new(2);
+        lru.put("/gd", "a", Arc::new("ra".into()));
+        lru.put("/gd", "b", Arc::new("rb".into()));
+        let _ = lru.get("/gd", "a"); // refresh a; b is now LRU
+        lru.put("/gd", "c", Arc::new("rc".into()));
+        assert_eq!(lru.len(), 2);
+        assert!(lru.get("/gd", "b").is_none(), "b was evicted");
+        assert!(lru.get("/gd", "a").is_some());
+        assert!(lru.get("/gd", "c").is_some());
+    }
+
+    #[test]
+    fn reinsert_replaces_in_place() {
+        let lru = ResponseLru::new(2);
+        lru.put("/gd", "a", Arc::new("v1".into()));
+        lru.put("/gd", "a", Arc::new("v2".into()));
+        assert_eq!(lru.len(), 1);
+        assert_eq!(*lru.get("/gd", "a").unwrap(), "v2");
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let lru = Arc::new(ResponseLru::new(8));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let lru = Arc::clone(&lru);
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let body = format!("{{\"t\":{}}}", i % 8);
+                        lru.put("/sweep", &body, Arc::new(format!("r{t}-{i}")));
+                        let _ = lru.get("/sweep", &body);
+                    }
+                });
+            }
+        });
+        assert!(lru.len() <= 8);
+    }
+}

@@ -37,7 +37,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mlscale <gd|bp|plan|sweep|scenario> [--flag value]...\n\
+        "usage: mlscale <gd|bp|plan|sweep|scenario|serve> [--flag value]...\n\
          \n\
          gd   — gradient-descent speedup curve\n\
               --preset fig2|fig3|pod    load a paper/pod configuration\n\
@@ -64,7 +64,12 @@ fn usage() -> ! {
               results JSON per point plus a roll-up (default DIR:\n\
               results/sweeps/<name>)\n\
          scenario <validate|explain> <file.json>\n\
-              check a scenario spec / print its expanded grid"
+              check a scenario spec / print its expanded grid\n\
+         serve [--addr HOST:PORT] [--threads N]\n\
+              long-lived planner daemon: POST scenario-spec JSON to\n\
+              /gd, /plan or /sweep (default addr 127.0.0.1:7878; port 0\n\
+              picks a free port; threads default to MLSCALE_THREADS or\n\
+              the machine width)"
     );
     exit(2)
 }
@@ -755,7 +760,36 @@ fn cmd_scenario(args: &[String]) {
     }
 }
 
+/// Runs the planner daemon (`mlscale serve`). Startup is refused with a
+/// named exit-2 diagnostic — never a panic — on an unusable `--addr`,
+/// `--threads`, or `MLSCALE_THREADS`.
+fn cmd_serve(flags: &HashMap<String, String>) {
+    check_allowed("serve", flags, &["addr", "threads"]);
+    let addr = flags.get("addr").map_or("127.0.0.1:7878", String::as_str);
+    let threads = match flags.contains_key("threads") {
+        true => int(flags, "threads", None),
+        false => mlscale::model::par::try_thread_count().unwrap_or_else(|e| die(e)),
+    };
+    let server = mlscale::serve::Server::bind(addr, threads)
+        .unwrap_or_else(|e| die(format_args!("--addr: cannot bind {addr:?}: {e}")));
+    let local = server
+        .local_addr()
+        .unwrap_or_else(|e| die(format_args!("cannot read the bound address: {e}")));
+    println!(
+        "listening on http://{local} ({} worker thread(s))",
+        server.threads()
+    );
+    println!("endpoints: POST /gd, /plan, /sweep — scenario-spec JSON bodies");
+    server.run();
+}
+
 fn main() {
+    // Validate MLSCALE_THREADS up front for every verb: a typo'd value
+    // must be a named exit-2 diagnostic (and a refused serve startup),
+    // not a panic out of the first parallel map.
+    if let Err(e) = mlscale::model::par::try_thread_count() {
+        die(e);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         usage()
@@ -766,8 +800,9 @@ fn main() {
         "plan" => cmd_plan(&parse_flags(rest)),
         "sweep" => cmd_sweep(rest),
         "scenario" => cmd_scenario(rest),
+        "serve" => cmd_serve(&parse_flags(rest)),
         other => die(format_args!(
-            "unknown command {other:?} (use gd, bp, plan, sweep or scenario)"
+            "unknown command {other:?} (use gd, bp, plan, sweep, scenario or serve)"
         )),
     }
 }

@@ -26,7 +26,9 @@
 //! * [`workloads`] (`mlscale-workloads`) — end-to-end drivers and the
 //!   `table1`/`fig1`…`fig4`/ablation experiment definitions;
 //! * [`scenario`] (`mlscale-scenario`) — declarative JSON scenario specs
-//!   and the batch sweep engine behind `mlscale sweep`.
+//!   and the batch sweep engine behind `mlscale sweep`;
+//! * [`serve`] (`mlscale-serve`) — the dependency-free HTTP/1.1 planner
+//!   daemon behind `mlscale serve` (`POST /gd`, `/plan`, `/sweep`).
 //!
 //! ## Quickstart
 //!
@@ -56,5 +58,6 @@ pub use mlscale_core as model;
 pub use mlscale_graph as graph;
 pub use mlscale_nn as nn;
 pub use mlscale_scenario as scenario;
+pub use mlscale_serve as serve;
 pub use mlscale_sim as sim;
 pub use mlscale_workloads as workloads;
