@@ -12,6 +12,8 @@
 //! cargo run --release -p mlscale-bench --bin bench-serve
 //! ```
 
+#![forbid(unsafe_code)]
+
 use serde::Value;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -145,11 +147,12 @@ fn main() {
         ),
     ]);
     let out = "BENCH_serve.json";
-    std::fs::write(
-        out,
-        serde_json::to_string_pretty(&report).expect("render") + "\n",
-    )
-    .unwrap_or_else(|e| panic!("write {out}: {e}"));
+    let rendered = serde_json::to_string_pretty(&report).expect("render") + "\n";
+    let tmp = format!("{out}.tmp");
+    // lint: allow(atomic-results-io): this is the temp-file half of the rename pattern
+    std::fs::write(&tmp, rendered)
+        .and_then(|()| std::fs::rename(&tmp, out))
+        .unwrap_or_else(|e| panic!("write {out}: {e}"));
     println!(
         "cold {} us | cached median {} us | hot {:.0} req/s (p99 {:.2} ms) | cold-load {:.0} req/s",
         cold.micros, warm_median, hot.throughput_rps, hot.p99_ms, cold_load.throughput_rps
@@ -197,10 +200,13 @@ fn round3(x: f64) -> f64 {
 /// Runs `CLIENTS` threads of `REQUESTS_PER_CLIENT` keep-alive requests;
 /// client `c` cycles through `bodies[c % bodies.len()]`-style rotation.
 fn load(addr: SocketAddr, bodies: &[String]) -> Phase {
+    // lint: allow(determinism): a latency benchmark measures the wall clock by design
     let start = Instant::now();
+    // lint: allow(par-only-threads): the load generator must drive the server from outside its own par pool to measure it
     let per_client: Vec<(Vec<Duration>, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..CLIENTS)
             .map(|client| {
+                // lint: allow(par-only-threads): per-client socket threads are the measurement harness, not model evaluation
                 scope.spawn(move || {
                     let mut samples = Vec::with_capacity(REQUESTS_PER_CLIENT);
                     let mut hits = 0u64;
@@ -209,6 +215,7 @@ fn load(addr: SocketAddr, bodies: &[String]) -> Phase {
                     let mut reader = BufReader::new(stream);
                     for round in 0..REQUESTS_PER_CLIENT {
                         let body = &bodies[(client + round * CLIENTS) % bodies.len()];
+                        // lint: allow(determinism): per-request latency sample — this benchmark exists to time requests
                         let sent = Instant::now();
                         write_post(&mut writer, body);
                         let reply = read_reply(&mut reader);

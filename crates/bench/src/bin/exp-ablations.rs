@@ -3,6 +3,8 @@
 //! shape, batch size, parameter precision, partitioning strategy, and the
 //! Amdahl-fraction treatment of overhead.
 
+#![forbid(unsafe_code)]
+
 use mlscale_workloads::experiments::ablations;
 
 fn main() {

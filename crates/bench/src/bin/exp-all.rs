@@ -10,6 +10,8 @@
 //! with the thread count; every emitted file is byte-identical to a
 //! serial run's.
 
+#![forbid(unsafe_code)]
+
 use mlscale_workloads::experiments::{
     ablations, extensions, fig1, fig2, fig3, fig4, table1, DnsScale,
 };

@@ -3,6 +3,8 @@
 //! cost/deadline provisioning, and the flat-vs-hierarchical communication
 //! study.
 
+#![forbid(unsafe_code)]
+
 use mlscale_workloads::experiments::extensions;
 
 fn main() {

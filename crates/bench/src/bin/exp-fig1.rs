@@ -1,6 +1,8 @@
 //! Regenerates Fig 1: the introductory speedup example with the optimum
 //! near 14 nodes.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let result = mlscale_workloads::experiments::fig1();
     mlscale_bench::emit(&result);

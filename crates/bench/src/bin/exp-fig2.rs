@@ -4,6 +4,8 @@
 //!
 //! Usage: exp-fig2 [MAX_N]   (default 16)
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let max_n = std::env::args()
         .nth(1)

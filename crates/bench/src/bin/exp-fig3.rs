@@ -1,6 +1,8 @@
 //! Regenerates Fig 3: weak-scaling per-instance speedup of Inception v3
 //! training on the (simulated) K40 cluster, relative to 50 nodes.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let result = mlscale_workloads::experiments::fig3();
     mlscale_bench::emit(&result);

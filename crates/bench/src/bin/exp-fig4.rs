@@ -6,6 +6,8 @@
 //! Default scale: small (paper MAPE 19.6%). `full` materialises the
 //! 16.26M-vertex / 99.85M-edge graph (~1 GB, minutes).
 
+#![forbid(unsafe_code)]
+
 use mlscale_workloads::experiments::{fig4, DnsScale};
 
 fn run(scale: DnsScale) {

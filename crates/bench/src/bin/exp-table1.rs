@@ -1,5 +1,7 @@
 //! Regenerates Table I (network configurations) from the layer cost algebra.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let result = mlscale_workloads::experiments::table1();
     mlscale_bench::emit(&result);

@@ -5,6 +5,8 @@
 //!
 //! Usage: ext-stragglers [MAX_N]   (default 16)
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let max_n = std::env::args()
         .nth(1)

@@ -7,6 +7,7 @@
 //! exhibit (model evaluation, the Monte-Carlo estimator, partitioning, BP
 //! iterations, the simulator, the layer cost algebra).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
@@ -44,6 +45,7 @@ pub fn emit(result: &ExperimentResult) -> Option<PathBuf> {
     let tmp = dir.join(format!("{}.json.tmp", result.id));
     match serde_json::to_string_pretty(result) {
         Ok(json) => {
+            // lint: allow(atomic-results-io): this is the temp-file half of the rename pattern
             if let Err(e) = std::fs::write(&tmp, json) {
                 eprintln!("warning: cannot write {}: {e}", tmp.display());
                 return None;

@@ -64,6 +64,7 @@ impl CompModel for MaxLoad {
         let load = self
             .max_load_per_n
             .get(n - 1)
+            // lint: allow(panic-free-lib): documented # Panics contract — the load table covers 1..=max_n by construction
             .unwrap_or_else(|| panic!("no load recorded for n={n}"));
         *load / self.rate
     }

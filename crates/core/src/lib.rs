@@ -48,6 +48,7 @@
 //! assert!(s_opt > 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

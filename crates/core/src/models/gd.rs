@@ -118,6 +118,7 @@ impl GradientDescentModel {
             }),
             GdComm::Ring => Box::new(RingAllReduce { volume, bandwidth }),
             GdComm::HalvingDoubling => Box::new(HalvingDoubling { volume, bandwidth }),
+            // lint: allow(panic-free-lib): comm_model() intercepts Hierarchical before this constructor can see it
             GdComm::Hierarchical => unreachable!("handled by comm_model"),
             GdComm::None => Box::new(NoComm),
         };

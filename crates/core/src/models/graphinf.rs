@@ -180,6 +180,7 @@ impl GraphInferenceModel {
             EdgeLoad::Balanced => self.edges / n as f64,
             EdgeLoad::PerWorkerMax(loads) => *loads
                 .get(n - 1)
+                // lint: allow(panic-free-lib): documented # Panics contract — loads are recorded for every n the curve samples
                 .unwrap_or_else(|| panic!("no edge load recorded for n={n}")),
         }
     }

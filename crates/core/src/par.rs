@@ -37,6 +37,7 @@ thread_local! {
 pub fn thread_count() -> usize {
     match try_thread_count() {
         Ok(n) => n,
+        // lint: allow(panic-free-lib): thread_count is the documented panicking convenience; fallible callers use try_thread_count
         Err(msg) => panic!("{msg}"),
     }
 }

@@ -139,6 +139,7 @@ impl Planner {
             .iter()
             .copied()
             .min_by(|a, b| a.cost.total_cmp(&b.cost).then(a.n.cmp(&b.n)))
+            // lint: allow(panic-free-lib): the candidate list has one entry per n in 1..=max_n and max_n >= 1 is validated
             .expect("max_n >= 1")
     }
 
@@ -154,6 +155,7 @@ impl Planner {
                     .total_cmp(&b.time.as_secs())
                     .then(a.n.cmp(&b.n))
             })
+            // lint: allow(panic-free-lib): the candidate list has one entry per n in 1..=max_n and max_n >= 1 is validated
             .expect("max_n >= 1")
     }
 

@@ -88,6 +88,7 @@ impl SpeedupCurve {
             .ns
             .iter()
             .position(|&n| n == n0)
+            // lint: allow(panic-free-lib): documented # Panics contract — the baseline n0 must be one of the sampled ns
             .unwrap_or_else(|| panic!("baseline n={n0} not sampled"));
         self.baseline = self.times[idx];
         self.baseline_n = n0;

@@ -42,7 +42,7 @@ use rand::Rng;
 use rand_distr::{Distribution, Exp, LogNormal};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Distribution of the per-worker, per-superstep straggler delay added on
 /// top of a worker's deterministic compute time.
@@ -346,10 +346,12 @@ impl StragglerModel {
                 if mean == 0.0 {
                     0.0
                 } else {
+                    // lint: allow(panic-free-lib): StragglerModel validation rejects non-positive means before sampling
                     Exp::new(1.0 / mean).expect("validated").sample(rng)
                 }
             }
             StragglerModel::LogNormalTail { mu, sigma } => {
+                // lint: allow(panic-free-lib): StragglerModel validation rejects invalid sigma before sampling
                 LogNormal::new(mu, sigma).expect("validated").sample(rng)
             }
         }
@@ -629,6 +631,7 @@ fn sweep_curve(
 ) -> SpeedupCurve {
     let ns: Vec<usize> = ns.into_iter().collect();
     assert!(!ns.is_empty(), "need at least one worker count");
+    // lint: allow(panic-free-lib): the assert! above guarantees ns is non-empty
     let n_max = ns.iter().copied().max().expect("non-empty");
     let table = order_stat_table(straggler, backup_k, n_max, &probe_bases(n_max));
     let times = par::map(&ns, |&n| time_via(&straggler.order_stat_from(&table), n));
@@ -683,7 +686,7 @@ impl OrderStatCache {
     /// entries it would write are bit-identical to the ones in place.
     pub fn warm(&self, n_max: usize, drop_k: usize) {
         {
-            let mut warmed = self.warmed.lock().expect("warm ledger poisoned");
+            let mut warmed = self.warmed.lock().unwrap_or_else(PoisonError::into_inner);
             if warmed.iter().any(|&(k, m)| k == drop_k && m >= n_max) {
                 return;
             }
@@ -691,7 +694,7 @@ impl OrderStatCache {
             warmed.push((drop_k, n_max));
         }
         let table = self.model.expected_order_stats(n_max, drop_k);
-        let mut memo = self.memo.lock().expect("order-stat memo poisoned");
+        let mut memo = self.memo.lock().unwrap_or_else(PoisonError::into_inner);
         for (i, &v) in table.iter().enumerate() {
             let n = i + 1;
             memo.insert((n, drop_k.min(n - 1)), v);
@@ -703,7 +706,7 @@ impl OrderStatCache {
         if let Some(&v) = self
             .memo
             .lock()
-            .expect("order-stat memo poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&(n, k))
         {
             return v;
@@ -711,7 +714,7 @@ impl OrderStatCache {
         let v = self.model.expected_order_stat(n, k);
         self.memo
             .lock()
-            .expect("order-stat memo poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert((n, k), v);
         v
     }
@@ -751,7 +754,7 @@ impl OrderStatCachePool {
 
     /// The shared cache for `model`, creating it on first request.
     pub fn cache_for(&self, model: StragglerModel) -> Arc<OrderStatCache> {
-        let mut caches = self.caches.lock().expect("cache pool poisoned");
+        let mut caches = self.caches.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some((_, cache)) = caches.iter().find(|(m, _)| *m == model) {
             return Arc::clone(cache);
         }
@@ -762,7 +765,10 @@ impl OrderStatCachePool {
 
     /// Number of distinct models cached so far.
     pub fn len(&self) -> usize {
-        self.caches.lock().expect("cache pool poisoned").len()
+        self.caches
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Whether the pool has no caches yet.

@@ -44,9 +44,11 @@ impl CsrGraph {
         let mut offsets = Vec::with_capacity(vertices + 1);
         offsets.push(0u64);
         for &d in &degrees {
+            // lint: allow(panic-free-lib): offsets starts with a pushed 0, so last() is always Some
             offsets.push(offsets.last().unwrap() + d);
         }
         let mut cursor: Vec<u64> = offsets[..vertices].to_vec();
+        // lint: allow(panic-free-lib): offsets starts with a pushed 0, so last() is always Some
         let mut targets = vec![0 as VertexId; *offsets.last().unwrap() as usize];
         for &(u, v) in edge_list {
             targets[cursor[u as usize] as usize] = v;
@@ -128,6 +130,7 @@ impl CsrGraph {
         if self.offsets.windows(2).any(|w| w[0] > w[1]) {
             return Err("offsets not monotone".into());
         }
+        // lint: allow(panic-free-lib): offsets starts with a pushed 0 at construction, so last() is always Some
         if *self.offsets.last().unwrap() as usize != self.targets.len() {
             return Err("final offset disagrees with target count".into());
         }

@@ -27,6 +27,7 @@
 //! assert!(bp.run(10, 1e-9).converged);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

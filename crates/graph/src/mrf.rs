@@ -156,8 +156,10 @@ impl<'a> BeliefPropagation<'a> {
         let mut arc_offsets = Vec::with_capacity(g.vertices() + 1);
         arc_offsets.push(0usize);
         for v in 0..g.vertices() as VertexId {
+            // lint: allow(panic-free-lib): arc_offsets starts with a pushed 0, so last() is always Some
             arc_offsets.push(arc_offsets.last().unwrap() + g.neighbors(v).len());
         }
+        // lint: allow(panic-free-lib): arc_offsets starts with a pushed 0, so last() is always Some
         let arcs = *arc_offsets.last().unwrap();
         let uniform = 1.0 / s as f64;
         Self {
@@ -287,6 +289,7 @@ fn build_reverse_index(g: &CsrGraph, arc_offsets: &[usize]) -> Vec<u64> {
     // normalised endpoint pair so the two directions of each undirected
     // edge are adjacent, then pair them (multiplicities match for
     // parallel edges).
+    // lint: allow(panic-free-lib): arc_offsets starts with a pushed 0, so last() is always Some
     let total = *arc_offsets.last().unwrap();
     let mut keyed: Vec<(u32, u32, u64)> = Vec::with_capacity(total);
     for v in 0..g.vertices() as VertexId {

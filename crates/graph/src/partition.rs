@@ -90,6 +90,7 @@ impl Partition {
                 .iter()
                 .enumerate()
                 .min_by_key(|&(_, &l)| l)
+                // lint: allow(panic-free-lib): loads has `workers` entries and the assert! above requires workers >= 1
                 .expect("workers >= 1");
             assignment[v as usize] = w as u32;
             loads[w] += u64::from(graph.degree(v));

@@ -1,0 +1,353 @@
+//! File classification and source contexts: which rules apply where.
+//!
+//! Three layers decide whether a token is rule-visible:
+//!
+//! 1. **Target kind** — library sources, binary sources, and test-like
+//!    sources (`tests/`, `benches/`, `examples/`) get different rule
+//!    sets; vendored crates are exempt from the code rules entirely.
+//! 2. **`#[cfg(test)]` spans** — inline test modules inside library
+//!    files count as test code; the span of the attributed item (brace
+//!    matched) is excluded from non-test rules.
+//! 3. **Suppressions** — `// lint: allow(<rule>): <reason>` comments
+//!    silence a rule on their own line or the next code line. The reason
+//!    is mandatory; an allow that suppresses nothing is itself reported.
+
+use crate::lexer::{Comment, Lexed, TokKind, Token};
+
+/// How a source file participates in the build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Part of a library target (`src/**` minus binaries).
+    Lib,
+    /// A binary target root or helper (`src/main.rs`, `src/bin/**`).
+    Bin,
+    /// Integration tests, benches, examples — panic-freedom and
+    /// determinism rules do not apply.
+    TestLike,
+}
+
+/// Everything the rule engine needs to know about a file besides its
+/// source text.
+#[derive(Debug, Clone)]
+pub struct FileInput {
+    /// Workspace-root-relative path, `/`-separated (used in findings).
+    pub path: String,
+    /// Target kind.
+    pub kind: FileKind,
+    /// Whether the file belongs to a vendored (stand-in) crate.
+    pub vendored: bool,
+    /// Whether the file is a crate root (`lib.rs`, `main.rs`,
+    /// `src/bin/*.rs`) — where `#![forbid(unsafe_code)]` must live.
+    pub crate_root: bool,
+}
+
+impl FileInput {
+    /// Classifies `rel` (workspace-root-relative, `/`-separated).
+    pub fn classify(rel: &str, vendored: bool) -> Self {
+        let in_dir = |d: &str| rel.contains(&format!("/{d}/")) || rel.starts_with(&format!("{d}/"));
+        let kind = if in_dir("tests") || in_dir("benches") || in_dir("examples") {
+            FileKind::TestLike
+        } else if rel.ends_with("/main.rs") || in_dir("src/bin") {
+            FileKind::Bin
+        } else {
+            FileKind::Lib
+        };
+        let crate_root = rel.ends_with("src/lib.rs")
+            || rel.ends_with("src/main.rs")
+            || (in_dir("src/bin") && rel.ends_with(".rs"));
+        Self {
+            path: rel.to_string(),
+            kind,
+            vendored,
+            crate_root,
+        }
+    }
+}
+
+/// Inclusive 1-based line ranges covered by `#[cfg(test)]` items.
+#[derive(Debug, Default)]
+pub struct TestSpans(Vec<(u32, u32)>);
+
+impl TestSpans {
+    /// Whether `line` falls inside any `#[cfg(test)]` item.
+    pub fn contains(&self, line: u32) -> bool {
+        self.0.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// Scans the token stream for `#[cfg(test)]`-attributed items and
+    /// records their brace-matched line spans. `cfg(any(test, …))` and
+    /// friends count: any `test` identifier inside a `cfg` attribute
+    /// marks the item.
+    pub fn find(lexed: &Lexed) -> Self {
+        let toks = &lexed.tokens;
+        let mut spans = Vec::new();
+        let mut i = 0;
+        while i < toks.len() {
+            if !(is_punct(toks, i, "#") && is_punct(toks, i + 1, "[")) {
+                i += 1;
+                continue;
+            }
+            let attr_start = i;
+            let Some(attr_end) = match_bracket(toks, i + 1, "[", "]") else {
+                break; // malformed attribute: nothing more to find
+            };
+            let is_cfg_test = is_ident(toks, attr_start + 2, "cfg")
+                && toks[attr_start + 2..attr_end]
+                    .iter()
+                    .any(|t| t.kind == TokKind::Ident && t.text == "test");
+            if !is_cfg_test {
+                i = attr_end + 1;
+                continue;
+            }
+            // Skip any further attributes between cfg(test) and the item.
+            let mut j = attr_end + 1;
+            while is_punct(toks, j, "#") && is_punct(toks, j + 1, "[") {
+                match match_bracket(toks, j + 1, "[", "]") {
+                    Some(end) => j = end + 1,
+                    None => return Self(spans),
+                }
+            }
+            // The item extends to its closing brace, or to a `;` for
+            // brace-less items (`#[cfg(test)] mod tests;`).
+            let mut end_line = toks.get(j).map_or(toks[attr_start].line, |t| t.line);
+            while j < toks.len() {
+                if is_punct(toks, j, ";") {
+                    end_line = toks[j].line;
+                    break;
+                }
+                if is_punct(toks, j, "{") {
+                    if let Some(close) = match_bracket(toks, j, "{", "}") {
+                        end_line = toks[close].line;
+                        j = close;
+                    } else {
+                        end_line = toks.last().map_or(end_line, |t| t.line);
+                        j = toks.len();
+                    }
+                    break;
+                }
+                j += 1;
+            }
+            spans.push((toks[attr_start].line, end_line));
+            i = j + 1;
+        }
+        Self(spans)
+    }
+}
+
+/// One parsed `// lint: allow(<rules>): <reason>` directive.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Line the comment starts on.
+    pub line: u32,
+    /// The line whose findings it silences (same line for a trailing
+    /// comment, the next code line for a comment on its own line).
+    pub target_line: u32,
+    /// Rule names listed in `allow(…)`.
+    pub rules: Vec<String>,
+    /// The mandatory justification text.
+    pub reason: String,
+    /// How many findings this directive silenced (filled by the engine).
+    pub hits: usize,
+}
+
+/// A malformed directive, reported as a finding by the engine.
+#[derive(Debug, Clone)]
+pub struct BadDirective {
+    /// Line of the offending comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// The result of scanning a file's comments for directives.
+#[derive(Debug, Default)]
+pub struct Directives {
+    /// Well-formed suppressions.
+    pub allows: Vec<Suppression>,
+    /// Malformed ones (missing reason, bad syntax, unknown rule names
+    /// are checked by the engine which knows the rule registry).
+    pub bad: Vec<BadDirective>,
+}
+
+/// Parses every `lint:` directive out of the comments. `token_lines`
+/// must contain the set of lines that carry at least one token, so a
+/// directive on its own line can bind to the next code line.
+pub fn parse_directives(comments: &[Comment], token_lines: &[u32]) -> Directives {
+    let mut out = Directives::default();
+    for comment in comments {
+        let text = comment.text.trim();
+        // Doc-comment bodies (`/// lint:`) start with an extra marker.
+        let text = text.trim_start_matches(['/', '!']).trim_start();
+        let Some(rest) = text.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(args) = rest.strip_prefix("allow") else {
+            out.bad.push(BadDirective {
+                line: comment.line,
+                message: format!(
+                    "unknown lint directive {rest:?} (expected `allow(<rule>): <reason>`)"
+                ),
+            });
+            continue;
+        };
+        let args = args.trim_start();
+        let parsed = args.strip_prefix('(').and_then(|a| a.split_once(')'));
+        let Some((rule_list, tail)) = parsed else {
+            out.bad.push(BadDirective {
+                line: comment.line,
+                message: "malformed allow — expected `allow(<rule>): <reason>`".to_string(),
+            });
+            continue;
+        };
+        let rules: Vec<String> = rule_list
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let reason = tail.trim_start().strip_prefix(':').map(str::trim);
+        let (Some(reason), false) = (reason, rules.is_empty()) else {
+            out.bad.push(BadDirective {
+                line: comment.line,
+                message: "allow needs a rule list and a `: <reason>` tail".to_string(),
+            });
+            continue;
+        };
+        if reason.is_empty() {
+            out.bad.push(BadDirective {
+                line: comment.line,
+                message: format!(
+                    "allow({}) has no reason — a suppression must say why it is justified",
+                    rules.join(", ")
+                ),
+            });
+            continue;
+        }
+        let target_line = if token_lines.binary_search(&comment.line).is_ok() {
+            comment.line
+        } else {
+            // The first code line after the comment (skipping blank and
+            // further comment-only lines).
+            match token_lines.iter().find(|&&l| l > comment.line) {
+                Some(&l) => l,
+                None => comment.line,
+            }
+        };
+        out.allows.push(Suppression {
+            line: comment.line,
+            target_line,
+            rules,
+            reason: reason.to_string(),
+            hits: 0,
+        });
+    }
+    out
+}
+
+/// Sorted, deduplicated list of lines that carry at least one token.
+pub fn token_lines(lexed: &Lexed) -> Vec<u32> {
+    let mut lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    lines.sort_unstable();
+    lines.dedup();
+    lines
+}
+
+fn is_punct(toks: &[Token], i: usize, p: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Punct && t.text == p)
+}
+
+fn is_ident(toks: &[Token], i: usize, name: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == name)
+}
+
+/// Given `toks[open]` is the `open` bracket, returns the index of its
+/// matching `close` bracket.
+fn match_bracket(toks: &[Token], open: usize, open_ch: &str, close_ch: &str) -> Option<usize> {
+    if !is_punct(toks, open, open_ch) {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == open_ch {
+                depth += 1;
+            } else if t.text == close_ch {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn classify_by_path() {
+        let lib = FileInput::classify("crates/core/src/par.rs", false);
+        assert_eq!(lib.kind, FileKind::Lib);
+        assert!(!lib.crate_root);
+        let root = FileInput::classify("crates/core/src/lib.rs", false);
+        assert!(root.crate_root);
+        let bin = FileInput::classify("crates/bench/src/bin/exp-fig1.rs", false);
+        assert_eq!(bin.kind, FileKind::Bin);
+        assert!(bin.crate_root);
+        let test = FileInput::classify("crates/core/tests/par_determinism.rs", false);
+        assert_eq!(test.kind, FileKind::TestLike);
+        let root_main = FileInput::classify("src/bin/mlscale.rs", false);
+        assert_eq!(root_main.kind, FileKind::Bin);
+        assert!(root_main.crate_root);
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_the_module_body() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let lexed = lex(src);
+        let spans = TestSpans::find(&lexed);
+        assert!(spans.contains(2));
+        assert!(spans.contains(4));
+        assert!(spans.contains(5));
+        assert!(!spans.contains(1));
+        assert!(!spans.contains(6));
+    }
+
+    #[test]
+    fn cfg_any_test_counts_and_other_cfgs_do_not() {
+        let spans = TestSpans::find(&lex("#[cfg(any(test, doctest))]\nmod t { }\nfn x() {}\n"));
+        assert!(spans.contains(2));
+        let none = TestSpans::find(&lex("#[cfg(feature = \"x\")]\nmod t { }\n"));
+        assert!(!none.contains(2));
+    }
+
+    #[test]
+    fn directive_parsing_and_binding() {
+        let src = "let a = 1;\n// lint: allow(panic-free-lib): poisoning is unrecoverable here\nlet b = x.unwrap();\nlet c = 2; // lint: allow(determinism, par-only-threads): trailing\n";
+        let lexed = lex(src);
+        let d = parse_directives(&lexed.comments, &token_lines(&lexed));
+        assert_eq!(d.allows.len(), 2);
+        assert_eq!(d.allows[0].target_line, 3, "own-line allow binds forward");
+        assert_eq!(
+            d.allows[1].target_line, 4,
+            "trailing allow binds to its line"
+        );
+        assert_eq!(d.allows[1].rules.len(), 2);
+        assert!(d.bad.is_empty());
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let lexed = lex("// lint: allow(panic-free-lib)\nlet a = 1;\n// lint: allow(panic-free-lib):\nlet b = 2;\n// lint: deny(everything)\n");
+        let d = parse_directives(&lexed.comments, &token_lines(&lexed));
+        assert!(d.allows.is_empty());
+        assert_eq!(d.bad.len(), 3);
+        assert!(d.bad[1].message.contains("no reason"));
+    }
+}

@@ -1,0 +1,432 @@
+//! A hand-rolled Rust lexer: just enough tokenization that the rule
+//! engine can match identifier/punctuation sequences without ever being
+//! fooled by the contents of strings, characters or comments.
+//!
+//! `"panic!"` in a string literal, `unwrap` in a doc comment, and
+//! `// fs::write would be wrong here` all produce zero rule-visible
+//! tokens. Comments are captured separately (with their line numbers) so
+//! suppression directives can be parsed out of them.
+//!
+//! Handled syntax: line and (nested) block comments, string literals
+//! with escapes, raw strings `r"…"` / `r#"…"#` (any number of `#`),
+//! byte/C-string prefixes (`b"…"`, `br#"…"#`, `c"…"`), character
+//! literals vs. lifetimes (`'a'` vs `'a`), raw identifiers (`r#type`),
+//! and numeric literals including floats and exponents (`1.0e-4`,
+//! `0xC11`). Multi-line literals and comments keep the line counter
+//! accurate.
+
+/// What kind of token the rule engine is looking at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `thread`, `fn`, …).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `!`, `{`, …).
+    Punct,
+    /// String literal of any flavour (contents are rule-invisible).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (empty for string/char literals — contents must never
+    /// influence a rule).
+    pub text: String,
+}
+
+/// One comment with its 1-based starting line and body text (without the
+/// `//` / `/* */` markers). Suppression directives are parsed from these.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment body, markers stripped.
+    pub text: String,
+}
+
+/// The full lexing result for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Rule-visible tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Never fails: unterminated literals or comments simply
+/// consume the rest of the file (the compiler will reject such a file
+/// anyway; the linter must not crash on it).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Advances one char, keeping the line counter accurate.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+        Some(c)
+    }
+
+    fn push(&mut self, line: u32, kind: TokKind, text: String) {
+        self.out.tokens.push(Token { line, kind, text });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                'r' | 'b' | 'c' if self.try_prefixed_literal() => {}
+                '\'' => self.char_or_lifetime(),
+                _ if is_ident_start(c) => self.ident(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.push(line, TokKind::Punct, c.to_string());
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump(); // //
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// Block comments nest, per the Rust reference.
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump(); // /*
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push_str("/*");
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: swallow to EOF
+            }
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// A plain `"…"` string with `\` escapes. The opening quote must be
+    /// the current char.
+    fn string_literal(&mut self) {
+        let line = self.line;
+        self.bump(); // "
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // the escaped char, whatever it is
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(line, TokKind::Str, String::new());
+    }
+
+    /// Raw string with `hashes` `#`s; the caller has consumed up to and
+    /// including the opening quote.
+    fn raw_string_tail(&mut self, line: u32, hashes: usize) {
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(line, TokKind::Str, String::new());
+    }
+
+    /// Handles `r"…"`, `r#"…"#…`, `r#ident`, `b"…"`, `br#"…"#`, `b'x'`,
+    /// `c"…"` — anything where `r`/`b`/`c` prefixes a literal. Returns
+    /// false when the current char starts a plain identifier instead.
+    fn try_prefixed_literal(&mut self) -> bool {
+        let line = self.line;
+        let c0 = self.peek(0).unwrap_or(' ');
+        // b'x' — a byte literal.
+        if c0 == 'b' && self.peek(1) == Some('\'') {
+            self.bump(); // b
+            self.char_literal();
+            return true;
+        }
+        // b"…" / c"…" / "…" after the one-letter prefix.
+        if (c0 == 'b' || c0 == 'c') && self.peek(1) == Some('"') {
+            self.bump();
+            self.string_literal();
+            return true;
+        }
+        // br#"…"# / cr#"…"# / r#"…"# / r"…" — count hashes after the
+        // optional second prefix letter.
+        let r_at = if c0 == 'r' {
+            0
+        } else if self.peek(1) == Some('r') {
+            1
+        } else {
+            return false;
+        };
+        let mut j = r_at + 1;
+        let mut hashes = 0usize;
+        while self.peek(j) == Some('#') {
+            hashes += 1;
+            j += 1;
+        }
+        if self.peek(j) == Some('"') {
+            for _ in 0..=j {
+                self.bump(); // prefix, hashes, opening quote
+            }
+            self.raw_string_tail(line, hashes);
+            return true;
+        }
+        // r#ident — a raw identifier (only with exactly one hash and an
+        // ident start after it, and only for a bare `r` prefix).
+        if c0 == 'r' && hashes == 1 && self.peek(2).is_some_and(is_ident_start) {
+            self.bump();
+            self.bump(); // r#
+            self.ident();
+            return true;
+        }
+        false
+    }
+
+    /// At a `'`: a character literal (`'a'`, `'\n'`, `'\u{1F600}'`) or a
+    /// lifetime (`'static`). Disambiguation: `'x'` (next-next is a quote)
+    /// or `'\…` (escape) is a char; otherwise a lifetime.
+    fn char_or_lifetime(&mut self) {
+        if self.peek(1) == Some('\\') || (self.peek(2) == Some('\'') && self.peek(1) != Some('\''))
+        {
+            self.char_literal();
+        } else {
+            let line = self.line;
+            self.bump(); // '
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(line, TokKind::Lifetime, text);
+        }
+    }
+
+    /// A character (or byte) literal; the opening quote is current.
+    fn char_literal(&mut self) {
+        let line = self.line;
+        self.bump(); // '
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(line, TokKind::Char, String::new());
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(line, TokKind::Ident, text);
+    }
+
+    /// Numeric literal: digits, `_`, type suffixes, hex/octal/binary
+    /// alphanumerics, one `.` followed by a digit, and a signed exponent.
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut seen_dot = false;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && !seen_dot && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                seen_dot = true;
+                text.push(c);
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && text.ends_with(['e', 'E'])
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(line, TokKind::Num, text);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let a = "panic!(\"in a string\")"; // unwrap in a comment
+            /* fs::write in a /* nested */ block comment */
+            let b = r#"thread::spawn in a raw string"#;
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"let".to_string()));
+        assert!(!ids.iter().any(|t| t == "panic" || t == "unwrap"));
+        assert!(!ids.iter().any(|t| t == "spawn" || t == "write"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_start_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Char)
+                .count(),
+            1
+        );
+        // The 'x' literal must not have swallowed the closing brace.
+        assert_eq!(lexed.tokens.last().unwrap().text, "}");
+    }
+
+    #[test]
+    fn multiline_raw_string_keeps_line_numbers() {
+        let src = "let s = r#\"line\nline\nline\"#;\nlet after = 1;";
+        let lexed = lex(src);
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "after")
+            .expect("after token");
+        assert_eq!(after.line, 4);
+    }
+
+    #[test]
+    fn comment_lines_are_recorded() {
+        let src = "let a = 1;\n// lint: allow(panic-free-lib): reason\nlet b = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("lint: allow"));
+    }
+
+    #[test]
+    fn numbers_with_exponents_lex_as_one_token() {
+        let lexed = lex("let x = 1.0e-4 + 0xC11;");
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["1.0e-4", "0xC11"]);
+    }
+}

@@ -1,0 +1,175 @@
+//! # mlscale-lint — repo-aware static analysis
+//!
+//! Six PRs of this workspace rest on invariants no compiler checks:
+//! golden fixtures demand byte-reproducible output, `mlscale serve`
+//! demands panic-free request handling, results files demand atomic
+//! writes, threading must flow through `mlscale_core::par`, and the
+//! offline build demands vendored dependencies. This crate checks all of
+//! them mechanically: a dependency-free, source-level analyzer with a
+//! hand-rolled lexer (string/char/comment-aware, `#[cfg(test)]`-aware)
+//! and a rule engine with mandatory-reason inline suppressions.
+//!
+//! Run it with `cargo run -p mlscale-lint` from the workspace root; it
+//! exits non-zero and prints `file:line:rule: message` findings when any
+//! invariant is violated. Suppress a justified site with
+//! `// lint: allow(<rule>): <reason>` — the reason is required, and a
+//! suppression that silences nothing is itself a finding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod context;
+pub mod lexer;
+pub mod manifest;
+pub mod report;
+pub mod rules;
+
+use context::FileInput;
+use report::{Finding, LintOutcome};
+use std::path::{Path, PathBuf};
+
+/// Lints every member of the workspace rooted at `root` (the directory
+/// holding the `[workspace]` `Cargo.toml`).
+pub fn lint_workspace(root: &Path) -> Result<LintOutcome, String> {
+    let root_manifest = root.join("Cargo.toml");
+    let text = std::fs::read_to_string(&root_manifest)
+        .map_err(|e| format!("cannot read {}: {e}", root_manifest.display()))?;
+    let mut member_dirs = workspace_members(&text);
+    member_dirs.insert(0, String::new()); // the root facade package itself
+
+    let mut outcome = LintOutcome::default();
+    for member in &member_dirs {
+        let vendored = member.starts_with("vendor");
+        let dir = if member.is_empty() {
+            root.to_path_buf()
+        } else {
+            root.join(member)
+        };
+
+        // The member's own manifest (the root one covers the facade).
+        let manifest_path = dir.join("Cargo.toml");
+        if let Ok(toml) = std::fs::read_to_string(&manifest_path) {
+            let rel = rel_path(root, &manifest_path);
+            outcome
+                .findings
+                .extend(manifest::lint_manifest(&rel, member, &toml));
+            outcome.manifests_scanned += 1;
+        }
+
+        // Rust sources: src/, tests/, benches/, examples/ under the
+        // member directory. For the root package, only those four dirs
+        // (never the member crates again, never `target/`).
+        for sub in ["src", "tests", "benches", "examples"] {
+            let base = dir.join(sub);
+            if !base.is_dir() {
+                continue;
+            }
+            for file in rust_files(&base) {
+                let rel = rel_path(root, &file);
+                let src = std::fs::read_to_string(&file)
+                    .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+                let input = FileInput::classify(&rel, vendored);
+                let lint = rules::lint_source(&input, &src);
+                outcome.findings.extend(lint.findings);
+                outcome.suppressions.extend(lint.used);
+                outcome.files_scanned += 1;
+            }
+        }
+    }
+    outcome
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(outcome)
+}
+
+/// Finds the workspace root at or above `start`: the nearest directory
+/// whose `Cargo.toml` declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Member directories out of the root manifest's `members = [ … ]` list.
+fn workspace_members(root_toml: &str) -> Vec<String> {
+    let mut members = Vec::new();
+    let mut in_members = false;
+    for raw in root_toml.lines() {
+        let mut line = raw.trim();
+        if line.starts_with("members") && line.contains('[') {
+            in_members = true;
+            // Single-line lists: scan only past the opening bracket.
+            line = &line[line.find('[').map_or(0, |i| i + 1)..];
+        }
+        if in_members {
+            for piece in line.split(',') {
+                if let Some(m) = piece
+                    .trim()
+                    .strip_prefix('"')
+                    .and_then(|p| p.split('"').next())
+                {
+                    if !members.contains(&m.to_string()) {
+                        members.push(m.to_string());
+                    }
+                }
+            }
+            if line.ends_with(']') {
+                break;
+            }
+        }
+    }
+    members
+}
+
+/// All `.rs` files under `base`, recursively, in sorted order (so runs
+/// are deterministic across filesystems).
+fn rust_files(base: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![base.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// `path` relative to `root`, `/`-separated.
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// A `Finding` list as printable lines (test + CLI convenience).
+pub fn render_findings(findings: &[Finding]) -> String {
+    findings
+        .iter()
+        .map(Finding::to_line)
+        .collect::<Vec<_>>()
+        .join("\n")
+}

@@ -1,0 +1,119 @@
+//! The `mlscale-lint` binary: lints the workspace, prints
+//! `file:line:rule: message` findings, optionally writes the JSON report,
+//! and exits non-zero when the tree violates an invariant.
+//!
+//! ```text
+//! mlscale-lint [--root DIR] [--json PATH] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use mlscale_lint::{find_root, lint_workspace, rules::RULES};
+use std::path::PathBuf;
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(path) => json_out = Some(PathBuf::from(path)),
+                None => return usage("--json needs a file path"),
+            },
+            "--list-rules" => {
+                for rule in RULES {
+                    println!("{rule}");
+                }
+                return 0;
+            }
+            "--help" | "-h" => {
+                println!("usage: mlscale-lint [--root DIR] [--json PATH] [--list-rules]");
+                return 0;
+            }
+            other => return usage(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let root = match root {
+        Some(dir) => dir,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(cwd) => cwd,
+                Err(e) => {
+                    eprintln!("mlscale-lint: cannot resolve current directory: {e}");
+                    return 2;
+                }
+            };
+            match find_root(&cwd) {
+                Some(found) => found,
+                None => {
+                    eprintln!(
+                        "mlscale-lint: no [workspace] Cargo.toml at or above {} (use --root)",
+                        cwd.display()
+                    );
+                    return 2;
+                }
+            }
+        }
+    };
+
+    let outcome = match lint_workspace(&root) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("mlscale-lint: {e}");
+            return 2;
+        }
+    };
+
+    if let Some(path) = json_out {
+        if let Err(e) = write_atomic(&path, &outcome.to_json()) {
+            eprintln!("mlscale-lint: cannot write {}: {e}", path.display());
+            return 2;
+        }
+        println!("report: {}", path.display());
+    }
+
+    for finding in &outcome.findings {
+        println!("{}", finding.to_line());
+    }
+    println!(
+        "mlscale-lint: {} finding(s) across {} source file(s) and {} manifest(s); \
+         {} suppression(s) honoured",
+        outcome.findings.len(),
+        outcome.files_scanned,
+        outcome.manifests_scanned,
+        outcome.suppressions.len()
+    );
+    i32::from(!outcome.is_clean())
+}
+
+fn usage(message: &str) -> i32 {
+    eprintln!("mlscale-lint: {message}");
+    eprintln!("usage: mlscale-lint [--root DIR] [--json PATH] [--list-rules]");
+    2
+}
+
+/// The linter practices what it preaches: the report lands via
+/// temp-file + rename, never truncated.
+fn write_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = path.with_extension("json.tmp");
+    // lint: allow(atomic-results-io): this is the temp-file half of the rename pattern
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}

@@ -1,0 +1,266 @@
+//! The `vendor-policy` rule: every dependency in every workspace
+//! `Cargo.toml` must resolve inside the repository — a `path` dependency
+//! into `vendor/` or `crates/`, or `workspace = true` (whose definition
+//! is itself checked at the workspace root). The build container has no
+//! crates.io access, so a registry or git dependency is not just policy
+//! drift, it is a guaranteed build break that would only surface later.
+//!
+//! The scanner is a minimal line-oriented TOML reader covering the
+//! manifest shapes the workspace actually uses (and the fixture suite
+//! pins): `[dependencies]`-style sections, inline tables
+//! (`foo = { path = "…" }`), dotted keys (`foo.workspace = true`,
+//! `foo.path = "…"`), bare version strings (`foo = "1.0"` — always a
+//! violation), and `[dependencies.foo]` subsections.
+
+use crate::report::Finding;
+
+/// Lints one manifest. `rel` is the workspace-root-relative path used in
+/// findings; `dir_rel` is the manifest's directory ("" for the root), so
+/// relative `path =` values can be resolved against the workspace root.
+pub fn lint_manifest(rel: &str, dir_rel: &str, text: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut section = String::new();
+    // `[dependencies.foo]` subsection state: (start line, dep name,
+    // saw a path/workspace key).
+    let mut sub: Option<(u32, String, bool)> = None;
+
+    let flush_sub = |sub: &mut Option<(u32, String, bool)>, findings: &mut Vec<Finding>| {
+        if let Some((line, name, ok)) = sub.take() {
+            if !ok {
+                findings.push(violation(rel, line, &name, "no `path` into the workspace"));
+            }
+        }
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            flush_sub(&mut sub, &mut findings);
+            section = header.trim().to_string();
+            if let Some(dep) = dep_subsection(&section) {
+                sub = Some((line_no, dep.to_string(), false));
+            }
+            continue;
+        }
+        if let Some((_, _, ok)) = sub.as_mut() {
+            // Inside [dependencies.foo]: look for the in-repo markers.
+            if let Some((key, value)) = line.split_once('=') {
+                let key = key.trim();
+                let value = value.trim();
+                if key == "workspace" && value == "true" {
+                    *ok = true;
+                }
+                if key == "path" {
+                    if let Some(p) = unquote(value) {
+                        if path_in_repo(dir_rel, p) {
+                            *ok = true;
+                        }
+                    }
+                }
+                if key == "git" || key == "registry" {
+                    findings.push(violation(rel, line_no, &section, "git/registry source"));
+                }
+            }
+            continue;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let (key, value) = (key.trim(), value.trim());
+        // Dotted keys: `foo.workspace = true` / `foo.path = "…"`.
+        if let Some((dep, field)) = key.split_once('.') {
+            match field {
+                "workspace" if value == "true" => {}
+                "path" => {
+                    if !unquote(value).is_some_and(|p| path_in_repo(dir_rel, p)) {
+                        findings.push(violation(rel, line_no, dep, "path leaves the repository"));
+                    }
+                }
+                _ => findings.push(violation(
+                    rel,
+                    line_no,
+                    dep,
+                    "only `path` and `workspace` dependency forms are allowed",
+                )),
+            }
+            continue;
+        }
+        // `foo = "1.0"` — a registry dependency.
+        if value.starts_with('"') {
+            findings.push(violation(
+                rel,
+                line_no,
+                key,
+                "bare version — the build container has no crates.io access",
+            ));
+            continue;
+        }
+        // `foo = { … }` inline table.
+        if value.starts_with('{') {
+            let has_git = value.contains("git =") || value.contains("git=");
+            let workspace_true = value.contains("workspace = true");
+            let path_ok = inline_path(value).is_some_and(|p| path_in_repo(dir_rel, p));
+            if has_git {
+                findings.push(violation(rel, line_no, key, "git source"));
+            } else if !workspace_true && !path_ok {
+                findings.push(violation(
+                    rel,
+                    line_no,
+                    key,
+                    "no `path` into the workspace and no `workspace = true`",
+                ));
+            }
+        }
+    }
+    flush_sub(&mut sub, &mut findings);
+    findings
+}
+
+fn violation(rel: &str, line: u32, dep: &str, why: &str) -> Finding {
+    Finding {
+        file: rel.to_string(),
+        line,
+        rule: "vendor-policy",
+        message: format!(
+            "dependency `{dep}`: {why} — every dependency must be a `path` dep into \
+             `vendor/` or `crates/` (or `workspace = true` resolving to one)"
+        ),
+    }
+}
+
+/// Section names that declare dependencies: `dependencies`,
+/// `dev-dependencies`, `build-dependencies`, `workspace.dependencies`,
+/// and `target.…​.dependencies`.
+fn is_dep_section(section: &str) -> bool {
+    matches!(
+        section,
+        "dependencies" | "dev-dependencies" | "build-dependencies" | "workspace.dependencies"
+    ) || section.ends_with(".dependencies") // [target.'cfg(…)'.dependencies]
+        || section.ends_with(".dev-dependencies")
+        || section.ends_with(".build-dependencies")
+}
+
+/// `[dependencies.foo]` → `Some("foo")`.
+fn dep_subsection(section: &str) -> Option<&str> {
+    for prefix in ["dependencies.", "dev-dependencies.", "build-dependencies."] {
+        if let Some(dep) = section.strip_prefix(prefix) {
+            if !dep.contains('.') {
+                return Some(dep);
+            }
+        }
+    }
+    None
+}
+
+/// Strips a `#` comment, ignoring `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn unquote(value: &str) -> Option<&str> {
+    value.trim().strip_prefix('"')?.split('"').next()
+}
+
+/// The `path = "…"` value out of an inline table.
+fn inline_path(table: &str) -> Option<&str> {
+    let after = table.split("path").nth(1)?;
+    let after = after.trim_start().strip_prefix('=')?;
+    unquote(after)
+}
+
+/// Whether `path`, resolved from `dir_rel` (workspace-root-relative
+/// directory of the manifest), stays inside the repository and lands in
+/// `vendor/` or `crates/`.
+fn path_in_repo(dir_rel: &str, path: &str) -> bool {
+    if path.starts_with('/') {
+        return false;
+    }
+    let mut parts: Vec<&str> = dir_rel.split('/').filter(|p| !p.is_empty()).collect();
+    for seg in path.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                if parts.pop().is_none() {
+                    return false; // escaped the repository
+                }
+            }
+            _ => parts.push(seg),
+        }
+    }
+    matches!(parts.first(), Some(&"vendor") | Some(&"crates"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_and_path_deps_pass() {
+        let toml = r#"
+[package]
+name = "x"
+[dependencies]
+mlscale-core.workspace = true
+serde = { path = "../../vendor/serde", features = ["derive"] }
+[dev-dependencies]
+proptest.workspace = true
+"#;
+        assert!(lint_manifest("crates/x/Cargo.toml", "crates/x", toml).is_empty());
+    }
+
+    #[test]
+    fn registry_and_git_deps_fail() {
+        let toml = r#"
+[dependencies]
+rayon = "1.8"
+left-pad = { git = "https://example.com/left-pad" }
+mystery = { version = "0.3", features = ["std"] }
+"#;
+        let findings = lint_manifest("crates/x/Cargo.toml", "crates/x", toml);
+        assert_eq!(findings.len(), 3);
+        assert!(findings.iter().all(|f| f.rule == "vendor-policy"));
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn escaping_the_repo_fails() {
+        let toml = "[dependencies]\noutside = { path = \"../../../elsewhere\" }\n";
+        let findings = lint_manifest("crates/x/Cargo.toml", "crates/x", toml);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("outside"));
+    }
+
+    #[test]
+    fn dep_subsection_needs_a_path() {
+        let good = "[dependencies.serde]\npath = \"../../vendor/serde\"\n";
+        assert!(lint_manifest("crates/x/Cargo.toml", "crates/x", good).is_empty());
+        let bad = "[dependencies.serde]\nversion = \"1\"\n";
+        assert_eq!(
+            lint_manifest("crates/x/Cargo.toml", "crates/x", bad).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn workspace_dependency_definitions_are_checked_at_the_root() {
+        let toml = "[workspace.dependencies]\nrand = { path = \"vendor/rand\" }\nbad = \"2.0\"\n";
+        let findings = lint_manifest("Cargo.toml", "", toml);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("bad"));
+    }
+}

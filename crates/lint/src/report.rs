@@ -1,0 +1,149 @@
+//! Findings and report rendering: `file:line:rule: message` text lines
+//! for humans, and a JSON document for CI artifacts. The JSON is
+//! hand-rolled (the linter is dependency-free by design), covering
+//! exactly the shapes the report needs.
+
+use crate::rules::UsedSuppression;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-root-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (one of [`crate::rules::RULES`]).
+    pub rule: &'static str,
+    /// Human-readable explanation with the expected remedy.
+    pub message: String,
+}
+
+impl Finding {
+    /// The canonical single-line rendering: `file:line:rule: message`.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{}:{}:{}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The outcome of linting a whole workspace.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// All surviving findings, sorted by file then line.
+    pub findings: Vec<Finding>,
+    /// Suppressions that silenced at least one finding, with reasons.
+    pub suppressions: Vec<UsedSuppression>,
+    /// Number of Rust sources scanned.
+    pub files_scanned: usize,
+    /// Number of manifests scanned.
+    pub manifests_scanned: usize,
+}
+
+impl LintOutcome {
+    /// Whether the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The JSON report uploaded by CI.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"files_scanned\": {},\n  \"manifests_scanned\": {},\n  \"finding_count\": {},\n",
+            self.files_scanned,
+            self.manifests_scanned,
+            self.findings.len()
+        ));
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+                json_str(&f.file),
+                f.line,
+                json_str(f.rule),
+                json_str(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n  \"suppressions\": [");
+        for (i, u) in self.suppressions.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let rules: Vec<String> = u.rules.iter().map(|r| json_str(r)).collect();
+            s.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"rules\": [{}], \"reason\": {}}}",
+                json_str(&u.file),
+                u.line,
+                rules.join(", "),
+                json_str(&u.reason)
+            ));
+        }
+        if !self.suppressions.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finding_line_format() {
+        let f = Finding {
+            file: "crates/core/src/par.rs".into(),
+            line: 7,
+            rule: "panic-free-lib",
+            message: "boom".into(),
+        };
+        assert_eq!(f.to_line(), "crates/core/src/par.rs:7:panic-free-lib: boom");
+    }
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let outcome = LintOutcome {
+            findings: vec![Finding {
+                file: "a.rs".into(),
+                line: 1,
+                rule: "determinism",
+                message: "say \"no\" to\nclocks".into(),
+            }],
+            suppressions: vec![],
+            files_scanned: 3,
+            manifests_scanned: 2,
+        };
+        let json = outcome.to_json();
+        assert!(json.contains("\"finding_count\": 1"));
+        assert!(json.contains("\\\"no\\\" to\\nclocks"));
+        assert!(json.contains("\"suppressions\": []"));
+    }
+}

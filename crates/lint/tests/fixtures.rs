@@ -1,0 +1,296 @@
+//! Fixture-driven tests for the linter: one known-bad and one
+//! known-clean snippet per rule (under `tests/fixtures/<rule>/`), lexer
+//! edge cases that historically break naive grep-based linting, and a
+//! self-scan asserting the workspace itself stays clean.
+//!
+//! The snippets carry a `.snippet` extension so the workspace walker
+//! never mistakes them for real sources — the suppression fixtures are
+//! deliberately malformed and would otherwise fail the self-scan.
+
+use mlscale_lint::context::FileInput;
+use mlscale_lint::manifest::lint_manifest;
+use mlscale_lint::rules::{lint_source, FileLint};
+use mlscale_lint::{lint_workspace, render_findings};
+use std::path::Path;
+
+/// Lints a snippet as a non-root library file (panic rules apply).
+fn lint_lib(src: &str) -> FileLint {
+    lint_source(&FileInput::classify("crates/fake/src/util.rs", false), src)
+}
+
+/// Lints a snippet as a crate root (forbid-unsafe applies too).
+fn lint_root(src: &str) -> FileLint {
+    lint_source(&FileInput::classify("crates/fake/src/lib.rs", false), src)
+}
+
+fn rules_hit(lint: &FileLint) -> Vec<&'static str> {
+    lint.findings.iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Per-rule bad/clean pairs
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panic_free_lib_bad_fires_on_every_site() {
+    let lint = lint_lib(include_str!("fixtures/panic-free-lib/bad.snippet"));
+    assert_eq!(rules_hit(&lint), vec!["panic-free-lib"; 4]);
+    let lines: Vec<u32> = lint.findings.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![4, 5, 7, 10]);
+}
+
+#[test]
+fn panic_free_lib_clean_passes() {
+    let lint = lint_lib(include_str!("fixtures/panic-free-lib/clean.snippet"));
+    assert!(
+        lint.findings.is_empty(),
+        "{}",
+        render_findings(&lint.findings)
+    );
+}
+
+#[test]
+fn par_only_threads_bad_fires_on_spawn_and_scope() {
+    let lint = lint_lib(include_str!("fixtures/par-only-threads/bad.snippet"));
+    assert_eq!(rules_hit(&lint), vec!["par-only-threads"; 3]);
+}
+
+#[test]
+fn par_only_threads_clean_passes() {
+    let lint = lint_lib(include_str!("fixtures/par-only-threads/clean.snippet"));
+    assert!(
+        lint.findings.is_empty(),
+        "{}",
+        render_findings(&lint.findings)
+    );
+}
+
+#[test]
+fn determinism_bad_fires_on_clocks_and_entropy() {
+    let lint = lint_lib(include_str!("fixtures/determinism/bad.snippet"));
+    assert_eq!(rules_hit(&lint), vec!["determinism"; 3]);
+}
+
+#[test]
+fn determinism_clean_passes_with_seeded_rng() {
+    let lint = lint_lib(include_str!("fixtures/determinism/clean.snippet"));
+    assert!(
+        lint.findings.is_empty(),
+        "{}",
+        render_findings(&lint.findings)
+    );
+}
+
+#[test]
+fn atomic_io_bad_fires_on_direct_writes() {
+    let lint = lint_lib(include_str!("fixtures/atomic-results-io/bad.snippet"));
+    assert_eq!(rules_hit(&lint), vec!["atomic-results-io"; 3]);
+}
+
+#[test]
+fn atomic_io_clean_allows_the_temp_file_half() {
+    let lint = lint_lib(include_str!("fixtures/atomic-results-io/clean.snippet"));
+    assert!(
+        lint.findings.is_empty(),
+        "{}",
+        render_findings(&lint.findings)
+    );
+    assert_eq!(lint.used.len(), 1, "the justified allow is honoured");
+    assert!(lint.used[0].reason.contains("rename"));
+}
+
+#[test]
+fn forbid_unsafe_bad_fires_only_on_crate_roots() {
+    let src = include_str!("fixtures/forbid-unsafe/bad.snippet");
+    let root = lint_root(src);
+    assert_eq!(rules_hit(&root), vec!["forbid-unsafe"]);
+    let non_root = lint_lib(src);
+    assert!(non_root.findings.is_empty(), "non-roots need no attribute");
+}
+
+#[test]
+fn forbid_unsafe_clean_passes() {
+    let lint = lint_root(include_str!("fixtures/forbid-unsafe/clean.snippet"));
+    assert!(
+        lint.findings.is_empty(),
+        "{}",
+        render_findings(&lint.findings)
+    );
+}
+
+#[test]
+fn vendor_policy_bad_manifest_fires_per_dependency() {
+    let findings = lint_manifest(
+        "crates/fake/Cargo.toml",
+        "crates/fake",
+        include_str!("fixtures/vendor-policy/bad.toml"),
+    );
+    assert_eq!(findings.len(), 3);
+    assert!(findings.iter().all(|f| f.rule == "vendor-policy"));
+    assert!(findings[0].message.contains("rayon"));
+}
+
+#[test]
+fn vendor_policy_clean_manifest_passes() {
+    let findings = lint_manifest(
+        "crates/fake/Cargo.toml",
+        "crates/fake",
+        include_str!("fixtures/vendor-policy/clean.toml"),
+    );
+    assert!(findings.is_empty(), "{}", render_findings(&findings));
+}
+
+#[test]
+fn suppression_bad_reports_missing_reason_unknown_rule_and_stale_allow() {
+    let lint = lint_lib(include_str!("fixtures/suppression/bad.snippet"));
+    assert_eq!(rules_hit(&lint), vec!["suppression"; 3]);
+    let text = render_findings(&lint.findings);
+    assert!(text.contains("reason"), "missing reason is named: {text}");
+    assert!(
+        text.contains("no-such-rule"),
+        "unknown rule is named: {text}"
+    );
+    assert!(
+        text.contains("suppressed nothing"),
+        "stale allow is named: {text}"
+    );
+}
+
+#[test]
+fn suppression_clean_honours_both_binding_forms() {
+    let lint = lint_lib(include_str!("fixtures/suppression/clean.snippet"));
+    assert!(
+        lint.findings.is_empty(),
+        "{}",
+        render_findings(&lint.findings)
+    );
+    assert_eq!(lint.used.len(), 2, "own-line and trailing allows both bind");
+}
+
+// ---------------------------------------------------------------------------
+// Lexer edge cases
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panic_inside_a_string_literal_never_fires() {
+    let lint = lint_lib("pub fn f() -> &'static str {\n    \"panic!(boom) .unwrap()\"\n}\n");
+    assert!(
+        lint.findings.is_empty(),
+        "{}",
+        render_findings(&lint.findings)
+    );
+}
+
+#[test]
+fn raw_strings_with_hashes_hide_their_contents() {
+    let lint = lint_lib(
+        "pub fn f() -> &'static str {\n    r##\"calls .unwrap() and panic!(\"quoted\")\"##\n}\n",
+    );
+    assert!(
+        lint.findings.is_empty(),
+        "{}",
+        render_findings(&lint.findings)
+    );
+}
+
+#[test]
+fn nested_block_comments_hide_code() {
+    let lint = lint_lib("/* outer /* x.unwrap(); */ still comment panic!( */\npub fn ok() {}\n");
+    assert!(
+        lint.findings.is_empty(),
+        "{}",
+        render_findings(&lint.findings)
+    );
+}
+
+#[test]
+fn cfg_test_modules_are_exempt_but_the_same_code_outside_is_not() {
+    let test_mod = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t(x: Option<u32>) -> u32 {\n        x.unwrap()\n    }\n}\n";
+    assert!(lint_lib(test_mod).findings.is_empty());
+    let plain_mod = test_mod.replace("#[cfg(test)]\n", "");
+    let lint = lint_lib(&plain_mod);
+    assert_eq!(rules_hit(&lint), vec!["panic-free-lib"]);
+}
+
+#[test]
+fn multiline_strings_keep_line_numbers_accurate() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    let _s = \"line one\nline two\nline three\";\n    x.unwrap()\n}\n";
+    let lint = lint_lib(src);
+    assert_eq!(lint.findings.len(), 1);
+    assert_eq!(
+        lint.findings[0].line, 5,
+        "lines counted through the literal"
+    );
+}
+
+#[test]
+fn binaries_skip_the_panic_rule_but_not_determinism() {
+    let src = "#![forbid(unsafe_code)]\nfn main() {\n    let t = std::time::Instant::now();\n    let v: Option<u32> = None;\n    v.unwrap();\n    let _ = t;\n}\n";
+    let lint = lint_source(&FileInput::classify("crates/fake/src/main.rs", false), src);
+    assert_eq!(rules_hit(&lint), vec!["determinism"]);
+}
+
+#[test]
+fn vendored_sources_are_exempt_from_code_rules() {
+    let src = "//! stand-in\n#![forbid(unsafe_code)]\npub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    let lint = lint_source(&FileInput::classify("vendor/fake/src/lib.rs", true), src);
+    assert!(
+        lint.findings.is_empty(),
+        "{}",
+        render_findings(&lint.findings)
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Whole-workspace scans
+// ---------------------------------------------------------------------------
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let outcome = lint_workspace(&root).expect("workspace lints");
+    assert!(
+        outcome.is_clean(),
+        "the tree must lint clean:\n{}",
+        render_findings(&outcome.findings)
+    );
+    assert!(outcome.files_scanned > 90, "walker saw the whole workspace");
+    assert!(outcome.manifests_scanned >= 16, "walker saw every manifest");
+    assert!(
+        outcome.suppressions.iter().all(|s| !s.reason.is_empty()),
+        "every honoured suppression carries a reason"
+    );
+}
+
+#[test]
+fn introducing_a_bad_file_makes_a_workspace_dirty() {
+    let dir = std::env::temp_dir().join(format!("mlscale-lint-fixture-{}", std::process::id()));
+    let crate_dir = dir.join("crates/app/src");
+    std::fs::create_dir_all(&crate_dir).expect("scratch workspace");
+    std::fs::write(
+        dir.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/app\"]\n",
+    )
+    .expect("root manifest");
+    std::fs::write(
+        dir.join("crates/app/Cargo.toml"),
+        "[package]\nname = \"app\"\n\n[dependencies]\nrayon = \"1.8\"\n",
+    )
+    .expect("member manifest");
+    std::fs::write(
+        crate_dir.join("lib.rs"),
+        include_str!("fixtures/panic-free-lib/bad.snippet"),
+    )
+    .expect("bad source");
+
+    let outcome = lint_workspace(&dir).expect("scratch workspace lints");
+    let rules: Vec<&str> = outcome.findings.iter().map(|f| f.rule).collect();
+    assert!(rules.contains(&"panic-free-lib"), "{rules:?}");
+    assert!(rules.contains(&"vendor-policy"), "{rules:?}");
+    assert!(
+        rules.contains(&"forbid-unsafe"),
+        "the scratch crate root has no guard: {rules:?}"
+    );
+    assert!(!outcome.is_clean());
+    std::fs::remove_dir_all(&dir).ok();
+}

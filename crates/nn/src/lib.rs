@@ -24,6 +24,7 @@
 //! assert!((flops - 24e6).abs() / 24e6 < 0.01);   // Table I: 24·10⁶
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -40,6 +40,7 @@ impl Node {
                 let outs: Vec<Shape> = branches.iter().map(|b| b.out_shape(input)).collect();
                 let (h0, w0) = match outs[0] {
                     Shape::Image { h, w, .. } => (h, w),
+                    // lint: allow(panic-free-lib): shape contract — a flat branch under Concat is a model-description bug, caught at build time
                     Shape::Flat(_) => panic!("branch outputs must be images to concatenate"),
                 };
                 let mut total_c = 0;
@@ -52,6 +53,7 @@ impl Node {
                             );
                             total_c += c;
                         }
+                        // lint: allow(panic-free-lib): shape contract — a flat branch under Concat is a model-description bug, caught at build time
                         Shape::Flat(_) => panic!("branch outputs must be images"),
                     }
                 }

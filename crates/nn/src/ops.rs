@@ -97,6 +97,7 @@ impl Op {
             Op::Dense { out, .. } => match input {
                 Shape::Flat(_) => Shape::Flat(out),
                 Shape::Image { .. } => {
+                    // lint: allow(panic-free-lib): shape contract — out_shape panics on malformed network descriptions at build time, before any evaluation
                     panic!("Dense requires a flat input; insert Op::Flatten before it")
                 }
             },
@@ -113,6 +114,7 @@ impl Op {
                     w: conv_out(w, kw, padding, stride),
                     c: out_channels,
                 },
+                // lint: allow(panic-free-lib): shape contract — out_shape panics on malformed network descriptions at build time, before any evaluation
                 Shape::Flat(_) => panic!("Conv2d requires an image input"),
             },
             Op::Pool {
@@ -123,10 +125,12 @@ impl Op {
                     w: conv_out(w, k, padding, stride),
                     c,
                 },
+                // lint: allow(panic-free-lib): shape contract — out_shape panics on malformed network descriptions at build time, before any evaluation
                 Shape::Flat(_) => panic!("Pool requires an image input"),
             },
             Op::GlobalAvgPool => match input {
                 Shape::Image { c, .. } => Shape::Image { h: 1, w: 1, c },
+                // lint: allow(panic-free-lib): shape contract — out_shape panics on malformed network descriptions at build time, before any evaluation
                 Shape::Flat(_) => panic!("GlobalAvgPool requires an image input"),
             },
             Op::Act(_) | Op::Dropout => input,
@@ -148,6 +152,7 @@ impl Op {
                 bias,
                 ..
             } => {
+                // lint: allow(panic-free-lib): out_shape has already rejected flat inputs to Conv2d, so channels() is Some
                 let d = input.channels().expect("Conv2d requires an image input") as u64;
                 // Paper: weights of a convolutional layer = n·(k·k·d);
                 // optional bias adds one constant per output element of a
@@ -157,6 +162,7 @@ impl Op {
                     let out = self.out_shape(input);
                     let (ch, cw) = match out {
                         Shape::Image { h, w, .. } => (h as u64, w as u64),
+                        // lint: allow(panic-free-lib): the Conv2d arm of out_shape always returns Shape::Image
                         Shape::Flat(_) => unreachable!(),
                     };
                     weights + ch * cw
@@ -178,10 +184,12 @@ impl Op {
                 kw,
                 ..
             } => {
+                // lint: allow(panic-free-lib): out_shape has already rejected flat inputs to Conv2d, so channels() is Some
                 let d = input.channels().expect("Conv2d requires an image input") as u64;
                 let out = self.out_shape(input);
                 let (ch, cw) = match out {
                     Shape::Image { h, w, .. } => (h as u64, w as u64),
+                    // lint: allow(panic-free-lib): the Conv2d/Pool arms of out_shape always return Shape::Image
                     Shape::Flat(_) => unreachable!(),
                 };
                 // Paper: n·(k·k·d·c·c), generalised to rectangular kernels.

@@ -108,6 +108,7 @@ impl MlpTrainer {
         let mut acts = Vec::with_capacity(self.layers.len() + 1);
         acts.push(x.clone());
         for (i, layer) in self.layers.iter().enumerate() {
+            // lint: allow(panic-free-lib): acts starts with the input activation, so last() is always Some
             let mut z = acts.last().unwrap().matmul(&layer.w);
             z.add_row_broadcast(&layer.b);
             if i + 1 == self.layers.len() {
@@ -124,6 +125,7 @@ impl MlpTrainer {
     pub fn predict(&self, x: &Matrix) -> Matrix {
         self.forward(x)
             .pop()
+            // lint: allow(panic-free-lib): forward returns layers + 1 activations, never an empty vec
             .expect("forward always returns activations")
     }
 
@@ -150,9 +152,11 @@ impl MlpTrainer {
         for r in 0..probs.rows() {
             let pred = (0..probs.cols())
                 .max_by(|&a, &b| probs.get(r, a).total_cmp(&probs.get(r, b)))
+                // lint: allow(panic-free-lib): the output layer has at least one unit, so the argmax range is non-empty
                 .unwrap();
             let truth = (0..labels.cols())
                 .max_by(|&a, &b| labels.get(r, a).total_cmp(&labels.get(r, b)))
+                // lint: allow(panic-free-lib): one-hot labels have at least one column, so the argmax range is non-empty
                 .unwrap();
             if pred == truth {
                 correct += 1;
@@ -171,6 +175,7 @@ impl MlpTrainer {
         let mut grads: Vec<(Matrix, Vec<f32>)> = Vec::with_capacity(self.layers.len());
 
         // delta = softmax(z) − y  (cross-entropy + softmax shortcut).
+        // lint: allow(panic-free-lib): acts holds layers + 1 activations, so last() is always Some
         let mut delta = acts.last().unwrap().clone();
         delta.axpy(-1.0, labels);
 
@@ -272,6 +277,7 @@ impl MlpTrainer {
                 Some(t) => t.accumulate(&g),
             }
         }
+        // lint: allow(panic-free-lib): shards is non-empty (one shard per worker, workers >= 1), so at least one gradient accumulates
         let total = total.expect("at least one shard");
         self.apply(&total, lr);
         loss

@@ -34,6 +34,7 @@
 //! point* and reports the offending key by full path
 //! (`workload.straggler.mean`, `sweep[2].values`, `grid point g-p014`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

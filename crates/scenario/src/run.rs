@@ -75,7 +75,7 @@ pub fn run_pooled(
     let points = match &spec.workload {
         WorkloadSpec::Gd(_) => run_gd_points(spec, &grid, &resolved, pool)?,
         WorkloadSpec::Bp(_) => run_bp_points(spec, &grid, &resolved)?,
-        WorkloadSpec::Exhibit(ex) => vec![run_exhibit(ex)],
+        WorkloadSpec::Exhibit(ex) => vec![run_exhibit(ex)?],
     };
     let rollup = build_rollup(spec, &grid, &points);
     Ok(SweepOutcome {
@@ -107,6 +107,7 @@ pub fn write_outcome(outcome: &SweepOutcome, dir: &Path) -> std::io::Result<Vec<
         let path = dir.join(format!("{}.json", result.id));
         let tmp = dir.join(format!("{}.json.tmp", result.id));
         let json = serde_json::to_string_pretty(result).map_err(std::io::Error::other)?;
+        // lint: allow(atomic-results-io): this is the temp-file half of the rename pattern
         std::fs::write(&tmp, json)?;
         std::fs::rename(&tmp, &path)?;
         paths.push(path);
@@ -146,10 +147,13 @@ fn is_point_file(file_name: &str, name: &str) -> bool {
 // Gradient descent
 // ---------------------------------------------------------------------------
 
-fn gd_of(workload: &ResolvedWorkload) -> &GdSpec {
+fn try_gd_of(workload: &ResolvedWorkload, point: usize) -> Result<&GdSpec, SpecError> {
     match workload {
-        ResolvedWorkload::Gd(gd) => gd,
-        other => unreachable!("gd grid resolved to {other:?}"),
+        ResolvedWorkload::Gd(gd) => Ok(gd),
+        other => Err(SpecError::new(
+            format!("sweep point {point}"),
+            format!("gd grid resolved to a non-gd workload ({other:?}) — internal resolver bug"),
+        )),
     }
 }
 
@@ -159,16 +163,22 @@ fn run_gd_points(
     resolved: &[ResolvedWorkload],
     pool: &OrderStatCachePool,
 ) -> Result<Vec<ExperimentResult>, SpecError> {
+    let gds: Vec<&GdSpec> = resolved
+        .iter()
+        .enumerate()
+        .map(|(i, w)| try_gd_of(w, i))
+        .collect::<Result<_, _>>()?;
     let mut results: Vec<Option<ExperimentResult>> = vec![None; grid.len()];
 
     // Deterministic points: pure functions of the spec, fanned out across
     // threads (each curve additionally parallelises over n internally).
     let det: Vec<usize> = (0..grid.len())
-        .filter(|&i| gd_of(&resolved[i]).straggler_model().is_zero())
+        .filter(|&i| gds[i].straggler_model().is_zero())
         .collect();
-    for (&i, result) in det.iter().zip(par::map(&det, |&i| {
-        eval_gd(spec, &grid[i], gd_of(&resolved[i]), None)
-    })) {
+    for (&i, result) in det
+        .iter()
+        .zip(par::map(&det, |&i| eval_gd(spec, &grid[i], gds[i], None)))
+    {
         results[i] = Some(result?);
     }
 
@@ -178,18 +188,18 @@ fn run_gd_points(
     // distinct backup_k in a group gets one shared-grid warm pass sized
     // to the group's widest sweep; every curve then reads memo hits.
     let mut stochastic: Vec<usize> = (0..grid.len())
-        .filter(|&i| !gd_of(&resolved[i]).straggler_model().is_zero())
+        .filter(|&i| !gds[i].straggler_model().is_zero())
         .collect();
     while let Some(&first) = stochastic.first() {
-        let model = gd_of(&resolved[first]).straggler_model();
+        let model = gds[first].straggler_model();
         let (group, rest): (Vec<usize>, Vec<usize>) = stochastic
             .iter()
-            .partition(|&&i| gd_of(&resolved[i]).straggler_model() == model);
+            .partition(|&&i| gds[i].straggler_model() == model);
         stochastic = rest;
         let cache = pool.cache_for(model);
         let mut warmed: Vec<(usize, usize)> = Vec::new(); // (backup_k, n_max)
         for &i in &group {
-            let gd = gd_of(&resolved[i]);
+            let gd = gds[i];
             match warmed.iter_mut().find(|(k, _)| *k == gd.backup_k) {
                 Some((_, n_max)) => *n_max = (*n_max).max(gd.max_n),
                 None => warmed.push((gd.backup_k, gd.max_n)),
@@ -199,14 +209,22 @@ fn run_gd_points(
             cache.warm(n_max, backup_k);
         }
         for &i in &group {
-            results[i] = Some(eval_gd(spec, &grid[i], gd_of(&resolved[i]), Some(&cache))?);
+            results[i] = Some(eval_gd(spec, &grid[i], gds[i], Some(&cache))?);
         }
     }
 
-    Ok(results
+    results
         .into_iter()
-        .map(|r| r.expect("every point evaluated"))
-        .collect())
+        .enumerate()
+        .map(|(i, r)| {
+            r.ok_or_else(|| {
+                SpecError::new(
+                    format!("sweep point {i}"),
+                    "never evaluated — internal scheduling bug",
+                )
+            })
+        })
+        .collect()
 }
 
 fn eval_gd(
@@ -274,7 +292,13 @@ fn run_bp_points(
     let indices: Vec<usize> = (0..grid.len()).collect();
     par::map(&indices, |&i| {
         let ResolvedWorkload::Bp(bp) = &resolved[i] else {
-            unreachable!("bp grid resolved to {:?}", resolved[i]);
+            return Err(SpecError::new(
+                format!("sweep point {i}"),
+                format!(
+                    "bp grid resolved to a non-bp workload ({:?}) — internal resolver bug",
+                    resolved[i]
+                ),
+            ));
         };
         eval_bp(spec, &grid[i], bp)
     })
@@ -324,8 +348,8 @@ fn eval_bp(
 
 /// Reproduces a named exhibit with exactly the arguments its binary uses,
 /// so the emitted JSON is byte-identical to the golden fixture.
-fn run_exhibit(ex: &ExhibitSpec) -> ExperimentResult {
-    match ex.id.as_str() {
+fn run_exhibit(ex: &ExhibitSpec) -> Result<ExperimentResult, SpecError> {
+    Ok(match ex.id.as_str() {
         "table1" => table1(),
         "fig1" => fig1(),
         "fig2" => fig2(ex.max_n.unwrap_or(16)),
@@ -333,8 +357,13 @@ fn run_exhibit(ex: &ExhibitSpec) -> ExperimentResult {
         "fig4-small" => fig4(DnsScale::Small, &[1, 2, 4, 8, 16, 24, 32, 48, 64, 80]),
         "ext-stragglers" => stragglers(ex.max_n.unwrap_or(16)),
         "ext-hierarchical-comm" => hierarchical_comm(ex.max_n.unwrap_or(64)),
-        other => unreachable!("unvalidated exhibit {other:?}"),
-    }
+        other => {
+            return Err(SpecError::new(
+                "workload.id",
+                format!("exhibit {other:?} escaped spec validation — internal resolver bug"),
+            ))
+        }
+    })
 }
 
 // ---------------------------------------------------------------------------

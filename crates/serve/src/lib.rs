@@ -31,6 +31,7 @@
 //! load-generator bench can separate cold from cached latency. Cached
 //! and cold responses are byte-identical.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
@@ -114,6 +115,7 @@ impl Server {
     /// tests). The workers run for the life of the process.
     pub fn start(self) -> std::io::Result<SocketAddr> {
         let addr = self.local_addr()?;
+        // lint: allow(par-only-threads): the detached accept-loop host thread lives for the whole process; par::map has no fire-and-forget mode
         std::thread::spawn(move || self.run());
         Ok(addr)
     }
@@ -150,6 +152,7 @@ impl Server {
                 Err(_) => break, // peer timeout / reset
             };
             let close = request.wants_close();
+            // lint: allow(determinism): x-mlscale-micros is a diagnostic latency header, not model output
             let started = Instant::now();
             let response =
                 catch_unwind(AssertUnwindSafe(|| self.route(&request))).unwrap_or_else(|_| {
@@ -220,7 +223,8 @@ impl Server {
                     ),
                     ("rollup".to_string(), outcome.rollup.to_value()),
                 ]);
-                serde_json::to_string_pretty(&envelope).expect("infallible")
+                serde_json::to_string_pretty(&envelope)
+                    .map_err(|e| SpecError::new(path, format!("cannot render sweep JSON: {e}")))?
             }
             _ => {
                 // /gd and /plan: one configuration, answered with the
@@ -244,7 +248,8 @@ impl Server {
                     ));
                 }
                 let outcome = run_pooled(&spec, &self.state.caches)?;
-                serde_json::to_string_pretty(&outcome.points[0]).expect("infallible")
+                serde_json::to_string_pretty(&outcome.points[0])
+                    .map_err(|e| SpecError::new(path, format!("cannot render result JSON: {e}")))?
             }
         };
         Ok(Arc::new(rendered))
@@ -261,7 +266,11 @@ fn error_body(path: &str, message: &str) -> String {
             ("message".to_string(), Value::Str(message.to_string())),
         ]),
     )]))
-    .expect("infallible")
+    .unwrap_or_else(|_| {
+        // Rendering a flat string map cannot fail, but a 500 must never
+        // panic the worker — fall back to a hand-assembled body.
+        r#"{"error":{"path":"internal","message":"error rendering failed"}}"#.to_string()
+    })
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 //! linear key compare, one `Arc` clone; the plan/sweep evaluation runs
 //! only on the first sighting of a body.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// One cached entry: `(path, body)` key and the rendered response.
 type Entry = ((String, String), Arc<String>);
@@ -27,8 +27,12 @@ impl ResponseLru {
     }
 
     /// The cached response for `(path, body)`, refreshing its recency.
+    ///
+    /// A poisoned lock is recovered with [`PoisonError::into_inner`]: the
+    /// cache only ever holds complete rendered responses, so the worst a
+    /// panicked holder can leave behind is a stale recency order.
     pub fn get(&self, path: &str, body: &str) -> Option<Arc<String>> {
-        let mut entries = self.entries.lock().expect("response lru poisoned");
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         let i = entries
             .iter()
             .position(|((p, b), _)| p == path && b == body)?;
@@ -41,7 +45,7 @@ impl ResponseLru {
     /// Inserts (or refreshes) a response, evicting the least recently
     /// used entry when full.
     pub fn put(&self, path: &str, body: &str, response: Arc<String>) {
-        let mut entries = self.entries.lock().expect("response lru poisoned");
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(i) = entries
             .iter()
             .position(|((p, b), _)| p == path && b == body)
@@ -55,7 +59,10 @@ impl ResponseLru {
 
     /// Number of cached responses.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("response lru poisoned").len()
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Whether the cache is empty.

@@ -125,6 +125,7 @@ fn tree_reduce_among(
                     let at = cluster.transfer(src.0, dst.0, bits, src.1.max(dst.1));
                     next.push((dst.0, at));
                 }
+                // lint: allow(panic-free-lib): chunks(2) only yields 1- or 2-element slices
                 _ => unreachable!(),
             }
         }

@@ -40,6 +40,7 @@
 //! assert_eq!(report.iteration_times.len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

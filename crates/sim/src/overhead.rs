@@ -67,10 +67,12 @@ impl OverheadModel {
                 if mean == 0.0 {
                     return Seconds::zero();
                 }
+                // lint: allow(panic-free-lib): mean == 0 returned early above and spec validation rejects negative means
                 let d = Exp::new(1.0 / mean).expect("mean must be positive");
                 Seconds::new(d.sample(rng))
             }
             OverheadModel::LogNormal { mu, sigma } => {
+                // lint: allow(panic-free-lib): spec validation rejects negative sigma before a LogNormal model is built
                 let d = LogNormal::new(mu, sigma).expect("sigma must be non-negative");
                 Seconds::new(d.sample(rng))
             }

@@ -84,6 +84,7 @@ impl<'a> BpWorkload<'a> {
 
     /// Model speedup curve over `ns` (requires `max(ns)` loads).
     pub fn model_curve(&self, ns: &[usize]) -> SpeedupCurve {
+        // lint: allow(panic-free-lib): documented contract — model_curve requires a non-empty ns slice
         let max_n = ns.iter().copied().max().expect("non-empty ns");
         let model = self.model(max_n);
         SpeedupCurve::from_fn(ns.iter().copied(), |n| model.iteration_time(n))

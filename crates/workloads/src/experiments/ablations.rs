@@ -71,11 +71,15 @@ pub fn weak_scaling_comm(max_n: usize) -> ExperimentResult {
     }
     let log_s = result
         .series("log-tree")
+        // lint: allow(panic-free-lib): the log-tree series is inserted a few lines above
         .expect("built above")
         .points
         .clone();
+    // lint: allow(panic-free-lib): the linear series is inserted a few lines above
     let lin_s = result.series("linear").expect("built above").points.clone();
+    // lint: allow(panic-free-lib): both series sample every n in a multi-point grid, so len() >= 2
     let log_gain = log_s.last().unwrap().1 / log_s[log_s.len() - 2].1;
+    // lint: allow(panic-free-lib): both series sample every n in a multi-point grid, so len() >= 2
     let lin_gain = lin_s.last().unwrap().1 / lin_s[lin_s.len() - 2].1;
     result
         .with_stat("last-doubling gain (log)", log_gain, None)
@@ -256,11 +260,13 @@ pub fn amdahl(max_n: usize) -> ExperimentResult {
     .with_stat("Amdahl cap (1/serial)", cap, None)
     .with_stat(
         "fixed speedup at max n",
+        // lint: allow(panic-free-lib): the fixed series is built over the non-empty ns above
         fixed_series.last().unwrap().1,
         None,
     )
     .with_stat(
         "declining speedup at max n",
+        // lint: allow(panic-free-lib): the declining series is built over the non-empty ns above
         declining_series.last().unwrap().1,
         None,
     )

@@ -103,6 +103,7 @@ pub fn convergence_tradeoff(
     let mut rng = StdRng::seed_from_u64(seed);
     // A fixed synthetic task, sized so the largest effective batch still
     // fits several updates per epoch.
+    // lint: allow(panic-free-lib): ns is the experiment's fixed non-empty worker grid
     let max_batch = per_worker_batch * ns.iter().copied().max().expect("non-empty ns");
     let examples = (max_batch * 4).max(512);
     let (x, y) = synthetic_blobs(examples, 16, 4, &mut rng);
@@ -142,11 +143,13 @@ pub fn convergence_tradeoff(
         .iter()
         .copied()
         .min_by(|a, b| a.1.total_cmp(&b.1))
+        // lint: allow(panic-free-lib): the time series was just built with one point per n and ns is non-empty
         .expect("non-empty");
     let best_throughput = throughput_series
         .iter()
         .copied()
         .max_by(|a, b| a.1.total_cmp(&b.1))
+        // lint: allow(panic-free-lib): the throughput series was just built with one point per n and ns is non-empty
         .expect("non-empty");
     ExperimentResult::new(
         "ext-convergence",

@@ -13,6 +13,7 @@
 //!   returning a serialisable [`report::ExperimentResult`];
 //! * [`report`] — result containers with paper-style text rendering.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -115,7 +115,9 @@ impl ExperimentResult {
     /// # Panics
     /// Panics when either series is missing or they share no points.
     pub fn mape_between(&self, predicted: &str, reference: &str) -> f64 {
+        // lint: allow(panic-free-lib): documented # Panics contract — mape_between requires both named series
         let p = self.series(predicted).expect("predicted series missing");
+        // lint: allow(panic-free-lib): documented # Panics contract — mape_between requires both named series
         let r = self.series(reference).expect("reference series missing");
         Comparison::join(&p.points, &r.points).mape()
     }

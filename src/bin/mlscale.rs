@@ -19,6 +19,8 @@
 //! the offending flag and a non-zero exit status — nothing silently falls
 //! back to a default.
 
+#![forbid(unsafe_code)]
+
 use mlscale::graph::sampling::zipf_weights;
 use mlscale::model::hardware::{presets, ClusterSpec, Heterogeneity, LinkSpec, NodeSpec, RackSpec};
 use mlscale::model::models::gd::{GdComm, GradientDescentModel};

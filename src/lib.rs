@@ -51,6 +51,7 @@
 //! assert!(s_opt > 3.5);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -7,6 +7,7 @@
 //! warmed up briefly, then timed for a capped number of iterations, and
 //! the mean time per iteration is printed.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::time::{Duration, Instant};

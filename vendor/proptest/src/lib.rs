@@ -10,6 +10,7 @@
 //! reproducible) and runs the body; assertion macros panic directly with
 //! the offending case's inputs already bound.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use rand::rngs::StdRng;

@@ -8,6 +8,7 @@
 //! real `StdRng` (ChaCha12), but a high-quality generator that keeps every
 //! seeded test deterministic.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};

@@ -2,6 +2,7 @@
 //! `Normal` and `LogNormal` distributions this workspace's simulator uses,
 //! implemented with exact inverse-transform / Box–Muller sampling.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rand::Rng;

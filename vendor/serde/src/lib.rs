@@ -10,6 +10,7 @@
 //! strings, data-carrying variants are single-key maps), so swapping the
 //! real crates back in produces the same documents.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use serde_derive::{Deserialize, Serialize};

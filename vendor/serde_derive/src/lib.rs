@@ -9,6 +9,8 @@
 //! newtype structs serialize transparently, unit variants as strings,
 //! data-carrying variants as `{"Variant": ...}` single-key maps.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize` via the vendored `Value` data model.

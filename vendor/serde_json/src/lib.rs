@@ -6,6 +6,7 @@
 //! `serialize → parse` is value-exact for every finite `f64`; non-finite
 //! floats serialize as `null` (matching real serde_json).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use serde::{Error, Value};
