@@ -93,6 +93,92 @@ impl Planner {
         Self { plans }
     }
 
+    /// Default ladder size for [`Self::new_log`] when a caller has no
+    /// opinion: ~29 rungs per decade at `max_n = 10⁶`, comfortably finer
+    /// than any speedup curve's curvature.
+    pub const DEFAULT_LOG_POINTS: usize = 200;
+
+    /// Creates a planner over a **log-spaced** candidate ladder
+    /// ([`crate::speedup::log_spaced_ns`]) instead of the dense
+    /// `1..=max_n` sweep — O(`points` + refinement) evaluations of
+    /// `time_fn`, so the four query verbs stop being O(`max_n`) at
+    /// extreme scale.
+    ///
+    /// After the parallel ladder sweep, the rung minimising each
+    /// objective (time, and cost under `pricing`) is refined by an
+    /// integer ternary search between its ladder neighbours, so the
+    /// reported optima are exact to ±1 worker provided the objective is
+    /// unimodal in `n` — which the models here satisfy: iteration time
+    /// falls while compute dominates and rises once communication does.
+    /// All refinement evaluations are memoised and merged into the plan
+    /// table, so [`Self::cheapest_within_deadline`] /
+    /// [`Self::fastest_within_budget`] answer from the ladder plus both
+    /// refined neighbourhoods.
+    ///
+    /// # Panics
+    /// Panics when `max_n == 0` or `points < 2`.
+    pub fn new_log(
+        time_fn: impl Fn(usize) -> Seconds + Sync,
+        max_n: usize,
+        pricing: Pricing,
+        points: usize,
+    ) -> Self {
+        assert!(max_n >= 1, "need at least one candidate size");
+        let ladder = crate::speedup::log_spaced_ns(max_n, points);
+        let times = crate::par::map(&ladder, |&n| time_fn(n));
+        let mut evaluated: std::collections::HashMap<usize, Seconds> =
+            ladder.iter().copied().zip(times).collect();
+        for want_cost in [false, true] {
+            let score = |n: usize, t: Seconds| {
+                if want_cost {
+                    pricing.cost(n, t)
+                } else {
+                    t.as_secs()
+                }
+            };
+            // Coarse argmin over the ladder (ties to the smaller n, as
+            // the verbs resolve them).
+            let mut best = 0usize;
+            for (i, &n) in ladder.iter().enumerate() {
+                if score(n, evaluated[&n]) < score(ladder[best], evaluated[&ladder[best]]) {
+                    best = i;
+                }
+            }
+            // The optimum lies between the best rung's neighbours;
+            // ternary-search the bracket, memoising every probe.
+            let mut lo = ladder[best.saturating_sub(1)];
+            let mut hi = ladder[(best + 1).min(ladder.len() - 1)];
+            while hi - lo > 2 {
+                let m1 = lo + (hi - lo) / 3;
+                let m2 = hi - (hi - lo) / 3;
+                let t1 = *evaluated.entry(m1).or_insert_with(|| time_fn(m1));
+                let t2 = *evaluated.entry(m2).or_insert_with(|| time_fn(m2));
+                if score(m1, t1) <= score(m2, t2) {
+                    hi = m2;
+                } else {
+                    lo = m1;
+                }
+            }
+            for n in lo..=hi {
+                evaluated.entry(n).or_insert_with(|| time_fn(n));
+            }
+        }
+        let mut ns: Vec<usize> = evaluated.keys().copied().collect();
+        ns.sort_unstable();
+        let plans = ns
+            .into_iter()
+            .map(|n| {
+                let time = evaluated[&n];
+                Plan {
+                    n,
+                    time,
+                    cost: pricing.cost(n, time),
+                }
+            })
+            .collect();
+        Self { plans }
+    }
+
     fn plan_at(time_fn: &impl Fn(usize) -> Seconds, pricing: Pricing, n: usize) -> Plan {
         let time = time_fn(n);
         Plan {
@@ -338,6 +424,53 @@ mod tests {
                 crate::par::with_thread_count(threads, || Planner::new_par(time_fn, 48, pricing));
             assert_eq!(serial.table(), par.table(), "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn log_planner_refines_to_the_dense_optima() {
+        // Unimodal time (and cost) in n: the sparse ladder plus ternary
+        // refinement must land on exactly the plans the dense sweep finds.
+        let pricing = Pricing {
+            node_hour: 2.0,
+            per_node_fixed: 0.01,
+        };
+        let dense = Planner::new(time_fn, 4096, pricing);
+        let log = Planner::new_log(time_fn, 4096, pricing, 40);
+        assert_eq!(log.fastest(), dense.fastest());
+        assert_eq!(log.cheapest(), dense.cheapest());
+    }
+
+    #[test]
+    fn log_planner_evaluation_count_is_logarithmic() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let counted = |n: usize| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            time_fn(n)
+        };
+        let p = Planner::new_log(counted, 1_000_000, Pricing::hourly(2.0), 200);
+        let evals = calls.load(Ordering::Relaxed);
+        assert!(
+            evals < 400,
+            "a 10⁶-candidate planner must stay O(points): {evals} calls"
+        );
+        // Verbs reuse the table.
+        let _ = p.fastest();
+        let _ = p.cheapest();
+        let _ = p.cheapest_within_deadline(Seconds::new(1800.0));
+        let _ = p.fastest_within_budget(50.0);
+        assert_eq!(calls.load(Ordering::Relaxed), evals);
+        // And the refined optimum matches the analytic one (ln2/0.05 ≈ 13.9).
+        assert!((13..=15).contains(&p.fastest().n), "got {}", p.fastest().n);
+    }
+
+    #[test]
+    fn log_planner_handles_degenerate_ranges() {
+        let p = Planner::new_log(time_fn, 1, Pricing::hourly(1.0), 16);
+        assert_eq!(p.fastest().n, 1);
+        assert_eq!(p.table().len(), 1);
+        let p2 = Planner::new_log(time_fn, 2, Pricing::hourly(1.0), 2);
+        assert_eq!(p2.table().len(), 2);
     }
 
     #[test]

@@ -10,6 +10,53 @@
 use crate::units::Seconds;
 use serde::{Deserialize, Serialize};
 
+/// Largest `max_n` the dense `1..=max_n` evaluation paths accept.
+///
+/// Below this every curve, planner and cache-warm materialises one entry
+/// per worker count — exactly the pre-existing behaviour, so all golden
+/// fixtures (n ≤ 64) and scenario sweeps (n ≤ 80) are untouched. Above
+/// it a dense table would cost O(max_n) memory and model calls to answer
+/// questions whose information content is O(hundreds) of points; callers
+/// must switch to the log-spaced paths ([`log_spaced_ns`],
+/// [`SpeedupCurve::from_fn_log`], `Planner::new_log`) instead, and the
+/// scenario/CLI layers reject dense requests past this limit with a
+/// named diagnostic rather than exhausting memory.
+pub const DENSE_EVAL_MAX_N: usize = 16_384;
+
+/// A geometric ladder of worker counts: `points` values spaced evenly in
+/// `ln n` over `[1, max_n]`, deduplicated (small `n` rounds to repeats),
+/// strictly increasing, always containing both `1` and `max_n`.
+///
+/// This is how a `10⁶`-worker curve stays O(hundreds) of model calls:
+/// speedup curves vary on a multiplicative scale, so resolving each
+/// decade with the same point count loses nothing a dense sweep would
+/// see.
+///
+/// # Panics
+/// Panics when `max_n == 0` or `points < 2` (a ladder needs both ends).
+pub fn log_spaced_ns(max_n: usize, points: usize) -> Vec<usize> {
+    assert!(max_n >= 1, "need at least one worker count");
+    assert!(points >= 2, "a log ladder needs at least its two endpoints");
+    if max_n == 1 {
+        return vec![1];
+    }
+    let ln_max = (max_n as f64).ln();
+    let mut ns: Vec<usize> = (0..points)
+        .map(|i| {
+            let rung = (ln_max * i as f64 / (points - 1) as f64).exp();
+            (rung.round() as usize).clamp(1, max_n)
+        })
+        .collect();
+    ns.dedup();
+    // The exp/round of the last rung recovers max_n exactly for every
+    // max_n an usize can hold, but the top of the range must not hinge
+    // on a libm ulp — pin it.
+    if ns.last() != Some(&max_n) {
+        ns.push(max_n);
+    }
+    ns
+}
+
 /// A time function evaluated over a range of worker counts, with derived
 /// speedup/efficiency analysis.
 ///
@@ -53,6 +100,25 @@ impl SpeedupCurve {
             baseline,
             baseline_n,
         }
+    }
+
+    /// Evaluates `time(n)` over the geometric ladder
+    /// [`log_spaced_ns`]`(max_n, points)` — the extreme-scale form of
+    /// [`Self::from_fn`]: a `max_n = 10⁶` curve costs O(`points`) model
+    /// calls instead of a million.
+    ///
+    /// # Panics
+    /// Panics when `max_n == 0` or `points < 2`.
+    pub fn from_fn_log(
+        max_n: usize,
+        points: usize,
+        mut time: impl FnMut(usize) -> Seconds,
+    ) -> Self {
+        Self::from_samples(
+            log_spaced_ns(max_n, points)
+                .into_iter()
+                .map(|n| (n, time(n))),
+        )
     }
 
     /// Builds a curve from explicit samples (e.g. measurements).
@@ -376,6 +442,44 @@ mod tests {
         let c = SpeedupCurve::from_fn(2..=8, |n| Seconds::new(1.0 / n as f64));
         assert_eq!(c.karp_flatt(4), None, "needs an n=1 baseline");
         assert_eq!(sample_curve().karp_flatt(1), None);
+    }
+
+    #[test]
+    fn log_ladder_spans_the_range_strictly_increasing() {
+        for (max_n, points) in [
+            (1usize, 2usize),
+            (2, 2),
+            (64, 10),
+            (1000, 40),
+            (1_000_000, 200),
+        ] {
+            let ns = log_spaced_ns(max_n, points);
+            assert_eq!(ns[0], 1, "max_n={max_n}");
+            assert_eq!(*ns.last().unwrap(), max_n, "max_n={max_n}");
+            assert!(
+                ns.windows(2).all(|w| w[0] < w[1]),
+                "max_n={max_n}: not strictly increasing: {ns:?}"
+            );
+            assert!(ns.len() <= points + 1, "max_n={max_n}: {} rungs", ns.len());
+        }
+    }
+
+    #[test]
+    fn log_ladder_is_dense_at_small_max_n() {
+        // With more points than decades·density the ladder degenerates to
+        // the full range — small sweeps lose nothing to log mode.
+        assert_eq!(log_spaced_ns(8, 64), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn from_fn_log_matches_dense_on_sampled_points() {
+        let time = |n: usize| Seconds::new(1.0 / n as f64 + 0.05 * (n as f64).log2());
+        let dense = SpeedupCurve::from_fn(1..=1024, time);
+        let log = SpeedupCurve::from_fn_log(1024, 30, time);
+        for (&n, &t) in log.ns().iter().zip(log.times()) {
+            assert_eq!(dense.time_at(n), Some(t), "n={n}");
+        }
+        assert_eq!(log.baseline(), dense.baseline());
     }
 
     #[test]

@@ -36,7 +36,7 @@ use crate::models::gd::GradientDescentModel;
 use crate::models::graphinf::GraphInferenceModel;
 use crate::par;
 use crate::planner::{Planner, Pricing};
-use crate::speedup::SpeedupCurve;
+use crate::speedup::{log_spaced_ns, SpeedupCurve, DENSE_EVAL_MAX_N};
 use crate::units::Seconds;
 use rand::Rng;
 use rand_distr::{Distribution, Exp, LogNormal};
@@ -150,6 +150,143 @@ fn harmonic(j: usize) -> f64 {
     h.value()
 }
 
+/// Term count above which [`harmonic_any`] switches from the summed
+/// [`harmonic`] to the asymptotic expansion — the exponential tail's
+/// extreme-value crossover. At the crossover the expansion's truncation
+/// error is ~`1/(120·j⁴)` ≈ 1e-19 **relative to `H_j ≈ 9.8`**, far
+/// below the summed form's own accumulated rounding, so the two regimes
+/// agree to ≲1e-15 relative where they meet; below it every value is
+/// bit-identical to the historical summed path.
+pub const EXP_ASYMPTOTIC_MIN_N: usize = 10_000;
+
+/// `H_j` by the Euler–Maclaurin expansion
+/// `ln j + γ + 1/(2j) − 1/(12j²) + 1/(120j⁴) + O(j⁻⁶)` — O(1) instead
+/// of O(j), with truncation error < 1e-25 absolute for `j > 10⁴`.
+fn harmonic_asymptotic(j: usize) -> f64 {
+    let x = j as f64;
+    let x2 = x * x;
+    x.ln() + EULER_GAMMA + 1.0 / (2.0 * x) - 1.0 / (12.0 * x2) + 1.0 / (120.0 * x2 * x2)
+}
+
+/// `H_j` through the crossover: the exact sum up to
+/// [`EXP_ASYMPTOTIC_MIN_N`] terms (bit-identical to every value the
+/// golden fixtures were generated with), the asymptotic expansion above.
+fn harmonic_any(j: usize) -> f64 {
+    if j <= EXP_ASYMPTOTIC_MIN_N {
+        harmonic(j)
+    } else {
+        harmonic_asymptotic(j)
+    }
+}
+
+/// Survival function `1 − Φ(z)` of the standard normal, computed from
+/// the same Abramowitz–Stegun 7.1.26 expansion as [`normal_cdf`] but
+/// *directly* for `z ≥ 0` — `0.5·poly(t)·e^{−x²}` — so `ln(1 − Φ(z))`
+/// at large `z` never passes through the catastrophic `1 − (≈1)`
+/// cancellation. Only the extreme-value asymptotic paths use it; the
+/// exact grid keeps the historical `1 − Φ` arithmetic bit-for-bit.
+fn normal_sf(z: f64) -> f64 {
+    if z < 0.0 {
+        return 1.0 - normal_cdf(z);
+    }
+    let x = z / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    0.5 * poly * (-x * x).exp()
+}
+
+/// The Euler–Mascheroni constant γ — the Gumbel limit's mean, and the
+/// constant term of the harmonic asymptotic `H_j = ln j + γ + …`.
+const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// `ln Γ(x)` for `x ≥ 1` via the Lanczos approximation (g = 7, 9 terms;
+/// relative error < 1e-13 on this range). Used to keep the
+/// order-statistic coefficient `m·C(n, k)` in log-space, where
+/// `C(10⁶, 5·10⁵)` is a perfectly ordinary number instead of an `inf`.
+fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 8] = [
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    let z = x - 1.0;
+    let mut a = 0.999_999_999_999_809_9;
+    for (i, &c) in COEF.iter().enumerate() {
+        a += c / (z + i as f64 + 1.0);
+    }
+    let t = z + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (z + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln(m·C(n, k))` with `m = n − k`: the order-statistic density
+/// coefficient `Γ(n+1)/(Γ(m)·Γ(k+1))` in log-space.
+fn ln_order_stat_coeff(n: usize, k: usize) -> f64 {
+    let m = n - k;
+    ln_gamma(n as f64 + 1.0) - ln_gamma(m as f64) - ln_gamma(k as f64 + 1.0)
+}
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// relative error < 1.2e-9). Only the asymptotic regime's Gumbel
+/// norming uses it; `p` must lie strictly inside `(0, 1)`.
+fn inv_normal_cdf(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+    assert!(
+        p > 0.0 && p < 1.0,
+        "quantile must be inside (0, 1), got {p}"
+    );
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -((((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0))
+    }
+}
+
 /// The log-normal order-statistic quadrature grid, with the per-point
 /// transcendentals (`Φ(z)`, `e^{μ+σz}`, `φ(z)`) evaluated once and shared
 /// across every `(n, k)` the grid is queried for. The per-query Simpson
@@ -210,7 +347,17 @@ impl LogNormalGrid {
     /// `E[X_(m)] = coeff·∫ e^{mu+σz}·Φ(z)^{m−1}(1−Φ(z))^k φ(z) dz` with
     /// `m = n−k` and `coeff = m·C(n, k)` — the serial quadrature evaluated
     /// over the precomputed grid.
+    ///
+    /// Up to [`LOGNORMAL_COEFF_LOOP_MAX_N`] the coefficient is built by
+    /// the historical multiplicative loop (bit-identical to every value
+    /// the golden fixtures pin); past it `m·C(n, k)` can overflow f64
+    /// (`C(1024, 512)·512` is already `inf`, and `inf·0` poisons the
+    /// integrand with NaNs), so the whole integrand moves to log-space
+    /// with a [`ln_gamma`]-based coefficient.
     fn expected_order_stat(&self, n: usize, k: usize) -> f64 {
+        if n > LOGNORMAL_COEFF_LOOP_MAX_N {
+            return self.expected_order_stat_log_coeff(n, k);
+        }
         let m = n - k;
         let mut coeff = m as f64; // m · C(n, k)
         for j in 1..=k {
@@ -231,6 +378,119 @@ impl LogNormalGrid {
         }
         sum * self.h / 3.0
     }
+
+    /// The same Simpson sum over the same grid with the integrand
+    /// assembled in log-space:
+    /// `exp(ln coeff + (m−1)·ln Φ + k·ln(1−Φ))·e^{μ+σz}·φ(z)` — finite
+    /// for every `(n, k)` an usize can express. The `(m−1)·ln Φ` and
+    /// `k·ln(1−Φ)` terms are skipped when their exponent is zero, so a
+    /// grid endpoint with `Φ = 0` (or `1`) contributes 0 instead of
+    /// `0·(−∞) = NaN`.
+    fn expected_order_stat_log_coeff(&self, n: usize, k: usize) -> f64 {
+        let m = n - k;
+        let ln_coeff = ln_order_stat_coeff(n, k);
+        let steps = self.phi.len() - 1;
+        let integrand = |i: usize| {
+            let mut ln_pow = ln_coeff;
+            if m > 1 {
+                if self.phi[i] <= 0.0 {
+                    return 0.0;
+                }
+                ln_pow += (m as f64 - 1.0) * self.phi[i].ln();
+            }
+            if k > 0 {
+                let sf = 1.0 - self.phi[i];
+                if sf <= 0.0 {
+                    return 0.0;
+                }
+                ln_pow += k as f64 * sf.ln();
+            }
+            ln_pow.exp() * self.exp_term[i] * self.density[i]
+        };
+        let mut sum = integrand(0) + integrand(steps);
+        for i in 1..steps {
+            let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+            sum += w * integrand(i);
+        }
+        sum * self.h / 3.0
+    }
+}
+
+/// Largest `n` for which [`LogNormalGrid::expected_order_stat`] builds
+/// the coefficient `m·C(n, k)` by the historical multiplicative loop.
+/// `C(512, 256)·512 ≈ 2.4e155` still fits f64 with room to spare; one
+/// doubling later `C(1024, 512)·512` overflows, so past this the
+/// integrand is assembled in log-space instead.
+const LOGNORMAL_COEFF_LOOP_MAX_N: usize = 512;
+
+/// Worker count above which log-normal order statistics leave the
+/// shared `z ∈ [−9, 10+σ]` grid for the extreme-value windowed
+/// quadrature ([`lognormal_order_stat_asymptotic`]). At the crossover
+/// both regimes integrate the same density — the property suite bounds
+/// their relative disagreement below 1e-3 (measured: ≲1e-6) — and the
+/// asymptotic side is O(1) in `n` where the fixed grid's resolution
+/// around the ever-sharper order-statistic peak eventually runs out.
+pub const LOGNORMAL_ASYMPTOTIC_MIN_N: usize = 8_192;
+
+/// `E[X_(m) of n]` for `X = e^{μ+σZ}` at extreme `n` by Gumbel-normed
+/// windowed quadrature.
+///
+/// Extreme-value theory norms the `m`-th smallest of `n` standard
+/// normals as `Z_(m) ≈ b_n + a_n·G` with location
+/// `b_n = Φ⁻¹(m/(n+1))` (the mean-rank quantile), scale
+/// `a_n = s_u/φ(b_n)` (the Beta(m, k+1) rank std
+/// `s_u = √(u(1−u)/(n+2))` pushed through the quantile map), and `G`
+/// approximately Gumbel — to first order `E[Z_(m)] ≈ b_n + γ·a_n`.
+/// Rather than stopping at first order, the exact order-statistic
+/// density (log-space coefficient) is integrated over `b_n ± 30·a_n`
+/// with 2048 composite-Simpson steps: the density is negligible outside
+/// the window, so the result is quadrature-exact with O(1) cost in `n`
+/// and a step width that *shrinks with the peak* instead of the fixed
+/// grid's.
+fn lognormal_order_stat_asymptotic(mu: f64, sigma: f64, n: usize, k: usize) -> f64 {
+    let m = n - k;
+    let nf = n as f64;
+    let u_star = m as f64 / (nf + 1.0);
+    // Above the median compute the quantile from the complementary rank
+    // so Φ⁻¹'s argument never suffers 1 − (≈1) cancellation.
+    let b_n = if u_star > 0.5 {
+        -inv_normal_cdf((k as f64 + 1.0) / (nf + 1.0))
+    } else {
+        inv_normal_cdf(u_star)
+    };
+    let s_u = (u_star * (1.0 - u_star) / (nf + 2.0)).sqrt();
+    let phi_b = (-b_n * b_n / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let a_n = s_u / phi_b;
+    let half_width = 30.0 * a_n;
+    let (lo, hi) = (b_n - half_width, b_n + half_width);
+    let steps = 2048usize;
+    let h = (hi - lo) / steps as f64;
+    let ln_coeff = ln_order_stat_coeff(n, k);
+    let ln_sqrt_2pi = 0.5 * (2.0 * std::f64::consts::PI).ln();
+    let integrand = |z: f64| {
+        let mut ln_f = ln_coeff + mu + sigma * z - z * z / 2.0 - ln_sqrt_2pi;
+        if m > 1 {
+            let cdf = normal_cdf(z);
+            if cdf <= 0.0 {
+                return 0.0;
+            }
+            ln_f += (m as f64 - 1.0) * cdf.ln();
+        }
+        if k > 0 {
+            let sf = normal_sf(z);
+            if sf <= 0.0 {
+                return 0.0;
+            }
+            ln_f += k as f64 * sf.ln();
+        }
+        ln_f.exp()
+    };
+    let mut sum = integrand(lo) + integrand(hi);
+    for i in 1..steps {
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        sum += w * integrand(lo + i as f64 * h);
+    }
+    sum * h / 3.0
 }
 
 impl StragglerModel {
@@ -398,9 +658,51 @@ impl StragglerModel {
     /// `spread·(n−k)/(n+1)`; log-normal tails integrate the order-statistic
     /// density in the underlying normal's `z`-space.
     ///
+    /// Past [`Self::asymptotic_crossover`] the tailed distributions
+    /// switch to their extreme-value asymptotic regime — the
+    /// Euler–Maclaurin harmonic expansion for exponential tails, the
+    /// Gumbel-normed windowed quadrature
+    /// ([`lognormal_order_stat_asymptotic`]) for log-normal tails — O(1)
+    /// in `n` where the exact forms are O(n) or lose the peak. Below the
+    /// crossover every value is bit-identical to the historical exact
+    /// path ([`Self::expected_order_stat_exact`]); at the crossover the
+    /// two regimes agree within 1e-3 relative (property-tested, measured
+    /// far tighter).
+    ///
     /// # Panics
     /// Panics when `n == 0` or `k >= n`.
     pub fn expected_order_stat(&self, n: usize, k: usize) -> f64 {
+        self.assert_valid();
+        assert!(n >= 1, "need at least one draw");
+        assert!(k < n, "cannot drop all {n} workers (k = {k})");
+        match *self {
+            StragglerModel::Deterministic => 0.0,
+            StragglerModel::BoundedJitter { spread } => spread * (n - k) as f64 / (n as f64 + 1.0),
+            StragglerModel::ExponentialTail { mean } => mean * (harmonic_any(n) - harmonic_any(k)),
+            StragglerModel::LogNormalTail { mu, sigma } => {
+                if sigma == 0.0 {
+                    return mu.exp();
+                }
+                if n > LOGNORMAL_ASYMPTOTIC_MIN_N {
+                    return lognormal_order_stat_asymptotic(mu, sigma, n, k);
+                }
+                LogNormalGrid::new(mu, sigma).expected_order_stat(n, k)
+            }
+        }
+    }
+
+    /// [`Self::expected_order_stat`] with the asymptotic crossover
+    /// disabled: the summed-harmonic / shared-grid exact path at *any*
+    /// `n` (the grid coefficient still moves to log-space past
+    /// [`LOGNORMAL_COEFF_LOOP_MAX_N`] — overflow is a bug, not a
+    /// regime). This is the reference the property suite and
+    /// `bench-scale` measure the asymptotic regime against; it is O(n)
+    /// for exponential tails and pays the full fixed-grid quadrature for
+    /// log-normal ones, so hot paths should not call it.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `k >= n`.
+    pub fn expected_order_stat_exact(&self, n: usize, k: usize) -> f64 {
         self.assert_valid();
         assert!(n >= 1, "need at least one draw");
         assert!(k < n, "cannot drop all {n} workers (k = {k})");
@@ -414,6 +716,17 @@ impl StragglerModel {
                 }
                 LogNormalGrid::new(mu, sigma).expected_order_stat(n, k)
             }
+        }
+    }
+
+    /// The `n` above which [`Self::expected_order_stat`] switches to the
+    /// extreme-value asymptotic regime, or `None` for the variants whose
+    /// exact form is already O(1) (deterministic, bounded jitter).
+    pub fn asymptotic_crossover(&self) -> Option<usize> {
+        match *self {
+            StragglerModel::Deterministic | StragglerModel::BoundedJitter { .. } => None,
+            StragglerModel::ExponentialTail { .. } => Some(EXP_ASYMPTOTIC_MIN_N),
+            StragglerModel::LogNormalTail { .. } => Some(LOGNORMAL_ASYMPTOTIC_MIN_N),
         }
     }
 
@@ -442,19 +755,30 @@ impl StragglerModel {
                 })
                 .collect(),
             StragglerModel::ExponentialTail { mean } => {
-                let h_fixed = harmonic(drop_k);
+                let h_fixed = harmonic_any(drop_k);
                 let mut h = HarmonicSum::new(); // running H_n ≡ harmonic(n)
                 (1..=n_max)
                     .map(|n| {
                         let h_prev = h.value(); // H_{n−1}
-                        h.push();
+                                                // Past the crossover the running sum hands over to
+                                                // the expansion — the same routing harmonic_any
+                                                // applies per-call, so batch and per-call entries
+                                                // stay bit-identical on both sides of the seam.
+                        let h_n = if n <= EXP_ASYMPTOTIC_MIN_N {
+                            h.push();
+                            h.value()
+                        } else {
+                            harmonic_asymptotic(n)
+                        };
                         // k = n−1 only while n ≤ drop_k, where H_k = H_{n−1}.
                         let h_k = if drop_k.min(n - 1) == drop_k {
                             h_fixed
-                        } else {
+                        } else if n - 1 <= EXP_ASYMPTOTIC_MIN_N {
                             h_prev
+                        } else {
+                            harmonic_asymptotic(n - 1)
                         };
-                        mean * (h.value() - h_k)
+                        mean * (h_n - h_k)
                     })
                     .collect()
             }
@@ -466,8 +790,47 @@ impl StragglerModel {
                 let ns: Vec<usize> = (1..=n_max).collect();
                 // The per-n Simpson sums over the shared grid are
                 // independent — fan them out too.
-                par::map(&ns, |&n| grid.expected_order_stat(n, drop_k.min(n - 1)))
+                par::map(&ns, |&n| {
+                    let k = drop_k.min(n - 1);
+                    if n > LOGNORMAL_ASYMPTOTIC_MIN_N {
+                        lognormal_order_stat_asymptotic(mu, sigma, n, k)
+                    } else {
+                        grid.expected_order_stat(n, k)
+                    }
+                })
             }
+        }
+    }
+
+    /// Sparse batch form of [`Self::expected_order_stat`]: one entry per
+    /// requested `n` (with `kₙ = drop_k.min(n−1)`), in input order. This
+    /// is the extreme-scale companion to
+    /// [`Self::expected_order_stats`] — a log-spaced ladder to `n = 10⁶`
+    /// costs O(ladder) model calls and memory instead of a
+    /// million-entry dense table. Log-normal tails share one quadrature
+    /// grid across the sub-crossover entries; every entry is
+    /// bit-identical to the corresponding per-call
+    /// [`Self::expected_order_stat`].
+    ///
+    /// # Panics
+    /// Panics when `ns` is empty or contains `0`.
+    pub fn expected_order_stats_sparse(&self, ns: &[usize], drop_k: usize) -> Vec<f64> {
+        self.assert_valid();
+        assert!(!ns.is_empty(), "need at least one worker count");
+        match *self {
+            StragglerModel::LogNormalTail { mu, sigma } if sigma != 0.0 => {
+                let grid = LogNormalGrid::new(mu, sigma);
+                par::map(ns, |&n| {
+                    assert!(n >= 1, "need at least one draw");
+                    let k = drop_k.min(n - 1);
+                    if n > LOGNORMAL_ASYMPTOTIC_MIN_N {
+                        lognormal_order_stat_asymptotic(mu, sigma, n, k)
+                    } else {
+                        grid.expected_order_stat(n, k)
+                    }
+                })
+            }
+            _ => par::map(ns, |&n| self.expected_order_stat(n, drop_k.min(n - 1))),
         }
     }
 
@@ -581,7 +944,16 @@ fn effective_k(backup_k: usize, n: usize) -> usize {
     backup_k.min(n.saturating_sub(1))
 }
 
-/// The shared-grid table for a sweep up to `n_max`, or `None` when the
+/// Precomputed order statistics for a sweep: dense (`t[n−1]` for
+/// `n ∈ 1..=n_max`, the historical layout) below
+/// [`DENSE_EVAL_MAX_N`], keyed by `n` above it — a 10⁶-worker ladder
+/// stores its few hundred rungs instead of a million entries.
+enum OrderStatTable {
+    Dense(Vec<f64>),
+    Sparse(HashMap<usize, f64>),
+}
+
+/// The shared-grid table for a sweep over `ns`, or `None` when the
 /// barrier path cannot consume it: zero jitter (the exact sorted-base
 /// path never asks for an order statistic) or heterogeneous bases (the
 /// Poisson-binomial quadrature is used instead). Homogeneity is probed
@@ -592,24 +964,44 @@ fn effective_k(backup_k: usize, n: usize) -> usize {
 fn order_stat_table(
     straggler: StragglerModel,
     backup_k: usize,
-    n_max: usize,
+    ns: &[usize],
     probe_bases: &[f64],
-) -> Option<Vec<f64>> {
+) -> Option<OrderStatTable> {
     let homogeneous = probe_bases.iter().all(|&b| b == probe_bases[0]);
-    (homogeneous && !straggler.is_zero()).then(|| straggler.expected_order_stats(n_max, backup_k))
+    if !homogeneous || straggler.is_zero() {
+        return None;
+    }
+    // lint: allow(panic-free-lib): every caller collects a non-empty sweep before building the table
+    let n_max = ns.iter().copied().max().expect("non-empty sweep");
+    if n_max <= DENSE_EVAL_MAX_N {
+        Some(OrderStatTable::Dense(
+            straggler.expected_order_stats(n_max, backup_k),
+        ))
+    } else {
+        let values = straggler.expected_order_stats_sparse(ns, backup_k);
+        Some(OrderStatTable::Sparse(
+            ns.iter().copied().zip(values).collect(),
+        ))
+    }
 }
 
 impl StragglerModel {
     /// An order-statistic source reading from `table` when present and
     /// falling back to the per-`n` quadrature otherwise — both
-    /// bit-identical to [`Self::expected_order_stat`].
+    /// bit-identical to [`Self::expected_order_stat`]. A sparse-table
+    /// miss (e.g. a planner refinement probing between ladder rungs)
+    /// also falls back per-call.
     fn order_stat_from<'a>(
         &self,
-        table: &'a Option<Vec<f64>>,
+        table: &'a Option<OrderStatTable>,
     ) -> impl Fn(usize, usize) -> f64 + 'a {
         let model = *self;
         move |n, k| match table {
-            Some(t) => t[n - 1],
+            Some(OrderStatTable::Dense(t)) => t[n - 1],
+            Some(OrderStatTable::Sparse(t)) => t
+                .get(&n)
+                .copied()
+                .unwrap_or_else(|| model.expected_order_stat(n, k)),
             None => model.expected_order_stat(n, k),
         }
     }
@@ -633,7 +1025,7 @@ fn sweep_curve(
     assert!(!ns.is_empty(), "need at least one worker count");
     // lint: allow(panic-free-lib): the assert! above guarantees ns is non-empty
     let n_max = ns.iter().copied().max().expect("non-empty");
-    let table = order_stat_table(straggler, backup_k, n_max, &probe_bases(n_max));
+    let table = order_stat_table(straggler, backup_k, &ns, &probe_bases(n_max));
     let times = par::map(&ns, |&n| time_via(&straggler.order_stat_from(&table), n));
     SpeedupCurve::from_samples(ns.into_iter().zip(times))
 }
@@ -680,17 +1072,40 @@ impl OrderStatCache {
         self.model
     }
 
+    /// Number of non-dominated warm passes currently remembered — for
+    /// callers (and tests) asserting the list stays bounded across
+    /// repeated [`Self::warm`]s.
+    pub fn warmed_passes(&self) -> usize {
+        self.warmed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
     /// Batch-fills `(n, drop_k.min(n−1))` for every `n ∈ 1..=n_max` in a
-    /// single shared-grid pass. A pass already covered by an earlier,
-    /// at-least-as-wide warm for the same `drop_k` is skipped — the memo
-    /// entries it would write are bit-identical to the ones in place.
+    /// single shared-grid pass. A pass already covered by an earlier warm
+    /// is skipped — the memo entries it would write are bit-identical to
+    /// the ones in place — and passes this one supersedes are pruned, so
+    /// the warmed list stays bounded by the number of *distinct* drop-k
+    /// regimes a long-lived cache (`mlscale serve`) ever sees, not by
+    /// the request count.
+    ///
+    /// Dominance: a pass `(k, m)` writes exactly the keys
+    /// `{(n, k.min(n−1)) : n ≤ m}`, so it is covered by `(k', m')` iff
+    /// `m ≤ m'` and the clamped drop counts agree on every `n ≤ m` —
+    /// `k == k'`, or both are clamped throughout (`k, k' ≥ m − 1`).
     pub fn warm(&self, n_max: usize, drop_k: usize) {
+        assert!(n_max >= 1, "need at least one draw");
         {
             let mut warmed = self.warmed.lock().unwrap_or_else(PoisonError::into_inner);
-            if warmed.iter().any(|&(k, m)| k == drop_k && m >= n_max) {
+            if warmed.iter().any(|&(k, m)| {
+                m >= n_max && (k == drop_k || (k >= n_max - 1 && drop_k >= n_max - 1))
+            }) {
                 return;
             }
-            warmed.retain(|&(k, m)| k != drop_k || m > n_max);
+            warmed.retain(|&(k, m)| {
+                !(m <= n_max && (k == drop_k || (k >= m - 1 && drop_k >= m - 1)))
+            });
             warmed.push((drop_k, n_max));
         }
         let table = self.model.expected_order_stats(n_max, drop_k);
@@ -922,17 +1337,41 @@ impl StragglerGdModel {
         )
     }
 
+    /// [`Self::strong_curve`] over the geometric ladder
+    /// [`log_spaced_ns`]`(max_n, points)` — the extreme-scale form: a
+    /// `max_n = 10⁶` strong curve is O(`points`) expected-time
+    /// evaluations (sparse shared-grid order statistics, parallel
+    /// per-rung evaluation) instead of a million.
+    pub fn strong_curve_log(&self, max_n: usize, points: usize) -> SpeedupCurve {
+        self.strong_curve(log_spaced_ns(max_n, points))
+    }
+
+    /// [`Self::weak_curve`] over the geometric ladder — see
+    /// [`Self::strong_curve_log`].
+    pub fn weak_curve_log(&self, max_n: usize, points: usize) -> SpeedupCurve {
+        self.weak_curve(log_spaced_ns(max_n, points))
+    }
+
     /// A [`Planner`] over the *expected* job time
     /// `iterations · E[t_iter(n)]` — provisioning answers (cheapest within
     /// deadline, fastest within budget) that price the straggler tail in,
     /// rather than the deterministic best case. The sweep's order
     /// statistics come from one shared-grid pass and the candidate sizes
     /// are evaluated in parallel.
+    ///
+    /// Past [`DENSE_EVAL_MAX_N`] the dense `1..=max_n` sweep would cost
+    /// O(max_n) model calls to answer four questions, so construction
+    /// automatically routes to [`Self::planner_log`] with
+    /// [`Planner::DEFAULT_LOG_POINTS`] rungs.
     pub fn planner(&self, iterations: f64, max_n: usize, pricing: Pricing) -> Planner {
+        if max_n > DENSE_EVAL_MAX_N {
+            return self.planner_log(iterations, max_n, pricing, Planner::DEFAULT_LOG_POINTS);
+        }
+        let ns: Vec<usize> = (1..=max_n).collect();
         let table = order_stat_table(
             self.straggler,
             self.backup_k,
-            max_n,
+            &ns,
             &self.strong_bases(max_n),
         );
         Planner::new_par(
@@ -942,6 +1381,36 @@ impl StragglerGdModel {
             },
             max_n,
             pricing,
+        )
+    }
+
+    /// [`Self::planner`] over a log-spaced candidate ladder
+    /// ([`Planner::new_log`]): O(`points`) expected-time evaluations —
+    /// the ladder's order statistics from one sparse shared-grid pass,
+    /// refinement probes served per-call — so all four planner verbs at
+    /// `max_n = 10⁶` answer in well under a second.
+    pub fn planner_log(
+        &self,
+        iterations: f64,
+        max_n: usize,
+        pricing: Pricing,
+        points: usize,
+    ) -> Planner {
+        let ns = log_spaced_ns(max_n, points);
+        let table = order_stat_table(
+            self.straggler,
+            self.backup_k,
+            &ns,
+            &self.strong_bases(max_n),
+        );
+        Planner::new_log(
+            move |n| {
+                self.strong_iteration_time_via(&self.straggler.order_stat_from(&table), n)
+                    * iterations
+            },
+            max_n,
+            pricing,
+            points,
         )
     }
 
@@ -1607,5 +2076,197 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_spread_rejected() {
         let _ = StragglerModel::BoundedJitter { spread: -1.0 }.expected_max(2);
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n+1) = n!; the Lanczos form must track ln(n!) to ~1e-13
+        // relative across the range the coefficient path uses.
+        let mut ln_fact = 0.0f64;
+        for n in 1..=170usize {
+            ln_fact += (n as f64).ln();
+            let got = ln_gamma(n as f64 + 1.0);
+            assert!(
+                (got - ln_fact).abs() <= 1e-12 * ln_fact.max(1.0),
+                "n={n}: {got} vs {ln_fact}"
+            );
+        }
+        assert!(ln_gamma(1.0).abs() < 1e-14, "Γ(1) = 1");
+        assert!(ln_gamma(2.0).abs() < 5e-15, "Γ(2) = 1");
+    }
+
+    #[test]
+    fn inv_normal_cdf_inverts_the_cdf() {
+        for p in [
+            1e-7,
+            1e-4,
+            0.02425,
+            0.1,
+            0.5,
+            0.9,
+            0.97575,
+            0.9999,
+            1.0 - 1e-7,
+        ] {
+            let z = inv_normal_cdf(p);
+            let back = normal_cdf(z);
+            // normal_cdf itself carries ~1.5e-7 absolute error; the
+            // round trip must stay within that noise floor.
+            assert!((back - p).abs() < 5e-7, "p={p}: z={z}, back={back}");
+        }
+        assert!(inv_normal_cdf(0.5).abs() < 1e-9);
+        assert!((inv_normal_cdf(0.975) - 1.959_964).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normal_sf_is_complement_of_cdf() {
+        for z in [-3.0, -0.5, 0.0, 0.5, 2.0, 5.0, 8.0] {
+            let sf = normal_sf(z);
+            assert!((sf - (1.0 - normal_cdf(z))).abs() < 1e-12, "z={z}: sf={sf}");
+        }
+        // Past the point where 1 − Φ(z) rounds to zero, the direct form
+        // still resolves the tail.
+        assert!(normal_sf(9.0) > 0.0 && normal_sf(9.0) < 1e-18);
+    }
+
+    #[test]
+    fn log_coeff_grid_path_is_bit_consistent_with_legacy_loop() {
+        // Satellite regression for the m·C(n, k) overflow: re-implement
+        // the historical multiplicative coefficient and verify the
+        // log-space Simpson path agrees to ~1e-12 relative wherever the
+        // legacy coefficient is finite, while the legacy routing itself
+        // (n ≤ 512) stays byte-for-byte what the fixtures pinned.
+        let grid = LogNormalGrid::new(-1.5, 1.1);
+        for (n, k) in [(3usize, 1usize), (64, 2), (200, 100), (512, 256)] {
+            let legacy = {
+                let m = n - k;
+                let mut coeff = m as f64;
+                for j in 1..=k {
+                    coeff *= (n - j + 1) as f64 / j as f64;
+                }
+                coeff
+            };
+            assert!(legacy.is_finite(), "fixture must stay in range");
+            let exact = grid.expected_order_stat(n, k);
+            let log_form = grid.expected_order_stat_log_coeff(n, k);
+            assert!(
+                ((exact - log_form) / exact).abs() < 1e-10,
+                "n={n} k={k}: loop {exact} vs log {log_form}"
+            );
+        }
+        // The legacy coefficient overflows just past the switch point —
+        // the reason the routing exists.
+        let mut coeff = 512.0f64;
+        for j in 1..=512usize {
+            coeff *= (1024 - j + 1) as f64 / j as f64;
+        }
+        assert!(
+            !coeff.is_finite(),
+            "C(1024, 512)·512 must overflow f64, got {coeff}"
+        );
+        assert!(grid.expected_order_stat(1024, 512).is_finite());
+    }
+
+    #[test]
+    fn exponential_batch_and_per_call_agree_across_the_crossover() {
+        // The running-sum → expansion seam sits inside this table; batch
+        // and per-call entries must stay bit-identical through it.
+        let m = StragglerModel::ExponentialTail { mean: 0.4 };
+        let n_max = EXP_ASYMPTOTIC_MIN_N + 40;
+        for drop_k in [0usize, 3] {
+            let table = m.expected_order_stats(n_max, drop_k);
+            for n in (EXP_ASYMPTOTIC_MIN_N - 3)..=n_max {
+                let direct = m.expected_order_stat(n, drop_k.min(n - 1));
+                assert_eq!(
+                    table[n - 1].to_bits(),
+                    direct.to_bits(),
+                    "n={n}, drop_k={drop_k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lognormal_asymptotic_is_continuous_at_the_seam() {
+        // Adjacent n on either side of the crossover: the jump between
+        // regimes must be far below the physical growth of E[max].
+        let m = StragglerModel::LogNormalTail {
+            mu: 0.0,
+            sigma: 1.0,
+        };
+        let below = m.expected_order_stat(LOGNORMAL_ASYMPTOTIC_MIN_N, 0);
+        let above = m.expected_order_stat(LOGNORMAL_ASYMPTOTIC_MIN_N + 1, 0);
+        assert!(above > below, "E[max] grows with n: {below} vs {above}");
+        assert!(
+            (above - below) / below < 1e-3,
+            "seam jump too large: {below} -> {above}"
+        );
+        // And with drop-k (mid-rank coefficient through ln_gamma).
+        let below_k = m.expected_order_stat(LOGNORMAL_ASYMPTOTIC_MIN_N, 5);
+        let above_k = m.expected_order_stat(LOGNORMAL_ASYMPTOTIC_MIN_N + 1, 5);
+        assert!(
+            ((above_k - below_k) / below_k).abs() < 1e-3,
+            "drop-k seam jump too large: {below_k} -> {above_k}"
+        );
+    }
+
+    #[test]
+    fn warm_prunes_dominated_passes() {
+        let cache = OrderStatCache::new(StragglerModel::ExponentialTail { mean: 1.0 });
+        // Narrow pass then a wider one for the same drop_k: superseded.
+        cache.warm(8, 0);
+        cache.warm(32, 0);
+        assert_eq!(cache.warmed_passes(), 1, "wider pass absorbs narrower");
+        // Re-warming covered spans is a no-op.
+        cache.warm(8, 0);
+        cache.warm(32, 0);
+        assert_eq!(cache.warmed_passes(), 1);
+        // Every drop_k ≥ n_max − 1 clamps to the same key set; repeated
+        // warms across 50 nominal drop-k values must stay bounded by the
+        // distinct effective regimes (0, 1, 2, and "all clamped").
+        let cache = OrderStatCache::new(StragglerModel::ExponentialTail { mean: 1.0 });
+        for k in 0..50usize {
+            cache.warm(4, k);
+        }
+        assert!(
+            cache.warmed_passes() <= 4,
+            "50 warms must leave ≤ 4 passes, got {}",
+            cache.warmed_passes()
+        );
+        // And the memo still answers bit-identically after pruning.
+        let direct = cache.model().expected_order_stat(4, 2);
+        assert_eq!(cache.expected_order_stat(4, 2).to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn log_curves_match_dense_curves_on_the_ladder() {
+        let m = StragglerGdModel {
+            straggler: StragglerModel::ExponentialTail { mean: 2.0 },
+            backup_k: 1,
+            ..StragglerGdModel::deterministic(fig2_model())
+        };
+        let dense = m.strong_curve(1..=64);
+        let log = m.strong_curve_log(64, 12);
+        for (&n, &t) in log.ns().iter().zip(log.times()) {
+            assert_eq!(dense.time_at(n), Some(t), "strong n={n}");
+        }
+        let dense_w = m.weak_curve(1..=64);
+        let log_w = m.weak_curve_log(64, 12);
+        for (&n, &t) in log_w.ns().iter().zip(log_w.times()) {
+            assert_eq!(dense_w.time_at(n), Some(t), "weak n={n}");
+        }
+    }
+
+    #[test]
+    fn log_planner_agrees_with_dense_planner_at_moderate_scale() {
+        let m = StragglerGdModel {
+            straggler: StragglerModel::ExponentialTail { mean: 1.0 },
+            ..StragglerGdModel::deterministic(fig2_model())
+        };
+        let pricing = Pricing::hourly(2.0);
+        let dense = m.planner(50.0, 256, pricing);
+        let log = m.planner_log(50.0, 256, pricing, 24);
+        assert_eq!(log.fastest(), dense.fastest());
+        assert_eq!(log.cheapest(), dense.cheapest());
     }
 }

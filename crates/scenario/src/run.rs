@@ -23,6 +23,7 @@ use mlscale_core::models::graphinf::{
     bp_cost_per_edge, max_edges_monte_carlo, EdgeLoad, GraphInferenceModel,
 };
 use mlscale_core::planner::Pricing;
+use mlscale_core::speedup::log_spaced_ns;
 use mlscale_core::straggler::{OrderStatCache, OrderStatCachePool};
 use mlscale_core::units::{BitsPerSec, FlopsRate, Seconds};
 use mlscale_core::{par, SpeedupCurve};
@@ -200,6 +201,12 @@ fn run_gd_points(
         let mut warmed: Vec<(usize, usize)> = Vec::new(); // (backup_k, n_max)
         for &i in &group {
             let gd = gds[i];
+            // Log-spaced points skip the dense warm pass: warming 1..=max_n
+            // at extreme scale is exactly the O(max_n) cost the ladder
+            // avoids, and per-call memoisation covers the few rungs touched.
+            if gd.log_points.is_some() {
+                continue;
+            }
             match warmed.iter_mut().find(|(k, _)| *k == gd.backup_k) {
                 Some((_, n_max)) => *n_max = (*n_max).max(gd.max_n),
                 None => warmed.push((gd.backup_k, gd.max_n)),
@@ -234,7 +241,10 @@ fn eval_gd(
     cache: Option<&OrderStatCache>,
 ) -> Result<ExperimentResult, SpecError> {
     let model = gd.build()?;
-    let ns = 1..=gd.max_n;
+    let ns: Vec<usize> = match gd.log_points {
+        Some(points) => log_spaced_ns(gd.max_n, points),
+        None => (1..=gd.max_n).collect(),
+    };
     let curve = match (gd.weak, cache) {
         (false, Some(cache)) => model.strong_curve_cached(ns, cache),
         (false, None) => model.strong_curve(ns),
@@ -248,7 +258,11 @@ fn eval_gd(
     });
     result = with_curve(result, &curve)?;
     if let Some(plan) = &gd.plan {
-        let planner = model.planner(plan.iterations, gd.max_n, Pricing::hourly(plan.price));
+        let pricing = Pricing::hourly(plan.price);
+        let planner = match gd.log_points {
+            Some(points) => model.planner_log(plan.iterations, gd.max_n, pricing, points),
+            None => model.planner(plan.iterations, gd.max_n, pricing),
+        };
         let fastest = planner.fastest();
         let cheapest = planner.cheapest();
         result = result

@@ -11,6 +11,7 @@
 
 use mlscale_core::hardware::{presets, ClusterSpec, Heterogeneity, LinkSpec, NodeSpec, RackSpec};
 use mlscale_core::models::gd::{GdComm, GradientDescentModel};
+use mlscale_core::speedup::DENSE_EVAL_MAX_N;
 use mlscale_core::straggler::{StragglerGdModel, StragglerModel};
 use mlscale_core::units::{BitsPerSec, FlopCount, FlopsRate, Seconds};
 use serde::Value;
@@ -362,6 +363,11 @@ pub struct GdSpec {
     pub uplink_latency: Option<f64>,
     /// Evaluate `n ∈ 1..=max_n` (default 32).
     pub max_n: usize,
+    /// Log-spaced evaluation: sample this many geometrically spaced
+    /// worker counts over `[1, max_n]` instead of the dense range —
+    /// required (and the only way) to go past the dense-mode limit
+    /// (`DENSE_EVAL_MAX_N`), e.g. `max_n = 10⁶` with 200 points.
+    pub log_points: Option<usize>,
     /// Weak scaling (per-instance time) instead of strong.
     pub weak: bool,
     /// Straggler delay distribution.
@@ -562,6 +568,7 @@ fn parse_gd(obj: &mut Obj<'_>) -> Result<GdSpec> {
         uplink_bandwidth: obj.f64("uplink_bandwidth")?,
         uplink_latency: obj.f64("uplink_latency")?,
         max_n: obj.uint("max_n")?.unwrap_or(32),
+        log_points: obj.uint("log_points")?,
         weak: obj.bool("weak")?.unwrap_or(false),
         straggler: match obj.get("straggler") {
             None => None,
@@ -896,6 +903,7 @@ const GD_AXES: &[(&str, AxisKind)] = &[
     ("jitter", AxisKind::Num),
     ("bits", AxisKind::Int),
     ("max_n", AxisKind::Int),
+    ("log_points", AxisKind::Int),
     ("rack_size", AxisKind::Int),
     ("backup_k", AxisKind::Int),
     ("comm", AxisKind::Str),
@@ -1131,6 +1139,25 @@ impl GdSpec {
         if self.max_n < 1 {
             return Err(SpecError::new(at("max_n"), "must be at least 1"));
         }
+        if self.max_n > DENSE_EVAL_MAX_N && self.log_points.is_none() {
+            return Err(SpecError::new(
+                at("max_n"),
+                format!(
+                    "{} exceeds the dense-mode limit {DENSE_EVAL_MAX_N} (one table entry and \
+                     model call per n); set log_points (e.g. 200) to evaluate a log-spaced \
+                     ladder instead",
+                    self.max_n
+                ),
+            ));
+        }
+        if let Some(points) = self.log_points {
+            if points < 2 {
+                return Err(SpecError::new(
+                    at("log_points"),
+                    "a log-spaced ladder needs at least its two endpoints",
+                ));
+            }
+        }
         if self.backup_k >= self.max_n {
             return Err(SpecError::new(
                 at("backup_k"),
@@ -1213,6 +1240,7 @@ impl GdSpec {
             }
             "bits" => self.bits = Some(int()?),
             "max_n" => self.max_n = int()?,
+            "log_points" => self.log_points = Some(int()?),
             "rack_size" => self.rack_size = Some(int()?),
             "backup_k" => self.backup_k = int()?,
             "comm" => match value {
@@ -1352,6 +1380,16 @@ impl BpSpec {
         if self.max_n < 1 {
             return Err(SpecError::new(at("max_n"), "must be at least 1"));
         }
+        if self.max_n > DENSE_EVAL_MAX_N {
+            return Err(SpecError::new(
+                at("max_n"),
+                format!(
+                    "{} exceeds the dense-mode limit {DENSE_EVAL_MAX_N}: the bp workload \
+                     evaluates (and Monte-Carlo loads) every n in 1..=max_n",
+                    self.max_n
+                ),
+            ));
+        }
         Ok(())
     }
 
@@ -1418,6 +1456,10 @@ impl ExhibitSpec {
             Some(_) if !takes_max_n => Err(SpecError::new(
                 format!("{path}.max_n"),
                 format!("exhibit {:?} takes no max_n", self.id),
+            )),
+            Some(m) if m > DENSE_EVAL_MAX_N => Err(SpecError::new(
+                format!("{path}.max_n"),
+                format!("{m} exceeds the dense-mode limit {DENSE_EVAL_MAX_N}: exhibits sweep every n in 1..=max_n"),
             )),
             _ => Ok(()),
         }
@@ -1568,6 +1610,49 @@ mod tests {
             err_of(r#"{"name": "t", "workload": {"kind": "gd", "preset": "fig2", "max_n": -3}}"#);
         assert_eq!(e.path, "workload.max_n");
         assert!(e.message.contains("-3"), "{e}");
+    }
+
+    #[test]
+    fn absurd_max_n_without_log_points_named() {
+        let e = err_of(
+            r#"{"name": "t", "workload": {"kind": "gd", "preset": "fig2", "max_n": 1000000000}}"#,
+        );
+        assert_eq!(e.path, "workload.max_n");
+        assert!(e.message.contains("dense-mode limit"), "{e}");
+        assert!(e.message.contains("log_points"), "{e}");
+    }
+
+    #[test]
+    fn large_max_n_with_log_points_validates() {
+        let spec = parse(
+            r#"{"name": "t", "workload": {"kind": "gd", "preset": "fig2",
+                "max_n": 1000000, "log_points": 200}}"#,
+        )
+        .expect("log-spaced mode lifts the dense cap");
+        match &spec.workload {
+            WorkloadSpec::Gd(gd) => assert_eq!(gd.log_points, Some(200)),
+            other => panic!("unexpected workload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_log_points_named() {
+        let e = err_of(
+            r#"{"name": "t", "workload": {"kind": "gd", "preset": "fig2",
+                "max_n": 64, "log_points": 1}}"#,
+        );
+        assert_eq!(e.path, "workload.log_points");
+        assert!(e.message.contains("two endpoints"), "{e}");
+    }
+
+    #[test]
+    fn absurd_bp_max_n_named() {
+        let e = err_of(
+            r#"{"name": "t", "workload": {"kind": "bp", "vertices": 16259, "edges": 99785,
+                "max_n": 100000}}"#,
+        );
+        assert_eq!(e.path, "workload.max_n");
+        assert!(e.message.contains("dense-mode limit"), "{e}");
     }
 
     #[test]

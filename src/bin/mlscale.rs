@@ -28,6 +28,7 @@ use mlscale::model::models::graphinf::{
     bp_cost_per_edge, max_edges_monte_carlo, EdgeLoad, GraphInferenceModel,
 };
 use mlscale::model::planner::{Planner, Pricing};
+use mlscale::model::speedup::{log_spaced_ns, DENSE_EVAL_MAX_N};
 use mlscale::model::straggler::{StragglerGdModel, StragglerModel};
 use mlscale::model::units::{BitsPerSec, FlopCount, FlopsRate, Seconds};
 use mlscale::scenario::{run as sweep_run, write_outcome, ScenarioSpec};
@@ -50,6 +51,9 @@ fn usage() -> ! {
               --rack-size N             workers per rack (required by hier)\n\
               --uplink-bandwidth B --uplink-latency s   inter-rack uplink\n\
               --max-n N [--weak]        evaluate 1..=N, weak scaling optional\n\
+              --log-points P            evaluate a P-point log-spaced ladder\n\
+                                        to N instead of every n (required\n\
+                                        above the dense-mode limit)\n\
               --straggler det|jitter:S|exp:MEAN|lognormal:MU:SIGMA\n\
                                         per-worker delay distribution (expected times)\n\
               --jitter S                shorthand for --straggler jitter:S\n\
@@ -60,7 +64,7 @@ fn usage() -> ! {
               --flops F [--bandwidth B --replication R] --max-n N\n\
          plan — cost/deadline provisioning over the gd model\n\
               (gd flags) --iterations K --price $/node-hour\n\
-              [--deadline seconds | --budget amount]\n\
+              [--deadline seconds | --budget amount] [--log-points P]\n\
          sweep <file.json> [--out DIR]\n\
               expand the scenario's grid, evaluate every point, write one\n\
               results JSON per point plus a roll-up (default DIR:\n\
@@ -433,13 +437,51 @@ fn parse_comm(flags: &HashMap<String, String>, cluster: &ClusterSpec) -> GdComm 
     }
 }
 
+/// Parses `--log-points` and enforces the dense-mode ceiling: above
+/// [`DENSE_EVAL_MAX_N`] a dense `1..=max_n` sweep is one table entry and
+/// one model call per n, so it is refused unless the caller opts into the
+/// log-spaced ladder.
+fn log_points_flag(flags: &HashMap<String, String>, max_n: usize) -> Option<usize> {
+    let points = flags
+        .contains_key("log-points")
+        .then(|| int(flags, "log-points", None));
+    if let Some(p) = points {
+        if p < 2 {
+            die(format_args!(
+                "--log-points: a log-spaced ladder needs at least its two endpoints, got {p}"
+            ));
+        }
+    }
+    if points.is_none() && max_n > DENSE_EVAL_MAX_N {
+        die(format_args!(
+            "--max-n: {max_n} exceeds the dense-mode limit {DENSE_EVAL_MAX_N}; \
+             pass --log-points (e.g. 200) to evaluate a log-spaced ladder instead"
+        ));
+    }
+    points
+}
+
+/// The worker counts a gd/plan verb evaluates: dense `1..=max_n`, or a
+/// log-spaced ladder when `--log-points` is given.
+fn sweep_ns(max_n: usize, log_points: Option<usize>) -> (Vec<usize>, String) {
+    match log_points {
+        Some(p) => (
+            log_spaced_ns(max_n, p),
+            format!("n on a {p}-point log ladder to {max_n}"),
+        ),
+        None => ((1..=max_n).collect(), format!("n = 1..={max_n}")),
+    }
+}
+
 fn cmd_gd(flags: &HashMap<String, String>) {
     let mut allowed = GD_MODEL_FLAGS.to_vec();
-    allowed.extend(["max-n", "weak"]);
+    allowed.extend(["max-n", "weak", "log-points"]);
     allowed.extend(STRAGGLER_FLAGS);
     check_allowed("gd", flags, &allowed);
     let model = gd_model(flags);
     let max_n = int(flags, "max-n", Some(32));
+    let log_points = log_points_flag(flags, max_n);
+    let (ns, range) = sweep_ns(max_n, log_points);
     let scenario = parse_scenario(flags, &model.cluster, max_n);
     let weak = flags.contains_key("weak");
     let curve = match scenario {
@@ -451,20 +493,22 @@ fn cmd_gd(flags: &HashMap<String, String>) {
                 backup_k,
             };
             if weak {
-                println!("expected weak scaling under stragglers (per-instance time), n = 1..={max_n}:\n");
-                wrapped.weak_curve(1..=max_n)
+                println!("expected weak scaling under stragglers (per-instance time), {range}:\n");
+                wrapped.weak_curve(ns)
             } else {
-                println!("expected strong scaling under stragglers (per-iteration time), n = 1..={max_n}:\n");
-                wrapped.strong_curve(1..=max_n)
+                println!(
+                    "expected strong scaling under stragglers (per-iteration time), {range}:\n"
+                );
+                wrapped.strong_curve(ns)
             }
         }
         None if weak => {
-            println!("weak scaling (per-instance time), n = 1..={max_n}:\n");
-            model.weak_curve(1..=max_n)
+            println!("weak scaling (per-instance time), {range}:\n");
+            model.weak_curve(ns)
         }
         None => {
-            println!("strong scaling (per-iteration time), n = 1..={max_n}:\n");
-            model.strong_curve(1..=max_n)
+            println!("strong scaling (per-iteration time), {range}:\n");
+            model.strong_curve(ns)
         }
     };
     println!("{}", curve.to_table());
@@ -504,6 +548,12 @@ fn cmd_bp(flags: &HashMap<String, String>) {
     };
     let replication = num(flags, "replication", Some(0.5));
     let max_n = int(flags, "max-n", Some(80));
+    if max_n > DENSE_EVAL_MAX_N {
+        die(format_args!(
+            "--max-n: {max_n} exceeds the dense-mode limit {DENSE_EVAL_MAX_N}; \
+             the bp workload Monte-Carlo loads every n in 1..=max-n"
+        ));
+    }
 
     // Degree sequence from the calibrated Zipf weights (rounded), as the
     // generator would realise it — no need to materialise the graph.
@@ -535,13 +585,21 @@ fn cmd_bp(flags: &HashMap<String, String>) {
 
 fn cmd_plan(flags: &HashMap<String, String>) {
     let mut allowed = GD_MODEL_FLAGS.to_vec();
-    allowed.extend(["iterations", "price", "max-n", "deadline", "budget"]);
+    allowed.extend([
+        "iterations",
+        "price",
+        "max-n",
+        "deadline",
+        "budget",
+        "log-points",
+    ]);
     allowed.extend(STRAGGLER_FLAGS);
     check_allowed("plan", flags, &allowed);
     let model = gd_model(flags);
     let iterations = pos(flags, "iterations", Some(1000.0));
     let price = pos(flags, "price", Some(1.0));
     let max_n = int(flags, "max-n", Some(64));
+    let log_points = log_points_flag(flags, max_n);
     let scenario = parse_scenario(flags, &model.cluster, max_n);
     if scenario.is_some() {
         println!("planning over *expected* times under the straggler scenario");
@@ -549,20 +607,28 @@ fn cmd_plan(flags: &HashMap<String, String>) {
     // The sweep is evaluated once into the planner's cached table (all
     // four query verbs reuse it) and fans out across threads; the
     // straggler path additionally shares one order-statistic grid pass
-    // across the whole sweep.
+    // across the whole sweep. With --log-points the table is a log-spaced
+    // ladder refined around each optimum instead of a dense 1..=max_n scan.
     let planner = match scenario {
-        Some((straggler, hetero, backup_k)) => StragglerGdModel {
-            inner: model,
-            straggler,
-            hetero,
-            backup_k,
+        Some((straggler, hetero, backup_k)) => {
+            let wrapped = StragglerGdModel {
+                inner: model,
+                straggler,
+                hetero,
+                backup_k,
+            };
+            match log_points {
+                Some(p) => wrapped.planner_log(iterations, max_n, Pricing::hourly(price), p),
+                None => wrapped.planner(iterations, max_n, Pricing::hourly(price)),
+            }
         }
-        .planner(iterations, max_n, Pricing::hourly(price)),
-        None => Planner::new_par(
-            move |n| model.strong_iteration_time(n) * iterations,
-            max_n,
-            Pricing::hourly(price),
-        ),
+        None => {
+            let time = move |n| model.strong_iteration_time(n) * iterations;
+            match log_points {
+                Some(p) => Planner::new_log(time, max_n, Pricing::hourly(price), p),
+                None => Planner::new_par(time, max_n, Pricing::hourly(price)),
+            }
+        }
     };
     let fastest = planner.fastest();
     let cheapest = planner.cheapest();

@@ -689,3 +689,123 @@ fn scenario_needs_a_known_subcommand() {
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr_of(&out).contains("frobnicate"));
 }
+
+#[test]
+fn gd_rejects_extreme_max_n_without_log_points() {
+    let out = mlscale(&["gd", "--preset", "fig2", "--max-n", "1000000000"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("--max-n"), "{stderr}");
+    assert!(stderr.contains("dense-mode limit"), "{stderr}");
+    assert!(stderr.contains("--log-points"), "{stderr}");
+}
+
+#[test]
+fn plan_rejects_extreme_max_n_without_log_points() {
+    let out = mlscale(&["plan", "--preset", "fig2", "--max-n", "1000000000"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("dense-mode limit"));
+}
+
+#[test]
+fn bp_rejects_extreme_max_n() {
+    let out = mlscale(&[
+        "bp",
+        "--vertices",
+        "1000",
+        "--edges",
+        "5000",
+        "--max-n",
+        "100000",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("dense-mode limit"));
+}
+
+#[test]
+fn gd_rejects_degenerate_log_points() {
+    let out = mlscale(&[
+        "gd",
+        "--preset",
+        "fig2",
+        "--max-n",
+        "64",
+        "--log-points",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("--log-points"));
+}
+
+#[test]
+fn gd_runs_a_million_workers_on_a_log_ladder() {
+    let out = mlscale(&[
+        "gd",
+        "--preset",
+        "fig2",
+        "--max-n",
+        "1000000",
+        "--log-points",
+        "40",
+        "--straggler",
+        "exp:0.05",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("log ladder to 1000000"), "{stdout}");
+    assert!(stdout.contains("1000000"), "{stdout}");
+    assert!(stdout.contains("optimal workers:"), "{stdout}");
+}
+
+#[test]
+fn plan_runs_a_million_workers_on_a_log_ladder() {
+    let out = mlscale(&[
+        "plan",
+        "--preset",
+        "fig2",
+        "--max-n",
+        "1000000",
+        "--log-points",
+        "60",
+        "--iterations",
+        "100",
+        "--price",
+        "2.0",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fastest:"), "{stdout}");
+    assert!(stdout.contains("cheapest:"), "{stdout}");
+}
+
+#[test]
+fn sweep_rejects_extreme_max_n_without_log_points() {
+    assert_rejected(
+        "extreme-max-n",
+        r#"{"name": "t", "workload": {"kind": "gd", "preset": "fig2", "max_n": 1000000000}}"#,
+        "workload.max_n",
+    );
+}
+
+#[test]
+fn one_point_log_sweep_runs() {
+    let dir = std::env::temp_dir().join("mlscale-cli-log-sweep");
+    std::fs::remove_dir_all(&dir).ok();
+    let path = temp_scenario(
+        "log-sweep",
+        r#"{"name": "log-sweep",
+            "workload": {"kind": "gd", "preset": "fig2", "max_n": 1000000,
+                         "log_points": 40, "straggler": {"kind": "exp", "mean": 0.05}}}"#,
+    );
+    let out = mlscale(&[
+        "sweep",
+        path.to_str().unwrap(),
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wrote 2 results file(s)"), "{stdout}");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -256,8 +256,34 @@ const MALFORMED: &[(&str, &str, &str)] = &[
             "sweep": [{"param": "max_n", "values": [8]}]}"#,
         "sweep",
     ),
+    (
+        "extreme-max-n",
+        r#"{"name": "t", "workload": {"kind": "gd", "preset": "fig2", "max_n": 1000000000}}"#,
+        "workload.max_n",
+    ),
     ("syntax", r#"{"name": "t", "workload": }"#, "invalid JSON"),
 ];
+
+#[test]
+fn extreme_max_n_needs_log_spaced_mode() {
+    let server = Server::spawn("2");
+    // Without log_points the dense cap is a 400 naming workload.max_n
+    // (instead of the old behaviour: exhausting memory on a 10⁹-entry table).
+    let dense = r#"{"name": "t", "workload": {"kind": "gd", "preset": "fig2",
+        "max_n": 1000000000, "straggler": {"kind": "exp", "mean": 0.05}}}"#;
+    let reply = post(&server.addr, "/gd", dense);
+    assert_eq!(reply.status, 400, "{}", reply.body);
+    assert!(reply.body.contains("workload.max_n"), "{}", reply.body);
+    assert!(reply.body.contains("log_points"), "{}", reply.body);
+    // Opting into the log-spaced ladder answers a 10⁶-worker curve.
+    let ladder = r#"{"name": "t", "workload": {"kind": "gd", "preset": "fig2",
+        "max_n": 1000000, "log_points": 40,
+        "straggler": {"kind": "exp", "mean": 0.05}}}"#;
+    let reply = post(&server.addr, "/gd", ladder);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let point: Value = serde_json::from_str(&reply.body).expect("point parses");
+    assert!(get(&point, "stats").is_some(), "no stats in {}", reply.body);
+}
 
 #[test]
 fn malformed_specs_get_400_naming_the_key_path() {
