@@ -14,6 +14,8 @@
 
 #![forbid(unsafe_code)]
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::Value;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -21,6 +23,16 @@ use std::time::{Duration, Instant};
 
 const CLIENTS: usize = 8;
 const REQUESTS_PER_CLIENT: usize = 250;
+
+/// Retry budget per request: the daemon sheds with `503 Retry-After`
+/// under overload and may drop a keep-alive connection mid-stream when
+/// draining or fault-injected, so the client retries with jittered
+/// exponential backoff (start [`BACKOFF_BASE_MS`], double to
+/// [`BACKOFF_CAP_MS`], plus a uniform jitter of up to the current delay
+/// so `CLIENTS` shed peers do not stampede back in lockstep).
+const MAX_ATTEMPTS: u32 = 8;
+const BACKOFF_BASE_MS: u64 = 5;
+const BACKOFF_CAP_MS: u64 = 200;
 
 fn main() {
     let scenario = find_scenario();
@@ -154,8 +166,15 @@ fn main() {
         .and_then(|()| std::fs::rename(&tmp, out))
         .unwrap_or_else(|e| panic!("write {out}: {e}"));
     println!(
-        "cold {} us | cached median {} us | hot {:.0} req/s (p99 {:.2} ms) | cold-load {:.0} req/s",
-        cold.micros, warm_median, hot.throughput_rps, hot.p99_ms, cold_load.throughput_rps
+        "cold {} us | cached median {} us | hot {:.0} req/s (p99 {:.2} ms) | cold-load {:.0} req/s \
+         | retries {} | shed {}",
+        cold.micros,
+        warm_median,
+        hot.throughput_rps,
+        hot.p99_ms,
+        cold_load.throughput_rps,
+        hot.retries + cold_load.retries,
+        hot.shed_503 + cold_load.shed_503
     );
     println!("wrote {out}");
     assert!(
@@ -168,6 +187,8 @@ fn main() {
 struct Phase {
     requests: u64,
     cache_hits: u64,
+    retries: u64,
+    shed_503: u64,
     throughput_rps: f64,
     p50_ms: f64,
     p95_ms: f64,
@@ -179,6 +200,8 @@ fn phase_result(path: &str, phase: &Phase) -> Value {
         ("path".into(), Value::Str(path.into())),
         ("requests".into(), Value::U64(phase.requests)),
         ("cache_hits".into(), Value::U64(phase.cache_hits)),
+        ("retries".into(), Value::U64(phase.retries)),
+        ("shed_503".into(), Value::U64(phase.shed_503)),
         (
             "throughput_rps".into(),
             Value::F64(round2(phase.throughput_rps)),
@@ -203,31 +226,32 @@ fn load(addr: SocketAddr, bodies: &[String]) -> Phase {
     // lint: allow(determinism): a latency benchmark measures the wall clock by design
     let start = Instant::now();
     // lint: allow(par-only-threads): the load generator must drive the server from outside its own par pool to measure it
-    let per_client: Vec<(Vec<Duration>, u64)> = std::thread::scope(|scope| {
+    let per_client: Vec<(Vec<Duration>, ClientStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..CLIENTS)
             .map(|client| {
                 // lint: allow(par-only-threads): per-client socket threads are the measurement harness, not model evaluation
                 scope.spawn(move || {
                     let mut samples = Vec::with_capacity(REQUESTS_PER_CLIENT);
-                    let mut hits = 0u64;
-                    let stream = connect(addr);
-                    let mut writer = stream.try_clone().expect("clone stream");
-                    let mut reader = BufReader::new(stream);
+                    let mut stats = ClientStats::default();
+                    // Jitter stream seeded per client: runs are repeatable
+                    // and no two clients share a backoff schedule.
+                    let mut rng = StdRng::seed_from_u64(0xBEEF ^ client as u64);
+                    let mut conn = Some(Conn::open(addr).expect("initial connect"));
                     for round in 0..REQUESTS_PER_CLIENT {
                         let body = &bodies[(client + round * CLIENTS) % bodies.len()];
                         // lint: allow(determinism): per-request latency sample — this benchmark exists to time requests
                         let sent = Instant::now();
-                        write_post(&mut writer, body);
-                        let reply = read_reply(&mut reader);
+                        let reply = post_with_retry(addr, &mut conn, body, &mut rng, &mut stats)
+                            .unwrap_or_else(|e| panic!("client {client} round {round}: {e}"));
                         samples.push(sent.elapsed());
-                        hits += u64::from(reply.cache.as_deref() == Some("hit"));
+                        stats.hits += u64::from(reply.cache.as_deref() == Some("hit"));
                         assert_eq!(
                             reply.status, 200,
                             "client {client} round {round}: {}",
                             reply.body
                         );
                     }
-                    (samples, hits)
+                    (samples, stats)
                 })
             })
             .collect();
@@ -237,7 +261,9 @@ fn load(addr: SocketAddr, bodies: &[String]) -> Phase {
             .collect()
     });
     let wall = start.elapsed();
-    let cache_hits = per_client.iter().map(|(_, hits)| hits).sum();
+    let cache_hits = per_client.iter().map(|(_, s)| s.hits).sum();
+    let retries = per_client.iter().map(|(_, s)| s.retries).sum();
+    let shed_503 = per_client.iter().map(|(_, s)| s.shed_503).sum();
     let mut latencies: Vec<Duration> = per_client
         .into_iter()
         .flat_map(|(samples, _)| samples)
@@ -250,11 +276,99 @@ fn load(addr: SocketAddr, bodies: &[String]) -> Phase {
     Phase {
         requests: latencies.len() as u64,
         cache_hits,
+        retries,
+        shed_503,
         throughput_rps: latencies.len() as f64 / wall.as_secs_f64(),
         p50_ms: pct(0.50),
         p95_ms: pct(0.95),
         p99_ms: pct(0.99),
     }
+}
+
+/// Per-client tallies beyond latency samples.
+#[derive(Default)]
+struct ClientStats {
+    hits: u64,
+    retries: u64,
+    shed_503: u64,
+}
+
+/// A keep-alive connection: paired write half and buffered read half.
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    fn exchange(&mut self, body: &str) -> std::io::Result<Reply> {
+        write!(
+            self.writer,
+            "POST /sweep HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+        try_read_reply(&mut self.reader)
+    }
+}
+
+/// One request with the retry policy a real daemon client needs: a
+/// `503` shed, a dropped keep-alive connection (drain, injected fault,
+/// reset), or a failed reconnect all back off with seeded jitter and try
+/// again, reconnecting on any I/O error. Gives up (with the last error)
+/// after [`MAX_ATTEMPTS`].
+fn post_with_retry(
+    addr: SocketAddr,
+    conn: &mut Option<Conn>,
+    body: &str,
+    rng: &mut StdRng,
+    stats: &mut ClientStats,
+) -> std::io::Result<Reply> {
+    let mut delay_ms = BACKOFF_BASE_MS;
+    let mut last_err = None;
+    for attempt in 0..MAX_ATTEMPTS {
+        if attempt > 0 {
+            stats.retries += 1;
+            let jitter = rng.gen_range(0..=delay_ms);
+            std::thread::sleep(Duration::from_millis(delay_ms + jitter));
+            delay_ms = (delay_ms * 2).min(BACKOFF_CAP_MS);
+        }
+        let attempt_result = match conn.as_mut() {
+            Some(live) => live.exchange(body),
+            None => match Conn::open(addr) {
+                Ok(mut fresh) => {
+                    let result = fresh.exchange(body);
+                    *conn = Some(fresh);
+                    result
+                }
+                Err(e) => Err(e),
+            },
+        };
+        match attempt_result {
+            Ok(reply) if reply.status == 503 => {
+                // Shed under load: the server answered and closed; honor
+                // Retry-After by backing off and reconnecting.
+                stats.shed_503 += 1;
+                *conn = None;
+                last_err = Some(std::io::Error::other("server shed the request with 503"));
+            }
+            Ok(reply) => return Ok(reply),
+            Err(e) => {
+                *conn = None;
+                last_err = Some(e);
+            }
+        }
+    }
+    Err(last_err.unwrap_or_else(|| std::io::Error::other("retry budget exhausted")))
 }
 
 struct Reply {
@@ -291,38 +405,67 @@ fn post(addr: SocketAddr, body: &str) -> Reply {
 }
 
 fn read_reply(reader: &mut BufReader<TcpStream>) -> Reply {
+    try_read_reply(reader).expect("read reply")
+}
+
+/// Reads one response, surfacing short reads and malformed framing as
+/// `Err` so the load clients can treat a dropped keep-alive connection
+/// as retryable instead of panicking.
+fn try_read_reply(reader: &mut BufReader<TcpStream>) -> std::io::Result<Reply> {
+    let malformed = |what: String| std::io::Error::new(std::io::ErrorKind::InvalidData, what);
     let mut status_line = String::new();
-    reader.read_line(&mut status_line).expect("status line");
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before a status line",
+        ));
+    }
     let status: u16 = status_line
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+        .ok_or_else(|| malformed(format!("bad status line {status_line:?}")))?;
     let (mut length, mut micros, mut cache) = (0usize, 0u64, None);
     loop {
         let mut line = String::new();
-        reader.read_line(&mut line).expect("header line");
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-headers",
+            ));
+        }
         let line = line.trim_end();
         if line.is_empty() {
             break;
         }
-        let (name, value) = line.split_once(':').expect("header");
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| malformed(format!("bad header line {line:?}")))?;
         let value = value.trim();
         match name.to_ascii_lowercase().as_str() {
-            "content-length" => length = value.parse().expect("length"),
-            "x-mlscale-micros" => micros = value.parse().expect("micros"),
+            "content-length" => {
+                length = value
+                    .parse()
+                    .map_err(|_| malformed(format!("bad Content-Length {value:?}")))?;
+            }
+            "x-mlscale-micros" => {
+                micros = value
+                    .parse()
+                    .map_err(|_| malformed(format!("bad x-mlscale-micros {value:?}")))?;
+            }
             "x-mlscale-cache" => cache = Some(value.to_string()),
             _ => {}
         }
     }
     let mut body = vec![0u8; length];
-    reader.read_exact(&mut body).expect("body");
-    Reply {
+    reader.read_exact(&mut body)?;
+    Ok(Reply {
         status,
         micros,
         cache,
-        body: String::from_utf8(body).expect("UTF-8 body"),
-    }
+        body: String::from_utf8(body)
+            .map_err(|_| malformed("response body is not UTF-8".into()))?,
+    })
 }
 
 /// The fig2 scenario, whether run from the workspace root or the bench

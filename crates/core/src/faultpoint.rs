@@ -1,0 +1,356 @@
+//! Deterministic, dependency-free fault injection for crash testing.
+//!
+//! Long-running surfaces (`mlscale sweep`, `mlscale serve`) thread named
+//! **fault points** through their write paths: `faultpoint::hit("name")`
+//! is a no-op unless the `MLSCALE_FAULTS` environment variable arms that
+//! point, in which case the *N*-th hit either returns an [`InjectedFault`]
+//! (action `err`) or aborts the process (action `kill`). Because the
+//! trigger is a hit *count*, not a timer, a fault fires at exactly the
+//! same place on every run — crash tests are reproducible.
+//!
+//! Syntax (comma-separated arms):
+//!
+//! ```text
+//! MLSCALE_FAULTS=<point>:<N>=<kill|err>[,<point>:<N>=<action>...]
+//! MLSCALE_FAULTS=sweep.after_point:3=kill,serve.write_response:1=err
+//! ```
+//!
+//! * `<point>` — a dotted fault-point name (see [`points`]);
+//! * `<N>` — the 1-based hit ordinal that triggers (hits of the same
+//!   point share one counter, so `p:2=err,p:4=err` fires twice);
+//! * `kill` — `std::process::abort()`: the hard-crash action the
+//!   resume/recovery integration tests use;
+//! * `err` — the hit returns an [`InjectedFault`] (convertible to
+//!   `std::io::Error`), exercising error-handling paths in-process.
+//!
+//! Front ends call [`check_env`] at startup so a typo'd spec is a named
+//! exit-2 diagnostic instead of silently injecting nothing; library code
+//! treats a malformed variable as unset. Tests that cannot mutate the
+//! process environment (it is shared across the test harness) use
+//! [`scoped`], which overlays a plan on the current thread only.
+//!
+//! This module and [`crate::par`] are the only places allowed to read
+//! process environment variables — `mlscale-lint`'s `determinism` rule
+//! enforces that, so evaluation paths cannot grow hidden env knobs.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// The environment variable naming the armed fault points.
+pub const ENV_VAR: &str = "MLSCALE_FAULTS";
+
+/// Canonical fault-point names, so call sites and tests share spellings.
+pub mod points {
+    /// Between writing a sweep point's temp file and renaming it into
+    /// place — a fault here must leave a `.tmp`, never a torn JSON.
+    pub const SWEEP_WRITE_POINT: &str = "sweep.write_point";
+    /// After a sweep point has been journaled as complete.
+    pub const SWEEP_AFTER_POINT: &str = "sweep.after_point";
+    /// Before the daemon writes a response body (an `err` drops the
+    /// connection without answering, like a mid-response crash).
+    pub const SERVE_WRITE_RESPONSE: &str = "serve.write_response";
+}
+
+/// What an armed fault point does on its triggering hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Return an [`InjectedFault`] from [`hit`].
+    Err,
+    /// Abort the process (simulates `kill -9` / OOM / power loss).
+    Kill,
+}
+
+/// The error an `err`-armed fault point injects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The fault-point name that fired.
+    pub point: String,
+    /// Which hit of that point triggered (1-based).
+    pub ordinal: u64,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected fault at {} (hit {}, armed via {ENV_VAR})",
+            self.point, self.ordinal
+        )
+    }
+}
+
+impl std::error::Error for InjectedFault {}
+
+impl From<InjectedFault> for std::io::Error {
+    fn from(fault: InjectedFault) -> Self {
+        std::io::Error::other(fault)
+    }
+}
+
+/// One parsed `<point>:<N>=<action>` arm.
+#[derive(Debug)]
+struct Arm {
+    point: String,
+    at: u64,
+    action: FaultAction,
+}
+
+/// A parsed fault plan: the arms plus one hit counter per distinct
+/// point name (shared across arms of the same point).
+#[derive(Debug, Default)]
+struct Plan {
+    arms: Vec<Arm>,
+    counters: Vec<(String, AtomicU64)>,
+}
+
+impl Plan {
+    fn parse(raw: &str) -> Result<Self, String> {
+        let mut arms = Vec::new();
+        for part in raw.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let shape = || {
+                format!(
+                    "{ENV_VAR}: bad fault arm {part:?} — expected <point>:<N>=<kill|err>, \
+                     e.g. sweep.after_point:3=kill"
+                )
+            };
+            let (point_at, action) = part.split_once('=').ok_or_else(shape)?;
+            let (point, at) = point_at.rsplit_once(':').ok_or_else(shape)?;
+            if point.is_empty()
+                || !point
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+            {
+                return Err(format!(
+                    "{ENV_VAR}: bad fault-point name {point:?} in {part:?} \
+                     (letters, digits, '.', '_', '-')"
+                ));
+            }
+            let at: u64 = match at.parse() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    return Err(format!(
+                        "{ENV_VAR}: hit ordinal {at:?} in {part:?} must be a positive integer"
+                    ))
+                }
+            };
+            let action = match action {
+                "kill" => FaultAction::Kill,
+                "err" => FaultAction::Err,
+                other => {
+                    return Err(format!(
+                        "{ENV_VAR}: unknown action {other:?} in {part:?} (kill or err)"
+                    ))
+                }
+            };
+            arms.push(Arm {
+                point: point.to_string(),
+                at,
+                action,
+            });
+        }
+        let mut counters: Vec<(String, AtomicU64)> = Vec::new();
+        for arm in &arms {
+            if !counters.iter().any(|(name, _)| name == &arm.point) {
+                counters.push((arm.point.clone(), AtomicU64::new(0)));
+            }
+        }
+        Ok(Self { arms, counters })
+    }
+
+    /// Counts a hit of `point`; fires any arm whose ordinal it reaches.
+    fn hit(&self, point: &str) -> Result<(), InjectedFault> {
+        let Some((_, counter)) = self.counters.iter().find(|(name, _)| name == point) else {
+            return Ok(()); // point not armed
+        };
+        let ordinal = counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let Some(arm) = self
+            .arms
+            .iter()
+            .find(|a| a.point == point && a.at == ordinal)
+        else {
+            return Ok(());
+        };
+        match arm.action {
+            FaultAction::Kill => {
+                eprintln!("mlscale: injected fault {point}:{ordinal}=kill — aborting");
+                std::process::abort();
+            }
+            FaultAction::Err => Err(InjectedFault {
+                point: point.to_string(),
+                ordinal,
+            }),
+        }
+    }
+}
+
+/// The process-wide plan, parsed from `MLSCALE_FAULTS` exactly once.
+fn env_plan() -> &'static Result<Plan, String> {
+    static PLAN: OnceLock<Result<Plan, String>> = OnceLock::new();
+    PLAN.get_or_init(|| match std::env::var(ENV_VAR) {
+        Ok(raw) => Plan::parse(&raw),
+        Err(std::env::VarError::NotPresent) => Ok(Plan::default()),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err(format!("{ENV_VAR}: value is not valid UTF-8"))
+        }
+    })
+}
+
+thread_local! {
+    /// Thread-local plan overlays pushed by [`scoped`] (a stack, so
+    /// scopes nest); the innermost overlay shadows the environment.
+    static SCOPED: RefCell<Vec<Plan>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Validates `MLSCALE_FAULTS` without firing anything. Front ends call
+/// this at startup and turn the message into an exit-2 diagnostic;
+/// [`hit`] itself treats a malformed variable as unset so library code
+/// never acts on a spec the user was not told about.
+pub fn check_env() -> Result<(), String> {
+    match env_plan() {
+        Ok(_) => Ok(()),
+        Err(message) => Err(message.clone()),
+    }
+}
+
+/// Counts a hit of the named fault point and fires it if armed.
+///
+/// Unarmed points (the production case: `MLSCALE_FAULTS` unset) cost a
+/// thread-local read and one `OnceLock` load — cheap enough to leave in
+/// release builds, which is the point: the crash tests exercise the real
+/// binary.
+pub fn hit(point: &str) -> Result<(), InjectedFault> {
+    let scoped = SCOPED.with(|stack| {
+        let stack = stack.borrow();
+        stack.last().map(|plan| plan.hit(point))
+    });
+    if let Some(result) = scoped {
+        return result;
+    }
+    match env_plan() {
+        Ok(plan) if !plan.arms.is_empty() => plan.hit(point),
+        _ => Ok(()),
+    }
+}
+
+/// Runs `f` with a fault plan armed on the **current thread only**,
+/// shadowing any environment plan; the overlay is removed when `f`
+/// returns (or panics). Errs with the parse diagnostic if `spec` is
+/// malformed. This is the in-process test hook: unlike the environment
+/// plan it cannot leak between concurrently running tests.
+pub fn scoped<T>(spec: &str, f: impl FnOnce() -> T) -> Result<T, String> {
+    struct PopOnDrop;
+    impl Drop for PopOnDrop {
+        fn drop(&mut self) {
+            SCOPED.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+    }
+    let plan = Plan::parse(spec)?;
+    SCOPED.with(|stack| stack.borrow_mut().push(plan));
+    let guard = PopOnDrop;
+    let out = f();
+    drop(guard);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_points_are_noops() {
+        assert_eq!(hit("nothing.armed"), Ok(()));
+        assert_eq!(hit("nothing.armed"), Ok(()));
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_syntax() {
+        let plan = Plan::parse("sweep.after_point:3=kill,serve.write_response:1=err").unwrap();
+        assert_eq!(plan.arms.len(), 2);
+        assert_eq!(plan.arms[0].at, 3);
+        assert_eq!(plan.arms[0].action, FaultAction::Kill);
+        assert_eq!(plan.arms[1].point, "serve.write_response");
+        assert_eq!(plan.arms[1].action, FaultAction::Err);
+        assert_eq!(plan.counters.len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_arms_with_named_diagnostics() {
+        for (spec, needle) in [
+            ("nonsense", "expected <point>:<N>=<kill|err>"),
+            ("p:0=err", "positive integer"),
+            ("p:x=err", "positive integer"),
+            ("p:1=explode", "unknown action"),
+            ("spaced name:1=err", "fault-point name"),
+            (":1=err", "fault-point name"),
+        ] {
+            let err = Plan::parse(spec).unwrap_err();
+            assert!(err.contains(needle), "{spec:?}: {err}");
+            assert!(err.contains(ENV_VAR), "{spec:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn empty_and_blank_specs_arm_nothing() {
+        assert!(Plan::parse("").unwrap().arms.is_empty());
+        assert!(Plan::parse(" , ,").unwrap().arms.is_empty());
+    }
+
+    #[test]
+    fn err_arm_fires_on_exactly_the_nth_hit() {
+        let outcomes = scoped("p:3=err", || (0..5).map(|_| hit("p")).collect::<Vec<_>>()).unwrap();
+        assert_eq!(outcomes[0], Ok(()));
+        assert_eq!(outcomes[1], Ok(()));
+        let fault = outcomes[2].clone().unwrap_err();
+        assert_eq!(fault.point, "p");
+        assert_eq!(fault.ordinal, 3);
+        assert_eq!(outcomes[3], Ok(()), "fires once, not on every later hit");
+        assert_eq!(outcomes[4], Ok(()));
+    }
+
+    #[test]
+    fn arms_on_one_point_share_a_counter() {
+        let fired = scoped("p:1=err,p:3=err", || {
+            (0..4).filter(|_| hit("p").is_err()).count()
+        })
+        .unwrap();
+        assert_eq!(fired, 2, "hits 1 and 3 fire, 2 and 4 pass");
+    }
+
+    #[test]
+    fn scoped_overlays_nest_and_unwind() {
+        scoped("outer:1=err", || {
+            scoped("inner:1=err", || {
+                assert!(hit("inner").is_err());
+                assert_eq!(hit("outer"), Ok(()), "inner scope shadows outer");
+            })
+            .unwrap();
+            assert!(hit("outer").is_err(), "outer plan restored");
+        })
+        .unwrap();
+        assert_eq!(hit("outer"), Ok(()), "no plan outside any scope");
+    }
+
+    #[test]
+    fn scoped_rejects_malformed_specs() {
+        assert!(scoped("broken", || ()).unwrap_err().contains(ENV_VAR));
+    }
+
+    #[test]
+    fn injected_fault_converts_to_io_error() {
+        let fault = InjectedFault {
+            point: "sweep.write_point".to_string(),
+            ordinal: 2,
+        };
+        let io: std::io::Error = fault.into();
+        assert!(io.to_string().contains("sweep.write_point"));
+        assert!(io.to_string().contains("hit 2"));
+    }
+}

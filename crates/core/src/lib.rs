@@ -54,6 +54,7 @@
 
 pub mod comm;
 pub mod comp;
+pub mod faultpoint;
 pub mod hardware;
 pub mod metrics;
 pub mod par;

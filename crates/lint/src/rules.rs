@@ -6,7 +6,7 @@
 //! |------|---------------------|
 //! | `panic-free-lib` | library code never panics — `mlscale serve` keeps workers alive, batch sweeps report named errors |
 //! | `par-only-threads` | all threading goes through `mlscale_core::par` so `MLSCALE_THREADS` and determinism guarantees hold |
-//! | `determinism` | no wall clocks or OS entropy on model-evaluation paths — golden fixtures are byte-reproducible |
+//! | `determinism` | no wall clocks, OS entropy, or ad-hoc environment reads on model-evaluation paths — golden fixtures are byte-reproducible |
 //! | `atomic-results-io` | results JSON is written via the temp-file + rename helpers, never left truncated |
 //! | `forbid-unsafe` | every crate root carries `#![forbid(unsafe_code)]` (or `deny`) |
 //!
@@ -30,6 +30,13 @@ pub const RULES: [&str; 7] = [
 
 /// The file whose job is to own raw threads.
 const PAR_HOME: &str = "crates/core/src/par.rs";
+
+/// The only files allowed to read process environment variables: each
+/// knob has one owning module (`MLSCALE_THREADS` in `par`,
+/// `MLSCALE_FAULTS` in `faultpoint`) that validates it once and exposes
+/// a typed API, so a typo'd variable is a named diagnostic everywhere
+/// instead of a silently ignored setting somewhere.
+const ENV_HOMES: [&str; 2] = [PAR_HOME, "crates/core/src/faultpoint.rs"];
 
 /// A suppression honoured while linting one file (reported so the JSON
 /// report can list every active allow with its reason).
@@ -96,7 +103,7 @@ pub fn lint_source(input: &FileInput, src: &str) -> FileLint {
                 panic_free(toks, i, &mut raw, &f);
             }
             par_only(input, toks, i, &mut raw, &f);
-            determinism(toks, i, &mut raw, &f);
+            determinism(input, toks, i, &mut raw, &f);
             atomic_io(toks, i, &mut raw, &f);
         }
     }
@@ -249,8 +256,10 @@ fn par_only(
     }
 }
 
-/// Wall clocks and OS entropy on evaluation paths.
+/// Wall clocks, OS entropy, and ad-hoc environment reads on evaluation
+/// paths.
 fn determinism(
+    input: &FileInput,
     toks: &[Token],
     i: usize,
     out: &mut Vec<Finding>,
@@ -281,6 +290,23 @@ fn determinism(
                 format!(
                     "`{}` draws OS entropy — every RNG must be seeded (`StdRng::seed_from_u64`)",
                     t.text
+                ),
+            ));
+        }
+        if t.text == "env"
+            && is_path_sep(toks, i + 1)
+            && ident_at(toks, i + 3).is_some_and(|n| n.text == "var" || n.text == "var_os")
+            && !ENV_HOMES.contains(&input.path.as_str())
+        {
+            out.push(f(
+                t.line,
+                "determinism",
+                format!(
+                    "raw `env::{}(…)` — each environment knob has one owning module \
+                     (MLSCALE_THREADS in `mlscale_core::par`, MLSCALE_FAULTS in \
+                     `mlscale_core::faultpoint`) that validates it once; read through \
+                     its typed API instead",
+                    toks[i + 3].text
                 ),
             ));
         }

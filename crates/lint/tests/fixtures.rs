@@ -66,9 +66,29 @@ fn par_only_threads_clean_passes() {
 }
 
 #[test]
-fn determinism_bad_fires_on_clocks_and_entropy() {
+fn determinism_bad_fires_on_clocks_entropy_and_env_reads() {
     let lint = lint_lib(include_str!("fixtures/determinism/bad.snippet"));
-    assert_eq!(rules_hit(&lint), vec!["determinism"; 3]);
+    assert_eq!(rules_hit(&lint), vec!["determinism"; 4]);
+    assert!(
+        lint.findings.iter().any(|f| f.message.contains("env::var")),
+        "{}",
+        render_findings(&lint.findings)
+    );
+}
+
+#[test]
+fn env_reads_are_allowed_only_in_their_owning_modules() {
+    let src = "pub fn knob() -> bool {\n    std::env::var_os(\"MLSCALE_FAULTS\").is_some()\n}\n";
+    for home in ["crates/core/src/par.rs", "crates/core/src/faultpoint.rs"] {
+        let lint = lint_source(&FileInput::classify(home, false), src);
+        assert!(
+            lint.findings.is_empty(),
+            "{home} owns its knob:\n{}",
+            render_findings(&lint.findings)
+        );
+    }
+    let elsewhere = lint_lib(src);
+    assert_eq!(rules_hit(&elsewhere), vec!["determinism"]);
 }
 
 #[test]

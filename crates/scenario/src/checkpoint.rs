@@ -1,0 +1,545 @@
+//! Crash-safe sweeps: journal every completed grid point, resume later.
+//!
+//! [`run_checkpointed`] is the durable sibling of
+//! [`run_pooled`](crate::run_pooled): instead of evaluating the whole
+//! grid in memory and writing files at the end, it writes each point's
+//! `<id>.json` atomically (temp file + rename) *as soon as it is
+//! evaluated* and records the completion in an append-only journal,
+//! `<dir>/<name>.manifest`:
+//!
+//! ```text
+//! mlscale sweep journal v1
+//! spec 9f3a6c21d4b07e58
+//! point latency-grid-p000
+//! point latency-grid-p001
+//! …
+//! ```
+//!
+//! The `spec` line is an FNV-1a fingerprint of the fully-parsed scenario,
+//! so a resume against an edited spec is refused with a named
+//! diagnostic instead of silently mixing results from two different
+//! grids. On `resume = true` every journaled point whose file still
+//! round-trips byte-identically is reused; everything else (missing
+//! files, torn manifest tail lines, files that no longer re-serialise to
+//! their own bytes) is re-evaluated. Because evaluation is deterministic
+//! and the shared order-statistic caches only memoise pure quadratures,
+//! a resumed sweep's points and roll-up are **byte-identical** to an
+//! uninterrupted run — property-tested in this module and crash-tested
+//! for real (the process killed at an injected fault point) in
+//! `tests/crash_resume.rs`.
+//!
+//! Two [`mlscale_core::faultpoint`] hooks thread through the write path:
+//! `sweep.write_point` between a point's temp-file write and its rename
+//! (a kill there leaves only a `.tmp`, never a torn JSON) and
+//! `sweep.after_point` after a completion is journaled.
+
+use crate::run::{
+    build_rollup, clean_stale_points, eval_pending, expected_point_ids, SweepOutcome,
+};
+use crate::spec::{ResolvedWorkload, ScenarioSpec, SpecError};
+use mlscale_core::faultpoint;
+use mlscale_core::straggler::OrderStatCachePool;
+use mlscale_workloads::ExperimentResult;
+use std::collections::{HashMap, HashSet};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// First line of every journal this version reads or writes.
+const MANIFEST_VERSION: &str = "mlscale sweep journal v1";
+
+/// What a checkpointed sweep produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointedSweep {
+    /// The full outcome, exactly as an uninterrupted run reports it.
+    pub outcome: SweepOutcome,
+    /// Written (or reused) result paths in grid order, roll-up last.
+    pub paths: Vec<PathBuf>,
+    /// How many points were restored from the journal instead of
+    /// evaluated (0 on a fresh run).
+    pub resumed: usize,
+}
+
+/// Runs a sweep with per-point checkpointing into `dir` (a fresh
+/// order-statistic cache pool; see [`run_checkpointed_pooled`]).
+pub fn run_checkpointed(
+    spec: &ScenarioSpec,
+    dir: &Path,
+    resume: bool,
+) -> Result<CheckpointedSweep, SpecError> {
+    run_checkpointed_pooled(spec, &OrderStatCachePool::new(), dir, resume)
+}
+
+/// [`run_checkpointed`] with a caller-owned cache pool.
+///
+/// With `resume = false` any previous journal for this scenario is
+/// discarded and every point evaluated. With `resume = true` the journal
+/// in `dir` is required (a missing one is a named error, not a silent
+/// fresh start) and verified-complete points are skipped.
+pub fn run_checkpointed_pooled(
+    spec: &ScenarioSpec,
+    pool: &OrderStatCachePool,
+    dir: &Path,
+    resume: bool,
+) -> Result<CheckpointedSweep, SpecError> {
+    let grid = spec.expand()?;
+    let resolved: Vec<ResolvedWorkload> = grid
+        .iter()
+        .map(|p| spec.resolve(p))
+        .collect::<Result<_, _>>()?;
+    let ids = expected_point_ids(spec, &grid);
+    let fingerprint = spec_fingerprint(spec);
+    let manifest = manifest_path(dir, &spec.name);
+    std::fs::create_dir_all(dir).map_err(|e| io_spec_error(dir, "cannot create", &e))?;
+
+    let mut results: Vec<Option<ExperimentResult>> = if resume {
+        restore(dir, &manifest, fingerprint, &ids)?
+    } else {
+        vec![None; ids.len()]
+    };
+    let resumed = results.iter().filter(|r| r.is_some()).count();
+
+    // (Re)write the manifest: header plus one line per verified-complete
+    // point. On a fresh run this truncates any stale journal; on resume
+    // it compacts duplicates and drops any torn tail line.
+    let restored_ids: Vec<&str> = ids
+        .iter()
+        .zip(&results)
+        .filter_map(|(id, r)| r.is_some().then_some(id.as_str()))
+        .collect();
+    write_manifest(&manifest, fingerprint, &restored_ids)
+        .map_err(|e| io_spec_error(&manifest, "cannot write", &e))?;
+
+    let pending: Vec<usize> = results
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.is_none().then_some(i))
+        .collect();
+    {
+        let mut record = |i: usize, result: ExperimentResult| -> Result<(), SpecError> {
+            write_point(dir, &result).map_err(|e| io_spec_error(dir, "cannot write point", &e))?;
+            append_point(&manifest, &result.id)
+                .map_err(|e| io_spec_error(&manifest, "cannot append", &e))?;
+            faultpoint::hit(faultpoint::points::SWEEP_AFTER_POINT)
+                .map_err(|f| SpecError::new("sweep", f.to_string()))?;
+            results[i] = Some(result);
+            Ok(())
+        };
+        eval_pending(spec, &grid, &resolved, pool, &pending, &mut record)?;
+    }
+
+    let points: Vec<ExperimentResult> = results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            r.ok_or_else(|| {
+                SpecError::new(
+                    format!("sweep point {i}"),
+                    "never evaluated — internal scheduling bug",
+                )
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let rollup = build_rollup(spec, &grid, &points);
+    write_point(dir, &rollup).map_err(|e| io_spec_error(dir, "cannot write roll-up", &e))?;
+
+    // The directory now reflects exactly this grid: stale points from a
+    // previous larger run and orphaned temp files (including any a crash
+    // at sweep.write_point left behind) are removed.
+    let fresh: HashSet<String> = ids.iter().map(|id| format!("{id}.json")).collect();
+    clean_stale_points(dir, &spec.name, &fresh)
+        .map_err(|e| io_spec_error(dir, "cannot clean stale points in", &e))?;
+
+    let mut paths: Vec<PathBuf> = ids
+        .iter()
+        .map(|id| dir.join(format!("{id}.json")))
+        .collect();
+    paths.push(dir.join(format!("{}.json", rollup.id)));
+    Ok(CheckpointedSweep {
+        outcome: SweepOutcome {
+            name: spec.name.clone(),
+            grid,
+            points,
+            rollup,
+        },
+        paths,
+        resumed,
+    })
+}
+
+/// `<dir>/<name>.manifest` — never matches the `<name>-pNNN.json` point
+/// pattern, so stale-point cleanup leaves the journal alone.
+fn manifest_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.manifest"))
+}
+
+/// FNV-1a 64 over the spec's `Debug` rendering. The derived `Debug` of a
+/// fully-parsed spec is a pure function of its fields (plain structs,
+/// `Vec`s and scalars — no addresses, no hash-ordered maps), so the
+/// fingerprint is stable across processes and runs; any semantic edit to
+/// the scenario changes it.
+fn spec_fingerprint(spec: &ScenarioSpec) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in format!("{spec:?}").bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn io_spec_error(path: &Path, what: &str, e: &std::io::Error) -> SpecError {
+    SpecError::new("sweep", format!("{what} {}: {e}", path.display()))
+}
+
+/// Atomically writes one result as `<id>.json` (temp file + rename),
+/// with the `sweep.write_point` fault point between the two steps — a
+/// crash there leaves only the `.tmp`, never a torn JSON.
+fn write_point(dir: &Path, result: &ExperimentResult) -> std::io::Result<PathBuf> {
+    let path = dir.join(format!("{}.json", result.id));
+    let tmp = dir.join(format!("{}.json.tmp", result.id));
+    let json = serde_json::to_string_pretty(result).map_err(std::io::Error::other)?;
+    // lint: allow(atomic-results-io): this is the temp-file half of the rename pattern
+    std::fs::write(&tmp, json)?;
+    faultpoint::hit(faultpoint::points::SWEEP_WRITE_POINT)?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Atomically rewrites the whole manifest (header + completed lines).
+fn write_manifest(path: &Path, fingerprint: u64, completed: &[&str]) -> std::io::Result<()> {
+    let mut text = format!("{MANIFEST_VERSION}\nspec {fingerprint:016x}\n");
+    for id in completed {
+        text.push_str("point ");
+        text.push_str(id);
+        text.push('\n');
+    }
+    let tmp = path.with_extension("manifest.tmp");
+    // lint: allow(atomic-results-io): this is the temp-file half of the rename pattern
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Appends one completion line to the journal. This is the one
+/// deliberately non-atomic write in the sweep path: a crash mid-append
+/// can tear the *last line only*, and [`restore`] discards a torn tail
+/// (the point is simply re-evaluated), so durability is never worse than
+/// losing the most recent completion record.
+fn append_point(path: &Path, id: &str) -> std::io::Result<()> {
+    // lint: allow(atomic-results-io): append-only journal — a torn tail line is detected and re-evaluated on resume; the results JSON itself goes through temp+rename
+    let mut file = std::fs::OpenOptions::new().append(true).open(path)?;
+    file.write_all(format!("point {id}\n").as_bytes())?;
+    file.flush()
+}
+
+/// Loads the journal and returns, per point slot, the restored result if
+/// its completion line and on-disk file both check out.
+fn restore(
+    dir: &Path,
+    manifest: &Path,
+    fingerprint: u64,
+    ids: &[String],
+) -> Result<Vec<Option<ExperimentResult>>, SpecError> {
+    let text = match std::fs::read_to_string(manifest) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(SpecError::new(
+                "--resume",
+                format!(
+                    "no sweep journal at {} — run `mlscale sweep` without --resume first",
+                    manifest.display()
+                ),
+            ))
+        }
+        Err(e) => return Err(io_spec_error(manifest, "cannot read", &e)),
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some(MANIFEST_VERSION) {
+        return Err(SpecError::new(
+            "--resume",
+            format!(
+                "{} is not a sweep journal this version understands (expected {MANIFEST_VERSION:?} on line 1)",
+                manifest.display()
+            ),
+        ));
+    }
+    let journaled = lines
+        .next()
+        .and_then(|l| l.strip_prefix("spec "))
+        .and_then(|hex| u64::from_str_radix(hex.trim(), 16).ok())
+        .ok_or_else(|| {
+            SpecError::new(
+                "--resume",
+                format!(
+                    "{} is missing its spec fingerprint line — journal corrupt, rerun without --resume",
+                    manifest.display()
+                ),
+            )
+        })?;
+    if journaled != fingerprint {
+        return Err(SpecError::new(
+            "--resume",
+            format!(
+                "the scenario changed since this journal was written (spec fingerprint \
+                 {fingerprint:016x}, journal has {journaled:016x}) — a resumed sweep would mix \
+                 results from two different grids; rerun without --resume to start over"
+            ),
+        ));
+    }
+
+    let index_of: HashMap<&str, usize> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (id.as_str(), i))
+        .collect();
+    let mut restored: Vec<Option<ExperimentResult>> = vec![None; ids.len()];
+    let body: Vec<&str> = text.lines().skip(2).collect();
+    let complete = text.ends_with('\n');
+    for (k, line) in body.iter().enumerate() {
+        if !complete && k == body.len() - 1 {
+            break; // torn tail line from a crash mid-append: re-evaluate
+        }
+        let Some(id) = line.strip_prefix("point ") else {
+            continue; // unknown journal line: ignore, never trust it
+        };
+        let Some(&i) = index_of.get(id) else {
+            continue; // not a point of this grid (corruption): re-evaluate
+        };
+        restored[i] = verified_point(dir, id);
+    }
+    Ok(restored)
+}
+
+/// Reads `<id>.json` back and accepts it only if it re-serialises to
+/// exactly its own bytes — the guarantee that lets a resumed sweep
+/// promise byte-identical output without re-evaluating the point.
+fn verified_point(dir: &Path, id: &str) -> Option<ExperimentResult> {
+    let json = std::fs::read_to_string(dir.join(format!("{id}.json"))).ok()?;
+    let result: ExperimentResult = serde_json::from_str(&json).ok()?;
+    if result.id != id {
+        return None;
+    }
+    let rendered = serde_json::to_string_pretty(&result).ok()?;
+    (rendered == json).then_some(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{run, write_outcome};
+
+    fn spec(json: &str) -> ScenarioSpec {
+        ScenarioSpec::from_json(json).expect("spec parses")
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mlscale-checkpoint-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    const GRID: &str = r#"{"name": "ckpt",
+        "workload": {"kind": "gd", "preset": "fig2", "max_n": 6,
+                     "straggler": {"kind": "exp", "mean": 2.0}},
+        "sweep": [{"param": "backup_k", "values": [0, 1]},
+                  {"param": "comm", "values": ["tree", "ring", "spark"]}]}"#;
+
+    #[test]
+    fn fresh_checkpointed_run_matches_run_and_write_outcome_bytes() {
+        let spec = spec(GRID);
+        let plain = run(&spec).unwrap();
+        let plain_dir = temp_dir("plain");
+        let plain_paths = write_outcome(&plain, &plain_dir).unwrap();
+
+        let ckpt_dir = temp_dir("fresh");
+        let swept = run_checkpointed(&spec, &ckpt_dir, false).unwrap();
+        assert_eq!(swept.resumed, 0);
+        assert_eq!(swept.outcome, plain);
+        assert_eq!(swept.paths.len(), plain_paths.len());
+        for (ours, theirs) in swept.paths.iter().zip(&plain_paths) {
+            assert_eq!(
+                std::fs::read(ours).unwrap(),
+                std::fs::read(theirs).unwrap(),
+                "{} must be byte-identical to the write_outcome file",
+                ours.display()
+            );
+        }
+        let manifest = std::fs::read_to_string(manifest_path(&ckpt_dir, "ckpt")).unwrap();
+        assert!(manifest.starts_with(MANIFEST_VERSION));
+        assert_eq!(manifest.matches("point ").count(), 6);
+        std::fs::remove_dir_all(&plain_dir).ok();
+        std::fs::remove_dir_all(&ckpt_dir).ok();
+    }
+
+    #[test]
+    fn resume_after_err_fault_at_every_point_is_byte_identical() {
+        // Property over crash sites: inject an `err` fault at the k-th
+        // write for every k, then resume; points and roll-up must be
+        // byte-identical to an uninterrupted run, and the interrupted
+        // directory must never contain a torn JSON.
+        let spec = spec(GRID);
+        let clean_dir = temp_dir("clean");
+        let clean = run_checkpointed(&spec, &clean_dir, false).unwrap();
+
+        for k in 1..=6 {
+            let dir = temp_dir(&format!("crash-{k}"));
+            let interrupted = faultpoint::scoped(&format!("sweep.write_point:{k}=err"), || {
+                run_checkpointed(&spec, &dir, false)
+            })
+            .expect("valid fault spec");
+            let err = interrupted.expect_err("fault must surface");
+            assert!(err.message.contains("sweep.write_point"), "{err:?}");
+
+            // Every completed file parses; the faulted point left a .tmp.
+            for entry in std::fs::read_dir(&dir).unwrap() {
+                let path = entry.unwrap().path();
+                if path.extension().is_some_and(|e| e == "json") {
+                    let text = std::fs::read_to_string(&path).unwrap();
+                    serde_json::from_str::<ExperimentResult>(&text)
+                        .unwrap_or_else(|e| panic!("torn JSON at {}: {e:?}", path.display()));
+                }
+            }
+
+            let resumed = run_checkpointed(&spec, &dir, true).unwrap();
+            assert_eq!(resumed.resumed, k - 1, "crash site {k}");
+            assert_eq!(resumed.outcome, clean.outcome, "crash site {k}");
+            for (ours, theirs) in resumed.paths.iter().zip(&clean.paths) {
+                assert_eq!(
+                    std::fs::read(ours).unwrap(),
+                    std::fs::read(theirs).unwrap(),
+                    "crash site {k}: {} differs from the clean run",
+                    ours.display()
+                );
+                assert!(
+                    !ours.with_extension("json.tmp").exists(),
+                    "crash site {k}: resume must clean the orphaned temp file"
+                );
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        std::fs::remove_dir_all(&clean_dir).ok();
+    }
+
+    #[test]
+    fn resume_refuses_a_changed_spec() {
+        let original = spec(GRID);
+        let dir = temp_dir("changed");
+        let _ = faultpoint::scoped("sweep.after_point:2=err", || {
+            run_checkpointed(&original, &dir, false)
+        })
+        .expect("valid fault spec");
+
+        let edited = spec(&GRID.replace("\"max_n\": 6", "\"max_n\": 7"));
+        let err = run_checkpointed(&edited, &dir, true).expect_err("must refuse");
+        assert_eq!(err.path, "--resume");
+        assert!(err.message.contains("scenario changed"), "{}", err.message);
+        assert!(err.message.contains("fingerprint"), "{}", err.message);
+
+        // The unchanged spec still resumes fine.
+        let resumed = run_checkpointed(&original, &dir, true).unwrap();
+        assert_eq!(resumed.resumed, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_without_a_journal_is_a_named_error() {
+        let spec = spec(GRID);
+        let dir = temp_dir("nojournal");
+        let err = run_checkpointed(&spec, &dir, true).expect_err("must refuse");
+        assert_eq!(err.path, "--resume");
+        assert!(err.message.contains("no sweep journal"), "{}", err.message);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_manifest_tail_and_tampered_point_are_reevaluated() {
+        let spec = spec(GRID);
+        let dir = temp_dir("torn");
+        let clean = run_checkpointed(&spec, &dir, false).unwrap();
+
+        // Tear the journal's last line (simulates a crash mid-append) and
+        // tamper with a completed point file.
+        let manifest = manifest_path(&dir, "ckpt");
+        let text = std::fs::read_to_string(&manifest).unwrap();
+        std::fs::write(&manifest, &text[..text.len() - 3]).unwrap();
+        let victim = dir.join("ckpt-p001.json");
+        let tampered = std::fs::read_to_string(&victim).unwrap().replace(' ', "  ");
+        std::fs::write(&victim, tampered).unwrap();
+
+        let resumed = run_checkpointed(&spec, &dir, true).unwrap();
+        assert_eq!(
+            resumed.resumed, 4,
+            "6 points minus the torn tail and the tampered file"
+        );
+        assert_eq!(resumed.outcome, clean.outcome);
+        // The tampered file was re-evaluated and rewritten: it must
+        // round-trip byte-identically again.
+        let json = std::fs::read_to_string(&victim).unwrap();
+        let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string_pretty(&back).unwrap(), json);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_of_a_finished_sweep_reuses_every_point() {
+        let spec = spec(
+            r#"{"name": "done", "workload": {"kind": "gd", "preset": "fig2", "max_n": 5},
+                "sweep": [{"param": "jitter", "values": [0.0, 0.5]}]}"#,
+        );
+        let dir = temp_dir("done");
+        let first = run_checkpointed(&spec, &dir, false).unwrap();
+        let again = run_checkpointed(&spec, &dir, true).unwrap();
+        assert_eq!(again.resumed, 2, "both points reused");
+        assert_eq!(again.outcome, first.outcome);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpointed_exhibit_reuses_the_binary_id() {
+        let spec = spec(r#"{"name": "fig1-ckpt", "workload": {"kind": "exhibit", "id": "fig1"}}"#);
+        let dir = temp_dir("exhibit");
+        let swept = run_checkpointed(&spec, &dir, false).unwrap();
+        assert!(swept.paths[0].ends_with("fig1.json"));
+        let again = run_checkpointed(&spec, &dir, true).unwrap();
+        assert_eq!(again.resumed, 1);
+        assert_eq!(again.outcome, swept.outcome);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shrunk_grid_fresh_run_clears_stale_points_and_old_journal() {
+        // The checkpointed sibling of the write_outcome shrink test: a
+        // fresh (non-resume) run over a narrower grid must clear the wide
+        // run's extra point files and start a new journal.
+        let wide = spec(
+            r#"{"name": "shrinkc", "workload": {"kind": "gd", "preset": "fig2", "max_n": 4},
+                "sweep": [{"param": "jitter", "values": [0.0, 0.1, 0.2]}]}"#,
+        );
+        let dir = temp_dir("shrink");
+        run_checkpointed(&wide, &dir, false).unwrap();
+        std::fs::write(dir.join("shrinkc-p099.json.tmp"), b"{").unwrap();
+
+        let narrow = spec(
+            r#"{"name": "shrinkc", "workload": {"kind": "gd", "preset": "fig2", "max_n": 4},
+                "sweep": [{"param": "jitter", "values": [0.0]}]}"#,
+        );
+        let swept = run_checkpointed(&narrow, &dir, false).unwrap();
+        assert_eq!(swept.resumed, 0);
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        assert_eq!(
+            names,
+            vec![
+                "shrinkc-p000.json",
+                "shrinkc-rollup.json",
+                "shrinkc.manifest",
+            ],
+            "stale points, orphaned temp and old journal lines must be gone"
+        );
+        let manifest = std::fs::read_to_string(manifest_path(&dir, "shrinkc")).unwrap();
+        assert_eq!(manifest.matches("point ").count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

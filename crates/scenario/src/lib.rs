@@ -38,9 +38,11 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod checkpoint;
 pub mod run;
 pub mod spec;
 
+pub use checkpoint::{run_checkpointed, run_checkpointed_pooled, CheckpointedSweep};
 pub use run::{run, run_pooled, write_outcome, SweepOutcome};
 pub use spec::{
     AxisSpec, AxisValue, BpSpec, ExhibitSpec, GdSpec, GridPoint, HeteroSpec, PlanSpec,

@@ -73,11 +73,14 @@ pub fn run_pooled(
         .iter()
         .map(|p| spec.resolve(p))
         .collect::<Result<_, _>>()?;
-    let points = match &spec.workload {
-        WorkloadSpec::Gd(_) => run_gd_points(spec, &grid, &resolved, pool)?,
-        WorkloadSpec::Bp(_) => run_bp_points(spec, &grid, &resolved)?,
-        WorkloadSpec::Exhibit(ex) => vec![run_exhibit(ex)?],
-    };
+    let n_points = expected_point_ids(spec, &grid).len();
+    let pending: Vec<usize> = (0..n_points).collect();
+    let mut results: Vec<Option<ExperimentResult>> = vec![None; n_points];
+    eval_pending(spec, &grid, &resolved, pool, &pending, &mut |i, result| {
+        results[i] = Some(result);
+        Ok(())
+    })?;
+    let points = collect_complete(results)?;
     let rollup = build_rollup(spec, &grid, &points);
     Ok(SweepOutcome {
         name: spec.name.clone(),
@@ -85,6 +88,63 @@ pub fn run_pooled(
         points,
         rollup,
     })
+}
+
+/// The result ids a sweep will produce, aligned with its point slots.
+/// Gd/bp points are named by the grid; an exhibit keeps its binary's own
+/// id (one point, byte-identical to the golden fixture) — the
+/// checkpointing runner needs these *before* evaluating anything.
+pub(crate) fn expected_point_ids(spec: &ScenarioSpec, grid: &[GridPoint]) -> Vec<String> {
+    match &spec.workload {
+        WorkloadSpec::Exhibit(ex) => vec![ex.id.clone()],
+        _ => grid.iter().map(|p| p.id.clone()).collect(),
+    }
+}
+
+/// Evaluates the `pending` subset of point slots, delivering each result
+/// through `sink` as soon as the engine has it (deterministic order:
+/// deterministic gd points first, then stochastic points grouped by
+/// delay distribution). The checkpointing runner journals from the sink;
+/// [`run_pooled`] just collects. Results are bit-identical regardless of
+/// which subset is pending — shared caches only memoise pure
+/// quadratures.
+pub(crate) fn eval_pending(
+    spec: &ScenarioSpec,
+    grid: &[GridPoint],
+    resolved: &[ResolvedWorkload],
+    pool: &OrderStatCachePool,
+    pending: &[usize],
+    sink: &mut dyn FnMut(usize, ExperimentResult) -> Result<(), SpecError>,
+) -> Result<(), SpecError> {
+    match &spec.workload {
+        WorkloadSpec::Gd(_) => eval_gd_pending(spec, grid, resolved, pool, pending, sink),
+        WorkloadSpec::Bp(_) => eval_bp_pending(spec, grid, resolved, pending, sink),
+        WorkloadSpec::Exhibit(ex) => {
+            for &i in pending {
+                sink(i, run_exhibit(ex)?)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Unwraps the per-slot results, naming any slot the scheduler skipped
+/// (an internal bug, reported rather than panicked).
+fn collect_complete(
+    results: Vec<Option<ExperimentResult>>,
+) -> Result<Vec<ExperimentResult>, SpecError> {
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            r.ok_or_else(|| {
+                SpecError::new(
+                    format!("sweep point {i}"),
+                    "never evaluated — internal scheduling bug",
+                )
+            })
+        })
+        .collect()
 }
 
 /// Serialises every point result plus the roll-up into `dir` as
@@ -118,16 +178,29 @@ pub fn write_outcome(outcome: &SweepOutcome, dir: &Path) -> std::io::Result<Vec<
         .iter()
         .map(|r| format!("{}.json", r.id))
         .collect();
+    clean_stale_points(dir, &outcome.name, &fresh)?;
+    Ok(paths)
+}
+
+/// Removes point files (and orphaned `.tmp` files) of the named scenario
+/// whose file names are not in `fresh` — shared by [`write_outcome`] and
+/// the checkpointing runner so both leave the directory reflecting
+/// exactly the grid that was just swept.
+pub(crate) fn clean_stale_points(
+    dir: &Path,
+    name: &str,
+    fresh: &std::collections::HashSet<String>,
+) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         let Ok(file_name) = entry.file_name().into_string() else {
             continue;
         };
-        if is_point_file(&file_name, &outcome.name) && !fresh.contains(&file_name) {
+        if is_point_file(&file_name, name) && !fresh.contains(&file_name) {
             std::fs::remove_file(entry.path())?;
         }
     }
-    Ok(paths)
+    Ok(())
 }
 
 /// Whether `file_name` is a point output (or orphaned temp file) of the
@@ -158,29 +231,32 @@ fn try_gd_of(workload: &ResolvedWorkload, point: usize) -> Result<&GdSpec, SpecE
     }
 }
 
-fn run_gd_points(
+fn eval_gd_pending(
     spec: &ScenarioSpec,
     grid: &[GridPoint],
     resolved: &[ResolvedWorkload],
     pool: &OrderStatCachePool,
-) -> Result<Vec<ExperimentResult>, SpecError> {
+    pending: &[usize],
+    sink: &mut dyn FnMut(usize, ExperimentResult) -> Result<(), SpecError>,
+) -> Result<(), SpecError> {
     let gds: Vec<&GdSpec> = resolved
         .iter()
         .enumerate()
         .map(|(i, w)| try_gd_of(w, i))
         .collect::<Result<_, _>>()?;
-    let mut results: Vec<Option<ExperimentResult>> = vec![None; grid.len()];
 
     // Deterministic points: pure functions of the spec, fanned out across
     // threads (each curve additionally parallelises over n internally).
-    let det: Vec<usize> = (0..grid.len())
+    let det: Vec<usize> = pending
+        .iter()
+        .copied()
         .filter(|&i| gds[i].straggler_model().is_zero())
         .collect();
     for (&i, result) in det
         .iter()
         .zip(par::map(&det, |&i| eval_gd(spec, &grid[i], gds[i], None)))
     {
-        results[i] = Some(result?);
+        sink(i, result?)?;
     }
 
     // Stochastic points: group by delay distribution, one shared
@@ -188,7 +264,9 @@ fn run_gd_points(
     // caller's pool, so a daemon reuses them across requests). Each
     // distinct backup_k in a group gets one shared-grid warm pass sized
     // to the group's widest sweep; every curve then reads memo hits.
-    let mut stochastic: Vec<usize> = (0..grid.len())
+    let mut stochastic: Vec<usize> = pending
+        .iter()
+        .copied()
         .filter(|&i| !gds[i].straggler_model().is_zero())
         .collect();
     while let Some(&first) = stochastic.first() {
@@ -216,22 +294,10 @@ fn run_gd_points(
             cache.warm(n_max, backup_k);
         }
         for &i in &group {
-            results[i] = Some(eval_gd(spec, &grid[i], gds[i], Some(&cache))?);
+            sink(i, eval_gd(spec, &grid[i], gds[i], Some(&cache))?)?;
         }
     }
-
-    results
-        .into_iter()
-        .enumerate()
-        .map(|(i, r)| {
-            r.ok_or_else(|| {
-                SpecError::new(
-                    format!("sweep point {i}"),
-                    "never evaluated — internal scheduling bug",
-                )
-            })
-        })
-        .collect()
+    Ok(())
 }
 
 fn eval_gd(
@@ -298,13 +364,14 @@ fn eval_gd(
 // Belief propagation
 // ---------------------------------------------------------------------------
 
-fn run_bp_points(
+fn eval_bp_pending(
     spec: &ScenarioSpec,
     grid: &[GridPoint],
     resolved: &[ResolvedWorkload],
-) -> Result<Vec<ExperimentResult>, SpecError> {
-    let indices: Vec<usize> = (0..grid.len()).collect();
-    par::map(&indices, |&i| {
+    pending: &[usize],
+    sink: &mut dyn FnMut(usize, ExperimentResult) -> Result<(), SpecError>,
+) -> Result<(), SpecError> {
+    let evaluated = par::map(pending, |&i| {
         let ResolvedWorkload::Bp(bp) = &resolved[i] else {
             return Err(SpecError::new(
                 format!("sweep point {i}"),
@@ -315,9 +382,11 @@ fn run_bp_points(
             ));
         };
         eval_bp(spec, &grid[i], bp)
-    })
-    .into_iter()
-    .collect()
+    });
+    for (&i, result) in pending.iter().zip(evaluated) {
+        sink(i, result?)?;
+    }
+    Ok(())
 }
 
 /// Evaluates one bp grid point with the same defaults, degree model and
@@ -456,7 +525,7 @@ fn stat_of(result: &ExperimentResult, label: &str) -> Option<f64> {
 /// The roll-up report: per-point optima as series over the point index
 /// (1-based), the best point, and one note per point mapping its id to
 /// its axis assignments.
-fn build_rollup(
+pub(crate) fn build_rollup(
     spec: &ScenarioSpec,
     grid: &[GridPoint],
     points: &[ExperimentResult],

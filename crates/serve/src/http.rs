@@ -127,6 +127,17 @@ fn bad(msg: impl Into<String>) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
 }
 
+/// Whether a read error is a socket-deadline expiry. Both `WouldBlock`
+/// and `TimedOut` appear in the wild for `SO_RCVTIMEO`/`SO_SNDTIMEO`
+/// expiry (platform-dependent), so the request loop checks both to
+/// decide between answering `408` and treating the peer as gone.
+pub fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 /// One response to write back.
 #[derive(Debug, Clone)]
 pub struct Response {
@@ -163,7 +174,9 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         };
         write!(
@@ -227,6 +240,28 @@ mod tests {
         assert!(parse(b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab").is_err());
         let long = format!("POST /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_LINE_BYTES));
         assert!(parse(long.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn overload_and_timeout_reasons_are_spelled_out() {
+        for (status, reason) in [(408, "Request Timeout"), (503, "Service Unavailable")] {
+            let mut out = Vec::new();
+            Response::json(status, "{}").write_to(&mut out).unwrap();
+            let text = String::from_utf8(out).unwrap();
+            assert!(
+                text.starts_with(&format!("HTTP/1.1 {status} {reason}\r\n")),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn timeout_kinds_are_distinguished_from_invalid_data() {
+        use std::io::{Error, ErrorKind};
+        assert!(is_timeout(&Error::new(ErrorKind::WouldBlock, "t")));
+        assert!(is_timeout(&Error::new(ErrorKind::TimedOut, "t")));
+        assert!(!is_timeout(&bad("malformed")));
+        assert!(!is_timeout(&Error::new(ErrorKind::ConnectionReset, "r")));
     }
 
     #[test]

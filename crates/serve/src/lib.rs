@@ -30,41 +30,235 @@
 //! and `x-mlscale-micros` (server-side handling time) so clients and the
 //! load-generator bench can separate cold from cached latency. Cached
 //! and cold responses are byte-identical.
+//!
+//! ## Failure behavior
+//!
+//! The daemon is hardened against the three ways a socket peer (or the
+//! operator) can hurt it:
+//!
+//! * **Slow or silent peers** — every accepted connection carries a read
+//!   deadline ([`Limits::read_timeout`], answered with `408` when it
+//!   expires mid-wait) and a write deadline ([`Limits::write_timeout`],
+//!   so a stalled reader cannot pin a worker); a keep-alive exchange
+//!   that blows [`Limits::request_deadline`] closes the connection after
+//!   its response.
+//! * **Overload** — one dedicated acceptor feeds a bounded queue
+//!   ([`Limits::queue_limit`]); when it is full the acceptor sheds the
+//!   connection immediately with `503` + `Retry-After: 1` instead of
+//!   queueing unboundedly. The `bench-serve` client retries shed
+//!   requests with jittered backoff.
+//! * **Shutdown** — `mlscale serve` installs SIGTERM/SIGINT handlers
+//!   ([`signal`]); on either, the acceptor stops accepting, idle
+//!   keep-alive reads are unblocked, in-flight requests finish and are
+//!   answered, and [`Server::run`] returns so the binary exits 0. An
+//!   embedded server drains the same way via [`Server::drain_handle`].
+//!
+//! The request path threads a [`mlscale_core::faultpoint`] hook
+//! (`serve.write_response`) so crash tests can drop a response on the
+//! floor at a deterministic point.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid` so exactly one audited `#[allow]` can
+// exist: the two-line `signal(2)` FFI in [`signal`] (the workspace
+// builds without crates.io, so there is no libc crate to call instead).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod http;
 pub mod lru;
+pub mod signal;
 
-use http::{read_request, Request, Response};
+use http::{is_timeout, read_request, Request, Response};
 use lru::ResponseLru;
-use mlscale_core::par;
 use mlscale_core::straggler::OrderStatCachePool;
+use mlscale_core::{faultpoint, par};
 use mlscale_scenario::{run_pooled, ScenarioSpec, SpecError, WorkloadSpec};
 use serde::{Serialize, Value};
-use std::io::{BufReader, BufWriter};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Rendered responses kept in the LRU; a handful of hot scenarios is the
 /// expected working set, and entries are small (tens of KiB).
 const RESPONSE_CACHE_CAPACITY: usize = 64;
 
-/// Idle keep-alive connections are dropped after this long so a silent
-/// peer cannot pin a worker.
-const READ_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default per-read deadline: idle keep-alive connections are answered
+/// `408` and dropped after this long so a silent peer cannot pin a
+/// worker. Tune per-server via [`Limits`].
+pub const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default per-write deadline on accepted connections: a peer that
+/// stops reading its response blocks a worker for at most this long.
+/// Tune per-server via [`Limits`].
+pub const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default total budget for one keep-alive exchange (parse + evaluate +
+/// write). A connection whose exchange exceeds it is closed after its
+/// response rather than served again.
+pub const REQUEST_DEADLINE: Duration = Duration::from_secs(120);
+
+/// Default bound on connections accepted but not yet picked up by a
+/// worker; beyond it the acceptor sheds with `503` + `Retry-After`.
+pub const ACCEPT_QUEUE_LIMIT: usize = 128;
+
+/// How often blocked accept/dequeue loops re-check the drain flag.
+const DRAIN_POLL: Duration = Duration::from_millis(50);
+
+/// Write deadline for the tiny `503` shed response — the acceptor pays
+/// at most this to tell an unlucky peer to retry.
+const SHED_WRITE_TIMEOUT: Duration = Duration::from_secs(1);
 
 /// The endpoints the daemon serves.
 const ENDPOINTS: [&str; 3] = ["/gd", "/plan", "/sweep"];
+
+/// Socket deadlines and backpressure bounds, tunable per server (tests
+/// shrink them to make timeout and shed paths deterministic).
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Per-read socket deadline; expiry answers `408`.
+    pub read_timeout: Duration,
+    /// Per-write socket deadline on accepted connections.
+    pub write_timeout: Duration,
+    /// Total budget for one exchange; exceeding it closes the
+    /// connection after its response.
+    pub request_deadline: Duration,
+    /// Accepted-but-unserved connection bound; beyond it, shed with 503.
+    pub queue_limit: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            read_timeout: READ_TIMEOUT,
+            write_timeout: WRITE_TIMEOUT,
+            request_deadline: REQUEST_DEADLINE,
+            queue_limit: ACCEPT_QUEUE_LIMIT,
+        }
+    }
+}
+
+/// The bounded hand-off between the acceptor and the workers.
+struct ConnQueue {
+    inner: Mutex<std::collections::VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    fn new() -> Self {
+        Self {
+            inner: Mutex::new(std::collections::VecDeque::new()),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues unless full; on overflow the stream is handed back for
+    /// shedding.
+    fn push(&self, stream: TcpStream, limit: usize) -> Result<(), TcpStream> {
+        let mut queue = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if queue.len() >= limit {
+            return Err(stream);
+        }
+        queue.push_back(stream);
+        drop(queue);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next connection; `None` once `done()` holds and the
+    /// queue is empty (workers drain what was already accepted). The
+    /// wait re-checks on a short deadline so a missed notification can
+    /// never stall shutdown.
+    fn pop(&self, done: impl Fn() -> bool) -> Option<TcpStream> {
+        let mut queue = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(stream) = queue.pop_front() {
+                return Some(stream);
+            }
+            if done() {
+                return None;
+            }
+            queue = self
+                .ready
+                .wait_timeout(queue, DRAIN_POLL)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    fn notify_all(&self) {
+        self.ready.notify_all();
+    }
+}
+
+/// Live connections, registered so drain can unblock their idle reads
+/// (an in-flight request's bytes are fully consumed before evaluation,
+/// so shutting down the read half never disturbs a pending response).
+#[derive(Default)]
+struct ConnRegistry {
+    next_id: AtomicU64,
+    live: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ConnRegistry {
+    fn register(&self, stream: &TcpStream, draining: bool) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.live
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(id, clone);
+        if draining {
+            // Drain may already have swept the registry; close the race
+            // by shutting this connection's read half ourselves.
+            stream.shutdown(Shutdown::Read).ok();
+        }
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.live
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&id);
+    }
+
+    fn shutdown_reads(&self) {
+        let live = self.live.lock().unwrap_or_else(PoisonError::into_inner);
+        for stream in live.values() {
+            stream.shutdown(Shutdown::Read).ok();
+        }
+    }
+}
 
 /// Process-wide state every worker shares.
 struct State {
     caches: OrderStatCachePool,
     responses: ResponseLru,
+    queue: ConnQueue,
+    conns: ConnRegistry,
+    draining: AtomicBool,
+    limits: Limits,
+}
+
+/// Requests a graceful drain of the server it came from — the embedded
+/// equivalent of sending the daemon SIGTERM.
+#[derive(Clone)]
+pub struct DrainHandle {
+    state: Arc<State>,
+}
+
+impl DrainHandle {
+    /// Stops accepting, unblocks idle keep-alive reads, lets in-flight
+    /// requests finish; the server's [`Server::run`] then returns.
+    pub fn request_shutdown(&self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+        self.state.conns.shutdown_reads();
+        self.state.queue.notify_all();
+    }
 }
 
 /// The planner daemon: a bound listener plus the shared caches.
@@ -76,7 +270,7 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (`HOST:PORT`; port 0 asks the OS for a free port)
-    /// with a pool of `threads` accept workers.
+    /// with a pool of `threads` request workers and default [`Limits`].
     pub fn bind(addr: &str, threads: usize) -> std::io::Result<Self> {
         Ok(Self {
             listener: Arc::new(TcpListener::bind(addr)?),
@@ -84,8 +278,23 @@ impl Server {
             state: Arc::new(State {
                 caches: OrderStatCachePool::new(),
                 responses: ResponseLru::new(RESPONSE_CACHE_CAPACITY),
+                queue: ConnQueue::new(),
+                conns: ConnRegistry::default(),
+                draining: AtomicBool::new(false),
+                limits: Limits::default(),
             }),
         })
+    }
+
+    /// Replaces the socket deadlines and backpressure bounds (call
+    /// before [`Self::run`]/[`Self::start`]).
+    #[must_use]
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        let state = Arc::get_mut(&mut self.state);
+        if let Some(state) = state {
+            state.limits = limits;
+        }
+        self
     }
 
     /// The bound address (reports the OS-chosen port after binding `:0`).
@@ -93,26 +302,41 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Number of worker threads the pool will run.
+    /// Number of request-worker threads the pool will run.
     pub fn threads(&self) -> usize {
         self.threads
     }
 
-    /// Serves forever: the worker pool is a `mlscale_core::par` map over
-    /// the worker indices, each looping `accept → serve connection`.
-    /// (Inside a pool worker nested `par` maps run serial — concurrency
-    /// comes from serving many requests at once, and results are
-    /// bit-identical either way.)
+    /// A handle that can later drain this server gracefully.
+    pub fn drain_handle(&self) -> DrainHandle {
+        DrainHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Serves until drained: the pool is a `mlscale_core::par` map over
+    /// worker indices — index 0 is the acceptor feeding the bounded
+    /// queue, the rest serve connections. (Inside a pool worker nested
+    /// `par` maps run serial — concurrency comes from serving many
+    /// requests at once, and results are bit-identical either way.)
+    ///
+    /// Returns after a SIGTERM/SIGINT (when [`signal::install`] was
+    /// called) or a [`DrainHandle::request_shutdown`]: accepting stops,
+    /// already-accepted requests finish and are answered, workers exit.
     pub fn run(&self) {
-        let ids: Vec<usize> = (0..self.threads).collect();
-        par::with_thread_count(self.threads, || {
-            par::map(&ids, |_| self.worker());
+        let ids: Vec<usize> = (0..=self.threads).collect();
+        par::with_thread_count(self.threads + 1, || {
+            par::map(&ids, |&id| match id {
+                0 => self.acceptor(),
+                _ => self.worker(),
+            });
         });
     }
 
     /// Spawns [`Self::run`] on a background thread and returns once the
     /// listener is accepting — for in-process embedding (the bench, unit
-    /// tests). The workers run for the life of the process.
+    /// tests). The workers run until the process exits or a previously
+    /// obtained [`Self::drain_handle`] shuts them down.
     pub fn start(self) -> std::io::Result<SocketAddr> {
         let addr = self.local_addr()?;
         // lint: allow(par-only-threads): the detached accept-loop host thread lives for the whole process; par::map has no fire-and-forget mode
@@ -120,22 +344,85 @@ impl Server {
         Ok(addr)
     }
 
-    fn worker(&self) {
+    fn draining(&self) -> bool {
+        self.state.draining.load(Ordering::SeqCst) || signal::requested()
+    }
+
+    /// Accepts on a non-blocking listener (a blocking `accept` would
+    /// restart across signals and never observe the drain flag), feeding
+    /// the bounded queue and shedding the overflow.
+    fn acceptor(&self) {
+        self.listener.set_nonblocking(true).ok();
         loop {
+            if self.draining() {
+                break;
+            }
             match self.listener.accept() {
-                Ok((stream, _)) => self.serve_connection(stream),
+                Ok((stream, _)) => {
+                    // Accepted sockets inherit the listener's
+                    // non-blocking flag on some platforms; request
+                    // workers expect blocking reads with deadlines.
+                    stream.set_nonblocking(false).ok();
+                    if let Err(rejected) =
+                        self.state.queue.push(stream, self.state.limits.queue_limit)
+                    {
+                        Self::shed(rejected);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(DRAIN_POLL);
+                }
                 Err(_) => continue, // transient accept failure
             }
+        }
+        // Drain: unblock idle keep-alive reads so busy workers notice,
+        // and wake idle workers so they observe the flag and exit.
+        self.state.conns.shutdown_reads();
+        self.state.queue.notify_all();
+    }
+
+    /// Tells one over-capacity peer to come back, cheaply: a `503` with
+    /// `Retry-After` under a short write deadline, then close.
+    fn shed(mut stream: TcpStream) {
+        stream.set_write_timeout(Some(SHED_WRITE_TIMEOUT)).ok();
+        stream.set_read_timeout(Some(SHED_WRITE_TIMEOUT)).ok();
+        let body = error_body(
+            "server",
+            "overloaded: the accept queue is full — retry after a moment",
+        );
+        let mut writer = BufWriter::new(&stream);
+        let _ = Response::json(503, body)
+            .with_header("Retry-After", "1")
+            .write_to(&mut writer);
+        drop(writer);
+        // Lingering close: the shed request's bytes were never read, and
+        // closing with unread data RSTs the 503 out of the peer's buffer.
+        // Discard what was sent (bounded by the short deadlines above).
+        stream.shutdown(Shutdown::Write).ok();
+        let mut sink = [0u8; 4096];
+        while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+    }
+
+    fn worker(&self) {
+        while let Some(stream) = self.state.queue.pop(|| self.draining()) {
+            self.serve_connection(stream);
         }
     }
 
     /// Serial keep-alive loop over one connection. Every malformed HTTP
-    /// exchange is answered with a 400 and the connection closed; a
-    /// panic out of evaluation becomes a 500, never a dead worker.
+    /// exchange is answered with a 400 and the connection closed; a read
+    /// deadline expiry is answered with a 408; a panic out of evaluation
+    /// becomes a 500, never a dead worker.
     fn serve_connection(&self, stream: TcpStream) {
+        let limits = self.state.limits;
         stream.set_nodelay(true).ok();
-        stream.set_read_timeout(Some(READ_TIMEOUT)).ok();
+        stream.set_read_timeout(Some(limits.read_timeout)).ok();
+        stream.set_write_timeout(Some(limits.write_timeout)).ok();
+        let registered = self.state.conns.register(&stream, self.draining());
         let Ok(read_half) = stream.try_clone() else {
+            if let Some(id) = registered {
+                self.state.conns.deregister(id);
+            }
             return;
         };
         let mut reader = BufReader::new(read_half);
@@ -143,13 +430,27 @@ impl Server {
         loop {
             let request = match read_request(&mut reader) {
                 Ok(Some(request)) => request,
-                Ok(None) => break,
+                Ok(None) => break, // clean EOF (or an idle read drained)
                 Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
                     let body = error_body("request", &e.to_string());
                     let _ = Response::json(400, body).write_to(&mut writer);
                     break;
                 }
-                Err(_) => break, // peer timeout / reset
+                Err(e) if is_timeout(&e) => {
+                    // The read deadline expired while the peer held the
+                    // connection open: say so instead of silently
+                    // dropping, then close.
+                    let body = error_body(
+                        "request",
+                        &format!(
+                            "no request within the {:.0?} read deadline",
+                            limits.read_timeout
+                        ),
+                    );
+                    let _ = Response::json(408, body).write_to(&mut writer);
+                    break;
+                }
+                Err(_) => break, // peer reset/aborted: nothing to answer
             };
             let close = request.wants_close();
             // lint: allow(determinism): x-mlscale-micros is a diagnostic latency header, not model output
@@ -160,9 +461,21 @@ impl Server {
                 });
             let micros = started.elapsed().as_micros();
             let response = response.with_header("x-mlscale-micros", micros.to_string());
+            if faultpoint::hit(faultpoint::points::SERVE_WRITE_RESPONSE).is_err() {
+                break; // injected mid-response crash: drop the connection
+            }
             if response.write_to(&mut writer).is_err() || close {
                 break;
             }
+            if started.elapsed() > limits.request_deadline {
+                break; // over the per-exchange budget: no more keep-alive
+            }
+            if self.draining() {
+                break; // in-flight request answered; now drain
+            }
+        }
+        if let Some(id) = registered {
+            self.state.conns.deregister(id);
         }
     }
 
@@ -276,7 +589,7 @@ fn error_body(path: &str, message: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::{Read as _, Write as _};
+    use std::io::Write as _;
 
     fn start_server() -> SocketAddr {
         Server::bind("127.0.0.1:0", 2)
@@ -385,6 +698,81 @@ mod tests {
             let response = read_one_response(&mut reader);
             assert!(response.starts_with("HTTP/1.1 200"), "round {round}");
         }
+    }
+
+    #[test]
+    fn zero_capacity_queue_sheds_everything_with_503() {
+        // queue_limit 0 makes every accept an overflow — the
+        // deterministic way to observe the shed path.
+        let server = Server::bind("127.0.0.1:0", 1)
+            .expect("bind")
+            .with_limits(Limits {
+                queue_limit: 0,
+                ..Limits::default()
+            });
+        let handle = server.drain_handle();
+        let addr = server.start().expect("start");
+        let shed = post(addr, "/gd", "{}");
+        assert!(
+            shed.starts_with("HTTP/1.1 503 Service Unavailable"),
+            "{shed}"
+        );
+        assert!(shed.contains("Retry-After: 1"), "{shed}");
+        assert!(shed.contains("accept queue is full"), "{shed}");
+        handle.request_shutdown();
+    }
+
+    #[test]
+    fn expired_read_deadline_answers_408() {
+        let server = Server::bind("127.0.0.1:0", 1)
+            .expect("bind")
+            .with_limits(Limits {
+                read_timeout: Duration::from_millis(80),
+                ..Limits::default()
+            });
+        let handle = server.drain_handle();
+        let addr = server.start().expect("start");
+        // Connect and send nothing: the read deadline must expire and be
+        // answered, not silently dropped.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("recv");
+        assert!(
+            response.starts_with("HTTP/1.1 408 Request Timeout"),
+            "{response}"
+        );
+        assert!(response.contains("read deadline"), "{response}");
+        handle.request_shutdown();
+    }
+
+    #[test]
+    fn drain_finishes_in_flight_requests_and_run_returns() {
+        let server = Server::bind("127.0.0.1:0", 2).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = server.drain_handle();
+        // Tests may host the pool thread directly (the lint's test
+        // exemption): run() must return once drained.
+        let host = std::thread::spawn(move || server.run());
+
+        // One served request, then the connection idles in keep-alive.
+        let gd = r#"{"name": "d", "workload": {"kind": "gd", "preset": "fig2", "max_n": 4}}"#;
+        let request = format!(
+            "POST /gd HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{gd}",
+            gd.len()
+        );
+        let mut idle = TcpStream::connect(addr).expect("connect");
+        idle.write_all(request.as_bytes()).expect("send");
+        let mut reader = BufReader::new(idle.try_clone().unwrap());
+        let response = read_one_response(&mut reader);
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+
+        handle.request_shutdown();
+        host.join().expect("run() must return after drain");
+
+        // The drained server closed the idle keep-alive connection.
+        let mut rest = String::new();
+        idle.read_to_string(&mut rest).expect("clean close");
+        assert_eq!(rest, "", "no bytes after drain");
     }
 
     /// Reads exactly one HTTP response (headers + Content-Length body).

@@ -1,0 +1,73 @@
+//! Minimal SIGTERM/SIGINT notification without a libc crate.
+//!
+//! The workspace builds with no crates.io access, so this module makes
+//! the one tiny FFI call graceful shutdown needs: `signal(2)` from the
+//! platform C library, installing a handler that does nothing but store
+//! a process-wide [`AtomicBool`]. That store is the only thing the
+//! handler does — an atomic store is async-signal-safe, and everything
+//! else (draining connections, joining workers) happens on ordinary
+//! threads that poll [`requested`].
+//!
+//! The daemon's accept loop runs a non-blocking listener with a short
+//! poll interval rather than relying on `EINTR`: glibc's `signal()`
+//! installs BSD semantics (`SA_RESTART`), so a blocking `accept(2)`
+//! would simply restart and never observe the flag.
+//!
+//! Only the `mlscale serve` binary installs the handlers; in-process
+//! servers (tests, the bench) use `Server::drain_handle()` instead and
+//! never touch process-global signal state.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler on SIGTERM/SIGINT; read by the accept loop.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// `signal(2)` — part of the C standard library on every platform
+    /// this workspace targets. `sighandler_t` is a function pointer,
+    /// passed as `usize` here to avoid declaring the typedef.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// The installed handler: stores the flag and returns. Nothing here may
+/// allocate, lock, or call into the runtime — an atomic store is the
+/// entire async-signal-safe budget this module spends.
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM and SIGINT handlers. Call once, from the binary,
+/// before entering the accept loop.
+pub fn install() {
+    #[allow(unsafe_code)]
+    // SAFETY: `signal` is the C-standard prototype; `on_signal` is an
+    // `extern "C" fn(i32)` whose address is a valid sighandler, and it
+    // only performs an async-signal-safe atomic store.
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+}
+
+/// Whether a shutdown signal has arrived since [`install`].
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_handler_sets_it() {
+        // Exercise the handler directly (raising a real signal would
+        // race other tests in this process).
+        assert!(!requested());
+        on_signal(SIGTERM);
+        assert!(requested());
+        SHUTDOWN.store(false, Ordering::SeqCst);
+    }
+}

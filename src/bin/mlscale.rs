@@ -31,7 +31,7 @@ use mlscale::model::planner::{Planner, Pricing};
 use mlscale::model::speedup::{log_spaced_ns, DENSE_EVAL_MAX_N};
 use mlscale::model::straggler::{StragglerGdModel, StragglerModel};
 use mlscale::model::units::{BitsPerSec, FlopCount, FlopsRate, Seconds};
-use mlscale::scenario::{run as sweep_run, write_outcome, ScenarioSpec};
+use mlscale::scenario::{run_checkpointed as sweep_run, ScenarioSpec};
 use mlscale::workloads::experiments::figures;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -65,10 +65,12 @@ fn usage() -> ! {
          plan — cost/deadline provisioning over the gd model\n\
               (gd flags) --iterations K --price $/node-hour\n\
               [--deadline seconds | --budget amount] [--log-points P]\n\
-         sweep <file.json> [--out DIR]\n\
+         sweep <file.json> [--out DIR] [--resume]\n\
               expand the scenario's grid, evaluate every point, write one\n\
               results JSON per point plus a roll-up (default DIR:\n\
-              results/sweeps/<name>)\n\
+              results/sweeps/<name>); every completed point is journaled,\n\
+              and --resume skips points an interrupted run already\n\
+              finished (refused if the scenario changed)\n\
          scenario <validate|explain> <file.json>\n\
               check a scenario spec / print its expanded grid\n\
          serve [--addr HOST:PORT] [--threads N]\n\
@@ -88,7 +90,7 @@ fn die(msg: impl std::fmt::Display) -> ! {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["weak"];
+const BOOLEAN_FLAGS: &[&str] = &["weak", "resume"];
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
@@ -697,7 +699,8 @@ fn positional<'a>(command: &str, args: &'a [String]) -> (&'a str, &'a [String]) 
 fn cmd_sweep(args: &[String]) {
     let (path, rest) = positional("sweep", args);
     let flags = parse_flags(rest);
-    check_allowed("sweep", &flags, &["out"]);
+    check_allowed("sweep", &flags, &["out", "resume"]);
+    let resume = flags.contains_key("resume");
     let spec = load_scenario(path);
     // The grid size is the product of the axis lengths — no need to
     // expand here; the engine expands (and labels) the grid itself.
@@ -712,7 +715,17 @@ fn cmd_sweep(args: &[String]) {
         grid_size,
         spec.sweep.len()
     );
-    let outcome = sweep_run(&spec).unwrap_or_else(|e| die(format_args!("{path}: {e}")));
+    // Each completed point is journaled as it lands, so an interrupted
+    // run picks up with --resume instead of starting over.
+    let checkpointed =
+        sweep_run(&spec, &out_dir, resume).unwrap_or_else(|e| die(format_args!("{path}: {e}")));
+    if checkpointed.resumed > 0 {
+        println!(
+            "resumed: {} of {} point(s) restored from the journal",
+            checkpointed.resumed, grid_size
+        );
+    }
+    let outcome = &checkpointed.outcome;
     println!(
         "\n{:<24} {:>10} {:>14} {:>16}",
         "point", "optimal n", "peak speedup", "time at opt (s)"
@@ -737,23 +750,16 @@ fn cmd_sweep(args: &[String]) {
             point.label()
         );
     }
-    match write_outcome(&outcome, &out_dir) {
-        Ok(paths) => {
-            println!(
-                "\nwrote {} results file(s) to {} (roll-up: {})",
-                paths.len(),
-                out_dir.display(),
-                paths
-                    .last()
-                    .map(|p| p.display().to_string())
-                    .unwrap_or_default()
-            );
-        }
-        Err(e) => {
-            eprintln!("error: cannot write results to {}: {e}", out_dir.display());
-            exit(1);
-        }
-    }
+    println!(
+        "\nwrote {} results file(s) to {} (roll-up: {})",
+        checkpointed.paths.len(),
+        out_dir.display(),
+        checkpointed
+            .paths
+            .last()
+            .map(|p| p.display().to_string())
+            .unwrap_or_default()
+    );
 }
 
 fn cmd_scenario(args: &[String]) {
@@ -848,14 +854,21 @@ fn cmd_serve(flags: &HashMap<String, String>) {
         server.threads()
     );
     println!("endpoints: POST /gd, /plan, /sweep — scenario-spec JSON bodies");
+    // SIGTERM/SIGINT drain: stop accepting, answer what is in flight,
+    // then run() returns and the process exits 0.
+    mlscale::serve::signal::install();
     server.run();
+    println!("drained: in-flight requests finished, listener closed");
 }
 
 fn main() {
-    // Validate MLSCALE_THREADS up front for every verb: a typo'd value
-    // must be a named exit-2 diagnostic (and a refused serve startup),
-    // not a panic out of the first parallel map.
+    // Validate MLSCALE_THREADS and MLSCALE_FAULTS up front for every
+    // verb: a typo'd value must be a named exit-2 diagnostic, not a
+    // panic out of the first parallel map or a silently unarmed fault.
     if let Err(e) = mlscale::model::par::try_thread_count() {
+        die(e);
+    }
+    if let Err(e) = mlscale::model::faultpoint::check_env() {
         die(e);
     }
     let args: Vec<String> = std::env::args().skip(1).collect();

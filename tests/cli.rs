@@ -539,18 +539,23 @@ fn sweep_runs_the_checked_in_latency_grid() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("24 grid point(s)"), "{stdout}");
     assert!(stdout.contains("wrote 25 results file(s)"), "{stdout}");
-    // One results JSON per grid point plus the roll-up, all valid JSON.
+    // One results JSON per grid point plus the roll-up, all valid JSON,
+    // plus the sweep journal backing `--resume`.
     let mut files: Vec<_> = std::fs::read_dir(&out_dir)
         .expect("out dir created")
         .map(|e| e.unwrap().path())
         .collect();
     files.sort();
-    assert_eq!(files.len(), 25);
-    for file in &files {
+    assert_eq!(files.len(), 26);
+    for file in files
+        .iter()
+        .filter(|f| f.extension().is_some_and(|e| e == "json"))
+    {
         let json = std::fs::read_to_string(file).unwrap();
         assert!(json.starts_with('{'), "{}: not JSON", file.display());
     }
     assert!(files[24].ends_with("latency-grid-rollup.json"));
+    assert!(files[25].ends_with("latency-grid.manifest"));
     std::fs::remove_dir_all(&out_dir).ok();
 }
 

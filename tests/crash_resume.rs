@@ -1,0 +1,300 @@
+//! Crash-safety tests of the real binary: a sweep subprocess killed at
+//! a deterministic fault point (`MLSCALE_FAULTS=…=kill` aborts the
+//! process mid-write-path), then resumed with `--resume`; the resumed
+//! directory must be byte-identical to an uninterrupted run, with no
+//! torn JSON at any intermediate state. Also covers the daemon's
+//! SIGTERM drain: in-flight requests are answered and the process exits
+//! 0 with idle keep-alive connections cleanly closed.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::{Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+/// A 6-point grid small enough to evaluate in well under a second.
+const GRID_SCENARIO: &str = r#"{
+  "name": "crashgrid",
+  "workload": {"kind": "gd", "params": 12e6, "cost_per_example": 72e6,
+               "batch": 60000, "bits": 64, "flops": 84.48e9,
+               "bandwidth": 1e9, "max_n": 6},
+  "sweep": [
+    {"param": "comm", "values": ["tree", "ring"]},
+    {"param": "latency", "values": [0, 1e-4, 1e-3]}
+  ]
+}"#;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mlscale-crash-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn write_scenario(dir: &Path) -> std::path::PathBuf {
+    let path = dir.join("crashgrid.json");
+    std::fs::write(&path, GRID_SCENARIO).expect("write scenario");
+    path
+}
+
+fn sweep(scenario: &Path, out: &Path, extra_args: &[&str], faults: Option<&str>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_mlscale"));
+    cmd.arg("sweep")
+        .arg(scenario)
+        .arg("--out")
+        .arg(out)
+        .args(extra_args);
+    if let Some(spec) = faults {
+        cmd.env("MLSCALE_FAULTS", spec);
+    }
+    cmd.output().expect("spawn mlscale sweep")
+}
+
+/// Sorted `.json` names in a sweep directory.
+fn json_files(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .expect("read sweep dir")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".json"))
+        .collect();
+    names.sort();
+    names
+}
+
+/// Every `.json` present must be complete, parseable JSON — a crash may
+/// leave work missing, never a torn file.
+fn assert_no_torn_json(dir: &Path) {
+    for name in json_files(dir) {
+        let text = std::fs::read_to_string(dir.join(&name)).expect("read result");
+        serde_json::from_str::<serde::Value>(&text)
+            .unwrap_or_else(|e| panic!("{name} is torn after the crash: {e}"));
+    }
+}
+
+#[test]
+fn sweep_killed_mid_run_resumes_byte_identical() {
+    let dir = scratch("resume");
+    let scenario = write_scenario(&dir);
+    let clean_out = dir.join("clean");
+    let crash_out = dir.join("crashed");
+
+    let clean = sweep(&scenario, &clean_out, &[], None);
+    assert!(
+        clean.status.success(),
+        "clean run: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    // Abort the process right after the third completed point lands.
+    let killed = sweep(&scenario, &crash_out, &[], Some("sweep.after_point:3=kill"));
+    assert!(!killed.status.success(), "the injected kill must abort");
+    assert_no_torn_json(&crash_out);
+    let survivors = json_files(&crash_out);
+    assert!(
+        !survivors.is_empty() && survivors.len() < json_files(&clean_out).len(),
+        "a mid-run kill leaves some but not all points: {survivors:?}"
+    );
+
+    let resumed = sweep(&scenario, &crash_out, &["--resume"], None);
+    assert!(
+        resumed.status.success(),
+        "resume: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(
+        stdout.contains("resumed: 3 of 6 point(s)"),
+        "resume must report the journal hits:\n{stdout}"
+    );
+
+    assert_eq!(json_files(&clean_out), json_files(&crash_out));
+    for name in json_files(&clean_out) {
+        let ours = std::fs::read(crash_out.join(&name)).expect("resumed file");
+        let theirs = std::fs::read(clean_out.join(&name)).expect("clean file");
+        assert_eq!(ours, theirs, "{name}: resumed bytes differ from clean run");
+    }
+    let leftovers: Vec<_> = std::fs::read_dir(&crash_out)
+        .expect("dir")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".tmp"))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "resume must clean temp orphans: {leftovers:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_during_the_point_write_leaves_only_a_temp_file() {
+    let dir = scratch("midwrite");
+    let scenario = write_scenario(&dir);
+    let out = dir.join("out");
+
+    // sweep.write_point fires between the temp-file write and its
+    // rename: the abort must strand `.tmp` bytes, never a torn `.json`.
+    let killed = sweep(&scenario, &out, &[], Some("sweep.write_point:2=kill"));
+    assert!(!killed.status.success());
+    assert_no_torn_json(&out);
+    let stranded: Vec<_> = std::fs::read_dir(&out)
+        .expect("dir")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".json.tmp"))
+        .collect();
+    assert_eq!(stranded.len(), 1, "the killed write leaves its temp file");
+
+    let resumed = sweep(&scenario, &out, &["--resume"], None);
+    assert!(
+        resumed.status.success(),
+        "resume: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_no_torn_json(&out);
+    assert!(
+        !std::fs::read_dir(&out).expect("dir").any(|e| e
+            .expect("entry")
+            .file_name()
+            .to_string_lossy()
+            .ends_with(".tmp")),
+        "resume cleans the stranded temp file"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_refuses_a_changed_scenario_with_exit_2() {
+    let dir = scratch("changed");
+    let scenario = write_scenario(&dir);
+    let out = dir.join("out");
+
+    let killed = sweep(&scenario, &out, &[], Some("sweep.after_point:2=kill"));
+    assert!(!killed.status.success());
+
+    let changed = GRID_SCENARIO.replace("\"max_n\": 6", "\"max_n\": 7");
+    std::fs::write(&scenario, changed).expect("edit scenario");
+    let refused = sweep(&scenario, &out, &["--resume"], None);
+    assert_eq!(refused.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&refused.stderr);
+    assert!(
+        stderr.contains("--resume") && stderr.contains("changed"),
+        "refusal must name the flag and the cause:\n{stderr}"
+    );
+
+    // Restoring the original spec makes the same journal usable again.
+    std::fs::write(&scenario, GRID_SCENARIO).expect("restore scenario");
+    let resumed = sweep(&scenario, &out, &["--resume"], None);
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_without_a_journal_is_a_named_exit_2() {
+    let dir = scratch("nojournal");
+    let scenario = write_scenario(&dir);
+    let refused = sweep(&scenario, &dir.join("fresh"), &["--resume"], None);
+    assert_eq!(refused.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&refused.stderr);
+    assert!(
+        stderr.contains("no sweep journal"),
+        "must say what is missing:\n{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_mlscale_faults_is_refused_up_front_for_every_verb() {
+    for verb in [
+        vec!["gd", "--preset", "fig2", "--max-n", "4"],
+        vec!["serve", "--addr", "127.0.0.1:0"],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_mlscale"))
+            .args(&verb)
+            .env("MLSCALE_FAULTS", "sweep.after_point:zero=kill")
+            .output()
+            .expect("spawn mlscale");
+        assert_eq!(out.status.code(), Some(2), "verb {:?}", verb[0]);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("MLSCALE_FAULTS"),
+            "diagnostic names the variable:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn sigterm_drains_the_daemon_and_exits_zero() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mlscale"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn mlscale serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let mut banner = String::new();
+    reader.read_line(&mut banner).expect("banner");
+    let addr = banner
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in banner {banner:?}"))
+        .to_string();
+
+    // One served request over a keep-alive connection left idle: drain
+    // must answer it, then close the idle connection with a clean EOF.
+    let body = r#"{"name": "d", "workload": {"kind": "gd", "preset": "fig2", "max_n": 4}}"#;
+    let mut idle = TcpStream::connect(&addr).expect("connect");
+    idle.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    write!(
+        idle,
+        "POST /gd HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut response_reader = BufReader::new(idle.try_clone().expect("clone"));
+    let mut status_line = String::new();
+    response_reader.read_line(&mut status_line).expect("status");
+    assert!(status_line.starts_with("HTTP/1.1 200"), "{status_line}");
+    let mut length = 0usize;
+    loop {
+        let mut line = String::new();
+        response_reader.read_line(&mut line).expect("header");
+        if line == "\r\n" {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length: ") {
+            length = v.trim().parse().expect("length");
+        }
+    }
+    let mut response_body = vec![0u8; length];
+    response_reader
+        .read_exact(&mut response_body)
+        .expect("body");
+
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success(), "kill -TERM failed");
+
+    // Graceful drain: the process must exit 0 well within the deadline.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "daemon did not drain in 10 s");
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert_eq!(status.code(), Some(0), "SIGTERM drain must exit 0");
+
+    // The idle keep-alive connection was closed, not abandoned.
+    let mut rest = Vec::new();
+    idle.read_to_end(&mut rest).expect("clean close");
+    assert!(rest.is_empty(), "no stray bytes after drain");
+}

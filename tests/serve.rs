@@ -33,12 +33,20 @@ impl Server {
     /// Spawns `mlscale serve --addr 127.0.0.1:0` and parses the bound
     /// address from its startup banner.
     fn spawn(threads: &str) -> Server {
-        let mut child = Command::new(env!("CARGO_BIN_EXE_mlscale"))
-            .args(["serve", "--addr", "127.0.0.1:0", "--threads", threads])
+        Self::spawn_with_faults(threads, None)
+    }
+
+    /// [`Self::spawn`] with an optional `MLSCALE_FAULTS` plan armed in
+    /// the daemon's environment.
+    fn spawn_with_faults(threads: &str, faults: Option<&str>) -> Server {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_mlscale"));
+        cmd.args(["serve", "--addr", "127.0.0.1:0", "--threads", threads])
             .stdout(Stdio::piped())
-            .stderr(Stdio::piped())
-            .spawn()
-            .expect("spawn mlscale serve");
+            .stderr(Stdio::piped());
+        if let Some(spec) = faults {
+            cmd.env("MLSCALE_FAULTS", spec);
+        }
+        let mut child = cmd.spawn().expect("spawn mlscale serve");
         let stdout = child.stdout.take().expect("stdout piped");
         let mut reader = BufReader::new(stdout);
         let mut banner = String::new();
@@ -363,6 +371,43 @@ fn keep_alive_connection_serves_sequential_requests() {
         assert_eq!(reply.status, 200);
         assert_eq!(reply.header("x-mlscale-cache"), Some(expected));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: a dropped response must not take the daemon down
+// ---------------------------------------------------------------------------
+
+#[test]
+fn injected_response_fault_drops_one_connection_and_recovers() {
+    let server = Server::spawn_with_faults("2", Some("serve.write_response:2=err"));
+
+    let first = post(&server.addr, "/gd", GD_SPEC);
+    assert_eq!(first.status, 200, "{}", first.body);
+
+    // The second response hits the armed fault: the daemon drops the
+    // connection without writing — the client sees a clean close with
+    // zero bytes, never a torn response.
+    let mut stream = TcpStream::connect(&server.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    write!(
+        stream,
+        "POST /gd HTTP/1.1\r\nHost: mlscale\r\nContent-Length: {}\r\n\r\n{GD_SPEC}",
+        GD_SPEC.len()
+    )
+    .expect("write request");
+    let mut dropped = Vec::new();
+    stream.read_to_end(&mut dropped).expect("read to close");
+    assert!(
+        dropped.is_empty(),
+        "the faulted response must be dropped whole, got {} bytes",
+        dropped.len()
+    );
+
+    // The fault was one-shot; the worker survived and serves on.
+    let third = post(&server.addr, "/gd", GD_SPEC);
+    assert_eq!(third.status, 200, "{}", third.body);
 }
 
 // ---------------------------------------------------------------------------
