@@ -48,6 +48,11 @@ pub mod points {
     pub const SWEEP_WRITE_POINT: &str = "sweep.write_point";
     /// After a sweep point has been journaled as complete.
     pub const SWEEP_AFTER_POINT: &str = "sweep.after_point";
+    /// Between writing a shard's temp file and renaming it into place —
+    /// a fault here must leave a `.tmp`, never a torn shard.
+    pub const SWEEP_WRITE_SHARD: &str = "sweep.write_shard";
+    /// After a completed shard has been journaled.
+    pub const SWEEP_AFTER_SHARD: &str = "sweep.after_shard";
     /// Before the daemon writes a response body (an `err` drops the
     /// connection without answering, like a mid-response crash).
     pub const SERVE_WRITE_RESPONSE: &str = "serve.write_response";

@@ -251,6 +251,54 @@ impl Planner {
     }
 }
 
+/// The Pareto frontier of `(cost, time)` points, both minimised: the
+/// ascending indices of every point no other point dominates. Point `j`
+/// dominates `i` when it is no worse on both axes and strictly better
+/// on at least one — exact duplicates therefore survive together, and
+/// non-finite points are never on the frontier.
+///
+/// This is the provisioning-space question the paper closes on: of all
+/// candidate (cluster, workload, mitigation) configurations, which are
+/// the undominated cost/time trade-offs? Adaptive sweeps refine the
+/// grid only around this set. Runs in `O(n log n)`.
+pub fn pareto_frontier(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len())
+        .filter(|&i| points[i].0.is_finite() && points[i].1.is_finite())
+        .collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .0
+            .total_cmp(&points[b].0)
+            .then(points[a].1.total_cmp(&points[b].1))
+    });
+    let mut frontier = Vec::new();
+    // Sweep in cost order: a point survives iff nothing strictly
+    // cheaper matched its time, and nothing at equal cost beat it.
+    let mut best_cheaper_time = f64::INFINITY;
+    let mut i = 0;
+    while i < order.len() {
+        let group_cost = points[order[i]].0;
+        let mut j = i;
+        while j < order.len() && points[order[j]].0 == group_cost {
+            j += 1;
+        }
+        let group = &order[i..j];
+        let group_min_time = points[group[0]].1;
+        if group_min_time < best_cheaper_time {
+            frontier.extend(
+                group
+                    .iter()
+                    .copied()
+                    .filter(|&k| points[k].1 == group_min_time),
+            );
+        }
+        best_cheaper_time = best_cheaper_time.min(group_min_time);
+        i = j;
+    }
+    frontier.sort_unstable();
+    frontier
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,5 +531,60 @@ mod tests {
         let p = Planner::new(time_fn, 8, Pricing::hourly(1.0));
         let plan = p.fastest_within_budget(100.0).expect("affordable");
         assert_eq!(plan.n, 3, "time tie resolves to the smaller cluster");
+    }
+
+    /// Brute-force O(n²) frontier for cross-checking the sweep version.
+    fn frontier_naive(points: &[(f64, f64)]) -> Vec<usize> {
+        (0..points.len())
+            .filter(|&i| {
+                let (ci, ti) = points[i];
+                ci.is_finite()
+                    && ti.is_finite()
+                    && !points.iter().enumerate().any(|(j, &(cj, tj))| {
+                        j != i && cj <= ci && tj <= ti && (cj < ci || tj < ti)
+                    })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pareto_frontier_keeps_exactly_the_undominated_points() {
+        let points = [
+            (1.0, 10.0), // frontier: cheapest
+            (2.0, 5.0),  // frontier: trade-off
+            (2.0, 6.0),  // dominated at equal cost
+            (3.0, 5.0),  // dominated by (2, 5)
+            (4.0, 1.0),  // frontier: fastest
+            (5.0, 2.0),  // dominated
+        ];
+        assert_eq!(pareto_frontier(&points), vec![0, 1, 4]);
+        assert_eq!(pareto_frontier(&points), frontier_naive(&points));
+    }
+
+    #[test]
+    fn pareto_frontier_keeps_exact_duplicates_together() {
+        let points = [(1.0, 2.0), (1.0, 2.0), (2.0, 1.0), (2.0, 3.0)];
+        assert_eq!(pareto_frontier(&points), vec![0, 1, 2]);
+        assert_eq!(pareto_frontier(&points), frontier_naive(&points));
+    }
+
+    #[test]
+    fn pareto_frontier_drops_non_finite_points() {
+        let points = [(f64::NAN, 0.0), (0.5, f64::INFINITY), (1.0, 1.0)];
+        assert_eq!(pareto_frontier(&points), vec![2]);
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+
+    #[test]
+    fn pareto_frontier_matches_brute_force_on_a_lattice() {
+        // Every (cost, time) pair over a coarse lattice, including ties
+        // on both axes — the sweep and the naive definition must agree.
+        let mut points = Vec::new();
+        for c in 0..7 {
+            for t in 0..7 {
+                points.push((f64::from(c) * 0.5, f64::from((t * 13) % 7)));
+            }
+        }
+        assert_eq!(pareto_frontier(&points), frontier_naive(&points));
     }
 }

@@ -332,7 +332,8 @@ fn atomic_io(
                 t.line,
                 "atomic-results-io",
                 "direct file write — results must go through a temp-file + rename helper \
-                 (`mlscale_bench::emit`, `scenario::write_outcome`) so interruption never \
+                 (`mlscale_bench::emit`, `scenario::write_outcome`, \
+                 `scenario::ShardedStore::write_shard`) so interruption never \
                  leaves a truncated JSON"
                     .to_string(),
             ));

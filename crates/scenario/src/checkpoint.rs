@@ -34,9 +34,13 @@
 //! `sweep.after_point` after a completion is journaled.
 
 use crate::run::{
-    build_rollup, clean_stale_points, eval_pending, expected_point_ids, SweepOutcome,
+    build_rollup, build_rollup_from, clean_stale_points, eval_pending, expected_point_ids,
+    summarize_point, PointSummary, SweepOutcome,
 };
-use crate::spec::{ResolvedWorkload, ScenarioSpec, SpecError};
+use crate::spec::{
+    point_id_width, GridPoint, ResolvedWorkload, ScenarioSpec, SpecError, WorkloadSpec,
+};
+use crate::store::{self, ShardedStore};
 use mlscale_core::faultpoint;
 use mlscale_core::straggler::OrderStatCachePool;
 use mlscale_workloads::ExperimentResult;
@@ -143,11 +147,14 @@ pub fn run_checkpointed_pooled(
     write_point(dir, &rollup).map_err(|e| io_spec_error(dir, "cannot write roll-up", &e))?;
 
     // The directory now reflects exactly this grid: stale points from a
-    // previous larger run and orphaned temp files (including any a crash
-    // at sweep.write_point left behind) are removed.
+    // previous larger run, orphaned temp files (including any a crash
+    // at sweep.write_point left behind) and shards from a previous
+    // sharded run of this scenario are removed.
     let fresh: HashSet<String> = ids.iter().map(|id| format!("{id}.json")).collect();
     clean_stale_points(dir, &spec.name, &fresh)
         .map_err(|e| io_spec_error(dir, "cannot clean stale points in", &e))?;
+    store::clean_stale_shards(dir, &spec.name, &HashSet::new())
+        .map_err(|e| io_spec_error(dir, "cannot clean stale shards in", &e))?;
 
     let mut paths: Vec<PathBuf> = ids
         .iter()
@@ -161,6 +168,187 @@ pub fn run_checkpointed_pooled(
             points,
             rollup,
         },
+        paths,
+        resumed,
+    })
+}
+
+/// What a sharded, checkpointed sweep produced. Unlike
+/// [`CheckpointedSweep`] there is no full [`SweepOutcome`]: the whole
+/// point of the sharded store is that 10⁶ results never sit in memory at
+/// once — per-point data lives in the shard files, and only the roll-up
+/// (built from streaming [`PointSummary`] extracts, byte-identical to
+/// the per-point path's) is returned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedSweep {
+    /// The scenario name (results-file prefix).
+    pub name: String,
+    /// Expanded grid size.
+    pub grid_points: usize,
+    /// How many shard files the grid spans.
+    pub shards: usize,
+    /// The roll-up report over all points.
+    pub rollup: ExperimentResult,
+    /// Shard paths in index order, roll-up path last.
+    pub paths: Vec<PathBuf>,
+    /// How many points were restored from verified shards instead of
+    /// evaluated (0 on a fresh run).
+    pub resumed: usize,
+}
+
+/// Runs a sweep through the sharded store with per-shard checkpointing
+/// into `dir` (fresh cache pool; see [`run_sharded_pooled`]).
+pub fn run_sharded(
+    spec: &ScenarioSpec,
+    dir: &Path,
+    resume: bool,
+    shard_size: usize,
+) -> Result<ShardedSweep, SpecError> {
+    run_sharded_pooled(spec, &OrderStatCachePool::new(), dir, resume, shard_size)
+}
+
+/// The streaming sibling of [`run_checkpointed_pooled`] for grids past
+/// the per-point-file threshold: grid points are generated lazily
+/// (never materialising the cross product), evaluated one shard-sized
+/// chunk at a time, and published as atomic NDJSON shards
+/// (`crate::store`). The journal records one `shard <k> <records>
+/// <bytes>` line per published shard; on `resume = true` every journaled
+/// shard that verifies byte-exactly is reused whole and everything else
+/// is re-evaluated, so a resumed sweep's shards and roll-up are
+/// byte-identical to an uninterrupted run — the same promise the
+/// per-point path makes, at shard granularity.
+pub fn run_sharded_pooled(
+    spec: &ScenarioSpec,
+    pool: &OrderStatCachePool,
+    dir: &Path,
+    resume: bool,
+    shard_size: usize,
+) -> Result<ShardedSweep, SpecError> {
+    if matches!(spec.workload, WorkloadSpec::Exhibit(_)) {
+        return Err(SpecError::new(
+            "workload",
+            "exhibit scenarios are single-point — the sharded store only serves gd/bp grids",
+        ));
+    }
+    let shard_size = shard_size.max(1);
+    let total = spec.grid_len()?;
+    let width = point_id_width(total);
+    let shards = store::shard_count(total, shard_size);
+    let fingerprint = spec_fingerprint(spec);
+    let manifest = manifest_path(dir, &spec.name);
+    std::fs::create_dir_all(dir).map_err(|e| io_spec_error(dir, "cannot create", &e))?;
+    let mut sharded = ShardedStore::new(dir, &spec.name, shard_size);
+
+    // Which journaled shards survive strict verification: byte length
+    // matches the journal, every record re-serialises to itself under
+    // the grid's expected id. Restored points are summarised one shard
+    // at a time — memory stays bounded by one shard throughout.
+    let chunk_points = |k: usize| -> Vec<GridPoint> {
+        let lo = k * shard_size;
+        let hi = (lo + shard_size).min(total);
+        (lo..hi).map(|slot| spec.point_at(slot, width)).collect()
+    };
+    let mut summaries: Vec<Option<PointSummary>> = vec![None; total];
+    let mut verified: Vec<Option<(usize, u64)>> = vec![None; shards];
+    let mut resumed = 0;
+    if resume {
+        let journaled = restore_shards(&manifest, fingerprint, shard_size, shards)?;
+        for (k, meta) in journaled.into_iter().enumerate() {
+            let Some((records, bytes)) = meta else {
+                continue;
+            };
+            let points = chunk_points(k);
+            if records != points.len() {
+                continue; // journal disagrees with the grid: re-evaluate
+            }
+            let ids: Vec<String> = points.iter().map(|p| p.id.clone()).collect();
+            if let Some(results) = sharded.read_verified_shard(k, &ids, bytes) {
+                for (offset, (point, result)) in points.iter().zip(&results).enumerate() {
+                    summaries[k * shard_size + offset] = Some(summarize_point(point, result));
+                }
+                verified[k] = Some((records, bytes));
+                resumed += records;
+            }
+        }
+    }
+
+    // (Re)write the manifest: header, the pinned shard size, one line per
+    // verified shard. On a fresh run this truncates any stale journal.
+    write_shard_manifest(&manifest, fingerprint, shard_size, &verified)
+        .map_err(|e| io_spec_error(&manifest, "cannot write", &e))?;
+
+    // Evaluate the incomplete shards chunk by chunk: each chunk resolves
+    // its own points, buffers at most one shard of encoded records, and
+    // publishes atomically before the next chunk starts. Evaluation is
+    // deterministic and the shared caches memoise pure quadratures, so
+    // chunked results are bit-identical to a whole-grid pass.
+    for k in 0..shards {
+        if verified[k].is_some() {
+            continue;
+        }
+        let points = chunk_points(k);
+        let resolved: Vec<ResolvedWorkload> = points
+            .iter()
+            .map(|p| spec.resolve(p))
+            .collect::<Result<_, _>>()?;
+        let pending: Vec<usize> = (0..points.len()).collect();
+        let mut chunk_summaries: Vec<Option<PointSummary>> = vec![None; points.len()];
+        {
+            let sharded = &mut sharded;
+            let mut record = |i: usize, result: ExperimentResult| -> Result<(), SpecError> {
+                sharded
+                    .buffer(i, &result)
+                    .map_err(|e| io_spec_error(dir, "cannot buffer point for", &e))?;
+                chunk_summaries[i] = Some(summarize_point(&points[i], &result));
+                Ok(())
+            };
+            eval_pending(spec, &points, &resolved, pool, &pending, &mut record)?;
+        }
+        let bytes = sharded
+            .write_shard(k, points.len())
+            .map_err(|e| io_spec_error(dir, "cannot write shard in", &e))?;
+        append_shard(&manifest, k, points.len(), bytes)
+            .map_err(|e| io_spec_error(&manifest, "cannot append", &e))?;
+        faultpoint::hit(faultpoint::points::SWEEP_AFTER_SHARD)
+            .map_err(|f| SpecError::new("sweep", f.to_string()))?;
+        for (offset, summary) in chunk_summaries.into_iter().enumerate() {
+            summaries[k * shard_size + offset] = summary;
+        }
+    }
+
+    let summaries: Vec<PointSummary> = summaries
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            s.ok_or_else(|| {
+                SpecError::new(
+                    format!("sweep point {i}"),
+                    "never evaluated — internal scheduling bug",
+                )
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let rollup = build_rollup_from(spec, &summaries);
+    write_point(dir, &rollup).map_err(|e| io_spec_error(dir, "cannot write roll-up", &e))?;
+
+    // Sharded layout is authoritative: per-point files of this scenario
+    // (from a previous per-point run), shards beyond the current count
+    // and orphaned temp files are all stale.
+    clean_stale_points(dir, &spec.name, &HashSet::new())
+        .map_err(|e| io_spec_error(dir, "cannot clean stale points in", &e))?;
+    let fresh: HashSet<String> = (0..shards)
+        .map(|k| store::shard_file_name(&spec.name, k))
+        .collect();
+    store::clean_stale_shards(dir, &spec.name, &fresh)
+        .map_err(|e| io_spec_error(dir, "cannot clean stale shards in", &e))?;
+
+    let mut paths: Vec<PathBuf> = (0..shards).map(|k| sharded.shard_path(k)).collect();
+    paths.push(dir.join(format!("{}.json", rollup.id)));
+    Ok(ShardedSweep {
+        name: spec.name.clone(),
+        grid_points: total,
+        shards,
+        rollup,
         paths,
         resumed,
     })
@@ -230,14 +418,10 @@ fn append_point(path: &Path, id: &str) -> std::io::Result<()> {
     file.flush()
 }
 
-/// Loads the journal and returns, per point slot, the restored result if
-/// its completion line and on-disk file both check out.
-fn restore(
-    dir: &Path,
-    manifest: &Path,
-    fingerprint: u64,
-    ids: &[String],
-) -> Result<Vec<Option<ExperimentResult>>, SpecError> {
+/// Reads the journal, checks its version line and spec fingerprint, and
+/// returns the body lines with any torn tail (crash mid-append) already
+/// dropped — shared by the per-point and sharded restore paths.
+fn manifest_body(manifest: &Path, fingerprint: u64) -> Result<Vec<String>, SpecError> {
     let text = match std::fs::read_to_string(manifest) {
         Ok(text) => text,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -284,19 +468,28 @@ fn restore(
             ),
         ));
     }
+    let mut body: Vec<String> = text.lines().skip(2).map(str::to_string).collect();
+    if !text.ends_with('\n') {
+        body.pop(); // torn tail line from a crash mid-append: re-evaluate
+    }
+    Ok(body)
+}
 
+/// Loads the journal and returns, per point slot, the restored result if
+/// its completion line and on-disk file both check out.
+fn restore(
+    dir: &Path,
+    manifest: &Path,
+    fingerprint: u64,
+    ids: &[String],
+) -> Result<Vec<Option<ExperimentResult>>, SpecError> {
     let index_of: HashMap<&str, usize> = ids
         .iter()
         .enumerate()
         .map(|(i, id)| (id.as_str(), i))
         .collect();
     let mut restored: Vec<Option<ExperimentResult>> = vec![None; ids.len()];
-    let body: Vec<&str> = text.lines().skip(2).collect();
-    let complete = text.ends_with('\n');
-    for (k, line) in body.iter().enumerate() {
-        if !complete && k == body.len() - 1 {
-            break; // torn tail line from a crash mid-append: re-evaluate
-        }
+    for line in manifest_body(manifest, fingerprint)? {
         let Some(id) = line.strip_prefix("point ") else {
             continue; // unknown journal line: ignore, never trust it
         };
@@ -306,6 +499,98 @@ fn restore(
         restored[i] = verified_point(dir, id);
     }
     Ok(restored)
+}
+
+/// Loads a sharded journal and returns, per shard index, the journaled
+/// `(records, bytes)` of every completed shard. The journal must have
+/// been written by the sharded path at the same shard size — the grid
+/// slots a shard covers depend on it, so resuming across a shard-size
+/// change (or from a per-point journal) is refused with instructions
+/// rather than silently mixing layouts.
+fn restore_shards(
+    manifest: &Path,
+    fingerprint: u64,
+    shard_size: usize,
+    shards: usize,
+) -> Result<Vec<Option<(usize, u64)>>, SpecError> {
+    let body = manifest_body(manifest, fingerprint)?;
+    let journaled_size = body
+        .iter()
+        .find_map(|line| line.strip_prefix("shard-size "))
+        .and_then(|s| s.trim().parse::<usize>().ok());
+    match journaled_size {
+        None => {
+            return Err(SpecError::new(
+                "--resume",
+                format!(
+                    "{} is a per-point sweep journal, but this grid streams through the sharded \
+                     store — rerun without --resume to start a sharded sweep",
+                    manifest.display()
+                ),
+            ))
+        }
+        Some(journaled) if journaled != shard_size => {
+            return Err(SpecError::new(
+                "--resume",
+                format!(
+                    "this journal was written with {journaled} records per shard, but the \
+                     current run uses {shard_size} — shard boundaries would not line up; rerun \
+                     without --resume or pass --per-point-max {journaled}"
+                ),
+            ))
+        }
+        Some(_) => {}
+    }
+    let mut restored: Vec<Option<(usize, u64)>> = vec![None; shards];
+    for line in body {
+        let Some(rest) = line.strip_prefix("shard ") else {
+            continue; // unknown journal line: ignore, never trust it
+        };
+        let mut fields = rest.split_ascii_whitespace();
+        let (Some(k), Some(records), Some(bytes), None) = (
+            fields.next().and_then(|f| f.parse::<usize>().ok()),
+            fields.next().and_then(|f| f.parse::<usize>().ok()),
+            fields.next().and_then(|f| f.parse::<u64>().ok()),
+            fields.next(),
+        ) else {
+            continue; // malformed line (corruption): re-evaluate that shard
+        };
+        if k < shards {
+            restored[k] = Some((records, bytes));
+        }
+    }
+    Ok(restored)
+}
+
+/// Atomically rewrites a sharded journal (header, shard size, one line
+/// per verified shard).
+fn write_shard_manifest(
+    path: &Path,
+    fingerprint: u64,
+    shard_size: usize,
+    verified: &[Option<(usize, u64)>],
+) -> std::io::Result<()> {
+    let mut text =
+        format!("{MANIFEST_VERSION}\nspec {fingerprint:016x}\nshard-size {shard_size}\n");
+    for (k, meta) in verified.iter().enumerate() {
+        if let Some((records, bytes)) = meta {
+            text.push_str(&format!("shard {k} {records} {bytes}\n"));
+        }
+    }
+    let tmp = path.with_extension("manifest.tmp");
+    // lint: allow(atomic-results-io): this is the temp-file half of the rename pattern
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Appends one shard-completion line to the journal — same torn-tail
+/// contract as [`append_point`]: a crash mid-append loses at most this
+/// one record, and the shard is simply re-evaluated on resume.
+fn append_shard(path: &Path, k: usize, records: usize, bytes: u64) -> std::io::Result<()> {
+    // lint: allow(atomic-results-io): append-only journal — a torn tail line is detected and re-evaluated on resume; the shard itself goes through temp+rename
+    let mut file = std::fs::OpenOptions::new().append(true).open(path)?;
+    file.write_all(format!("shard {k} {records} {bytes}\n").as_bytes())?;
+    file.flush()
 }
 
 /// Reads `<id>.json` back and accepts it only if it re-serialises to
@@ -502,6 +787,162 @@ mod tests {
         let again = run_checkpointed(&spec, &dir, true).unwrap();
         assert_eq!(again.resumed, 1);
         assert_eq!(again.outcome, swept.outcome);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_rollup_is_byte_identical_to_the_per_point_rollup() {
+        let spec = spec(GRID);
+        let point_dir = temp_dir("shard-vs-point");
+        let per_point = run_checkpointed(&spec, &point_dir, false).unwrap();
+
+        let shard_dir = temp_dir("shard-fresh");
+        let sharded = run_sharded(&spec, &shard_dir, false, 4).unwrap();
+        assert_eq!(sharded.grid_points, 6);
+        assert_eq!(sharded.shards, 2, "6 points at 4 per shard");
+        assert_eq!(sharded.resumed, 0);
+        assert_eq!(sharded.rollup, per_point.outcome.rollup);
+        assert_eq!(
+            std::fs::read(sharded.paths.last().unwrap()).unwrap(),
+            std::fs::read(per_point.paths.last().unwrap()).unwrap(),
+            "roll-up files must be byte-identical across store layouts"
+        );
+        // The shard records are the per-point results, compactly encoded,
+        // in grid order.
+        let mut records = Vec::new();
+        for path in &sharded.paths[..2] {
+            let text = std::fs::read_to_string(path).unwrap();
+            for line in text.lines() {
+                records.push(serde_json::from_str::<ExperimentResult>(line).unwrap());
+            }
+        }
+        assert_eq!(records, per_point.outcome.points);
+        // No per-point files in the sharded layout.
+        for id in per_point.outcome.points.iter().map(|p| &p.id) {
+            assert!(!shard_dir.join(format!("{id}.json")).exists(), "{id}");
+        }
+        std::fs::remove_dir_all(&point_dir).ok();
+        std::fs::remove_dir_all(&shard_dir).ok();
+    }
+
+    #[test]
+    fn sharded_resume_after_shard_fault_is_byte_identical() {
+        let spec = spec(GRID);
+        let clean_dir = temp_dir("shard-clean");
+        let clean = run_sharded(&spec, &clean_dir, false, 2).unwrap();
+        assert_eq!(clean.shards, 3);
+
+        for k in 1..=3 {
+            let dir = temp_dir(&format!("shard-crash-{k}"));
+            let interrupted = faultpoint::scoped(&format!("sweep.write_shard:{k}=err"), || {
+                run_sharded(&spec, &dir, false, 2)
+            })
+            .expect("valid fault spec");
+            let err = interrupted.expect_err("fault must surface");
+            assert!(err.message.contains("sweep.write_shard"), "{err:?}");
+            // The faulted shard left only a temp file, never a torn shard.
+            assert!(dir
+                .join(format!("ckpt-shard-{:04}.ndjson.tmp", k - 1))
+                .exists());
+            assert!(!dir.join(format!("ckpt-shard-{:04}.ndjson", k - 1)).exists());
+
+            let resumed = run_sharded(&spec, &dir, true, 2).unwrap();
+            assert_eq!(resumed.resumed, (k - 1) * 2, "crash site {k}");
+            assert_eq!(resumed.rollup, clean.rollup, "crash site {k}");
+            for (ours, theirs) in resumed.paths.iter().zip(&clean.paths) {
+                assert_eq!(
+                    std::fs::read(ours).unwrap(),
+                    std::fs::read(theirs).unwrap(),
+                    "crash site {k}: {} differs from the clean run",
+                    ours.display()
+                );
+            }
+            assert!(
+                !dir.join(format!("ckpt-shard-{:04}.ndjson.tmp", k - 1))
+                    .exists(),
+                "crash site {k}: resume must clean the orphaned shard temp"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        std::fs::remove_dir_all(&clean_dir).ok();
+    }
+
+    #[test]
+    fn sharded_resume_reuses_verified_shards_and_reevaluates_tampered_ones() {
+        let spec = spec(GRID);
+        let dir = temp_dir("shard-tamper");
+        let clean = run_sharded(&spec, &dir, false, 2).unwrap();
+
+        // Tamper shard 1 without changing its byte length: the record
+        // still parses and round-trips, but its id no longer matches the
+        // grid slot, so only that shard is re-evaluated.
+        let victim = dir.join("ckpt-shard-0001.ndjson");
+        let text = std::fs::read_to_string(&victim).unwrap();
+        let tampered = text.replacen("ckpt-p002", "ckpt-p202", 1);
+        assert_ne!(text, tampered, "record format changed — update the tamper");
+        std::fs::write(&victim, &tampered).unwrap();
+
+        let resumed = run_sharded(&spec, &dir, true, 2).unwrap();
+        assert_eq!(resumed.resumed, 4, "shards 0 and 2 reused, shard 1 redone");
+        assert_eq!(resumed.rollup, clean.rollup);
+        assert_eq!(
+            std::fs::read_to_string(&victim).unwrap(),
+            text,
+            "the tampered shard must be rewritten byte-identically"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_resume_refuses_layout_changes() {
+        let spec = spec(GRID);
+        let dir = temp_dir("shard-size-change");
+        run_sharded(&spec, &dir, false, 2).unwrap();
+        let err = run_sharded(&spec, &dir, true, 3).expect_err("must refuse");
+        assert_eq!(err.path, "--resume");
+        assert!(
+            err.message.contains("2 records per shard"),
+            "{}",
+            err.message
+        );
+        assert!(err.message.contains("--per-point-max 2"), "{}", err.message);
+        std::fs::remove_dir_all(&dir).ok();
+
+        // A per-point journal cannot seed a sharded resume either.
+        let dir = temp_dir("shard-from-point");
+        run_checkpointed(&spec, &dir, false).unwrap();
+        let err = run_sharded(&spec, &dir, true, 2).expect_err("must refuse");
+        assert_eq!(err.path, "--resume");
+        assert!(
+            err.message.contains("per-point sweep journal"),
+            "{}",
+            err.message
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn switching_store_layouts_cleans_the_other_layouts_files() {
+        let spec = spec(GRID);
+        let dir = temp_dir("layout-switch");
+        let per_point = run_checkpointed(&spec, &dir, false).unwrap();
+        assert!(dir.join("ckpt-p000.json").exists());
+
+        let sharded = run_sharded(&spec, &dir, false, 4).unwrap();
+        assert!(
+            !dir.join("ckpt-p000.json").exists(),
+            "per-point files cleaned"
+        );
+        assert!(dir.join("ckpt-shard-0000.ndjson").exists());
+
+        let back = run_checkpointed(&spec, &dir, false).unwrap();
+        assert!(
+            !dir.join("ckpt-shard-0000.ndjson").exists(),
+            "shards cleaned"
+        );
+        assert!(dir.join("ckpt-p000.json").exists());
+        assert_eq!(back.outcome.rollup, sharded.rollup);
+        assert_eq!(back.outcome, per_point.outcome);
         std::fs::remove_dir_all(&dir).ok();
     }
 

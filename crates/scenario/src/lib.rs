@@ -38,14 +38,23 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod adaptive;
 pub mod checkpoint;
 pub mod run;
 pub mod spec;
+pub mod store;
 
-pub use checkpoint::{run_checkpointed, run_checkpointed_pooled, CheckpointedSweep};
-pub use run::{run, run_pooled, write_outcome, SweepOutcome};
+pub use adaptive::{run_adaptive, run_adaptive_pooled, AdaptiveSweep, FrontierPoint};
+pub use checkpoint::{
+    run_checkpointed, run_checkpointed_pooled, run_sharded, run_sharded_pooled, CheckpointedSweep,
+    ShardedSweep,
+};
+pub use run::{run, run_pooled, write_outcome, SweepOutcome, SweepSummary};
 pub use spec::{
     AxisSpec, AxisValue, BpSpec, ExhibitSpec, GdSpec, GridPoint, HeteroSpec, PlanSpec,
     ResolvedWorkload, ScenarioSpec, SpecError, StragglerSpec, WorkloadSpec, EXHIBITS,
     MAX_GRID_POINTS,
+};
+pub use store::{
+    peak_buffered_records, reset_buffer_telemetry, ShardedStore, DEFAULT_PER_POINT_MAX,
 };

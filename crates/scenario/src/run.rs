@@ -33,6 +33,7 @@ use mlscale_workloads::experiments::{fig1, fig2, fig3, fig4, stragglers, table1,
 use mlscale_workloads::{ExperimentResult, Series};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::Value;
 use std::path::{Path, PathBuf};
 
 /// Everything one `mlscale sweep` run produced, in grid order.
@@ -179,6 +180,9 @@ pub fn write_outcome(outcome: &SweepOutcome, dir: &Path) -> std::io::Result<Vec<
         .map(|r| format!("{}.json", r.id))
         .collect();
     clean_stale_points(dir, &outcome.name, &fresh)?;
+    // Per-point layout is authoritative for this run: shards from a
+    // previous sharded run of the same scenario are stale.
+    crate::store::clean_stale_shards(dir, &outcome.name, &std::collections::HashSet::new())?;
     Ok(paths)
 }
 
@@ -513,13 +517,58 @@ fn with_curve(
         .with_stat("baseline time s", t1.as_secs(), None))
 }
 
-/// Reads a stat back out of a point result (roll-up assembly).
-fn stat_of(result: &ExperimentResult, label: &str) -> Option<f64> {
+/// Reads a stat back out of a point result (roll-up assembly and the
+/// adaptive runner's objective extraction).
+pub(crate) fn stat_of(result: &ExperimentResult, label: &str) -> Option<f64> {
     result
         .stats
         .iter()
         .find(|s| s.label == label)
         .map(|s| s.value)
+}
+
+/// The only stats a roll-up reads from a point, in series order.
+pub(crate) const ROLLUP_STAT_LABELS: [&str; 4] = [
+    "optimal n",
+    "peak speedup",
+    "time at optimum s",
+    "cheapest cost",
+];
+
+/// The slice of a point result the roll-up needs. Streaming sweeps keep
+/// one of these per point (a few dozen bytes) instead of the full result
+/// (curves over every `n`), which is what lets a 10⁶-point sweep build
+/// the same roll-up as the in-memory path without holding 10⁶ curves.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PointSummary {
+    /// The point's result id (grid id, or the exhibit's own id).
+    pub id: String,
+    /// The grid point's axis label, `None` when it has no assignments.
+    pub label: Option<String>,
+    /// The point's values for [`ROLLUP_STAT_LABELS`] (absent stats
+    /// omitted).
+    pub stats: Vec<(&'static str, f64)>,
+}
+
+impl PointSummary {
+    fn stat(&self, label: &str) -> Option<f64> {
+        self.stats
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// Distils one evaluated point down to what [`build_rollup_from`] reads.
+pub(crate) fn summarize_point(point: &GridPoint, result: &ExperimentResult) -> PointSummary {
+    PointSummary {
+        id: result.id.clone(),
+        label: (!point.assignments.is_empty()).then(|| point.label()),
+        stats: ROLLUP_STAT_LABELS
+            .iter()
+            .filter_map(|&label| stat_of(result, label).map(|v| (label, v)))
+            .collect(),
+    }
 }
 
 /// The roll-up report: per-point optima as series over the point index
@@ -530,11 +579,26 @@ pub(crate) fn build_rollup(
     grid: &[GridPoint],
     points: &[ExperimentResult],
 ) -> ExperimentResult {
+    let summaries: Vec<PointSummary> = grid
+        .iter()
+        .zip(points)
+        .map(|(g, p)| summarize_point(g, p))
+        .collect();
+    build_rollup_from(spec, &summaries)
+}
+
+/// [`build_rollup`] from point summaries instead of full results — the
+/// one implementation behind both the per-point-file and sharded store
+/// paths, so their roll-ups are byte-identical by construction.
+pub(crate) fn build_rollup_from(
+    spec: &ScenarioSpec,
+    summaries: &[PointSummary],
+) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         format!("{}-rollup", spec.name),
         format!("{} — sweep roll-up", spec.display_title()),
     )
-    .with_stat("grid points", points.len() as f64, None);
+    .with_stat("grid points", summaries.len() as f64, None);
     for (i, axis) in spec.sweep.iter().enumerate() {
         result = result.with_note(format!(
             "axis {}: {} ({} values)",
@@ -544,21 +608,16 @@ pub(crate) fn build_rollup(
         ));
     }
     let series_of = |label: &str| -> Option<Series> {
-        let pts: Vec<(usize, f64)> = points
+        let pts: Vec<(usize, f64)> = summaries
             .iter()
             .enumerate()
-            .filter_map(|(i, p)| stat_of(p, label).map(|v| (i + 1, v)))
+            .filter_map(|(i, s)| s.stat(label).map(|v| (i + 1, v)))
             .collect();
-        (pts.len() == points.len()).then(|| Series::new(format!("{label} per point"), pts))
+        (pts.len() == summaries.len()).then(|| Series::new(format!("{label} per point"), pts))
     };
     let mut best: Option<(usize, f64)> = None;
-    for (label, s) in [
-        ("optimal n", series_of("optimal n")),
-        ("peak speedup", series_of("peak speedup")),
-        ("time at optimum s", series_of("time at optimum s")),
-        ("cheapest cost", series_of("cheapest cost")),
-    ] {
-        if let Some(s) = s {
+    for label in ROLLUP_STAT_LABELS {
+        if let Some(s) = series_of(label) {
             if label == "peak speedup" {
                 best = s.argmax();
             }
@@ -566,37 +625,89 @@ pub(crate) fn build_rollup(
         }
     }
     if let Some((point, speedup)) = best {
-        let idx = point - 1;
+        let summary = &summaries[point - 1];
         result = result
             .with_stat("best point", point as f64, None)
             .with_stat("best peak speedup", speedup, None)
             .with_stat(
                 "best point optimal n",
-                stat_of(&points[idx], "optimal n").unwrap_or(f64::NAN),
+                summary.stat("optimal n").unwrap_or(f64::NAN),
                 None,
             )
             .with_note(format!(
                 "best point: {} ({})",
-                points[idx].id,
-                if grid[idx].assignments.is_empty() {
-                    "no axes".to_string()
-                } else {
-                    grid[idx].label()
-                }
+                summary.id,
+                summary.label.as_deref().unwrap_or("no axes")
             ));
     }
-    for (point, p) in grid.iter().zip(points) {
+    for summary in summaries {
         result = result.with_note(format!(
             "{}: {}",
-            p.id,
-            if point.assignments.is_empty() {
-                "single configuration".to_string()
-            } else {
-                point.label()
-            }
+            summary.id,
+            summary.label.as_deref().unwrap_or("single configuration")
         ));
     }
     result
+}
+
+/// The machine-readable sweep summary the CLI prints as one
+/// `summary {json}` stdout line — scripts and CI parse this instead of
+/// the human prose around it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSummary {
+    /// Scenario name.
+    pub name: String,
+    /// `"per-point"`, `"sharded"` or `"adaptive"`.
+    pub mode: &'static str,
+    /// Full grid size.
+    pub grid_points: usize,
+    /// Points with results this run (evaluated + restored). Equals
+    /// `grid_points` except in adaptive mode.
+    pub evaluated: usize,
+    /// Points restored from the journal instead of evaluated.
+    pub resumed: usize,
+    /// Result files written or reused (shards or per-point files, plus
+    /// the roll-up).
+    pub files: usize,
+    /// Shard count (sharded mode only, else 0).
+    pub shards: usize,
+    /// The `(cost, time)` Pareto frontier (adaptive mode only).
+    pub frontier: Vec<(f64, f64)>,
+}
+
+impl SweepSummary {
+    /// One-line compact JSON. Mode-specific fields (`shards`,
+    /// `frontier`) appear only in their mode, so parsers can key off
+    /// presence.
+    pub fn to_json(&self) -> Result<String, SpecError> {
+        let mut fields = vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("mode".to_string(), Value::Str(self.mode.to_string())),
+            (
+                "grid_points".to_string(),
+                Value::U64(self.grid_points as u64),
+            ),
+            ("evaluated".to_string(), Value::U64(self.evaluated as u64)),
+            ("resumed".to_string(), Value::U64(self.resumed as u64)),
+            ("files".to_string(), Value::U64(self.files as u64)),
+        ];
+        if self.mode == "sharded" {
+            fields.push(("shards".to_string(), Value::U64(self.shards as u64)));
+        }
+        if self.mode == "adaptive" {
+            fields.push((
+                "frontier".to_string(),
+                Value::Seq(
+                    self.frontier
+                        .iter()
+                        .map(|&(cost, time)| Value::Seq(vec![Value::F64(cost), Value::F64(time)]))
+                        .collect(),
+                ),
+            ));
+        }
+        serde_json::to_string(&Value::Map(fields))
+            .map_err(|e| SpecError::new("summary", format!("cannot render summary JSON: {e}")))
+    }
 }
 
 #[cfg(test)]

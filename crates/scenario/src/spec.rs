@@ -17,9 +17,10 @@ use mlscale_core::units::{BitsPerSec, FlopCount, FlopsRate, Seconds};
 use serde::Value;
 use std::fmt;
 
-/// Grid sizes past this are almost certainly a typo'd range, and would
-/// otherwise write that many result files.
-pub const MAX_GRID_POINTS: usize = 100_000;
+/// Grid sizes past this are almost certainly a typo'd range. Grids up
+/// to the cap stream through the sharded store (`crate::store`) — the
+/// limit bounds id widths and journal size, not resident memory.
+pub const MAX_GRID_POINTS: usize = 1_000_000;
 
 /// A validation or parse failure, carrying the full path of the offending
 /// key (`workload.max_n`, `sweep[1].range.step`).
@@ -242,6 +243,10 @@ pub struct ScenarioSpec {
     pub workload: WorkloadSpec,
     /// Sweep axes; empty means a single (1-point) grid.
     pub sweep: Vec<AxisSpec>,
+    /// Adaptive mode: evaluate a coarse sub-grid, then refine only
+    /// around the (cost, expected time) Pareto frontier instead of
+    /// evaluating every point (`--adaptive` sets this from the CLI).
+    pub adaptive: bool,
 }
 
 /// The workload of a scenario.
@@ -520,12 +525,14 @@ impl ScenarioSpec {
             None => Vec::new(),
             Some(v) => parse_sweep(v)?,
         };
+        let adaptive = obj.bool("adaptive")?.unwrap_or(false);
         obj.deny_unknown()?;
         let spec = Self {
             name,
             title,
             workload,
             sweep,
+            adaptive,
         };
         spec.validate()?;
         Ok(spec)
@@ -955,11 +962,56 @@ impl ScenarioSpec {
                 }
             }
         }
-        // Dry-run the whole grid: every point must yield a valid resolved
-        // workload.
-        let points = self.expand()?;
-        for point in &points {
-            self.resolve(point)?;
+        if self.adaptive && self.sweep.is_empty() {
+            return Err(SpecError::new(
+                "adaptive",
+                "adaptive refinement needs a non-empty sweep (there is no grid to refine)",
+            ));
+        }
+        // Size and dense-cap screens come first: a typo'd range or an
+        // over-cap max_n axis must be a named diagnostic carrying the
+        // expanded point count *before* any per-point expansion work.
+        let total = self.grid_len()?;
+        self.screen_dense_cap(total)?;
+        // Dry-run the whole grid, streaming: every point must yield a
+        // valid resolved workload, but the grid is never collected.
+        for point in self.grid_iter()? {
+            self.resolve(&point)?;
+        }
+        Ok(())
+    }
+
+    /// Refuses, before any expansion work, a grid that sweeps `max_n`
+    /// past the dense-mode limit with no `log_points` anywhere to lift
+    /// it — the per-point dry run would otherwise only discover the bad
+    /// value mid-iteration, after resolving every earlier point. The
+    /// diagnostic reports the expanded point count of the refused grid.
+    fn screen_dense_cap(&self, total: usize) -> Result<()> {
+        let log_points_fixed = match &self.workload {
+            WorkloadSpec::Gd(gd) => gd.log_points.is_some(),
+            _ => false,
+        };
+        if log_points_fixed || self.sweep.iter().any(|a| a.param == "log_points") {
+            return Ok(());
+        }
+        for (i, axis) in self.sweep.iter().enumerate() {
+            if axis.param != "max_n" {
+                continue;
+            }
+            for (j, value) in axis.values.iter().enumerate() {
+                if let AxisValue::Int(n) = value {
+                    if *n > DENSE_EVAL_MAX_N {
+                        return Err(SpecError::new(
+                            format!("sweep[{i}].values[{j}]"),
+                            format!(
+                                "max_n {n} exceeds the dense-mode limit {DENSE_EVAL_MAX_N}; \
+                                 refused before expanding the {total}-point grid — set \
+                                 log_points (e.g. 200) to evaluate a log-spaced ladder instead"
+                            ),
+                        ));
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -1481,12 +1533,40 @@ pub enum ResolvedWorkload {
     Exhibit(ExhibitSpec),
 }
 
+/// Lazily yields a sweep grid's points in odometer order (first axis
+/// outermost, last axis fastest) — the same points, ids and order as
+/// [`ScenarioSpec::expand`], without ever materialising the grid.
+pub struct GridIter<'a> {
+    spec: &'a ScenarioSpec,
+    width: usize,
+    index: usize,
+    total: usize,
+}
+
+impl Iterator for GridIter<'_> {
+    type Item = GridPoint;
+
+    fn next(&mut self) -> Option<GridPoint> {
+        if self.index >= self.total {
+            return None;
+        }
+        let point = self.spec.point_at(self.index, self.width);
+        self.index += 1;
+        Some(point)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.total - self.index;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for GridIter<'_> {}
+
 impl ScenarioSpec {
-    /// Expands the sweep grid into its cross product: the first axis is
-    /// the outermost (slowest) loop, the last the innermost — expansion
-    /// order is a pure function of the document, so repeated runs number
-    /// and order the points identically.
-    pub fn expand(&self) -> Result<Vec<GridPoint>> {
+    /// The expanded grid size, without expanding: the checked product of
+    /// the axis lengths, refused past [`MAX_GRID_POINTS`].
+    pub fn grid_len(&self) -> Result<usize> {
         let total: usize = self
             .sweep
             .iter()
@@ -1499,25 +1579,47 @@ impl ScenarioSpec {
                 format!("grid expands to {total} points (limit {MAX_GRID_POINTS})"),
             ));
         }
-        let width = point_id_width(total);
-        let mut points = Vec::with_capacity(total);
-        for index in 0..total {
-            let mut rem = index;
-            let mut assignments = Vec::with_capacity(self.sweep.len());
-            // Decode the odometer: last axis varies fastest.
-            for axis in self.sweep.iter().rev() {
-                let len = axis.values.len();
-                assignments.push((axis.param.clone(), axis.values[rem % len].clone()));
-                rem /= len;
-            }
-            assignments.reverse();
-            points.push(GridPoint {
-                index,
-                id: format!("{}-p{index:0width$}", self.name),
-                assignments,
-            });
+        Ok(total)
+    }
+
+    /// A lazy iterator over the sweep grid — expansion order is a pure
+    /// function of the document, so repeated runs number and order the
+    /// points identically, and a million-point grid costs one point of
+    /// memory at a time.
+    pub fn grid_iter(&self) -> Result<GridIter<'_>> {
+        let total = self.grid_len()?;
+        Ok(GridIter {
+            spec: self,
+            width: point_id_width(total),
+            index: 0,
+            total,
+        })
+    }
+
+    /// Decodes grid point `index` directly (the odometer: last axis
+    /// varies fastest). `width` is the id zero-pad width for the full
+    /// grid ([`point_id_width`] of the grid length), so a point built
+    /// here is identical to the one [`Self::expand`] would yield.
+    pub fn point_at(&self, index: usize, width: usize) -> GridPoint {
+        let mut rem = index;
+        let mut assignments = Vec::with_capacity(self.sweep.len());
+        for axis in self.sweep.iter().rev() {
+            let len = axis.values.len();
+            assignments.push((axis.param.clone(), axis.values[rem % len].clone()));
+            rem /= len;
         }
-        Ok(points)
+        assignments.reverse();
+        GridPoint {
+            index,
+            id: format!("{}-p{index:0width$}", self.name),
+            assignments,
+        }
+    }
+
+    /// Expands the sweep grid into its cross product — the collecting
+    /// form of [`Self::grid_iter`], for small grids and tests.
+    pub fn expand(&self) -> Result<Vec<GridPoint>> {
+        Ok(self.grid_iter()?.collect())
     }
 
     /// Resolves a grid point into its concrete workload: base spec +
@@ -1552,7 +1654,7 @@ impl ScenarioSpec {
 
 /// Zero-pad width for point ids: at least 3 digits, more for huge grids,
 /// so lexicographic file order equals grid order.
-fn point_id_width(total: usize) -> usize {
+pub fn point_id_width(total: usize) -> usize {
     let digits = total.saturating_sub(1).max(1).ilog10() as usize + 1;
     digits.max(3)
 }
@@ -1900,5 +2002,68 @@ mod tests {
         assert_eq!(point_id_width(999), 3);
         assert_eq!(point_id_width(1000), 3);
         assert_eq!(point_id_width(1001), 4);
+    }
+
+    #[test]
+    fn grid_iter_matches_expand_lazily() {
+        let spec = parse(
+            r#"{"name": "g",
+                "workload": {"kind": "gd", "params": 1e6, "cost_per_example": 1e6,
+                             "batch": 10, "flops": 1e9},
+                "sweep": [{"param": "latency", "values": [0.0, 0.5]},
+                          {"param": "comm", "values": ["tree", "ring", "halving"]}]}"#,
+        )
+        .unwrap();
+        let iter = spec.grid_iter().unwrap();
+        assert_eq!(iter.len(), 6);
+        let streamed: Vec<GridPoint> = iter.collect();
+        assert_eq!(streamed, spec.expand().unwrap());
+        assert_eq!(spec.grid_len().unwrap(), 6);
+    }
+
+    #[test]
+    fn adaptive_flag_parses_and_needs_a_sweep() {
+        let spec = parse(
+            r#"{"name": "t", "adaptive": true,
+                "workload": {"kind": "gd", "preset": "fig2", "max_n": 8},
+                "sweep": [{"param": "jitter", "values": [0.0, 0.1]}]}"#,
+        )
+        .unwrap();
+        assert!(spec.adaptive);
+        assert!(!parse(MINIMAL_GD).unwrap().adaptive, "defaults to false");
+        let e = err_of(
+            r#"{"name": "t", "adaptive": true,
+                "workload": {"kind": "gd", "preset": "fig2", "max_n": 8}}"#,
+        );
+        assert_eq!(e.path, "adaptive");
+        assert!(e.message.contains("non-empty sweep"), "{e}");
+    }
+
+    #[test]
+    fn over_cap_max_n_axis_is_screened_before_expansion() {
+        // The bad value sits at the *end* of a grid whose dry run would
+        // otherwise resolve thousands of points first; the screen must
+        // name the axis value and report the expanded point count.
+        let e = err_of(
+            r#"{"name": "t",
+                "workload": {"kind": "gd", "params": 1e6, "cost_per_example": 1e6,
+                             "batch": 10, "flops": 1e9},
+                "sweep": [{"param": "latency", "range": {"from": 0, "to": 0.1, "step": 1e-4}},
+                          {"param": "max_n", "values": [8, 20000]}]}"#,
+        );
+        assert_eq!(e.path, "sweep[1].values[1]");
+        assert!(e.message.contains("dense-mode limit"), "{e}");
+        assert!(e.message.contains("2002-point grid"), "{e}");
+    }
+
+    #[test]
+    fn over_cap_max_n_axis_with_log_points_passes_the_screen() {
+        parse(
+            r#"{"name": "t",
+                "workload": {"kind": "gd", "params": 1e6, "cost_per_example": 1e6,
+                             "batch": 10, "flops": 1e9, "log_points": 50},
+                "sweep": [{"param": "max_n", "values": [8, 20000]}]}"#,
+        )
+        .expect("log_points lifts the dense cap for swept max_n too");
     }
 }

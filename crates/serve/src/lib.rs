@@ -72,7 +72,7 @@ use http::{is_timeout, read_request, Request, Response};
 use lru::ResponseLru;
 use mlscale_core::straggler::OrderStatCachePool;
 use mlscale_core::{faultpoint, par};
-use mlscale_scenario::{run_pooled, ScenarioSpec, SpecError, WorkloadSpec};
+use mlscale_scenario::{run_adaptive_pooled, run_pooled, ScenarioSpec, SpecError, WorkloadSpec};
 use serde::{Serialize, Value};
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Read};
@@ -527,15 +527,42 @@ impl Server {
         let spec = ScenarioSpec::from_json(body)?;
         let rendered = match path {
             "/sweep" => {
-                let outcome = run_pooled(&spec, &self.state.caches)?;
-                let envelope = Value::Map(vec![
+                // `"adaptive": true` scenarios evaluate only around the
+                // (cost, time) Pareto frontier; the envelope then carries
+                // the frontier and the evaluated subset instead of the
+                // full grid.
+                let (outcome, frontier) = if spec.adaptive {
+                    let adaptive = run_adaptive_pooled(&spec, &self.state.caches)?;
+                    (adaptive.outcome, Some(adaptive.frontier))
+                } else {
+                    (run_pooled(&spec, &self.state.caches)?, None)
+                };
+                let mut fields = vec![
                     ("name".to_string(), Value::Str(outcome.name.clone())),
                     (
                         "points".to_string(),
                         Value::Seq(outcome.points.iter().map(|p| p.to_value()).collect()),
                     ),
                     ("rollup".to_string(), outcome.rollup.to_value()),
-                ]);
+                ];
+                if let Some(frontier) = frontier {
+                    fields.push((
+                        "frontier".to_string(),
+                        Value::Seq(
+                            frontier
+                                .iter()
+                                .map(|f| {
+                                    Value::Map(vec![
+                                        ("id".to_string(), Value::Str(f.id.clone())),
+                                        ("cost".to_string(), Value::F64(f.cost)),
+                                        ("time".to_string(), Value::F64(f.time)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ));
+                }
+                let envelope = Value::Map(fields);
                 serde_json::to_string_pretty(&envelope)
                     .map_err(|e| SpecError::new(path, format!("cannot render sweep JSON: {e}")))?
             }
@@ -630,6 +657,20 @@ mod tests {
         assert!(warm.contains("x-mlscale-cache: hit"));
         let body = |r: &str| r.split("\r\n\r\n").nth(1).unwrap().to_string();
         assert_eq!(body(&cold), body(&warm), "cached must be byte-identical");
+    }
+
+    #[test]
+    fn adaptive_sweep_envelope_carries_the_frontier() {
+        let addr = start_server();
+        let scenario = r#"{"name": "adaptive-serve", "adaptive": true,
+            "workload": {"kind": "gd", "params": 12e6, "cost_per_example": 72e6,
+                         "batch": 60000, "flops": 84.48e9, "max_n": 12},
+            "sweep": [{"param": "latency", "values": [0.0, 1e-5, 1e-4, 1e-3]}]}"#;
+        let response = post(addr, "/sweep", scenario);
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains("\"frontier\""), "{response}");
+        assert!(response.contains("\"cost\""), "{response}");
+        assert!(response.contains("\"rollup\""), "{response}");
     }
 
     #[test]

@@ -31,7 +31,10 @@ use mlscale::model::planner::{Planner, Pricing};
 use mlscale::model::speedup::{log_spaced_ns, DENSE_EVAL_MAX_N};
 use mlscale::model::straggler::{StragglerGdModel, StragglerModel};
 use mlscale::model::units::{BitsPerSec, FlopCount, FlopsRate, Seconds};
-use mlscale::scenario::{run_checkpointed as sweep_run, ScenarioSpec};
+use mlscale::scenario::{
+    run_adaptive, run_checkpointed as sweep_run, run_sharded, write_outcome, ScenarioSpec,
+    SweepOutcome, SweepSummary, DEFAULT_PER_POINT_MAX,
+};
 use mlscale::workloads::experiments::figures;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -65,12 +68,18 @@ fn usage() -> ! {
          plan — cost/deadline provisioning over the gd model\n\
               (gd flags) --iterations K --price $/node-hour\n\
               [--deadline seconds | --budget amount] [--log-points P]\n\
-         sweep <file.json> [--out DIR] [--resume]\n\
-              expand the scenario's grid, evaluate every point, write one\n\
-              results JSON per point plus a roll-up (default DIR:\n\
-              results/sweeps/<name>); every completed point is journaled,\n\
-              and --resume skips points an interrupted run already\n\
-              finished (refused if the scenario changed)\n\
+         sweep <file.json> [--out DIR] [--resume] [--adaptive]\n\
+              [--per-point-max N]\n\
+              evaluate the scenario's grid and write results plus a\n\
+              roll-up (default DIR: results/sweeps/<name>). Grids up to\n\
+              --per-point-max points (default 2048) write one JSON file\n\
+              per point; larger grids stream into NDJSON shards of that\n\
+              many records, never holding more than one shard in memory.\n\
+              Completed work is journaled and --resume skips it (refused\n\
+              if the scenario changed). --adaptive (or \"adaptive\": true\n\
+              in the spec) evaluates a coarse sub-grid and refines only\n\
+              around the (cost, time) Pareto frontier. A machine-readable\n\
+              `summary {{...}}` line closes every sweep\n\
          scenario <validate|explain> <file.json>\n\
               check a scenario spec / print its expanded grid\n\
          serve [--addr HOST:PORT] [--threads N]\n\
@@ -90,7 +99,7 @@ fn die(msg: impl std::fmt::Display) -> ! {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["weak", "resume"];
+const BOOLEAN_FLAGS: &[&str] = &["weak", "resume", "adaptive"];
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
@@ -699,12 +708,25 @@ fn positional<'a>(command: &str, args: &'a [String]) -> (&'a str, &'a [String]) 
 fn cmd_sweep(args: &[String]) {
     let (path, rest) = positional("sweep", args);
     let flags = parse_flags(rest);
-    check_allowed("sweep", &flags, &["out", "resume"]);
+    check_allowed(
+        "sweep",
+        &flags,
+        &["out", "resume", "adaptive", "per-point-max"],
+    );
     let resume = flags.contains_key("resume");
-    let spec = load_scenario(path);
-    // The grid size is the product of the axis lengths — no need to
-    // expand here; the engine expands (and labels) the grid itself.
-    let grid_size: usize = spec.sweep.iter().map(|a| a.values.len()).product();
+    let per_point_max = int(&flags, "per-point-max", Some(DEFAULT_PER_POINT_MAX));
+    let mut spec = load_scenario(path);
+    if flags.contains_key("adaptive") {
+        spec.adaptive = true;
+        if spec.sweep.is_empty() {
+            die("--adaptive: adaptive refinement needs a non-empty sweep (there is no grid to refine)");
+        }
+    }
+    // The grid size comes from the axis lengths — the engine generates
+    // (and labels) the points lazily; nothing is expanded here.
+    let grid_size = spec
+        .grid_len()
+        .unwrap_or_else(|e| die(format_args!("{path}: {e}")));
     let out_dir = match flags.get("out") {
         Some(dir) => std::path::PathBuf::from(dir),
         None => std::path::PathBuf::from("results/sweeps").join(&spec.name),
@@ -715,17 +737,113 @@ fn cmd_sweep(args: &[String]) {
         grid_size,
         spec.sweep.len()
     );
-    // Each completed point is journaled as it lands, so an interrupted
-    // run picks up with --resume instead of starting over.
-    let checkpointed =
-        sweep_run(&spec, &out_dir, resume).unwrap_or_else(|e| die(format_args!("{path}: {e}")));
-    if checkpointed.resumed > 0 {
+
+    let summary = if spec.adaptive {
+        // Adaptive: evaluate a coarse sub-grid, refine around the
+        // (cost, time) Pareto frontier. The point selection depends on
+        // what has been seen, so there is no journal to resume from.
+        if resume {
+            die(
+                "--resume: an adaptive sweep picks its points from the frontier as it goes, \
+                 so there is no journal to resume — drop --resume (adaptive re-runs are cheap) \
+                 or drop --adaptive",
+            );
+        }
+        let adaptive = run_adaptive(&spec).unwrap_or_else(|e| die(format_args!("{path}: {e}")));
+        let paths = write_outcome(&adaptive.outcome, &out_dir).unwrap_or_else(|e| {
+            die(format_args!(
+                "cannot write results to {}: {e}",
+                out_dir.display()
+            ))
+        });
         println!(
-            "resumed: {} of {} point(s) restored from the journal",
-            checkpointed.resumed, grid_size
+            "adaptive: evaluated {} of {} grid point(s), {} on the frontier",
+            adaptive.outcome.points.len(),
+            grid_size,
+            adaptive.frontier.len()
         );
+        print_point_table(&adaptive.outcome);
+        println!();
+        for f in &adaptive.frontier {
+            println!("frontier: {}  cost {}  time {} s", f.id, f.cost, f.time);
+        }
+        print_wrote_line(paths.len(), &out_dir, paths.last());
+        SweepSummary {
+            name: spec.name.clone(),
+            mode: "adaptive",
+            grid_points: grid_size,
+            evaluated: adaptive.outcome.points.len(),
+            resumed: 0,
+            files: paths.len(),
+            shards: 0,
+            frontier: adaptive.frontier.iter().map(|f| (f.cost, f.time)).collect(),
+        }
+    } else if grid_size <= per_point_max {
+        // Per-point files, journaled as each point lands, so an
+        // interrupted run picks up with --resume instead of starting
+        // over.
+        let checkpointed =
+            sweep_run(&spec, &out_dir, resume).unwrap_or_else(|e| die(format_args!("{path}: {e}")));
+        if checkpointed.resumed > 0 {
+            println!(
+                "resumed: {} of {} point(s) restored from the journal",
+                checkpointed.resumed, grid_size
+            );
+        }
+        print_point_table(&checkpointed.outcome);
+        print_wrote_line(
+            checkpointed.paths.len(),
+            &out_dir,
+            checkpointed.paths.last(),
+        );
+        SweepSummary {
+            name: spec.name.clone(),
+            mode: "per-point",
+            grid_points: grid_size,
+            evaluated: grid_size,
+            resumed: checkpointed.resumed,
+            files: checkpointed.paths.len(),
+            shards: 0,
+            frontier: Vec::new(),
+        }
+    } else {
+        // Past the per-point threshold the sweep streams through the
+        // sharded store: NDJSON shards of up to --per-point-max records,
+        // journaled per shard, never holding more than one shard in
+        // memory.
+        let sharded = run_sharded(&spec, &out_dir, resume, per_point_max)
+            .unwrap_or_else(|e| die(format_args!("{path}: {e}")));
+        if sharded.resumed > 0 {
+            println!(
+                "resumed: {} of {} point(s) restored from the journal",
+                sharded.resumed, grid_size
+            );
+        }
+        println!(
+            "sharded store: {} shard(s) of up to {} record(s) each (grid exceeds --per-point-max {})",
+            sharded.shards, per_point_max, per_point_max
+        );
+        print_wrote_line(sharded.paths.len(), &out_dir, sharded.paths.last());
+        SweepSummary {
+            name: spec.name.clone(),
+            mode: "sharded",
+            grid_points: grid_size,
+            evaluated: grid_size,
+            resumed: sharded.resumed,
+            files: sharded.paths.len(),
+            shards: sharded.shards,
+            frontier: Vec::new(),
+        }
+    };
+    match summary.to_json() {
+        Ok(json) => println!("summary {json}"),
+        Err(e) => die(e),
     }
-    let outcome = &checkpointed.outcome;
+}
+
+/// The per-point stdout table (per-point and adaptive modes — sharded
+/// sweeps are far too large to print).
+fn print_point_table(outcome: &SweepOutcome) {
     println!(
         "\n{:<24} {:>10} {:>14} {:>16}",
         "point", "optimal n", "peak speedup", "time at opt (s)"
@@ -750,15 +868,14 @@ fn cmd_sweep(args: &[String]) {
             point.label()
         );
     }
+}
+
+fn print_wrote_line(files: usize, out_dir: &std::path::Path, rollup: Option<&std::path::PathBuf>) {
     println!(
         "\nwrote {} results file(s) to {} (roll-up: {})",
-        checkpointed.paths.len(),
+        files,
         out_dir.display(),
-        checkpointed
-            .paths
-            .last()
-            .map(|p| p.display().to_string())
-            .unwrap_or_default()
+        rollup.map(|p| p.display().to_string()).unwrap_or_default()
     );
 }
 
@@ -770,14 +887,17 @@ fn cmd_scenario(args: &[String]) {
         "validate" => {
             let (path, rest) = positional("scenario validate", rest);
             check_allowed("scenario validate", &parse_flags(rest), &[]);
+            // `load_scenario` already dry-ran every grid point through
+            // `ScenarioSpec::validate` (streaming — the cross product is
+            // never materialised); only the count is needed here.
             let spec = load_scenario(path);
-            let points = spec
-                .expand()
+            let total = spec
+                .grid_len()
                 .unwrap_or_else(|e| die(format_args!("{path}: {e}")));
             println!(
                 "ok: {} — {} grid point(s) over {} axis/axes",
                 spec.name,
-                points.len(),
+                total,
                 spec.sweep.len()
             );
         }
@@ -785,9 +905,6 @@ fn cmd_scenario(args: &[String]) {
             let (path, rest) = positional("scenario explain", rest);
             check_allowed("scenario explain", &parse_flags(rest), &[]);
             let spec = load_scenario(path);
-            let points = spec
-                .expand()
-                .unwrap_or_else(|e| die(format_args!("{path}: {e}")));
             println!("scenario {} — {}", spec.name, spec.display_title());
             let kind = match &spec.workload {
                 mlscale::scenario::WorkloadSpec::Gd(gd) => format!(
@@ -815,8 +932,17 @@ fn cmd_scenario(args: &[String]) {
                 let values: Vec<String> = axis.values.iter().map(|v| v.to_string()).collect();
                 println!("axis {i}: {} = [{}]", axis.param, values.join(", "));
             }
-            println!("grid: {} point(s)", points.len());
-            for point in &points {
+            let total = spec
+                .grid_len()
+                .unwrap_or_else(|e| die(format_args!("{path}: {e}")));
+            println!("grid: {total} point(s)");
+            // Streamed, one point at a time — explaining a million-point
+            // grid costs a million lines of stdout, not a million resident
+            // GridPoints.
+            let points = spec
+                .grid_iter()
+                .unwrap_or_else(|e| die(format_args!("{path}: {e}")));
+            for point in points {
                 println!(
                     "  {}  {}",
                     point.id,

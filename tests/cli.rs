@@ -792,6 +792,211 @@ fn sweep_rejects_extreme_max_n_without_log_points() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Streaming, sharded, and adaptive sweeps
+// ---------------------------------------------------------------------------
+
+/// Extracts the machine-readable `summary {...}` JSON from sweep stdout.
+fn summary_line(stdout: &str) -> String {
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("summary "))
+        .expect("every sweep must close with a `summary {...}` line")
+        .to_owned()
+}
+
+#[test]
+fn validate_refuses_over_cap_grids_before_expansion() {
+    // 1001 × 1001 = 1_002_001 points — just past MAX_GRID_POINTS. The
+    // refusal must name the expanded count and come from the checked
+    // axis-length product, not from materialising a million points.
+    let path = temp_scenario(
+        "over-cap",
+        r#"{"name": "over-cap",
+            "workload": {"kind": "gd", "params": 12e6, "cost_per_example": 72e6,
+                         "batch": 60000, "flops": 84.48e9, "max_n": 8},
+            "sweep": [
+              {"param": "latency", "range": {"from": 0.0, "to": 1e-3, "step": 1e-6}},
+              {"param": "bandwidth", "range": {"from": 1e9, "to": 2e9, "step": 1e6}}
+            ]}"#,
+    );
+    let started = std::time::Instant::now();
+    for verb in [vec!["scenario", "validate"], vec!["sweep"]] {
+        let mut args = verb.clone();
+        let path_str = path.to_str().unwrap();
+        args.push(path_str);
+        let out = mlscale(&args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "`mlscale {}` must refuse the over-cap grid",
+            verb.join(" ")
+        );
+        let err = stderr_of(&out);
+        assert!(
+            err.contains("1002001") && err.contains("limit 1000000"),
+            "refusal must report the expanded point count and the cap, got:\n{err}"
+        );
+    }
+    // Counting axis lengths is arithmetic; expanding 1M points is not.
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(20),
+        "over-cap refusal took {:?} — the grid is being expanded",
+        started.elapsed()
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sharded_sweep_matches_the_per_point_rollup_and_reports_a_summary() {
+    let base = std::env::temp_dir().join(format!("mlscale-cli-shard-{}", std::process::id()));
+    let per_point_dir = base.join("per-point");
+    let sharded_dir = base.join("sharded");
+    std::fs::remove_dir_all(&base).ok();
+    let per_point = mlscale(&[
+        "sweep",
+        "scenarios/latency-grid.json",
+        "--out",
+        per_point_dir.to_str().unwrap(),
+    ]);
+    assert!(
+        per_point.status.success(),
+        "stderr: {}",
+        stderr_of(&per_point)
+    );
+    // Forcing --per-point-max below the 24-point grid flips the run into
+    // the sharded store: ceil(24 / 10) = 3 NDJSON shards.
+    let sharded = mlscale(&[
+        "sweep",
+        "scenarios/latency-grid.json",
+        "--out",
+        sharded_dir.to_str().unwrap(),
+        "--per-point-max",
+        "10",
+    ]);
+    assert!(sharded.status.success(), "stderr: {}", stderr_of(&sharded));
+    let stdout = String::from_utf8_lossy(&sharded.stdout);
+    assert!(
+        stdout.contains("sharded store: 3 shard(s) of up to 10 record(s) each"),
+        "{stdout}"
+    );
+    let summary = summary_line(&stdout);
+    for key in [
+        r#""mode":"sharded""#,
+        r#""grid_points":24"#,
+        r#""evaluated":24"#,
+        r#""shards":3"#,
+    ] {
+        assert!(summary.contains(key), "summary missing {key}: {summary}");
+    }
+    // Both layouts distil the same sweep, byte for byte.
+    let rollup_a =
+        std::fs::read(per_point_dir.join("latency-grid-rollup.json")).expect("per-point roll-up");
+    let rollup_b =
+        std::fs::read(sharded_dir.join("latency-grid-rollup.json")).expect("sharded roll-up");
+    assert_eq!(rollup_a, rollup_b, "roll-ups must be byte-identical");
+    // Shards + roll-up + journal, and no per-point files.
+    let mut files: Vec<String> = std::fs::read_dir(&sharded_dir)
+        .expect("sharded out dir")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    files.sort();
+    assert_eq!(
+        files,
+        vec![
+            "latency-grid-rollup.json",
+            "latency-grid-shard-0000.ndjson",
+            "latency-grid-shard-0001.ndjson",
+            "latency-grid-shard-0002.ndjson",
+            "latency-grid.manifest",
+        ],
+        "unexpected sharded layout"
+    );
+    // A completed sharded sweep resumes entirely from its journal.
+    let resumed = mlscale(&[
+        "sweep",
+        "scenarios/latency-grid.json",
+        "--out",
+        sharded_dir.to_str().unwrap(),
+        "--per-point-max",
+        "10",
+        "--resume",
+    ]);
+    assert!(resumed.status.success(), "stderr: {}", stderr_of(&resumed));
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(
+        stdout.contains("resumed: 24 of 24 point(s) restored from the journal"),
+        "{stdout}"
+    );
+    assert!(
+        summary_line(&stdout).contains(r#""resumed":24"#),
+        "{stdout}"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn adaptive_sweep_reports_the_frontier_and_a_summary() {
+    let out_dir = std::env::temp_dir().join(format!("mlscale-cli-adaptive-{}", std::process::id()));
+    std::fs::remove_dir_all(&out_dir).ok();
+    let out = mlscale(&[
+        "sweep",
+        "scenarios/latency-grid.json",
+        "--adaptive",
+        "--out",
+        out_dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("adaptive: evaluated"), "{stdout}");
+    assert!(stdout.contains("frontier:"), "{stdout}");
+    let summary = summary_line(&stdout);
+    assert!(
+        summary.contains(r#""mode":"adaptive""#) && summary.contains(r#""frontier":[["#),
+        "summary must carry the machine-readable frontier: {summary}"
+    );
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+#[test]
+fn adaptive_sweep_refuses_resume() {
+    let out = mlscale(&[
+        "sweep",
+        "scenarios/latency-grid.json",
+        "--adaptive",
+        "--resume",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("--resume") && err.contains("--adaptive"),
+        "got: {err}"
+    );
+}
+
+#[test]
+fn adaptive_refuses_scenarios_with_no_grid() {
+    let out = mlscale(&["sweep", "scenarios/fig2.json", "--adaptive"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("--adaptive") && err.contains("non-empty sweep"),
+        "got: {err}"
+    );
+}
+
+#[test]
+fn per_point_max_zero_rejected() {
+    let out = mlscale(&[
+        "sweep",
+        "scenarios/latency-grid.json",
+        "--per-point-max",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("--per-point-max"));
+}
+
 #[test]
 fn one_point_log_sweep_runs() {
     let dir = std::env::temp_dir().join("mlscale-cli-log-sweep");

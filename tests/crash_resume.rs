@@ -162,6 +162,105 @@ fn kill_during_the_point_write_leaves_only_a_temp_file() {
 }
 
 #[test]
+fn sharded_sweep_killed_mid_run_resumes_byte_identical() {
+    // `--per-point-max 2` pushes the 6-point grid through the sharded
+    // store (3 shards of 2 records). Kill at both shard fault points —
+    // mid-write (temp stranded, no torn shard) and post-journal — and
+    // demand the resumed directory match an uninterrupted sharded run
+    // byte for byte.
+    for (tag, faults, expect_resumed) in [
+        (
+            "write",
+            "sweep.write_shard:2=kill",
+            "resumed: 2 of 6 point(s)",
+        ),
+        (
+            "journal",
+            "sweep.after_shard:2=kill",
+            "resumed: 4 of 6 point(s)",
+        ),
+    ] {
+        let dir = scratch(&format!("shard-{tag}"));
+        let scenario = write_scenario(&dir);
+        let clean_out = dir.join("clean");
+        let crash_out = dir.join("crashed");
+
+        let clean = sweep(&scenario, &clean_out, &["--per-point-max", "2"], None);
+        assert!(
+            clean.status.success(),
+            "clean sharded run: {}",
+            String::from_utf8_lossy(&clean.stderr)
+        );
+
+        let killed = sweep(
+            &scenario,
+            &crash_out,
+            &["--per-point-max", "2"],
+            Some(faults),
+        );
+        assert!(
+            !killed.status.success(),
+            "{tag}: the injected kill must abort"
+        );
+        assert_no_torn_json(&crash_out);
+        // Any published shard must already be whole NDJSON.
+        for entry in std::fs::read_dir(&crash_out).expect("dir") {
+            let path = entry.expect("entry").path();
+            if path.extension().is_some_and(|e| e == "ndjson") {
+                let text = std::fs::read_to_string(&path).expect("shard");
+                assert!(text.ends_with('\n'), "{}: torn shard", path.display());
+                for line in text.lines() {
+                    serde_json::from_str::<serde::Value>(line)
+                        .unwrap_or_else(|e| panic!("{}: torn record: {e}", path.display()));
+                }
+            }
+        }
+
+        let resumed = sweep(
+            &scenario,
+            &crash_out,
+            &["--per-point-max", "2", "--resume"],
+            None,
+        );
+        assert!(
+            resumed.status.success(),
+            "{tag} resume: {}",
+            String::from_utf8_lossy(&resumed.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&resumed.stdout);
+        assert!(
+            stdout.contains(expect_resumed),
+            "{tag}: resume must restore whole shards from the journal:\n{stdout}"
+        );
+
+        // Byte-identical across every file the clean run produced —
+        // shards, roll-up, and journal alike — with no temp orphans.
+        let names = |d: &Path| -> Vec<String> {
+            let mut names: Vec<String> = std::fs::read_dir(d)
+                .expect("dir")
+                .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+                .collect();
+            names.sort();
+            names
+        };
+        assert_eq!(
+            names(&clean_out),
+            names(&crash_out),
+            "{tag}: layout differs"
+        );
+        for name in names(&clean_out) {
+            let ours = std::fs::read(crash_out.join(&name)).expect("resumed file");
+            let theirs = std::fs::read(clean_out.join(&name)).expect("clean file");
+            assert_eq!(
+                ours, theirs,
+                "{tag}: {name}: resumed bytes differ from the clean run"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
 fn resume_refuses_a_changed_scenario_with_exit_2() {
     let dir = scratch("changed");
     let scenario = write_scenario(&dir);

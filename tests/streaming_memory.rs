@@ -1,0 +1,54 @@
+//! The load-bearing claim of the sharded store: a sweep five hundred
+//! times the per-point default streams through shard-sized buffers — it
+//! never accumulates the whole grid's records in memory. Runs in its own
+//! test binary because the buffer telemetry is process-wide.
+
+use mlscale::scenario::{
+    peak_buffered_records, reset_buffer_telemetry, run_sharded, ScenarioSpec, DEFAULT_PER_POINT_MAX,
+};
+
+/// 500 × 200 = 100_000 grid points over a deliberately tiny workload
+/// (`max_n 4` keeps each evaluation microseconds-cheap — the test is
+/// about the store, not the model).
+const BIG_GRID: &str = r#"{
+  "name": "streaming",
+  "workload": {"kind": "gd", "params": 12e6, "cost_per_example": 72e6,
+               "batch": 60000, "bits": 64, "flops": 84.48e9,
+               "bandwidth": 1e9, "max_n": 4},
+  "sweep": [
+    {"param": "latency", "range": {"from": 0.0, "to": 4.99e-4, "step": 1e-6}},
+    {"param": "bandwidth", "range": {"from": 1e9, "to": 200e9, "step": 1e9}}
+  ]
+}"#;
+
+#[test]
+fn hundred_thousand_point_sweep_buffers_at_most_one_shard() {
+    let spec = ScenarioSpec::from_json(BIG_GRID).expect("valid scenario");
+    assert_eq!(spec.grid_len().expect("grid length"), 100_000);
+    let dir = std::env::temp_dir().join(format!("mlscale-streaming-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    reset_buffer_telemetry();
+    let sharded = run_sharded(&spec, &dir, false, DEFAULT_PER_POINT_MAX).expect("sharded sweep");
+    assert_eq!(
+        sharded.shards,
+        100_000usize.div_ceil(DEFAULT_PER_POINT_MAX),
+        "unexpected shard count"
+    );
+    let peak = peak_buffered_records();
+    assert!(
+        peak > 0 && peak <= DEFAULT_PER_POINT_MAX,
+        "the store must hold at most one shard of records in memory, \
+         but peaked at {peak} (shard size {DEFAULT_PER_POINT_MAX})"
+    );
+    // The roll-up still distils the full grid.
+    let grid_points = sharded
+        .rollup
+        .stats
+        .iter()
+        .find(|s| s.label == "grid points")
+        .expect("grid points stat")
+        .value;
+    assert_eq!(grid_points, 100_000.0);
+    std::fs::remove_dir_all(&dir).ok();
+}
